@@ -1,0 +1,48 @@
+# Aegis reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all test vet bench repro repro-quick extensions examples fuzz clean
+
+all: test
+
+test:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Short mode skips the exhaustive/soak tests.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (minutes, one core).
+repro:
+	$(GO) run ./cmd/aegisbench -exp all -preset default
+
+repro-quick:
+	$(GO) run ./cmd/aegisbench -exp all -preset quick
+
+# All extension experiments (ablations + substrate studies).
+extensions:
+	$(GO) run ./cmd/aegisbench -exp extensions -preset default
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/partition
+	$(GO) run ./examples/comparison
+	$(GO) run ./examples/failcache
+	$(GO) run ./examples/endtoend
+
+# Brief fuzzing session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/ecc/
+	$(GO) test -fuzz=FuzzEncodeRoundTrip -fuzztime=10s ./internal/ecc/
+	$(GO) test -fuzz=FuzzLayoutInvariants -fuzztime=10s ./internal/plane/
+	$(GO) test -fuzz=FuzzUnmarshalBits -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzWriteRead -fuzztime=10s ./internal/core/
+
+clean:
+	$(GO) clean ./...

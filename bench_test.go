@@ -1,0 +1,65 @@
+// Package-level benchmarks, one per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).  Each
+// benchmark regenerates its artifact at the quick preset; the printed
+// CSV/table outputs come from cmd/aegisbench, these benches measure cost.
+//
+//	go test -bench=. -benchmem
+package aegis_test
+
+import (
+	"testing"
+
+	"aegis/internal/experiments"
+)
+
+// benchParams shrinks the quick preset so a full -bench=. sweep stays in
+// benchmark territory (each iteration still runs the whole experiment).
+func benchParams() experiments.Params {
+	p := experiments.Quick()
+	p.MeanLife = 300
+	p.PageTrials = 2
+	p.BlockTrials = 6
+	p.CurveTrials = 30
+	p.SurvivalPages = 6
+	return p
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		r, err := experiments.Run(id, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+
+func BenchmarkAblationWear(b *testing.B)  { benchExperiment(b, "ablation-wear") }
+func BenchmarkAblationStuck(b *testing.B) { benchExperiment(b, "ablation-stuck") }
+func BenchmarkAblationRDIS(b *testing.B)  { benchExperiment(b, "ablation-rdis") }
+func BenchmarkTraffic(b *testing.B)       { benchExperiment(b, "traffic") }
+func BenchmarkLatency(b *testing.B)       { benchExperiment(b, "latency") }
+func BenchmarkSoftFTC(b *testing.B)       { benchExperiment(b, "softftc") }
+func BenchmarkMemBlock(b *testing.B)      { benchExperiment(b, "memblock") }
+func BenchmarkOSCapacity(b *testing.B)    { benchExperiment(b, "oscapacity") }
+func BenchmarkPAYG(b *testing.B)          { benchExperiment(b, "payg") }
+func BenchmarkDevice(b *testing.B)        { benchExperiment(b, "device") }
+func BenchmarkFreeP(b *testing.B)         { benchExperiment(b, "freep") }

@@ -1,0 +1,163 @@
+// Command aegisbench runs the reproduction harness: it regenerates any
+// table or figure of the paper's evaluation and prints it as an aligned
+// ASCII table (optionally exporting CSV).
+//
+// Usage:
+//
+//	aegisbench -exp table1
+//	aegisbench -exp fig5 -preset default
+//	aegisbench -exp all -preset quick -csv out/
+//	aegisbench -list
+//
+// Experiments: table1, fig2, fig5…fig13, all.  Presets scale the Monte
+// Carlo effort (see DESIGN.md §3 on lifetime scaling): quick (seconds),
+// default (minutes, the README numbers), full (closer to paper scale).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"aegis/internal/experiments"
+	"aegis/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aegisbench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeSeriesCSV exports figure curves in long form: series, x, y.
+func writeSeriesCSV(w io.Writer, series []stats.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(pt.X, 'g', -1, 64),
+				strconv.FormatFloat(pt.Y, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("aegisbench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment to run: "+strings.Join(experiments.IDs, ", ")+", or all")
+		preset  = fs.String("preset", "default", "effort preset: quick, default, full")
+		seed    = fs.Int64("seed", 0, "override the preset's RNG seed (0 = keep preset seed)")
+		workers = fs.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
+		format  = fs.String("format", "text", "table output format: text or md (markdown)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "paper experiments:")
+		for _, id := range experiments.IDs {
+			fmt.Fprintf(out, "  %s\n", id)
+		}
+		fmt.Fprintln(out, "ablations:")
+		for _, id := range experiments.AblationIDs {
+			fmt.Fprintf(out, "  %s\n", id)
+		}
+		fmt.Fprintln(out, "  all  (every paper experiment)")
+		return nil
+	}
+
+	var p experiments.Params
+	switch *preset {
+	case "quick":
+		p = experiments.Quick()
+	case "default":
+		p = experiments.Default()
+	case "full":
+		p = experiments.Full()
+	default:
+		return fmt.Errorf("unknown preset %q (quick, default, full)", *preset)
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	p.Workers = *workers
+
+	start := time.Now()
+	result, err := experiments.Run(*exp, p)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range result.Tables {
+		var rerr error
+		switch *format {
+		case "text":
+			rerr = tbl.Render(out)
+		case "md":
+			rerr = tbl.RenderMarkdown(out)
+		default:
+			return fmt.Errorf("unknown format %q (text, md)", *format)
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		for i, tbl := range result.Tables {
+			name := fmt.Sprintf("%s_%02d.csv", *exp, i)
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				return err
+			}
+			werr := tbl.WriteCSV(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+		written := len(result.Tables)
+		if len(result.Series) > 0 {
+			name := fmt.Sprintf("%s_series.csv", *exp)
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				return err
+			}
+			werr := writeSeriesCSV(f, result.Series)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+			written++
+		}
+		fmt.Fprintf(out, "wrote %d CSV file(s) to %s\n", written, *csvDir)
+	}
+	fmt.Fprintf(out, "done in %v (preset %s, seed %d)\n", time.Since(start).Round(time.Millisecond), *preset, p.Seed)
+	return nil
+}

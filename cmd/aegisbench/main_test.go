@@ -1,0 +1,170 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout redirected to a pipe-backed file.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, []string{"-list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig5", "fig13", "ablation-wear"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestTable1RunsInstantly(t *testing.T) {
+	out, err := capture(t, []string{"-exp", "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "552") {
+		t.Fatalf("table1 output wrong:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, []string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	if _, err := capture(t, []string{"-preset", "warp"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, []string{"-exp", "fig2", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote 2 CSV file(s)") {
+		t.Fatalf("CSV message missing:\n%s", out)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "fig2_*.csv"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("CSV files = %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "b\\a") {
+		t.Fatalf("CSV content wrong: %s", data)
+	}
+}
+
+func TestSeedOverride(t *testing.T) {
+	// Seeded quick fig10 runs must differ between seeds but repeat
+	// within a seed.
+	args := func(seed string) []string {
+		return []string{"-exp", "fig10", "-preset", "quick", "-seed", seed}
+	}
+	a1, err := capture(t, args("5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := capture(t, args("5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string {
+		// Drop the timing line, which legitimately varies.
+		lines := strings.Split(s, "\n")
+		var keep []string
+		for _, l := range lines {
+			if strings.HasPrefix(l, "done in") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(a1) != strip(a2) {
+		t.Fatal("same seed produced different output")
+	}
+	b, err := capture(t, args("6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strip(a1) == strip(b) {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestSeriesCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, []string{"-exp", "fig10", "-preset", "quick", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote 2 CSV file(s)") {
+		t.Fatalf("expected table + series CSVs:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig10_series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y\n") {
+		t.Fatalf("series CSV header wrong: %s", data[:40])
+	}
+	if !strings.Contains(string(data), "Aegis-rw-p 9x61") {
+		t.Fatalf("series CSV missing curves:\n%s", data)
+	}
+}
+
+func TestExtensionsRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions sweep in -short mode")
+	}
+	// quick preset over every extension experiment; smoke only.
+	out, err := capture(t, []string{"-exp", "extensions", "-preset", "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Write traffic", "Soft vs hard FTC", "PAYG", "wear-leveling techniques"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("extensions output missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownFormat(t *testing.T) {
+	out, err := capture(t, []string{"-exp", "table1", "-format", "md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "### Table 1") || !strings.Contains(out, "| hard FTC |") {
+		t.Fatalf("markdown output wrong:\n%s", out)
+	}
+	if _, err := capture(t, []string{"-exp", "table1", "-format", "html"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

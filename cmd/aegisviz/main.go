@@ -1,0 +1,92 @@
+// Command aegisviz renders an A×B Aegis partition layout as ASCII: the
+// rectangle of the Cartesian plane with group IDs under a chosen slope
+// (the paper's Figure 2), and optionally the colliding slope of a pair of
+// bits (the §2.4 ROM lookup).
+//
+// Usage:
+//
+//	aegisviz -bits 32 -b 7 -slope 1
+//	aegisviz -bits 512 -b 23 -slope 4
+//	aegisviz -bits 512 -b 61 -pair 17,401
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"aegis/internal/plane"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aegisviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aegisviz", flag.ContinueOnError)
+	var (
+		bits  = fs.Int("bits", 32, "data block size in bits")
+		b     = fs.Int("b", 7, "prime B of the A×B scheme")
+		slope = fs.Int("slope", 0, "partition configuration (slope k) to render")
+		pair  = fs.String("pair", "", "two bit offsets 'x,y': print the slope on which they collide")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l, err := plane.NewLayout(*bits, *b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Aegis %s layout for a %d-bit block: %d slopes, %d groups of ≤%d bits, hard FTC %d (rw: %d), overhead %d bits\n\n",
+		l, *bits, l.Slopes(), l.Groups(), l.A, l.HardFTC(), l.HardFTCRW(), l.OverheadBits())
+
+	if *pair != "" {
+		parts := strings.SplitN(*pair, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -pair %q, want 'x,y'", *pair)
+		}
+		x1, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		x2, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -pair %q", *pair)
+		}
+		if x1 < 0 || x1 >= l.N || x2 < 0 || x2 >= l.N || x1 == x2 {
+			return fmt.Errorf("pair must be two distinct offsets in [0,%d)", l.N)
+		}
+		if k, ok := l.CollidingSlope(x1, x2); ok {
+			fmt.Fprintf(out, "bits %d and %d share a group only under slope k=%d\n", x1, x2, k)
+		} else {
+			fmt.Fprintf(out, "bits %d and %d are in the same rectangle column: they never share a group\n", x1, x2)
+		}
+		return nil
+	}
+
+	if *slope < 0 || *slope >= l.Slopes() {
+		return fmt.Errorf("slope %d out of range [0,%d)", *slope, l.Slopes())
+	}
+	fmt.Fprintf(out, "slope k=%d (cells show the group ID of each bit; '·' = unmapped rectangle point)\n\n", *slope)
+	width := len(fmt.Sprintf("%d", l.Groups()-1)) + 1
+	for bRow := l.B - 1; bRow >= 0; bRow-- {
+		fmt.Fprintf(out, "b=%3d |", bRow)
+		for a := 0; a < l.A; a++ {
+			if x, ok := l.Offset(a, bRow); ok {
+				fmt.Fprintf(out, " %*d", width, l.Group(x, *slope))
+			} else {
+				fmt.Fprintf(out, " %*s", width, "·")
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "       +%s\n        ", strings.Repeat("-", (width+1)*l.A))
+	for a := 0; a < l.A; a++ {
+		fmt.Fprintf(out, " %*d", width, a)
+	}
+	fmt.Fprintln(out, "   (a)")
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	out, err := render(t, "-bits", "32", "-b", "7", "-slope", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Aegis 5x7 layout") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hard FTC 4") {
+		t.Fatalf("hard FTC missing:\n%s", out)
+	}
+	// Three unmapped points are rendered as dots.
+	if got := strings.Count(out, "·"); got != 3+1 { // +1 for the legend
+		t.Fatalf("unmapped dots = %d, want 4 (3 cells + legend):\n%s", got, out)
+	}
+	// Slope 0: row b=2 is entirely group 2.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "b=  2") {
+			if !strings.Contains(line, "2  2  2  2  2") {
+				t.Fatalf("slope-0 row not constant: %q", line)
+			}
+		}
+	}
+}
+
+func TestPairLookup(t *testing.T) {
+	out, err := render(t, "-bits", "512", "-b", "61", "-pair", "17,401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "share a group only under slope k=") {
+		t.Fatalf("pair output wrong:\n%s", out)
+	}
+	// Same-column pair: offsets 0 and 1 are both in column a=0.
+	out, err = render(t, "-bits", "512", "-b", "61", "-pair", "0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "never share a group") {
+		t.Fatalf("same-column output wrong:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bits", "512", "-b", "24"},                // non-prime B
+		{"-bits", "32", "-b", "7", "-slope", "7"},   // slope out of range
+		{"-bits", "32", "-b", "7", "-pair", "3"},    // malformed pair
+		{"-bits", "32", "-b", "7", "-pair", "a,b"},  // non-numeric pair
+		{"-bits", "32", "-b", "7", "-pair", "5,5"},  // identical offsets
+		{"-bits", "32", "-b", "7", "-pair", "5,99"}, // out of range
+		{"-bits", "512", "-b", "19"},                // A > B
+	}
+	for _, args := range cases {
+		if _, err := render(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package aegis is a from-scratch Go reproduction of "Aegis: Partitioning
+// Data Block for Efficient Recovery of Stuck-at-Faults in Phase Change
+// Memory" (Fan, Jiang, Shu, Zhang, Zheng — MICRO-46, 2013), complete with
+// every baseline the paper compares against, the PCM substrate they run
+// on, and the Monte Carlo harness regenerating the paper's tables and
+// figures.
+//
+// Start with README.md for orientation, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.  The root package holds only the per-table/figure benchmarks
+// (bench_test.go); the implementation lives under internal/ and the
+// executables under cmd/.
+package aegis

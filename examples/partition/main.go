@@ -1,0 +1,74 @@
+// Partition: a tour of the Cartesian-plane partition scheme that powers
+// Aegis — the content of the paper's §2.1, Figures 1 and 2, and the two
+// theorems, demonstrated on real layouts.
+//
+//	go run ./examples/partition
+package main
+
+import (
+	"fmt"
+
+	"aegis/internal/plane"
+)
+
+func main() {
+	// The paper's Figure 2: a 32-bit block on a 5×7 rectangle.
+	l := plane.MustLayout(32, 7)
+	fmt.Printf("layout %s: %d slopes × %d groups, hard FTC %d\n\n", l, l.Slopes(), l.Groups(), l.HardFTC())
+
+	for _, k := range []int{0, 1} {
+		fmt.Printf("slope k=%d:\n", k)
+		for y := 0; y < l.Groups(); y++ {
+			fmt.Printf("  group %d: bits %v\n", y, l.GroupMembers(y, k))
+		}
+		fmt.Println()
+	}
+
+	// Theorem 1: every bit is in exactly one group under every slope.
+	for k := 0; k < l.Slopes(); k++ {
+		seen := make([]bool, l.N)
+		for y := 0; y < l.Groups(); y++ {
+			for _, x := range l.GroupMembers(y, k) {
+				if seen[x] {
+					panic("Theorem 1 violated")
+				}
+				seen[x] = true
+			}
+		}
+	}
+	fmt.Println("Theorem 1 verified: every slope partitions all 32 bits exactly once")
+
+	// Theorem 2: any two bits share a group under at most one slope.
+	worst := 0
+	for x1 := 0; x1 < l.N; x1++ {
+		for x2 := x1 + 1; x2 < l.N; x2++ {
+			c := 0
+			for k := 0; k < l.Slopes(); k++ {
+				if l.SameGroup(x1, x2, k) {
+					c++
+				}
+			}
+			if c > worst {
+				worst = c
+			}
+		}
+	}
+	fmt.Printf("Theorem 2 verified: max collisions over all %d bit pairs and %d slopes = %d\n\n",
+		l.N*(l.N-1)/2, l.Slopes(), worst)
+
+	// The §2.4 ROM: the colliding slope of a pair is a single lookup.
+	x1, x2 := 3, 24
+	if k, ok := l.CollidingSlope(x1, x2); ok {
+		fmt.Printf("bits %d and %d collide only under slope %d — re-partitioning to any other slope separates them\n", x1, x2, k)
+	}
+
+	// The re-partition count bound of §2.2: f faults make C(f,2) pairs,
+	// each poisoning at most one slope, so C(f,2)+1 slopes always leave
+	// a collision-free one.  Show it for the paper's 512-bit layouts.
+	fmt.Println("\n512-bit layouts from the paper:")
+	for _, b := range []int{23, 31, 61, 71} {
+		L := plane.MustLayout(512, b)
+		fmt.Printf("  Aegis %-6s %2d slopes, hard FTC %2d (C(%d,2)+1 = %d ≤ %d), rw hard FTC %d, overhead %d bits\n",
+			L.String(), L.Slopes(), L.HardFTC(), L.HardFTC(), L.HardFTC()*(L.HardFTC()-1)/2+1, L.B, L.HardFTCRW(), L.OverheadBits())
+	}
+}

@@ -1,0 +1,94 @@
+// Quickstart: protect one 512-bit PCM data block with Aegis 9×61,
+// inject stuck-at faults, and watch writes keep round-tripping while the
+// scheme re-partitions and inverts groups.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/core"
+	"aegis/internal/pcm"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// An Aegis scheme is defined by its A×B rectangle; B must be prime.
+	// 9×61 is the paper's strongest 512-bit configuration: 61 slopes,
+	// 61 groups, 67 overhead bits, hard FTC 11.
+	factory := core.MustFactory(512, 61)
+	aegis := factory.New().(*core.Aegis)
+	fmt.Printf("scheme: %s, overhead %d bits, hard FTC %d\n\n",
+		aegis.Name(), aegis.OverheadBits(), aegis.Layout().HardFTC())
+
+	// An immortal block never wears out on its own; we inject faults by
+	// hand so the demo is deterministic.
+	block := pcm.NewImmortalBlock(512)
+
+	write := func(label string) {
+		data := bitvec.Random(512, rng)
+		if err := aegis.Write(block, data); err != nil {
+			log.Fatalf("%s: write failed: %v", label, err)
+		}
+		got := aegis.Read(block, nil)
+		if !got.Equal(data) {
+			log.Fatalf("%s: read back wrong data", label)
+		}
+		fmt.Printf("%-28s ok  (slope=%2d, inverted groups=%d, faults=%d)\n",
+			label, aegis.Slope(), aegis.InversionVector().PopCount(), block.FaultCount())
+	}
+
+	write("clean block")
+
+	// One stuck cell: its group is stored inverted whenever the stuck
+	// value disagrees with the data.
+	block.InjectFault(100, true)
+	write("1 stuck-at-1 fault")
+
+	// A second fault in the SAME slope-0 group as the first forces a
+	// re-partition: Theorem 2 guarantees the two separate under every
+	// other slope.
+	l := aegis.Layout()
+	g := l.Group(100, 0)
+	collide := -1
+	for _, x := range l.GroupMembers(g, 0) {
+		if x != 100 {
+			collide = x
+			break
+		}
+	}
+	block.InjectFault(collide, false)
+	fmt.Printf("\ninjected colliding fault at bit %d (same slope-0 group %d as bit 100)\n", collide, g)
+	write("2 colliding faults")
+
+	// Push to the hard FTC: whatever positions and stuck values come
+	// next, Aegis guarantees recovery.
+	for block.FaultCount() < l.HardFTC() {
+		p := rng.Intn(512)
+		if !block.IsStuck(p) {
+			block.InjectFault(p, rng.Intn(2) == 0)
+		}
+	}
+	write(fmt.Sprintf("%d faults (hard FTC)", block.FaultCount()))
+
+	// Beyond the hard FTC recovery is probabilistic (the paper's soft
+	// FTC); keep injecting until the block finally dies.
+	for {
+		p := rng.Intn(512)
+		if block.IsStuck(p) {
+			continue
+		}
+		block.InjectFault(p, rng.Intn(2) == 0)
+		data := bitvec.Random(512, rng)
+		if err := aegis.Write(block, data); err != nil {
+			fmt.Printf("\nblock became unrecoverable at %d faults — %d beyond the guarantee\n",
+				block.FaultCount(), block.FaultCount()-l.HardFTC())
+			return
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module aegis
+
+go 1.22

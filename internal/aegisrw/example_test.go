@@ -1,0 +1,38 @@
+package aegisrw_test
+
+import (
+	"fmt"
+
+	"aegis/internal/aegisrw"
+	"aegis/internal/bitvec"
+	"aegis/internal/failcache"
+	"aegis/internal/pcm"
+)
+
+// With a fail cache, two same-type faults may share a group: one
+// inversion fixes both, no re-partition needed (§2.4).
+func ExampleRW() {
+	factory := aegisrw.MustRWFactory(512, 23, failcache.Perfect{})
+	rw := factory.New().(*aegisrw.RW)
+	block := pcm.NewImmortalBlock(512)
+	// Two stuck-at-1 cells in the same slope-0 group (plane row 5).
+	block.InjectFault(5, true)  // point (0,5)
+	block.InjectFault(74, true) // point (3,5): 3·23+5
+
+	data := bitvec.New(512) // both faults wrong together
+	if err := rw.Write(block, data); err != nil {
+		panic(err)
+	}
+	fmt.Println("slope unchanged:", rw.Slope() == 0)
+	fmt.Println("round trip ok:", rw.Read(block, nil).Equal(data))
+	// Output:
+	// slope unchanged: true
+	// round trip ok: true
+}
+
+// Aegis-rw-p trades the B-bit inversion vector for a few group pointers.
+func ExampleRWP() {
+	factory := aegisrw.MustRWPFactory(512, 23, 4, failcache.Perfect{})
+	fmt.Println(factory.Name(), "overhead:", factory.OverheadBits(), "bits")
+	// Output: Aegis-rw-p 23x23 p=4 overhead: 27 bits
+}

@@ -1,0 +1,96 @@
+package aegisrw
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// MarshalBits implements scheme.MetadataCodec for Aegis-rw: the layout
+// and budget are identical to base Aegis (slope counter + inversion
+// vector), as §2.4 states.
+func (a *RW) MarshalBits() *bitvec.Vector {
+	w := scheme.NewBitWriter(a.OverheadBits())
+	w.WriteUint(uint64(a.slope), plane.CeilLog2(a.layout.B))
+	w.WriteVector(a.inv)
+	return w.Finish()
+}
+
+// UnmarshalBits implements scheme.MetadataCodec.
+func (a *RW) UnmarshalBits(v *bitvec.Vector) error {
+	r, err := scheme.NewBitReader(v, a.OverheadBits())
+	if err != nil {
+		return err
+	}
+	slope := int(r.ReadUint(plane.CeilLog2(a.layout.B)))
+	if slope >= a.layout.B {
+		return fmt.Errorf("aegisrw: decoded slope %d out of range [0,%d)", slope, a.layout.B)
+	}
+	a.slope = slope
+	a.inv.CopyFrom(r.ReadVector(a.layout.B))
+	return nil
+}
+
+var _ scheme.MetadataCodec = (*RW)(nil)
+
+// MarshalBits implements scheme.MetadataCodec for Aegis-rw-p: the slope
+// counter, p group-pointer fields of ⌈log₂B⌉ bits, the whole-block
+// inversion (complement) bit, and the all-pointers-used bit — the §2.4
+// budget.  B is prime, hence never a power of two, so the value B itself
+// fits in a pointer field and serves as the "unused" sentinel.
+func (a *RWP) MarshalBits() *bitvec.Vector {
+	w := scheme.NewBitWriter(a.OverheadBits())
+	width := plane.CeilLog2(a.layout.B)
+	w.WriteUint(uint64(a.slope), width)
+	for i := 0; i < a.p; i++ {
+		if i < len(a.pointers) {
+			w.WriteUint(uint64(a.pointers[i]), width)
+		} else {
+			w.WriteUint(uint64(a.layout.B), width) // sentinel: unused
+		}
+	}
+	w.WriteBool(a.complement)
+	w.WriteBool(len(a.pointers) == a.p)
+	return w.Finish()
+}
+
+// UnmarshalBits implements scheme.MetadataCodec.
+func (a *RWP) UnmarshalBits(v *bitvec.Vector) error {
+	r, err := scheme.NewBitReader(v, a.OverheadBits())
+	if err != nil {
+		return err
+	}
+	width := plane.CeilLog2(a.layout.B)
+	slope := int(r.ReadUint(width))
+	if slope >= a.layout.B {
+		return fmt.Errorf("aegisrw: decoded slope %d out of range [0,%d)", slope, a.layout.B)
+	}
+	pointers := a.pointers[:0]
+	seenSentinel := false
+	for i := 0; i < a.p; i++ {
+		g := int(r.ReadUint(width))
+		switch {
+		case g == a.layout.B:
+			seenSentinel = true
+		case g > a.layout.B:
+			return fmt.Errorf("aegisrw: decoded pointer %d out of range", g)
+		case seenSentinel:
+			return fmt.Errorf("aegisrw: pointer after unused sentinel")
+		default:
+			pointers = append(pointers, g)
+		}
+	}
+	complement := r.ReadBool()
+	full := r.ReadBool()
+	if full != (len(pointers) == a.p) {
+		return fmt.Errorf("aegisrw: all-pointers-used flag inconsistent with %d/%d pointers", len(pointers), a.p)
+	}
+	a.slope = slope
+	a.pointers = pointers
+	a.complement = complement
+	return nil
+}
+
+var _ scheme.MetadataCodec = (*RWP)(nil)

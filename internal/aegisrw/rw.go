@@ -1,0 +1,243 @@
+// Package aegisrw implements the two fail-cache-assisted Aegis variants
+// of §2.4 of the paper.
+//
+// Aegis-rw knows, before a write, where every stuck cell is and what its
+// stuck value is (from a fail cache).  Classifying each fault as
+// stuck-at-Wrong (stuck value ≠ datum) or stuck-at-Right lets a group
+// hold arbitrarily many faults of the same kind: inverting the group
+// fixes all of its W faults at once.  The slope therefore only needs to
+// separate W faults from R faults, and at most f_W·f_R slopes can be
+// invalid — the collision-slope lookup of plane.CollidingSlope is the
+// software form of the n×n×⌈log₂B⌉ ROM the paper describes.
+//
+// Aegis-rw-p additionally replaces the B-bit inversion vector with p
+// group pointers.  By the pigeonhole principle either the groups that
+// need inversion or the groups that must NOT be inverted number at most
+// ⌊f/2⌋, so recording the smaller side (plus a whole-block-inversion
+// mode bit) suffices.
+package aegisrw
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/failcache"
+	"aegis/internal/pcm"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// RW is the per-block state of Aegis-rw.
+type RW struct {
+	layout *plane.Layout
+	view   failcache.View
+	slope  int
+	inv    *bitvec.Vector
+
+	phys, errs *bitvec.Vector
+	excluded   []bool
+
+	ops scheme.OpStats
+}
+
+var _ scheme.Scheme = (*RW)(nil)
+
+// NewRW returns a fresh Aegis-rw instance for one block laid out by l,
+// consulting the given fail-cache view.
+func NewRW(l *plane.Layout, view failcache.View) *RW {
+	return &RW{
+		layout:   l,
+		view:     view,
+		inv:      bitvec.New(l.B),
+		phys:     bitvec.New(l.N),
+		errs:     bitvec.New(l.N),
+		excluded: make([]bool, l.B),
+	}
+}
+
+// Name implements scheme.Scheme.
+func (a *RW) Name() string { return "Aegis-rw " + a.layout.String() }
+
+// OverheadBits implements scheme.Scheme.  Aegis-rw with the same A×B
+// formation costs the same as base Aegis (§2.4): slope counter plus
+// inversion vector.  The fail cache is shared chip-level SRAM and is not
+// part of the per-block budget, exactly as the paper accounts it.
+func (a *RW) OverheadBits() int { return a.layout.OverheadBits() }
+
+// Slope returns the current slope counter value.
+func (a *RW) Slope() int { return a.slope }
+
+// OpStats implements scheme.OpReporter.
+func (a *RW) OpStats() scheme.OpStats { return a.ops }
+
+// findSlope returns a slope under which no group mixes W and R faults,
+// searching from the current slope, or ok=false.  wrong[i] is the W/R
+// classification of faults[i] for the data being written.
+func (a *RW) findSlope(faults []failcache.Fault, wrong []bool) (int, bool) {
+	for i := range a.excluded {
+		a.excluded[i] = false
+	}
+	// Only W–R pairs exclude a slope, and each pair excludes exactly
+	// one (Theorem 2) — or none, when the pair shares a rectangle
+	// column.
+	for i := range faults {
+		if !wrong[i] {
+			continue
+		}
+		for j := range faults {
+			if wrong[j] {
+				continue
+			}
+			if k, ok := a.layout.CollidingSlope(faults[i].Pos, faults[j].Pos); ok {
+				a.excluded[k] = true
+			}
+		}
+	}
+	for d := 0; d < a.layout.B; d++ {
+		k := (a.slope + d) % a.layout.B
+		if !a.excluded[k] {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Write implements scheme.Scheme.
+func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
+	if data.Len() != a.layout.N {
+		panic(fmt.Sprintf("aegisrw: write of %d bits into %s scheme", data.Len(), a.layout))
+	}
+	a.ops.Requests++
+	wrong := make([]bool, 0, 32)
+	// Faults seen during this write request, keyed by position.  With a
+	// perfect cache this stays empty; with a finite cache it prevents a
+	// pair of slot-colliding faults from evicting each other between
+	// verification passes forever.
+	var local []failcache.Fault
+	// A write normally completes in one pass; extra passes happen only
+	// when a cell dies during this very write (or, with a finite
+	// cache, when a fault was evicted and must be rediscovered).
+	for iter := 0; iter <= a.layout.N; iter++ {
+		faults := mergeFaults(a.view.Known(blk), local)
+		wrong = wrong[:0]
+		for _, f := range faults {
+			wrong = append(wrong, f.Val != data.Get(f.Pos))
+		}
+		k, ok := a.findSlope(faults, wrong)
+		if !ok {
+			return scheme.ErrUnrecoverable
+		}
+		if k != a.slope {
+			a.ops.Repartitions++
+		}
+		a.slope = k
+		a.inv.Zero()
+		for i, f := range faults {
+			if wrong[i] {
+				a.inv.Set(a.layout.Group(f.Pos, a.slope), true)
+			}
+		}
+		a.phys.CopyFrom(data)
+		for _, y := range a.inv.OnesIndices() {
+			a.phys.Xor(a.phys, a.layout.GroupMask(y, a.slope))
+		}
+		blk.WriteRaw(a.phys)
+		a.ops.RawWrites++
+		blk.Verify(a.phys, a.errs)
+		a.ops.VerifyReads++
+		if !a.errs.Any() {
+			return nil
+		}
+		for _, p := range a.errs.OnesIndices() {
+			f := failcache.Fault{Pos: p, Val: !a.phys.Get(p)}
+			a.view.Record(f)
+			local = appendFault(local, f)
+		}
+	}
+	return scheme.ErrUnrecoverable
+}
+
+// mergeFaults unions cached and locally discovered faults, preferring the
+// cached entry on duplicates (the values agree anyway: stuck values never
+// change).
+func mergeFaults(cached, local []failcache.Fault) []failcache.Fault {
+	if len(local) == 0 {
+		return cached
+	}
+	out := append([]failcache.Fault(nil), cached...)
+	for _, f := range local {
+		out = appendFault(out, f)
+	}
+	return out
+}
+
+// appendFault adds f unless a fault at the same position is present.
+func appendFault(s []failcache.Fault, f failcache.Fault) []failcache.Fault {
+	for _, g := range s {
+		if g.Pos == f.Pos {
+			return s
+		}
+	}
+	return append(s, f)
+}
+
+// Read implements scheme.Scheme.
+func (a *RW) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
+	dst = blk.Read(dst)
+	for _, y := range a.inv.OnesIndices() {
+		dst.Xor(dst, a.layout.GroupMask(y, a.slope))
+	}
+	return dst
+}
+
+// Recoverable reports whether a fault classification (positions plus W/R
+// labels) admits a valid slope.  Exposed for tests and analyses.
+func (a *RW) Recoverable(faults []failcache.Fault, wrong []bool) bool {
+	_, ok := a.findSlope(faults, wrong)
+	return ok
+}
+
+// RWFactory builds Aegis-rw instances.
+type RWFactory struct {
+	L     *plane.Layout
+	Cache failcache.Provider
+
+	nextID atomic.Uint64
+}
+
+// NewRWFactory returns a factory for n-bit blocks with parameter B using
+// the given fail cache.
+func NewRWFactory(n, b int, cache failcache.Provider) (*RWFactory, error) {
+	l, err := plane.NewLayout(n, b)
+	if err != nil {
+		return nil, err
+	}
+	return &RWFactory{L: l, Cache: cache}, nil
+}
+
+// MustRWFactory is NewRWFactory that panics on error.
+func MustRWFactory(n, b int, cache failcache.Provider) *RWFactory {
+	f, err := NewRWFactory(n, b, cache)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements scheme.Factory.
+func (f *RWFactory) Name() string { return "Aegis-rw " + f.L.String() }
+
+// BlockBits implements scheme.Factory.
+func (f *RWFactory) BlockBits() int { return f.L.N }
+
+// OverheadBits implements scheme.Factory.
+func (f *RWFactory) OverheadBits() int { return f.L.OverheadBits() }
+
+// New implements scheme.Factory.
+func (f *RWFactory) New() scheme.Scheme {
+	id := f.nextID.Add(1) - 1
+	return NewRW(f.L, f.Cache.View(id))
+}
+
+var _ scheme.Factory = (*RWFactory)(nil)

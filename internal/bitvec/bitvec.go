@@ -1,0 +1,256 @@
+// Package bitvec provides fixed-length bit vectors backed by 64-bit words.
+//
+// Bit vectors are the common currency of this repository: data blocks,
+// inversion vectors, stuck-at masks and fault masks are all bitvec.Vector
+// values.  The representation is little-endian within a word: bit i of the
+// vector lives at bit (i % 64) of word i/64.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+)
+
+// Vector is a fixed-length sequence of bits.  The zero value is an empty
+// vector; use New to create one with a given length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of n bits.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// NewFromWords returns a vector of n bits whose backing words are copied
+// from w.  Bits of w beyond n are cleared.
+func NewFromWords(n int, w []uint64) *Vector {
+	v := New(n)
+	copy(v.words, w)
+	v.maskTail()
+	return v
+}
+
+// Random returns a vector of n bits filled with uniformly random bits drawn
+// from rng.
+func Random(n int, rng *rand.Rand) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = rng.Uint64()
+	}
+	v.maskTail()
+	return v
+}
+
+// maskTail clears the unused bits of the final word so that PopCount,
+// Equal, and Words stay canonical.
+func (v *Vector) maskTail() {
+	if r := v.n % 64; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (uint64(1) << uint(r)) - 1
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words returns the backing words.  The caller must not modify bits at or
+// beyond Len().
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Get reports the value of bit i.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Bit returns bit i as 0 or 1.
+func (v *Vector) Bit(i int) int {
+	if v.Get(i) {
+		return 1
+	}
+	return 0
+}
+
+// Set assigns bit i.
+func (v *Vector) Set(i int, val bool) {
+	v.check(i)
+	if val {
+		v.words[i>>6] |= 1 << uint(i&63)
+	} else {
+		v.words[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// Flip inverts bit i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i>>6] ^= 1 << uint(i&63)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := New(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom overwrites v with the contents of src.  The lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	v.mustMatch(src)
+	copy(v.words, src.words)
+}
+
+// Zero clears every bit.
+func (v *Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Fill sets every bit to val.
+func (v *Vector) Fill(val bool) {
+	var w uint64
+	if val {
+		w = ^uint64(0)
+	}
+	for i := range v.words {
+		v.words[i] = w
+	}
+	v.maskTail()
+}
+
+// Xor stores a XOR b into v.  All three must have the same length; v may
+// alias a or b.
+func (v *Vector) Xor(a, b *Vector) {
+	v.mustMatch(a)
+	v.mustMatch(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i]
+	}
+}
+
+// And stores a AND b into v.
+func (v *Vector) And(a, b *Vector) {
+	v.mustMatch(a)
+	v.mustMatch(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or stores a OR b into v.
+func (v *Vector) Or(a, b *Vector) {
+	v.mustMatch(a)
+	v.mustMatch(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// AndNot stores a AND NOT b into v.
+func (v *Vector) AndNot(a, b *Vector) {
+	v.mustMatch(a)
+	v.mustMatch(b)
+	for i := range v.words {
+		v.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// Not stores the complement of a into v.
+func (v *Vector) Not(a *Vector) {
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.maskTail()
+}
+
+func (v *Vector) mustMatch(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// Equal reports whether v and o hold identical bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v *Vector) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OnesIndices returns the indices of all set bits in ascending order.
+func (v *Vector) OnesIndices() []int {
+	out := make([]int, 0, v.PopCount())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// HammingDistance returns the number of positions where v and o differ.
+func (v *Vector) HammingDistance(o *Vector) int {
+	v.mustMatch(o)
+	c := 0
+	for i := range v.words {
+		c += bits.OnesCount64(v.words[i] ^ o.words[i])
+	}
+	return c
+}
+
+// String renders the vector as a bit string, bit 0 first, in chunks of 8
+// for readability.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	for i := 0; i < v.n; i++ {
+		if i > 0 && i%8 == 0 {
+			sb.WriteByte(' ')
+		}
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,307 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 256, 512, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len() = %d, want %d", v.Len(), n)
+		}
+		if v.PopCount() != 0 {
+			t.Fatalf("new vector of %d bits has %d set bits", n, v.PopCount())
+		}
+		if v.Any() {
+			t.Fatalf("new vector of %d bits reports Any()=true", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		if v.Bit(i) != 1 {
+			t.Fatalf("Bit(%d) = %d, want 1", i, v.Bit(i))
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after Flip", i)
+		}
+		v.Flip(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after second Flip", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Set(false)", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Get(10) },
+		func() { v.Get(-1) },
+		func() { v.Set(10, true) },
+		func() { v.Flip(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFillAndTailMask(t *testing.T) {
+	v := New(70)
+	v.Fill(true)
+	if got := v.PopCount(); got != 70 {
+		t.Fatalf("PopCount after Fill(true) = %d, want 70", got)
+	}
+	// The tail of the last word must be clear so Words() is canonical.
+	if w := v.Words()[1]; w != (1<<6)-1 {
+		t.Fatalf("tail word = %#x, want %#x", w, uint64((1<<6)-1))
+	}
+	v.Fill(false)
+	if v.Any() {
+		t.Fatal("Any() true after Fill(false)")
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	v := New(65)
+	out := New(65)
+	out.Not(v)
+	if got := out.PopCount(); got != 65 {
+		t.Fatalf("PopCount(Not(zero)) = %d, want 65", got)
+	}
+}
+
+func TestXorAndOrAndNot(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(3, true)
+	a.Set(64, true)
+	b.Set(64, true)
+	b.Set(99, true)
+
+	x := New(100)
+	x.Xor(a, b)
+	if !x.Get(3) || x.Get(64) || !x.Get(99) {
+		t.Fatalf("Xor wrong: %v", x.OnesIndices())
+	}
+	x.And(a, b)
+	if got := x.OnesIndices(); len(got) != 1 || got[0] != 64 {
+		t.Fatalf("And wrong: %v", got)
+	}
+	x.Or(a, b)
+	if got := x.PopCount(); got != 3 {
+		t.Fatalf("Or popcount = %d, want 3", got)
+	}
+	x.AndNot(a, b)
+	if got := x.OnesIndices(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("AndNot wrong: %v", got)
+	}
+}
+
+func TestXorAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Random(200, rng)
+	b := Random(200, rng)
+	want := New(200)
+	want.Xor(a, b)
+	a.Xor(a, b) // aliased destination
+	if !a.Equal(want) {
+		t.Fatal("aliased Xor differs from non-aliased")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor with mismatched lengths did not panic")
+		}
+	}()
+	a.Xor(a, b)
+}
+
+func TestOnesIndices(t *testing.T) {
+	v := New(256)
+	want := []int{0, 5, 63, 64, 128, 255}
+	for _, i := range want {
+		v.Set(i, true)
+	}
+	got := v.OnesIndices()
+	if len(got) != len(want) {
+		t.Fatalf("OnesIndices len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnesIndices[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(64)
+	v.Set(5, true)
+	c := v.Clone()
+	c.Set(6, true)
+	if v.Get(6) {
+		t.Fatal("mutating clone changed original")
+	}
+	if !c.Get(5) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Random(512, rng)
+	b := New(512)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	if a.HammingDistance(b) != 0 {
+		t.Fatal("distance of equal vectors != 0")
+	}
+	b.Set(0, true)
+	b.Set(127, true)
+	if got := a.HammingDistance(b); got != 2 {
+		t.Fatalf("distance = %d, want 2", got)
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Fatal("vectors of different length reported equal")
+	}
+}
+
+func TestNewFromWords(t *testing.T) {
+	v := NewFromWords(65, []uint64{^uint64(0), ^uint64(0)})
+	if got := v.PopCount(); got != 65 {
+		t.Fatalf("PopCount = %d, want 65 (tail must be masked)", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(9)
+	v.Set(0, true)
+	v.Set(8, true)
+	if got := v.String(); got != "10000000 1" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(512, rand.New(rand.NewSource(7)))
+	b := Random(512, rand.New(rand.NewSource(7)))
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different vectors")
+	}
+}
+
+// Property: XOR is an involution — (a XOR b) XOR b == a.
+func TestPropXorInvolution(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(n, rng)
+		b := Random(n, rng)
+		x := New(n)
+		x.Xor(a, b)
+		x.Xor(x, b)
+		return x.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PopCount equals the length of OnesIndices, and HammingDistance
+// equals PopCount of the XOR.
+func TestPropCountsConsistent(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(n, rng)
+		b := Random(n, rng)
+		if a.PopCount() != len(a.OnesIndices()) {
+			return false
+		}
+		x := New(n)
+		x.Xor(a, b)
+		return a.HammingDistance(b) == x.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping each set bit of a random vector yields the zero vector.
+func TestPropFlipClears(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		rng := rand.New(rand.NewSource(seed))
+		v := Random(n, rng)
+		for _, i := range v.OnesIndices() {
+			v.Flip(i)
+		}
+		return !v.Any()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXor512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Random(512, rng)
+	y := Random(512, rng)
+	dst := New(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Xor(x, y)
+	}
+}
+
+func BenchmarkPopCount512(b *testing.B) {
+	v := Random(512, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.PopCount()
+	}
+}

@@ -1,0 +1,215 @@
+// Package core implements the base Aegis error-recovery scheme (§2.2 of
+// the paper): partition-and-inversion over the A×B Cartesian-plane
+// partition scheme of package plane, without a fail cache.
+//
+// Per-block bookkeeping is exactly what the paper budgets: a slope
+// counter of ⌈log₂B⌉ bits and a B-bit inversion vector whose y-th bit
+// records whether group y is stored inverted.
+//
+// The write path follows §2.2: write, verification-read, derive the
+// groups of the revealed stuck-at-Wrong cells, re-partition (increment
+// the slope) whenever two known faults collide in a group, set the
+// inversion bits so each faulty cell's physical value equals its stuck
+// value, rewrite, and repeat until a verification read comes back clean.
+// Every rewrite goes through the PCM model, so the extra inversion-write
+// wear the paper discusses (Figure 8's "intensive inversion writes") is
+// accounted for.
+package core
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// Aegis is the per-block state of the base (cache-less) Aegis scheme.
+type Aegis struct {
+	layout *plane.Layout
+	slope  int
+	inv    *bitvec.Vector // inversion vector: bit y set ⇔ group y stored inverted
+
+	// Scratch buffers reused across writes to keep the hot path
+	// allocation-free.
+	phys, errs *bitvec.Vector
+	faultPos   []int
+	faultVal   []bool
+
+	ops scheme.OpStats
+}
+
+var _ scheme.Scheme = (*Aegis)(nil)
+
+// New returns a fresh Aegis instance for one block laid out by l.
+func New(l *plane.Layout) *Aegis {
+	return &Aegis{
+		layout: l,
+		inv:    bitvec.New(l.B),
+		phys:   bitvec.New(l.N),
+		errs:   bitvec.New(l.N),
+	}
+}
+
+// Layout returns the partition layout the instance uses.
+func (a *Aegis) Layout() *plane.Layout { return a.layout }
+
+// Name implements scheme.Scheme.
+func (a *Aegis) Name() string { return "Aegis " + a.layout.String() }
+
+// OverheadBits implements scheme.Scheme: ⌈log₂B⌉ + B (§2.3).
+func (a *Aegis) OverheadBits() int { return a.layout.OverheadBits() }
+
+// Slope returns the current slope-counter value (exported for tests and
+// the partition visualizer).
+func (a *Aegis) Slope() int { return a.slope }
+
+// InversionVector returns a copy of the current inversion vector.
+func (a *Aegis) InversionVector() *bitvec.Vector { return a.inv.Clone() }
+
+// OpStats implements scheme.OpReporter.
+func (a *Aegis) OpStats() scheme.OpStats { return a.ops }
+
+// buildPhysical computes the physical image of data under the current
+// slope and inversion vector into a.phys.
+func (a *Aegis) buildPhysical(data *bitvec.Vector) {
+	a.phys.CopyFrom(data)
+	for _, y := range a.inv.OnesIndices() {
+		a.phys.Xor(a.phys, a.layout.GroupMask(y, a.slope))
+	}
+}
+
+// Write implements scheme.Scheme.
+func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
+	if data.Len() != a.layout.N {
+		panic(fmt.Sprintf("core: write of %d bits into %s scheme", data.Len(), a.layout))
+	}
+	// Faults discovered during this write request.  The controller has
+	// no persistent fault memory (that is the whole point of the
+	// cache-less design); it rediscovers what this data exposes.
+	a.ops.Requests++
+	a.faultPos = a.faultPos[:0]
+	a.faultVal = a.faultVal[:0]
+
+	// Each iteration either succeeds or discovers at least one new
+	// fault, so N+1 iterations are an absolute upper bound.
+	for iter := 0; iter <= a.layout.N; iter++ {
+		a.buildPhysical(data)
+		blk.WriteRaw(a.phys)
+		a.ops.RawWrites++
+		blk.Verify(a.phys, a.errs)
+		a.ops.VerifyReads++
+		if !a.errs.Any() {
+			return nil
+		}
+		// Every mismatch is a stuck-at-Wrong cell for the intended
+		// physical image; its read-back (stuck) value is the
+		// complement of what we tried to store.
+		grew := false
+		for _, p := range a.errs.OnesIndices() {
+			if a.knownFault(p) {
+				continue
+			}
+			a.faultPos = append(a.faultPos, p)
+			a.faultVal = append(a.faultVal, !a.phys.Get(p))
+			grew = true
+		}
+		if !grew {
+			// With a collision-free slope and correctly set
+			// inversion bits this cannot happen; treat it as
+			// unrecoverable rather than looping.
+			return scheme.ErrUnrecoverable
+		}
+		// Re-partition if any two known faults now share a group.
+		// FindCollisionFree starts at the current slope, so when the
+		// current configuration already separates them no re-partition
+		// happens — matching the paper's "increment the slope counter"
+		// behaviour otherwise.
+		k, ok := a.layout.FindCollisionFree(a.faultPos, a.slope)
+		if !ok {
+			return scheme.ErrUnrecoverable
+		}
+		if k != a.slope {
+			a.ops.Repartitions++
+		}
+		a.slope = k
+		// Rebuild the inversion vector: group of fault p gets
+		// inv = data[p] XOR stuck[p], so the physical image at p
+		// equals the stuck value.  Groups without a known fault are
+		// stored plain.
+		a.inv.Zero()
+		for i, p := range a.faultPos {
+			if data.Get(p) != a.faultVal[i] {
+				a.inv.Set(a.layout.Group(p, a.slope), true)
+			}
+		}
+	}
+	return scheme.ErrUnrecoverable
+}
+
+func (a *Aegis) knownFault(p int) bool {
+	for _, q := range a.faultPos {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Read implements scheme.Scheme: logical data is the physical contents
+// with the inverted groups flipped back.
+func (a *Aegis) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
+	dst = blk.Read(dst)
+	for _, y := range a.inv.OnesIndices() {
+		dst.Xor(dst, a.layout.GroupMask(y, a.slope))
+	}
+	return dst
+}
+
+// Recoverable reports whether a fault set (bit positions) is tolerable by
+// the layout independent of data: some slope puts every fault in its own
+// group.  This is the analytic predicate behind the scheme's soft FTC;
+// the operational Write path can only fail when this predicate is false
+// for the block's full fault set.
+func (a *Aegis) Recoverable(faults []int) bool {
+	_, ok := a.layout.FindCollisionFree(faults, a.slope)
+	return ok
+}
+
+// Factory builds per-block Aegis instances over one shared layout.
+type Factory struct {
+	L *plane.Layout
+}
+
+// NewFactory returns a factory for n-bit blocks with parameter B.
+func NewFactory(n, b int) (*Factory, error) {
+	l, err := plane.NewLayout(n, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Factory{L: l}, nil
+}
+
+// MustFactory is NewFactory that panics on error.
+func MustFactory(n, b int) *Factory {
+	f, err := NewFactory(n, b)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements scheme.Factory.
+func (f *Factory) Name() string { return "Aegis " + f.L.String() }
+
+// BlockBits implements scheme.Factory.
+func (f *Factory) BlockBits() int { return f.L.N }
+
+// OverheadBits implements scheme.Factory.
+func (f *Factory) OverheadBits() int { return f.L.OverheadBits() }
+
+// New implements scheme.Factory.
+func (f *Factory) New() scheme.Scheme { return New(f.L) }
+
+var _ scheme.Factory = (*Factory)(nil)

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/dist"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+func newBlockAndScheme(t *testing.T, n, b int) (*pcm.Block, *Aegis) {
+	t.Helper()
+	f := MustFactory(n, b)
+	return pcm.NewImmortalBlock(n), f.New().(*Aegis)
+}
+
+func TestWriteReadNoFaults(t *testing.T) {
+	blk, ag := newBlockAndScheme(t, 512, 61)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		data := bitvec.Random(512, rng)
+		if err := ag.Write(blk, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if !ag.Read(blk, nil).Equal(data) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+	if ag.Slope() != 0 {
+		t.Fatalf("slope moved without faults: %d", ag.Slope())
+	}
+}
+
+func TestSingleFaultMaskedByInversion(t *testing.T) {
+	blk, ag := newBlockAndScheme(t, 512, 23)
+	blk.InjectFault(100, true)
+
+	data := bitvec.New(512) // all zeros: fault at 100 is stuck-at-Wrong
+	if err := ag.Write(blk, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !ag.Read(blk, nil).Equal(data) {
+		t.Fatal("read differs")
+	}
+	// The fault's group must be inverted.
+	g := ag.Layout().Group(100, ag.Slope())
+	if !ag.InversionVector().Get(g) {
+		t.Fatalf("group %d of fault not inverted", g)
+	}
+}
+
+func TestStuckAtRightNeedsNoInversion(t *testing.T) {
+	blk, ag := newBlockAndScheme(t, 512, 23)
+	blk.InjectFault(100, true)
+	data := bitvec.New(512)
+	data.Set(100, true) // stuck value equals data: R fault
+	if err := ag.Write(blk, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if ag.InversionVector().Any() {
+		t.Fatal("inversion used for a stuck-at-Right fault")
+	}
+	if !ag.Read(blk, nil).Equal(data) {
+		t.Fatal("read differs")
+	}
+}
+
+func TestCollisionTriggersRepartition(t *testing.T) {
+	blk, ag := newBlockAndScheme(t, 512, 23)
+	l := ag.Layout()
+	// Two faults in the same group under slope 0: same row b, different a.
+	x1, _ := l.Offset(0, 5)
+	x2, _ := l.Offset(3, 5)
+	if l.Group(x1, 0) != l.Group(x2, 0) {
+		t.Fatal("test setup: bits not in same slope-0 group")
+	}
+	blk.InjectFault(x1, true)
+	blk.InjectFault(x2, true)
+
+	data := bitvec.New(512) // both faults W
+	if err := ag.Write(blk, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if ag.Slope() == 0 {
+		t.Fatal("no re-partition despite slope-0 collision")
+	}
+	if l.Group(x1, ag.Slope()) == l.Group(x2, ag.Slope()) {
+		t.Fatal("final slope still collides")
+	}
+	if !ag.Read(blk, nil).Equal(data) {
+		t.Fatal("read differs")
+	}
+}
+
+func TestHardFTCFaultsAlwaysRecoverable(t *testing.T) {
+	// Inject up to HardFTC faults at random positions with random stuck
+	// values; every write of random data must succeed (the paper's
+	// guarantee).
+	f := MustFactory(512, 31)
+	ftc := f.L.HardFTC()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		blk := pcm.NewImmortalBlock(512)
+		ag := f.New().(*Aegis)
+		positions := rng.Perm(512)[:ftc]
+		for _, p := range positions {
+			blk.InjectFault(p, rng.Intn(2) == 0)
+		}
+		for w := 0; w < 10; w++ {
+			data := bitvec.Random(512, rng)
+			if err := ag.Write(blk, data); err != nil {
+				t.Fatalf("trial %d write %d failed with %d=hardFTC faults: %v", trial, w, ftc, err)
+			}
+			if !ag.Read(blk, nil).Equal(data) {
+				t.Fatalf("trial %d write %d: read differs", trial, w)
+			}
+		}
+	}
+}
+
+func TestUnrecoverableWhenNoSlopeSeparates(t *testing.T) {
+	// Saturate: more faults than groups can never be separated.
+	f := MustFactory(512, 23)
+	blk := pcm.NewImmortalBlock(512)
+	ag := f.New().(*Aegis)
+	for p := 0; p < 30; p++ {
+		blk.InjectFault(p, true) // stuck at 1
+	}
+	data := bitvec.New(512) // all W
+	err := ag.Write(blk, data)
+	if !errors.Is(err, scheme.ErrUnrecoverable) {
+		t.Fatalf("expected ErrUnrecoverable, got %v", err)
+	}
+}
+
+func TestRecoverablePredicateAgreesWithWrite(t *testing.T) {
+	f := MustFactory(256, 23)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nf := 2 + rng.Intn(20)
+		blk := pcm.NewImmortalBlock(256)
+		ag := f.New().(*Aegis)
+		positions := rng.Perm(256)[:nf]
+		for _, p := range positions {
+			// Stuck at 1, write zeros: every fault is W, forcing the
+			// write path to place all faults in distinct groups —
+			// exactly the predicate.
+			blk.InjectFault(p, true)
+		}
+		pred := ag.Recoverable(positions)
+		err := ag.Write(blk, bitvec.New(256))
+		if pred && err != nil {
+			t.Fatalf("trial %d: predicate says recoverable, write failed (%d faults)", trial, nf)
+		}
+		if !pred && err == nil {
+			t.Fatalf("trial %d: predicate says unrecoverable, write succeeded (%d faults)", trial, nf)
+		}
+	}
+}
+
+func TestWearFromInversionRewrites(t *testing.T) {
+	// A faulty block must consume more write pulses than a clean one for
+	// the same data stream (the extra inversion writes of §3.2).
+	f := MustFactory(512, 61)
+	rng := rand.New(rand.NewSource(3))
+	stream := make([]*bitvec.Vector, 50)
+	for i := range stream {
+		stream[i] = bitvec.Random(512, rng)
+	}
+
+	clean := pcm.NewImmortalBlock(512)
+	agClean := f.New().(*Aegis)
+	faulty := pcm.NewImmortalBlock(512)
+	for _, p := range rng.Perm(512)[:8] {
+		faulty.InjectFault(p, rng.Intn(2) == 0)
+	}
+	agFaulty := f.New().(*Aegis)
+
+	for _, d := range stream {
+		if err := agClean.Write(clean, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := agFaulty.Write(faulty, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if faulty.Stats().BitWrites <= clean.Stats().BitWrites {
+		t.Fatalf("faulty block wear (%d) not above clean block wear (%d)",
+			faulty.Stats().BitWrites, clean.Stats().BitWrites)
+	}
+}
+
+func TestWriteSizeMismatchPanics(t *testing.T) {
+	blk, ag := newBlockAndScheme(t, 512, 23)
+	_ = blk
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ag.Write(blk, bitvec.New(256))
+}
+
+func TestFactoryMetadata(t *testing.T) {
+	f := MustFactory(512, 61)
+	if f.Name() != "Aegis 9x61" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if f.BlockBits() != 512 {
+		t.Fatalf("BlockBits = %d", f.BlockBits())
+	}
+	if f.OverheadBits() != 67 {
+		t.Fatalf("OverheadBits = %d, want 67", f.OverheadBits())
+	}
+	s := f.New()
+	if s.Name() != f.Name() || s.OverheadBits() != f.OverheadBits() {
+		t.Fatal("instance metadata differs from factory")
+	}
+}
+
+func TestNewFactoryError(t *testing.T) {
+	if _, err := NewFactory(512, 24); err == nil {
+		t.Fatal("non-prime B accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFactory did not panic")
+		}
+	}()
+	MustFactory(512, 24)
+}
+
+// Property: for any random fault set that the analytic predicate deems
+// recoverable, a long stream of random writes round-trips losslessly.
+func TestPropWritesRoundTripUnderFaults(t *testing.T) {
+	f := MustFactory(256, 31)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nf := rng.Intn(12)
+		blk := pcm.NewImmortalBlock(256)
+		ag := f.New().(*Aegis)
+		positions := rng.Perm(256)[:nf]
+		for _, p := range positions {
+			blk.InjectFault(p, rng.Intn(2) == 0)
+		}
+		if !ag.Recoverable(positions) {
+			return true // vacuous: fault set beyond soft capacity
+		}
+		for w := 0; w < 12; w++ {
+			data := bitvec.Random(256, rng)
+			if err := ag.Write(blk, data); err != nil {
+				return false
+			}
+			if !ag.Read(blk, nil).Equal(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the scheme state (slope, inversion vector) always decodes the
+// block: immediately after any successful write, physical XOR pattern ==
+// logical.
+func TestPropDecodeConsistency(t *testing.T) {
+	f := MustFactory(512, 23)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blk := pcm.NewBlock(512, dist.Fixed(int64(5+rng.Intn(20))), rng)
+		ag := f.New().(*Aegis)
+		for w := 0; w < 40; w++ {
+			data := bitvec.Random(512, rng)
+			if err := ag.Write(blk, data); err != nil {
+				return true // died; nothing more to check
+			}
+			if !ag.Read(blk, nil).Equal(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAegisWriteClean(b *testing.B) {
+	f := MustFactory(512, 61)
+	blk := pcm.NewImmortalBlock(512)
+	ag := f.New().(*Aegis)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]*bitvec.Vector, 16)
+	for i := range data {
+		data[i] = bitvec.Random(512, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ag.Write(blk, data[i%len(data)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAegisWrite8Faults(b *testing.B) {
+	f := MustFactory(512, 61)
+	blk := pcm.NewImmortalBlock(512)
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range rng.Perm(512)[:8] {
+		blk.InjectFault(p, rng.Intn(2) == 0)
+	}
+	ag := f.New().(*Aegis)
+	data := make([]*bitvec.Vector, 16)
+	for i := range data {
+		data[i] = bitvec.Random(512, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ag.Write(blk, data[i%len(data)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOpStatsAccounting(t *testing.T) {
+	f := MustFactory(512, 23)
+	ag := f.New().(*Aegis)
+	blk := pcm.NewImmortalBlock(512)
+	rng := rand.New(rand.NewSource(41))
+	if err := ag.Write(blk, bitvec.Random(512, rng)); err != nil {
+		t.Fatal(err)
+	}
+	st := ag.OpStats()
+	if st.Requests != 1 || st.RawWrites != 1 || st.VerifyReads != 1 || st.Repartitions != 0 {
+		t.Fatalf("clean-write OpStats = %+v", st)
+	}
+	// A fault forces an extra rewrite pass; a slope-0 collision forces a
+	// re-partition.
+	l := ag.Layout()
+	x1, _ := l.Offset(0, 5)
+	x2, _ := l.Offset(3, 5)
+	blk.InjectFault(x1, true)
+	blk.InjectFault(x2, true)
+	if err := ag.Write(blk, bitvec.New(512)); err != nil {
+		t.Fatal(err)
+	}
+	st = ag.OpStats()
+	if st.Requests != 2 || st.RawWrites < 3 || st.Repartitions != 1 {
+		t.Fatalf("faulty-write OpStats = %+v", st)
+	}
+	if st.ExtraWritesPerRequest() <= 0 {
+		t.Fatalf("extra writes per request = %v", st.ExtraWritesPerRequest())
+	}
+}

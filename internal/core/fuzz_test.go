@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+)
+
+// FuzzUnmarshalBits feeds arbitrary metadata bytes to the codec: decode
+// must either reject the input or leave the scheme fully functional.
+func FuzzUnmarshalBits(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fac := MustFactory(512, 23)
+		ag := fac.New().(*Aegis)
+		want := ag.OverheadBits() // 28 bits
+		v := bitvec.New(want)
+		for i := 0; i < want && i/8 < len(raw); i++ {
+			v.Set(i, raw[i/8]>>(uint(i)%8)&1 == 1)
+		}
+		if err := ag.UnmarshalBits(v); err != nil {
+			return // rejected cleanly
+		}
+		// Accepted state must round-trip and serve writes.
+		if !ag.MarshalBits().Equal(v) {
+			t.Fatal("accepted metadata does not round-trip")
+		}
+		blk := pcm.NewImmortalBlock(512)
+		data := bitvec.New(512)
+		data.Set(100, true)
+		if err := ag.Write(blk, data); err != nil {
+			t.Fatalf("write after unmarshal: %v", err)
+		}
+		if !ag.Read(blk, nil).Equal(data) {
+			t.Fatal("read differs after unmarshal")
+		}
+	})
+}
+
+// FuzzWriteRead drives the full write path with fuzz-chosen fault
+// patterns and data; any successful write must read back exactly.
+func FuzzWriteRead(f *testing.F) {
+	f.Add(uint16(3), uint64(0xdeadbeef), uint64(0x12345678))
+	f.Fuzz(func(t *testing.T, faultSeed uint16, dataLo, dataHi uint64) {
+		fac := MustFactory(256, 23)
+		ag := fac.New().(*Aegis)
+		blk := pcm.NewImmortalBlock(256)
+		// Derive up to 10 fault positions from the seed.
+		s := uint64(faultSeed) + 1
+		for i := 0; i < int(faultSeed%11); i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			blk.InjectFault(int(s>>33)%256, s&1 == 1)
+		}
+		data := bitvec.NewFromWords(256, []uint64{dataLo, dataHi, dataLo ^ dataHi, ^dataLo})
+		if err := ag.Write(blk, data); err != nil {
+			return // unrecoverable fault pattern: acceptable
+		}
+		if !ag.Read(blk, nil).Equal(data) {
+			t.Fatal("read differs after successful write")
+		}
+	})
+}

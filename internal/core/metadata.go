@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// MarshalBits implements scheme.MetadataCodec: the slope counter in
+// ⌈log₂B⌉ bits followed by the B-bit inversion vector — exactly the
+// OverheadBits() budget of §2.3.
+func (a *Aegis) MarshalBits() *bitvec.Vector {
+	w := scheme.NewBitWriter(a.OverheadBits())
+	w.WriteUint(uint64(a.slope), plane.CeilLog2(a.layout.B))
+	w.WriteVector(a.inv)
+	return w.Finish()
+}
+
+// UnmarshalBits implements scheme.MetadataCodec.
+func (a *Aegis) UnmarshalBits(v *bitvec.Vector) error {
+	r, err := scheme.NewBitReader(v, a.OverheadBits())
+	if err != nil {
+		return err
+	}
+	slope := int(r.ReadUint(plane.CeilLog2(a.layout.B)))
+	if slope >= a.layout.B {
+		return fmt.Errorf("core: decoded slope %d out of range [0,%d)", slope, a.layout.B)
+	}
+	a.slope = slope
+	a.inv.CopyFrom(r.ReadVector(a.layout.B))
+	return nil
+}
+
+var _ scheme.MetadataCodec = (*Aegis)(nil)

@@ -1,0 +1,114 @@
+package costmodel
+
+import (
+	"testing"
+
+	"aegis/internal/plane"
+)
+
+func mustLayout(n, b int) *plane.Layout { return plane.MustLayout(n, b) }
+
+// The printed Table 1 of the paper (512-bit blocks), with the two noted
+// discrepancies handled explicitly below.
+func TestTable1MatchesPaper(t *testing.T) {
+	wantECP := []int{11, 21, 31, 41, 51, 61, 71, 81, 91, 101}
+	wantSAFER := []int{1, 7, 14, 22, 35, 55, 91, 159, 292, 552}
+	wantGroups := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	wantAegis := []int{23, 24, 25, 26, 27, 27, 28, 34, 43, 53}
+	wantRWP := []int{1, 8, 9, 15, 15, 21, 21, 27, 27, 32}
+
+	rows := Table1(512, 10)
+	if len(rows) != 10 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		f := i + 1
+		if r.HardFTC != f {
+			t.Errorf("row %d HardFTC = %d", i, r.HardFTC)
+		}
+		if r.ECP != wantECP[i] {
+			t.Errorf("ECP(f=%d) = %d, want %d", f, r.ECP, wantECP[i])
+		}
+		if r.SAFER != wantSAFER[i] {
+			t.Errorf("SAFER(f=%d) = %d, want %d", f, r.SAFER, wantSAFER[i])
+		}
+		if r.SAFERGroups != wantGroups[i] {
+			t.Errorf("SAFERGroups(f=%d) = %d, want %d", f, r.SAFERGroups, wantGroups[i])
+		}
+		if r.Aegis != wantAegis[i] {
+			t.Errorf("Aegis(f=%d) = %d, want %d", f, r.Aegis, wantAegis[i])
+		}
+		if r.AegisRWP != wantRWP[i] {
+			t.Errorf("AegisRWP(f=%d) = %d, want %d", f, r.AegisRWP, wantRWP[i])
+		}
+	}
+}
+
+func TestAegisRWTextExamples(t *testing.T) {
+	// §2.4: "for hard FTC of 10, Aegis needs 46 slopes while Aegis-rw
+	// needs only 26 slopes", and the text assigns 34 bits to Aegis-rw at
+	// hard FTC 10 (the printed table's 28 is inconsistent with both).
+	if b := AegisB(512, 10); b != 47 { // 46 slopes -> next prime 47
+		t.Errorf("AegisB(512,10) = %d, want 47", b)
+	}
+	if b := AegisRWB(512, 10); b != 29 { // 26 slopes -> next prime 29
+		t.Errorf("AegisRWB(512,10) = %d, want 29", b)
+	}
+	if got := AegisRW(512, 10); got != 34 {
+		t.Errorf("AegisRW(512,10) = %d, want 34 (paper text)", got)
+	}
+	// §2.4: "with 34 bits Aegis provides a hard FTC of 8".
+	if got := Aegis(512, 8); got != 34 {
+		t.Errorf("Aegis(512,8) = %d, want 34", got)
+	}
+}
+
+func TestAegisRWNeverCostsMoreThanAegis(t *testing.T) {
+	for f := 1; f <= 12; f++ {
+		if AegisRW(512, f) > Aegis(512, f) {
+			t.Errorf("f=%d: AegisRW cost %d exceeds Aegis cost %d", f, AegisRW(512, f), Aegis(512, f))
+		}
+	}
+}
+
+func TestMinimumBFor512(t *testing.T) {
+	// Aegis "provides minimally 23 groups for a 512-bit block" (§2.3).
+	for f := 1; f <= 7; f++ {
+		if b := AegisB(512, f); b != 23 {
+			t.Errorf("AegisB(512,%d) = %d, want 23", f, b)
+		}
+	}
+}
+
+func TestRWPairsAndPointers(t *testing.T) {
+	cases := []struct{ f, pairs, ptrs int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 4, 2}, {5, 6, 2},
+		{6, 9, 3}, {7, 12, 3}, {8, 16, 4}, {9, 20, 4}, {10, 25, 5},
+	}
+	for _, c := range cases {
+		if got := rwPairs(c.f); got != c.pairs {
+			t.Errorf("rwPairs(%d) = %d, want %d", c.f, got, c.pairs)
+		}
+		if got := AegisRWPPointers(c.f); got != c.ptrs {
+			t.Errorf("AegisRWPPointers(%d) = %d, want %d", c.f, got, c.ptrs)
+		}
+	}
+}
+
+func Test256BitBlocks(t *testing.T) {
+	// Minimum prime for 256-bit blocks is 17 (A=16 ≤ 17).
+	if b := AegisB(256, 2); b != 17 {
+		t.Errorf("AegisB(256,2) = %d, want 17", b)
+	}
+	// Aegis 12x23 (Figure 5) protects 256-bit blocks with 28 bits.
+	if got := plainAegisCost(23); got != 28 {
+		t.Errorf("Aegis 12x23 overhead = %d, want 28", got)
+	}
+}
+
+// plainAegisCost is the operational overhead of an A×B instance (slope
+// counter sized for all B slopes), as opposed to the minimal Table 1 cost.
+func plainAegisCost(b int) int {
+	l := mustLayout(256, b)
+	return l.OverheadBits()
+}

@@ -1,0 +1,191 @@
+package device
+
+import (
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/wearlevel"
+	"aegis/internal/workload"
+)
+
+func smallConfig() Config {
+	return Config{
+		Pages:     8,
+		PageBytes: 512, // 8 blocks of 512 bits per page: small and fast
+		BlockBits: 512,
+		MeanLife:  300,
+		CoV:       0.25,
+		Scheme:    core.MustFactory(512, 23),
+		Workload:  workload.Uniform{N: 8},
+		Seed:      1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Pages = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero pages accepted")
+	}
+	cfg = smallConfig()
+	cfg.BlockBits = 500
+	if _, err := New(cfg); err == nil {
+		t.Error("non-tiling block size accepted")
+	}
+	cfg = smallConfig()
+	cfg.Workload = workload.Uniform{N: 4}
+	if _, err := New(cfg); err == nil {
+		t.Error("mismatched workload size accepted")
+	}
+	cfg = smallConfig()
+	lev, _ := wearlevel.NewStartGap(4, 10)
+	cfg.Leveler = lev
+	if _, err := New(cfg); err == nil {
+		t.Error("mismatched leveler size accepted")
+	}
+	cfg = smallConfig()
+	cfg.Scheme = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil scheme accepted")
+	}
+}
+
+func TestFreshDeviceFullyUsable(t *testing.T) {
+	d, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.UsableFraction(); got != 1.0 {
+		t.Fatalf("fresh usable fraction = %v", got)
+	}
+	if d.TotalFaults() != 0 {
+		t.Fatal("fresh device has faults")
+	}
+}
+
+func TestRunWearsOutTheDevice(t *testing.T) {
+	d, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := d.Run(0.5)
+	if writes <= 0 {
+		t.Fatal("no writes issued")
+	}
+	if d.UsableFraction() > 0.5 {
+		t.Fatalf("run stopped with %.2f usable", d.UsableFraction())
+	}
+	if d.TotalFaults() == 0 {
+		t.Fatal("device wore out without faults")
+	}
+	st := d.Stats()
+	if st.LogicalWrites != writes {
+		t.Fatalf("stats mismatch: %d vs %d", st.LogicalWrites, writes)
+	}
+}
+
+func TestRedirectionCountsAndKeepsServing(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workload = &workload.Sequential{N: 8} // hits dead pages deterministically
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(0.4)
+	if d.Stats().Redirected == 0 {
+		t.Fatal("no writes redirected although pages died")
+	}
+}
+
+func TestStrongSchemeOutlivesWeakEndToEnd(t *testing.T) {
+	run := func(f interface {
+		Name() string
+	}, sch Config) int64 {
+		d, err := New(sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Run(0.5)
+	}
+	weak := smallConfig()
+	weak.Scheme = ecp.MustFactory(512, 1)
+	strong := smallConfig()
+	strong.Scheme = core.MustFactory(512, 61)
+	w := run(nil, weak)
+	s := run(nil, strong)
+	if s <= w {
+		t.Fatalf("Aegis 9x61 device (%d writes) not above ECP1 device (%d)", s, w)
+	}
+}
+
+func TestPairingExtendsUsableLife(t *testing.T) {
+	base := smallConfig()
+	base.Seed = 7
+	noPair := base
+	noPair.Pairing = false
+	withPair := base
+	withPair.Pairing = true
+
+	d1, err := New(noPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := d1.Run(0.25)
+	d2, err := New(withPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := d2.Run(0.25)
+	if w2 < w1 {
+		t.Fatalf("pairing shortened device life: %d vs %d", w2, w1)
+	}
+	if d2.Stats().PairServed == 0 {
+		t.Fatal("no writes served by pairs")
+	}
+}
+
+func TestWearLevelingIntegration(t *testing.T) {
+	cfg := smallConfig()
+	hot, err := workload.NewHotSpot(8, 0.9, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = hot
+	cfg.Seed = 11
+
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unleveled := d1.Run(0.9) // first page death region
+
+	lev, err := wearlevel.NewRandomizedStartGap(8, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Leveler = lev
+	d2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leveled := d2.Run(0.9)
+	if leveled <= unleveled {
+		t.Fatalf("start-gap did not extend first-death under hot-spot: %d vs %d", leveled, unleveled)
+	}
+	if d2.Stats().MigrationWrites == 0 {
+		t.Fatal("leveler reported no migrations")
+	}
+}
+
+func TestCapacityAccessors(t *testing.T) {
+	d, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Capacity()
+	if c.Healthy != 8 || c.Pairs != 0 || c.Retired != 0 {
+		t.Fatalf("capacity = %+v", c)
+	}
+}

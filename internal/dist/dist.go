@@ -1,0 +1,83 @@
+// Package dist provides the cell-lifetime distributions used by the
+// Monte Carlo evaluation (§3.1 of the paper): every PCM cell is assigned a
+// write-endurance budget drawn from a normal distribution with a
+// configurable mean and a 25 % coefficient of variation, independently
+// across cells.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lifetime is a source of per-cell write-endurance budgets.
+type Lifetime interface {
+	// Sample draws one cell lifetime (number of bit-writes the cell
+	// survives).  Results are always ≥ 1.
+	Sample(rng *rand.Rand) int64
+	// Mean returns the distribution mean, used for experiment scaling.
+	Mean() float64
+	// String describes the distribution.
+	String() string
+}
+
+// Normal is a normal lifetime distribution truncated below at 1.
+type Normal struct {
+	MeanLife float64
+	// CoV is the coefficient of variation (stddev / mean).  The paper
+	// uses 0.25.
+	CoV float64
+}
+
+// NewNormal returns the paper's lifetime distribution: mean `mean` with a
+// 25 % coefficient of variation.
+func NewNormal(mean float64) Normal {
+	return Normal{MeanLife: mean, CoV: 0.25}
+}
+
+// Sample draws one lifetime.  Values below 1 (possible in the far left
+// tail) are clamped to 1: a cell always survives its first write.
+func (n Normal) Sample(rng *rand.Rand) int64 {
+	v := rng.NormFloat64()*n.MeanLife*n.CoV + n.MeanLife
+	if v < 1 {
+		return 1
+	}
+	return int64(v)
+}
+
+// Mean returns the configured mean lifetime.
+func (n Normal) Mean() float64 { return n.MeanLife }
+
+func (n Normal) String() string {
+	return fmt.Sprintf("Normal(mean=%.0f, cov=%.2f)", n.MeanLife, n.CoV)
+}
+
+// Fixed assigns the same lifetime to every cell; useful in tests where
+// fault arrival order must be fully controlled.
+type Fixed int64
+
+// Sample returns the fixed lifetime (minimum 1).
+func (f Fixed) Sample(*rand.Rand) int64 {
+	if f < 1 {
+		return 1
+	}
+	return int64(f)
+}
+
+// Mean returns the fixed lifetime.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+func (f Fixed) String() string { return fmt.Sprintf("Fixed(%d)", int64(f)) }
+
+// Immortal never wears out; blocks built with it only fail via explicit
+// fault injection.
+type Immortal struct{}
+
+// Sample returns a sentinel interpreted by the PCM model as "never fails".
+func (Immortal) Sample(*rand.Rand) int64 { return -1 }
+
+// Mean returns +Inf conceptually; we report 0 to keep scaling math from
+// silently using it.
+func (Immortal) Mean() float64 { return 0 }
+
+func (Immortal) String() string { return "Immortal" }

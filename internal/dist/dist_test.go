@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalSampleStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewNormal(1e6)
+	if d.CoV != 0.25 {
+		t.Fatalf("CoV = %v, want 0.25", d.CoV)
+	}
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(d.Sample(rng))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-1e6)/1e6 > 0.01 {
+		t.Errorf("mean = %.0f, want ≈1e6", mean)
+	}
+	if math.Abs(std-0.25e6)/0.25e6 > 0.05 {
+		t.Errorf("std = %.0f, want ≈2.5e5", std)
+	}
+	if d.Mean() != 1e6 {
+		t.Errorf("Mean() = %v", d.Mean())
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Mean 1 with CoV 0.25: many raw samples fall below 1 and must clamp.
+	d := Normal{MeanLife: 1, CoV: 2}
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(rng); v < 1 {
+			t.Fatalf("sample %d below 1", v)
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	d := Fixed(42)
+	for i := 0; i < 5; i++ {
+		if got := d.Sample(nil); got != 42 {
+			t.Fatalf("Fixed sample = %d", got)
+		}
+	}
+	if d.Mean() != 42 {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	if got := Fixed(0).Sample(nil); got != 1 {
+		t.Fatalf("Fixed(0) sample = %d, want clamp to 1", got)
+	}
+	if Fixed(3).String() == "" || NewNormal(10).String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestImmortal(t *testing.T) {
+	d := Immortal{}
+	if got := d.Sample(nil); got != -1 {
+		t.Fatalf("Immortal sample = %d, want -1 sentinel", got)
+	}
+	if d.Mean() != 0 {
+		t.Fatalf("Immortal Mean = %v", d.Mean())
+	}
+	if d.String() != "Immortal" {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := NewNormal(1000)
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package ecc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		w := rng.Uint64()
+		check := Encode(w)
+		got, res := Decode(w, check)
+		if res != OK || got != w {
+			t.Fatalf("clean decode of %#x: res=%v got=%#x", w, res, got)
+		}
+	}
+}
+
+func TestSingleDataBitErrorCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		w := rng.Uint64()
+		check := Encode(w)
+		bit := rng.Intn(64)
+		corrupted := w ^ 1<<uint(bit)
+		got, res := Decode(corrupted, check)
+		if res != Corrected {
+			t.Fatalf("bit %d flip not corrected: res=%v", bit, res)
+		}
+		if got != w {
+			t.Fatalf("bit %d flip miscorrected: got %#x want %#x", bit, got, w)
+		}
+	}
+}
+
+func TestSingleCheckBitErrorCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		w := rng.Uint64()
+		check := Encode(w)
+		bit := rng.Intn(8)
+		got, res := Decode(w, check^1<<uint(bit))
+		if res != Corrected || got != w {
+			t.Fatalf("check-bit %d flip: res=%v got=%#x want=%#x", bit, res, got, w)
+		}
+	}
+}
+
+func TestDoubleBitErrorDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		w := rng.Uint64()
+		check := Encode(w)
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		corrupted := w ^ 1<<uint(b1) ^ 1<<uint(b2)
+		_, res := Decode(corrupted, check)
+		if res != Uncorrectable {
+			t.Fatalf("double flip (%d,%d) not detected: res=%v", b1, b2, res)
+		}
+	}
+}
+
+// Property: SEC — correct any single flip anywhere in the 72-bit codeword.
+func TestPropSingleErrorCorrection(t *testing.T) {
+	prop := func(w uint64, posRaw uint8) bool {
+		pos := int(posRaw) % 72
+		check := Encode(w)
+		var got uint64
+		var res Result
+		if pos < 64 {
+			got, res = Decode(w^1<<uint(pos), check)
+		} else {
+			got, res = Decode(w, check^1<<uint(pos-64))
+		}
+		return res == Corrected && got == w
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(100); err == nil {
+		t.Error("non-multiple-of-64 block accepted")
+	}
+	if _, err := NewFactory(0); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestSchemeOverhead(t *testing.T) {
+	f := MustFactory(512)
+	if got := f.OverheadBits(); got != 64 {
+		t.Fatalf("overhead = %d, want 64 (12.5%% of 512)", got)
+	}
+}
+
+func TestSchemeCorrectsOneFaultPerWord(t *testing.T) {
+	f := MustFactory(512)
+	blk := pcm.NewImmortalBlock(512)
+	s := f.New()
+	// One stuck cell in each of the 8 words.
+	for w := 0; w < 8; w++ {
+		blk.InjectFault(w*64+w, true)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		data := bitvec.Random(512, rng)
+		if err := s.Write(blk, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if !s.Read(blk, nil).Equal(data) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+}
+
+func TestSchemeDiesOnTwoFaultsPerWord(t *testing.T) {
+	f := MustFactory(512)
+	blk := pcm.NewImmortalBlock(512)
+	s := f.New()
+	blk.InjectFault(3, true)
+	blk.InjectFault(40, true) // same word
+	err := s.Write(blk, bitvec.New(512))
+	if !errors.Is(err, scheme.ErrUnrecoverable) {
+		t.Fatalf("expected ErrUnrecoverable, got %v", err)
+	}
+}
+
+func TestSchemeStuckRightHarmless(t *testing.T) {
+	f := MustFactory(512)
+	blk := pcm.NewImmortalBlock(512)
+	s := f.New()
+	blk.InjectFault(3, true)
+	blk.InjectFault(40, true)
+	data := bitvec.New(512)
+	data.Set(3, true)
+	data.Set(40, true) // both stuck-at-Right
+	if err := s.Write(blk, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !s.Read(blk, nil).Equal(data) {
+		t.Fatal("read differs")
+	}
+}
+
+func TestSchemeAndFactoryMetadata(t *testing.T) {
+	f := MustFactory(512)
+	if f.Name() != "Hamming(72,64)" || f.BlockBits() != 512 || f.OverheadBits() != 64 {
+		t.Fatalf("factory metadata: %s %d %d", f.Name(), f.BlockBits(), f.OverheadBits())
+	}
+	s := f.New()
+	if s.Name() != "Hamming(72,64)" || s.OverheadBits() != 64 {
+		t.Fatalf("instance metadata: %s %d", s.Name(), s.OverheadBits())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustFactory did not panic")
+			}
+		}()
+		MustFactory(100)
+	}()
+}

@@ -1,0 +1,34 @@
+package ecc
+
+import "testing"
+
+// FuzzDecode checks that Decode never panics and that clean codewords
+// are fixed points, for arbitrary inputs.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(^uint64(0), uint8(0xff))
+	f.Add(uint64(0xdeadbeefcafebabe), uint8(0x5a))
+	f.Fuzz(func(t *testing.T, data uint64, check uint8) {
+		got, res := Decode(data, check)
+		if res == OK && got != data {
+			t.Fatalf("OK result mutated data: %#x -> %#x", data, got)
+		}
+		// Re-encoding a corrected word must verify clean.
+		if res == Corrected {
+			if _, res2 := Decode(got, Encode(got)); res2 != OK {
+				t.Fatalf("corrected word %#x does not verify", got)
+			}
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip: encode-decode of any word is clean.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add(uint64(1))
+	f.Fuzz(func(t *testing.T, data uint64) {
+		got, res := Decode(data, Encode(data))
+		if res != OK || got != data {
+			t.Fatalf("round trip of %#x: res=%v got=%#x", data, res, got)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Package ecc implements the (72,64) Hamming SEC-DED code — the "most
+// popular ECC scheme" whose 12.5 % space overhead the Aegis paper uses as
+// the upper bound any recovery scheme should stay under (§3.2) — plus a
+// block-level recovery scheme built on it for comparison experiments.
+//
+// The codeword layout is the classic one: 72 positions indexed 1…72
+// augmented with an overall parity bit at index 0.  Positions 1, 2, 4,
+// 8, 16, 32 and 64 hold Hamming parity; the remaining 64 positions hold
+// data bits in ascending order.
+package ecc
+
+import "math/bits"
+
+// CheckBits is the number of redundancy bits per 64-bit word (7 Hamming
+// + 1 overall parity).
+const CheckBits = 8
+
+// WordBits is the data word size the code protects.
+const WordBits = 64
+
+func isPow2(x int) bool { return x&(x-1) == 0 }
+
+// dataPositions lists the codeword indices (1…71) that carry data, in
+// ascending order: positions 1…71 minus the seven parity positions leave
+// exactly 64 data positions; index 0 is the overall parity bit.
+var dataPositions = func() [WordBits]int {
+	var out [WordBits]int
+	i := 0
+	for pos := 1; pos <= 71; pos++ {
+		if isPow2(pos) {
+			continue // parity position (1,2,4,…,64)
+		}
+		out[i] = pos
+		i++
+	}
+	return out
+}()
+
+// hammingBits computes the 7 Hamming parity bits of a data word: bit j
+// of the result is the XOR of the data bits whose codeword position has
+// bit j set.
+func hammingBits(data uint64) uint8 {
+	acc := 0
+	for i := 0; i < WordBits; i++ {
+		if data>>uint(i)&1 == 1 {
+			acc ^= dataPositions[i]
+		}
+	}
+	return uint8(acc)
+}
+
+// Encode computes the 8 check bits for a data word.  Bits 0–6 of the
+// result are the Hamming parity bits for positions 1,2,4,…,64; bit 7 is
+// the overall parity bit, chosen so that the full 72-bit codeword (data
+// + 7 Hamming bits + itself) has even parity.
+func Encode(data uint64) uint8 {
+	check := hammingBits(data)
+	if (bits.OnesCount64(data)+bits.OnesCount8(check))&1 == 1 {
+		check |= 1 << 7
+	}
+	return check
+}
+
+// Result describes the outcome of a Decode.
+type Result int
+
+const (
+	// OK means the codeword was clean.
+	OK Result = iota
+	// Corrected means a single-bit error was repaired.
+	Corrected
+	// Uncorrectable means a double-bit error was detected.
+	Uncorrectable
+)
+
+// Decode checks (and, for single-bit errors, repairs) a data word against
+// its stored check bits.  It returns the corrected word and the outcome.
+func Decode(data uint64, check uint8) (uint64, Result) {
+	// Syndrome: recomputed Hamming bits vs received Hamming bits.  A
+	// single flipped codeword bit makes the syndrome equal its position.
+	syndrome := int(hammingBits(data) ^ (check & 0x7f))
+	// Overall parity of the received 72-bit codeword; even when clean,
+	// odd for any single-bit error, even again for double errors.
+	odd := (bits.OnesCount64(data)+bits.OnesCount8(check))&1 == 1
+	switch {
+	case syndrome == 0 && !odd:
+		return data, OK
+	case odd:
+		// Single-bit error.  syndrome 0 means the overall parity bit
+		// itself; a power of two means a Hamming bit; either way the
+		// data is intact.
+		if syndrome == 0 || isPow2(syndrome) {
+			return data, Corrected
+		}
+		for i, pos := range dataPositions {
+			if pos == syndrome {
+				return data ^ 1<<uint(i), Corrected
+			}
+		}
+		// Syndrome points past the codeword: corrupted beyond repair.
+		return data, Uncorrectable
+	default:
+		// Nonzero syndrome with even overall parity: double error.
+		return data, Uncorrectable
+	}
+}

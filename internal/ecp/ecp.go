@@ -1,0 +1,180 @@
+// Package ecp implements ECP — Error-Correcting Pointers (Schechter et
+// al., ISCA 2010) — the pointer-based baseline the Aegis paper compares
+// against.
+//
+// ECP-n keeps n correction entries per data block.  Each entry is a
+// ⌈log₂ blockBits⌉-bit pointer naming a failed cell plus one replacement
+// bit that stores data on the failed cell's behalf.  A fault is assigned
+// an entry the first time a verification read catches it writing wrong;
+// when all entries are in use the next unrepaired fault kills the block.
+// Consequently both the hard and the soft FTC equal the entry count —
+// the vertical failure curves of the paper's Figure 8.
+//
+// The replacement bits live in the per-block overhead area.  Following
+// the Aegis paper's simulation model (and noted in DESIGN.md), overhead
+// cells are not themselves subject to wear-out.
+package ecp
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// ECP is the per-block state of ECP-n.
+type ECP struct {
+	n       int
+	entries int
+
+	ptrs []int          // failed-cell positions, one per used entry
+	repl *bitvec.Vector // replacement bit per entry (indexed like ptrs)
+
+	errs *bitvec.Vector
+	ops  scheme.OpStats
+}
+
+var _ scheme.Scheme = (*ECP)(nil)
+
+// New returns a fresh ECP instance with the given number of correction
+// entries for an n-bit block.
+func New(n, entries int) (*ECP, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ecp: block size %d must be positive", n)
+	}
+	if entries < 0 {
+		return nil, fmt.Errorf("ecp: negative entry count %d", entries)
+	}
+	return &ECP{
+		n:       n,
+		entries: entries,
+		repl:    bitvec.New(max(entries, 1)),
+		errs:    bitvec.New(n),
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name implements scheme.Scheme.
+func (e *ECP) Name() string { return fmt.Sprintf("ECP%d", e.entries) }
+
+// OverheadBits implements scheme.Scheme: n entries of pointer+replacement
+// plus a "full" bit, the formula behind the ECP row of Table 1
+// (10·n + 1 for 512-bit blocks).
+func (e *ECP) OverheadBits() int { return OverheadBits(e.n, e.entries) }
+
+// OverheadBits is the ECP-entries cost formula for an n-bit block.
+func OverheadBits(n, entries int) int {
+	return entries*(plane.CeilLog2(n)+1) + 1
+}
+
+// UsedEntries returns how many correction entries are assigned.
+func (e *ECP) UsedEntries() int { return len(e.ptrs) }
+
+// OpStats implements scheme.OpReporter.
+func (e *ECP) OpStats() scheme.OpStats { return e.ops }
+
+func (e *ECP) entryFor(p int) int {
+	for i, q := range e.ptrs {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Write implements scheme.Scheme.  The raw write is followed by a
+// verification read; every mismatching cell needs a correction entry
+// (existing or newly assigned).  Replacement bits for all repaired cells
+// are then updated to the new data.
+func (e *ECP) Write(blk *pcm.Block, data *bitvec.Vector) error {
+	if data.Len() != e.n {
+		panic(fmt.Sprintf("ecp: write of %d bits into %d-bit scheme", data.Len(), e.n))
+	}
+	e.ops.Requests++
+	blk.WriteRaw(data)
+	e.ops.RawWrites++
+	blk.Verify(data, e.errs)
+	e.ops.VerifyReads++
+	for _, p := range e.errs.OnesIndices() {
+		if e.entryFor(p) >= 0 {
+			continue
+		}
+		if len(e.ptrs) >= e.entries {
+			return scheme.ErrUnrecoverable
+		}
+		// Keep pointers ascending: the metadata encoding relies on the
+		// order, and the replacement bits are reassigned below anyway.
+		at := len(e.ptrs)
+		for at > 0 && e.ptrs[at-1] > p {
+			at--
+		}
+		e.ptrs = append(e.ptrs, 0)
+		copy(e.ptrs[at+1:], e.ptrs[at:])
+		e.ptrs[at] = p
+	}
+	for i, p := range e.ptrs {
+		e.repl.Set(i, data.Get(p))
+	}
+	return nil
+}
+
+// Read implements scheme.Scheme: pointed-to cells read their replacement
+// bit instead of the (possibly stuck) cell.
+func (e *ECP) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
+	dst = blk.Read(dst)
+	for i, p := range e.ptrs {
+		dst.Set(p, e.repl.Get(i))
+	}
+	return dst
+}
+
+// Factory builds ECP-n instances.
+type Factory struct {
+	N       int
+	Entries int
+}
+
+// NewFactory returns an ECP factory after validating parameters.
+func NewFactory(n, entries int) (*Factory, error) {
+	if _, err := New(n, entries); err != nil {
+		return nil, err
+	}
+	return &Factory{N: n, Entries: entries}, nil
+}
+
+// MustFactory is NewFactory that panics on error.
+func MustFactory(n, entries int) *Factory {
+	f, err := NewFactory(n, entries)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements scheme.Factory.
+func (f *Factory) Name() string { return fmt.Sprintf("ECP%d", f.Entries) }
+
+// BlockBits implements scheme.Factory.
+func (f *Factory) BlockBits() int { return f.N }
+
+// OverheadBits implements scheme.Factory.
+func (f *Factory) OverheadBits() int { return OverheadBits(f.N, f.Entries) }
+
+// New implements scheme.Factory.
+func (f *Factory) New() scheme.Scheme {
+	e, err := New(f.N, f.Entries)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+var _ scheme.Factory = (*Factory)(nil)

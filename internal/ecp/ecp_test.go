@@ -1,0 +1,191 @@
+package ecp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+// Table 1 ECP row: 11, 21, …, 101 bits for 1–10 entries on 512-bit blocks.
+func TestOverheadBitsTable1(t *testing.T) {
+	for entries := 1; entries <= 10; entries++ {
+		want := 10*entries + 1
+		if got := OverheadBits(512, entries); got != want {
+			t.Errorf("OverheadBits(512, %d) = %d, want %d", entries, got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero-size block accepted")
+	}
+	if _, err := New(512, -1); err == nil {
+		t.Error("negative entries accepted")
+	}
+	if _, err := NewFactory(512, -1); err == nil {
+		t.Error("factory accepted negative entries")
+	}
+}
+
+func TestWriteReadNoFaults(t *testing.T) {
+	f := MustFactory(512, 6)
+	blk := pcm.NewImmortalBlock(512)
+	s := f.New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		data := bitvec.Random(512, rng)
+		if err := s.Write(blk, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if !s.Read(blk, nil).Equal(data) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+}
+
+func TestPointerAssignmentAndCorrection(t *testing.T) {
+	f := MustFactory(512, 6)
+	blk := pcm.NewImmortalBlock(512)
+	s := f.New().(*ECP)
+	blk.InjectFault(7, true)
+	blk.InjectFault(100, false)
+
+	data := bitvec.New(512)
+	data.Set(100, true) // both faults are stuck-at-Wrong for this data
+	if err := s.Write(blk, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := s.UsedEntries(); got != 2 {
+		t.Fatalf("UsedEntries = %d, want 2", got)
+	}
+	if !s.Read(blk, nil).Equal(data) {
+		t.Fatal("read differs")
+	}
+}
+
+func TestStuckAtRightConsumesNoEntry(t *testing.T) {
+	f := MustFactory(512, 6)
+	blk := pcm.NewImmortalBlock(512)
+	s := f.New().(*ECP)
+	blk.InjectFault(7, true)
+	data := bitvec.New(512)
+	data.Set(7, true) // stuck value equals datum
+	if err := s.Write(blk, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := s.UsedEntries(); got != 0 {
+		t.Fatalf("UsedEntries = %d for a stuck-at-Right fault", got)
+	}
+}
+
+func TestEntryExhaustionKillsBlock(t *testing.T) {
+	f := MustFactory(512, 2)
+	blk := pcm.NewImmortalBlock(512)
+	s := f.New()
+	for _, p := range []int{1, 2, 3} {
+		blk.InjectFault(p, true)
+	}
+	err := s.Write(blk, bitvec.New(512)) // three W faults, two entries
+	if !errors.Is(err, scheme.ErrUnrecoverable) {
+		t.Fatalf("expected ErrUnrecoverable, got %v", err)
+	}
+}
+
+func TestHardFTCEqualsEntries(t *testing.T) {
+	// ECP-n tolerates exactly n faults no matter where they are.
+	rng := rand.New(rand.NewSource(3))
+	for _, entries := range []int{1, 4, 6} {
+		f := MustFactory(256, entries)
+		for trial := 0; trial < 20; trial++ {
+			blk := pcm.NewImmortalBlock(256)
+			s := f.New()
+			perm := rng.Perm(256)
+			for i := 0; i < entries; i++ {
+				blk.InjectFault(perm[i], rng.Intn(2) == 0)
+			}
+			ok := true
+			r := rand.New(rand.NewSource(int64(trial)))
+			for w := 0; w < 8; w++ {
+				if err := s.Write(blk, bitvec.Random(256, r)); err != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("ECP%d failed with exactly %d faults", entries, entries)
+			}
+			// One more fault must kill it within a few random writes
+			// (as soon as it manifests as stuck-at-Wrong).
+			blk.InjectFault(perm[entries], true)
+			dead := false
+			for w := 0; w < 20; w++ {
+				if err := s.Write(blk, bitvec.Random(256, r)); err != nil {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				t.Fatalf("ECP%d survived %d faults for 20 random writes", entries, entries+1)
+			}
+		}
+	}
+}
+
+// Property: reads always return the last successfully written data.
+func TestPropReadAfterWrite(t *testing.T) {
+	f := MustFactory(256, 8)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blk := pcm.NewImmortalBlock(256)
+		s := f.New()
+		for _, p := range rng.Perm(256)[:rng.Intn(9)] {
+			blk.InjectFault(p, rng.Intn(2) == 0)
+		}
+		for w := 0; w < 10; w++ {
+			data := bitvec.Random(256, rng)
+			if err := s.Write(blk, data); err != nil {
+				return true
+			}
+			if !s.Read(blk, nil).Equal(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactoryMetadata(t *testing.T) {
+	f := MustFactory(512, 6)
+	if f.Name() != "ECP6" || f.BlockBits() != 512 || f.OverheadBits() != 61 {
+		t.Fatalf("metadata: %s %d %d", f.Name(), f.BlockBits(), f.OverheadBits())
+	}
+}
+
+func BenchmarkECPWrite(b *testing.B) {
+	f := MustFactory(512, 6)
+	blk := pcm.NewImmortalBlock(512)
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range rng.Perm(512)[:4] {
+		blk.InjectFault(p, rng.Intn(2) == 0)
+	}
+	s := f.New()
+	data := make([]*bitvec.Vector, 16)
+	for i := range data {
+		data[i] = bitvec.Random(512, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(blk, data[i%len(data)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package ecp
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// MarshalBits implements scheme.MetadataCodec within the exact ECP
+// budget of entries×(⌈log₂n⌉+1)+1 bits: one none-used flag followed by
+// the correction entries (pointer + replacement bit).
+//
+// ECP keeps its pointers in ascending order (see Write), which frees the
+// budget from needing a per-entry valid bit: the first entry is live
+// unless the none-used flag is set, and each later entry is live exactly
+// when its pointer exceeds its predecessor's.  Unused entries repeat the
+// last live pointer.
+func (e *ECP) MarshalBits() *bitvec.Vector {
+	w := scheme.NewBitWriter(e.OverheadBits())
+	w.WriteBool(len(e.ptrs) == 0)
+	width := plane.CeilLog2(e.n)
+	last := 0
+	for i := 0; i < e.entries; i++ {
+		if i < len(e.ptrs) {
+			last = e.ptrs[i]
+			w.WriteUint(uint64(last), width)
+			w.WriteBool(e.repl.Get(i))
+		} else {
+			w.WriteUint(uint64(last), width)
+			w.WriteBool(false)
+		}
+	}
+	return w.Finish()
+}
+
+// UnmarshalBits implements scheme.MetadataCodec.
+func (e *ECP) UnmarshalBits(v *bitvec.Vector) error {
+	r, err := scheme.NewBitReader(v, e.OverheadBits())
+	if err != nil {
+		return err
+	}
+	empty := r.ReadBool()
+	width := plane.CeilLog2(e.n)
+	ptrs := e.ptrs[:0]
+	prev := -1
+	for i := 0; i < e.entries; i++ {
+		p := int(r.ReadUint(width))
+		rb := r.ReadBool()
+		if p >= e.n {
+			return fmt.Errorf("ecp: decoded pointer %d out of range [0,%d)", p, e.n)
+		}
+		live := !empty && (i == 0 || p > prev)
+		if live {
+			ptrs = append(ptrs, p)
+			e.repl.Set(len(ptrs)-1, rb)
+		}
+		if i == 0 || p > prev {
+			prev = p
+		}
+	}
+	e.ptrs = ptrs
+	return nil
+}
+
+var _ scheme.MetadataCodec = (*ECP)(nil)

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationWearDirections(t *testing.T) {
+	p := tiny()
+	p.PageTrials = 5
+	tbl := AblationWear(p)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	ratios := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("ratio cell %q", row[4])
+		}
+		ratios[row[0]] = v
+	}
+	// ECP performs a single raw write per request: wear-model invariant.
+	if r := ratios["ECP6"]; r < 0.99 || r > 1.01 {
+		t.Fatalf("ECP6 ratio = %v, want ≈1", r)
+	}
+	// Cache-less partition schemes pay for their inversion rewrites
+	// under per-pulse wear.
+	if r := ratios["SAFER64"]; r >= 1 {
+		t.Fatalf("SAFER64 ratio = %v, want <1 (wear feedback)", r)
+	}
+	if r := ratios["Aegis 9x61"]; r >= 1 {
+		t.Fatalf("Aegis 9x61 ratio = %v, want <1", r)
+	}
+	// Aegis-rw with a perfect cache plans each write in one pass.
+	if r := ratios["Aegis-rw 9x61"]; r < 0.97 {
+		t.Fatalf("Aegis-rw ratio = %v, want ≈1", r)
+	}
+}
+
+func TestAblationStuckNullResult(t *testing.T) {
+	p := tiny()
+	p.CurveTrials = 60
+	tbl := AblationStuck(p)
+	if len(tbl.Rows) != 30 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The biased and unbiased Aegis curves must agree within Monte
+	// Carlo noise; compare the fault counts where each first exceeds
+	// one half.
+	cross := func(col int) int {
+		for _, row := range tbl.Rows {
+			v, _ := strconv.ParseFloat(row[col], 64)
+			if v >= 0.5 {
+				nf, _ := strconv.Atoi(row[0])
+				return nf
+			}
+		}
+		return 31
+	}
+	base05, base10 := cross(1), cross(2)
+	if diff := base05 - base10; diff < -3 || diff > 3 {
+		t.Fatalf("stuck-value bias moved the Aegis curve: 50%% crossing %d vs %d", base05, base10)
+	}
+	// Aegis-rw beats base Aegis at either bias.
+	if rw := cross(3); rw <= base05 {
+		t.Fatalf("Aegis-rw crossing %d not beyond base %d", rw, base05)
+	}
+}
+
+func TestAblationRDISDepthMonotone(t *testing.T) {
+	p := tiny()
+	p.CurveTrials = 60
+	tbl := AblationRDIS(p)
+	if len(tbl.Rows) != 30 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// At every fault count, deeper recursion fails no more often (up to
+	// a small Monte Carlo tolerance).
+	for _, row := range tbl.Rows {
+		var prev = 2.0
+		for col := 1; col <= 4; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("cell %q", row[col])
+			}
+			if v > prev+0.1 {
+				t.Fatalf("depth %d failure %v exceeds shallower %v at %s faults", col, v, prev, row[0])
+			}
+			prev = v
+		}
+	}
+}
+
+func TestRunAblationIDs(t *testing.T) {
+	p := tiny()
+	p.PageTrials = 2
+	p.CurveTrials = 10
+	for _, id := range AblationIDs {
+		r, err := Run(id, p)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		if len(r.Tables) != 1 {
+			t.Fatalf("Run(%s) tables = %d", id, len(r.Tables))
+		}
+	}
+}

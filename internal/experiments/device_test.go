@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestDeviceEndToEndOrdering(t *testing.T) {
+	p := tiny()
+	tbl := Device(p)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	life := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("lifetime cell %q", row[2])
+		}
+		life[row[0]] = v
+	}
+	// The paper's headline ordering must survive the full stack.
+	if life["Aegis 9x61"] <= life["ECP6"] {
+		t.Fatalf("Aegis 9x61 (%v) not above ECP6 (%v) end to end", life["Aegis 9x61"], life["ECP6"])
+	}
+	if life["Aegis 23x23"] <= 0.8*life["SAFER32"] {
+		t.Fatalf("Aegis 23x23 (%v) far below SAFER32 (%v) despite half the overhead", life["Aegis 23x23"], life["SAFER32"])
+	}
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns parameters small enough for unit tests.
+func tiny() Params {
+	return Params{
+		MeanLife:      300,
+		CoV:           0.25,
+		PageTrials:    3,
+		BlockTrials:   6,
+		CurveTrials:   20,
+		SurvivalPages: 8,
+		Seed:          1,
+	}
+}
+
+func TestTable1RowsAndHeader(t *testing.T) {
+	tbl := Table1()
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Spot-check against the paper: hard FTC 7 row.
+	row := tbl.Rows[6]
+	if row[1] != "71" || row[2] != "91" || row[4] != "28" {
+		t.Fatalf("FTC-7 row = %v", row)
+	}
+}
+
+func TestFig2GroupsAreLatinSquareLike(t *testing.T) {
+	tables := Fig2()
+	if len(tables) != 2 {
+		t.Fatalf("Fig2 tables = %d", len(tables))
+	}
+	// Slope-0 rows are constant-group; slope-1 rows shift by one.
+	for _, tbl := range tables {
+		if len(tbl.Rows) != 7 {
+			t.Fatalf("rows = %d", len(tbl.Rows))
+		}
+	}
+	a := tables[0]
+	for _, row := range a.Rows {
+		for _, cell := range row[2:] {
+			if cell != row[1] && cell != "·" {
+				t.Fatalf("slope-0 row not constant: %v", row)
+			}
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", tiny()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunEveryID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	p := tiny()
+	for _, id := range IDs {
+		r, err := Run(id, p)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		if len(r.Tables) == 0 {
+			t.Fatalf("Run(%s) produced no tables", id)
+		}
+		for _, tbl := range r.Tables {
+			if len(tbl.Header) == 0 {
+				t.Fatalf("Run(%s): empty header", id)
+			}
+			if tbl.String() == "" {
+				t.Fatalf("Run(%s): empty render", id)
+			}
+		}
+	}
+}
+
+func TestStudyOrderingAegisBeatsSAFERPlain(t *testing.T) {
+	// The headline comparison of Figure 5 at small scale: Aegis 9x61
+	// must tolerate more faults per page than cache-less SAFER64 while
+	// using fewer overhead bits.
+	p := tiny()
+	p.PageTrials = 6
+	s := runStudy(p, 512, roster512())
+	byName := map[string]StudyRow{}
+	for _, r := range s.Rows {
+		byName[r.Name] = r
+	}
+	a := byName["Aegis 9x61"]
+	sf := byName["SAFER64"]
+	if a.Name == "" || sf.Name == "" {
+		t.Fatalf("missing rows: %+v", s.Rows)
+	}
+	if a.OverheadBits >= sf.OverheadBits {
+		t.Fatalf("Aegis 9x61 overhead (%d) not below SAFER64 (%d)", a.OverheadBits, sf.OverheadBits)
+	}
+	if a.Faults.Mean <= sf.Faults.Mean {
+		t.Fatalf("Aegis 9x61 faults (%.0f) not above SAFER64 (%.0f)", a.Faults.Mean, sf.Faults.Mean)
+	}
+	if a.ImprovementX <= 1 {
+		t.Fatalf("Aegis 9x61 improvement %.2f not above 1", a.ImprovementX)
+	}
+}
+
+func TestFig8CurveMonotoneAndECPCliff(t *testing.T) {
+	p := tiny()
+	tbl, series := Fig8(p)
+	if len(series) == 0 || len(tbl.Rows) != fig8MaxFaults {
+		t.Fatalf("fig8 shape: %d series, %d rows", len(series), len(tbl.Rows))
+	}
+	for _, s := range series {
+		prev := 0.0
+		for _, pt := range s.Points {
+			if pt.Y+1e-9 < prev {
+				t.Fatalf("%s: failure curve decreases at %v", s.Name, pt.X)
+			}
+			prev = pt.Y
+		}
+	}
+	// ECP6 cliff: 0 at 6 faults, 1 at 8.
+	for _, s := range series {
+		if s.Name != "ECP6" {
+			continue
+		}
+		if s.Points[5].Y != 0 {
+			t.Fatalf("ECP6 fails at 6 faults: %v", s.Points[5])
+		}
+		if s.Points[7].Y != 1 {
+			t.Fatalf("ECP6 not dead at 8 faults: %v", s.Points[7])
+		}
+	}
+}
+
+func TestFig9HalfLifetimesPositive(t *testing.T) {
+	p := tiny()
+	tbl, series := Fig9(p)
+	if len(series) != len(roster9()) {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("half lifetime cell %q invalid", row[2])
+		}
+	}
+}
+
+func TestFig10PlateauShape(t *testing.T) {
+	p := tiny()
+	p.BlockTrials = 16
+	tbl, series := Fig10(p)
+	if len(series) != len(variantLayouts) {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Lifetime at the largest p must beat p=1 for every layout.
+	for _, s := range series {
+		first := s.Points[0].Y
+		last := s.Points[len(s.Points)-1].Y
+		if last <= first {
+			t.Fatalf("%s: no growth from p=1 (%.0f) to p=12 (%.0f)", s.Name, first, last)
+		}
+	}
+	if len(tbl.Rows) != len(fig10Pointers)+1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestVariantsOrdering(t *testing.T) {
+	// Figure 11 at small scale: Aegis-rw recovers more faults than base
+	// Aegis on the same formation.
+	p := tiny()
+	p.PageTrials = 5
+	s := runStudy(p, 512, rosterVariants())
+	byName := map[string]StudyRow{}
+	for _, r := range s.Rows {
+		byName[r.Name] = r
+	}
+	base := byName["Aegis 9x61"]
+	rw := byName["Aegis-rw 9x61"]
+	if base.Name == "" || rw.Name == "" {
+		t.Fatalf("rows missing: %+v", s.Rows)
+	}
+	if rw.Faults.Mean <= base.Faults.Mean {
+		t.Fatalf("Aegis-rw faults (%.0f) not above Aegis (%.0f)", rw.Faults.Mean, base.Faults.Mean)
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for _, p := range []Params{Quick(), Default(), Full()} {
+		if p.MeanLife <= 0 || p.PageTrials <= 0 || p.CurveTrials <= 0 {
+			t.Fatalf("bad preset %+v", p)
+		}
+	}
+	if Quick().MeanLife >= Default().MeanLife || Default().MeanLife >= Full().MeanLife {
+		t.Fatal("presets not ordered by scale")
+	}
+}
+
+func TestSchemeSeedStable(t *testing.T) {
+	p := Quick()
+	if p.schemeSeed("x") != p.schemeSeed("x") {
+		t.Fatal("schemeSeed not deterministic")
+	}
+	if p.schemeSeed("x") == p.schemeSeed("y") {
+		t.Fatal("schemeSeed does not separate names")
+	}
+}
+
+func TestScalingNotePresent(t *testing.T) {
+	p := tiny()
+	r, err := Run("fig6", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Tables[0].String(), "lifetime-scaled") {
+		t.Fatal("scaling note missing from figure output")
+	}
+}

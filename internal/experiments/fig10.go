@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aegis/internal/aegisrw"
+	"aegis/internal/report"
+	"aegis/internal/sim"
+	"aegis/internal/stats"
+)
+
+// fig10Pointers is the pointer-budget sweep of Figure 10.
+var fig10Pointers = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12}
+
+// Fig10 regenerates the Aegis-rw-p pointer sweep: mean 512-bit-block
+// lifetime as the pointer budget p grows, for each A×B formation, with
+// the corresponding Aegis-rw lifetime as the plateau reference.
+func Fig10(p Params) (*report.Table, []stats.Series) {
+	cfg := sim.Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  p.MeanLife,
+		CoV:       p.CoV,
+		Trials:    p.BlockTrials,
+		Workers:   p.Workers,
+	}
+	t := &report.Table{
+		Title:  "Figure 10: 512-bit block lifetime (writes) of Aegis-rw-p vs pointer count p",
+		Header: []string{"p"},
+		Notes: []string{
+			scalingNote,
+			"the rw row is the plateau: Aegis-rw-p converges to Aegis-rw once pointers stop being the binding constraint",
+		},
+	}
+	var series []stats.Series
+	cols := make([][]string, len(fig10Pointers)+1)
+	for i := range cols {
+		if i < len(fig10Pointers) {
+			cols[i] = []string{report.Itoa(fig10Pointers[i])}
+		} else {
+			cols[i] = []string{"rw (plateau)"}
+		}
+	}
+	for _, v := range variantLayouts {
+		layoutName := fmt.Sprintf("%dx%d", (512+v.B-1)/v.B, v.B)
+		t.Header = append(t.Header, layoutName)
+		s := stats.Series{Name: "Aegis-rw-p " + layoutName}
+		for i, ptrs := range fig10Pointers {
+			f := aegisrw.MustRWPFactory(512, v.B, ptrs, cache)
+			cfg.Seed = p.schemeSeed(fmt.Sprintf("fig10-%s-p%d", layoutName, ptrs))
+			mean := stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(f, cfg))).Mean
+			s.Points = append(s.Points, stats.Point{X: float64(ptrs), Y: mean})
+			cols[i] = append(cols[i], report.Ftoa(mean))
+		}
+		series = append(series, s)
+		rwF := aegisrw.MustRWFactory(512, v.B, cache)
+		cfg.Seed = p.schemeSeed("fig10-rw-" + layoutName)
+		rwMean := stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(rwF, cfg))).Mean
+		cols[len(fig10Pointers)] = append(cols[len(fig10Pointers)], report.Ftoa(rwMean))
+	}
+	for _, row := range cols {
+		t.AddRow(row...)
+	}
+	return t, series
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aegis/internal/plane"
+	"aegis/internal/report"
+)
+
+// Fig2 reproduces the paper's Figure 2 illustration: the 32 bits of a
+// data block laid out on the 5×7 plane, partitioned into 7 groups under
+// slopes 0 and 1.  Cells show the group ID of each mapped point; dots
+// mark the three unmapped rectangle positions.
+func Fig2() []*report.Table {
+	l := plane.MustLayout(32, 7)
+	var out []*report.Table
+	for _, k := range []int{0, 1} {
+		t := &report.Table{
+			Title:  fmt.Sprintf("Figure 2(%c): 32-bit block on the 5x7 plane, slope k=%d (cells show group IDs)", 'a'+k, k),
+			Header: []string{"b\\a", "a=0", "a=1", "a=2", "a=3", "a=4"},
+		}
+		for b := l.B - 1; b >= 0; b-- {
+			row := []string{fmt.Sprintf("b=%d", b)}
+			for a := 0; a < l.A; a++ {
+				if x, ok := l.Offset(a, b); ok {
+					row = append(row, fmt.Sprintf("g%d", l.Group(x, k)))
+				} else {
+					row = append(row, "·")
+				}
+			}
+			t.AddRow(row...)
+		}
+		t.Notes = []string{"each group has one anchor point on the a=0 column; Theorem 2: no two bits share a group under both slopes"}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aegis/internal/report"
+	"aegis/internal/sim"
+	"aegis/internal/stats"
+)
+
+// fig8MaxFaults is the x-axis extent of the failure-probability curves.
+const fig8MaxFaults = 30
+
+// Fig8 regenerates the block failure probability vs fault count curves
+// for 512-bit data blocks: faults are injected one at a time at random
+// cells with random stuck values, and after each injection the scheme
+// must survive a burst of random writes.
+func Fig8(p Params) (*report.Table, []stats.Series) {
+	cfg := sim.Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  p.MeanLife,
+		CoV:       p.CoV,
+		Trials:    p.CurveTrials,
+		Workers:   p.Workers,
+	}
+	factories := roster8()
+	t := &report.Table{
+		Title:  "Figure 8: 512-bit block failure probability vs number of stuck-at faults",
+		Header: []string{"faults"},
+		Notes: []string{
+			"each fault count column: fraction of blocks unrecoverable after a burst of random writes",
+			"ECP rises vertically after its hard FTC; -cache schemes use the perfect fail cache",
+		},
+	}
+	series := make([]stats.Series, len(factories))
+	curves := make([][]float64, len(factories))
+	for i, f := range factories {
+		cfg.Seed = p.schemeSeed("fig8-" + f.Name())
+		curves[i] = sim.FailureCurve(f, cfg, fig8MaxFaults, 8)
+		t.Header = append(t.Header, f.Name())
+		series[i].Name = f.Name()
+		for nf := 1; nf <= fig8MaxFaults; nf++ {
+			series[i].Points = append(series[i].Points, stats.Point{X: float64(nf), Y: curves[i][nf]})
+		}
+	}
+	for nf := 1; nf <= fig8MaxFaults; nf++ {
+		row := []string{report.Itoa(nf)}
+		for i := range factories {
+			row = append(row, fmt.Sprintf("%.3f", curves[i][nf]))
+		}
+		t.AddRow(row...)
+	}
+	return t, series
+}

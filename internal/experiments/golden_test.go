@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Golden locks the exact Table 1 rendering: the values are the
+// paper's (with the two documented typo corrections), so any change here
+// is a regression in either the cost model or the renderer.
+func TestTable1Golden(t *testing.T) {
+	const want = `== Table 1: overhead bits per 512-bit block to guarantee a hard FTC ==
+hard FTC  ECP  SAFER  N (SAFER groups)  Aegis  Aegis B  Aegis-rw  Aegis-rw B  Aegis-rw-p
+--------  ---  -----  ----------------  -----  -------  --------  ----------  ----------
+1         11   1      1                 23     23x23    23        23x23       1
+2         21   7      2                 24     23x23    24        23x23       8
+3         31   14     4                 25     23x23    25        23x23       9
+4         41   22     8                 26     23x23    26        23x23       15
+5         51   35     16                27     23x23    26        23x23       15
+6         61   55     32                27     23x23    27        23x23       21
+7         71   91     64                28     23x23    27        23x23       21
+8         81   159    128               34     18x29    28        23x23       27
+9         91   292    256               43     14x37    28        23x23       27
+10        101  552    512               53     11x47    34        18x29       32
+`
+	got := Table1().String()
+	// Compare up to the notes, which carry prose that may be reworded.
+	if idx := strings.Index(got, "note:"); idx >= 0 {
+		got = got[:idx]
+	}
+	if got != want {
+		t.Fatalf("Table 1 rendering changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFig2Golden locks the slope-1 partition rendering of Figure 2.
+func TestFig2Golden(t *testing.T) {
+	tables := Fig2()
+	got := tables[1].String()
+	for _, wantLine := range []string{
+		"b=6  g6   g5   g4   g3   ·",
+		"b=0  g0   g6   g5   g4   g3",
+	} {
+		if !strings.Contains(got, wantLine) {
+			t.Fatalf("Figure 2(b) missing %q:\n%s", wantLine, got)
+		}
+	}
+}
+
+// TestFig1VectorGrowth locks the Figure 1 reproduction: one position
+// separates the first pair; the colliding third fault forces a second.
+func TestFig1VectorGrowth(t *testing.T) {
+	tbl := Fig1()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][2] != "[0]" || tbl.Rows[0][3] != "2" {
+		t.Fatalf("first event wrong: %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][2] != "[0 1]" || tbl.Rows[1][3] != "4" {
+		t.Fatalf("expansion wrong: %v", tbl.Rows[1])
+	}
+}

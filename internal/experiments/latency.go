@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aegis/internal/aegisrw"
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/report"
+	"aegis/internal/safer"
+	"aegis/internal/scheme"
+	"aegis/internal/sim"
+)
+
+// PCM timing constants for the latency model, in nanoseconds.  Array
+// reads are fast; writes (RESET/SET pulses) dominate.  The values are
+// the commonly used PCM parameters (e.g. Lee et al., ISCA 2009); only
+// their ratio matters for the comparison.
+const (
+	tReadNS  = 60.0
+	tWriteNS = 250.0
+)
+
+// Latency converts the operation counts of the traffic study into an
+// average write-request latency: every physical block write costs a
+// write pulse window, every verification read an array read.  This is
+// the service-time dimension the paper touches when it warns that
+// cache-less Aegis "has to generate intensive inversion writes" and that
+// the fail cache removes the extra writes.
+func Latency(p Params) *report.Table {
+	const maxFaults = 20
+	factories := []scheme.Factory{
+		ecp.MustFactory(512, 6),
+		safer.MustFactory(512, 64),
+		core.MustFactory(512, 61),
+		aegisrw.MustRWFactory(512, 61, cache),
+	}
+	cfg := sim.Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  p.MeanLife,
+		CoV:       p.CoV,
+		Trials:    p.CurveTrials / 2,
+		Workers:   p.Workers,
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	t := &report.Table{
+		Title:  "Write latency model: mean request service time (ns) vs faults in a 512-bit block",
+		Header: []string{"faults"},
+		Notes: []string{
+			fmt.Sprintf("latency = writes×%.0fns + verification reads×%.0fns per request (relative values are what matter)", tWriteNS, tReadNS),
+			"the fail cache turns Aegis's multi-pass verify-and-rewrite into a single-pass write: flat latency",
+		},
+	}
+	curves := make([][]sim.TrafficPoint, len(factories))
+	for i, f := range factories {
+		cfg.Seed = p.schemeSeed("latency-" + f.Name())
+		curves[i] = sim.TrafficCurve(f, cfg, maxFaults, 8)
+		t.Header = append(t.Header, f.Name())
+	}
+	for nf := 1; nf <= maxFaults; nf++ {
+		row := []string{report.Itoa(nf)}
+		for i := range factories {
+			pt := curves[i][nf-1]
+			if pt.VerifyReads == 0 {
+				// No block of this scheme survived to this fault count.
+				row = append(row, "-")
+				continue
+			}
+			// One data write plus the extras, plus the verify reads.
+			latency := (1+pt.ExtraWrites)*tWriteNS + pt.VerifyReads*tReadNS
+			row = append(row, fmt.Sprintf("%.0f", latency))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

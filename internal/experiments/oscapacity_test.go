@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestOSCapacityOrdering(t *testing.T) {
+	p := tiny()
+	tbl := OSCapacity(p)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	at50 := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("cell %q", row[2])
+		}
+		at50[row[0]] = v
+	}
+	// Pairing extends the 50 %-capacity point for the weak scheme…
+	if at50["ECP1, pairing"] <= at50["ECP1, retire"] {
+		t.Fatalf("pairing did not extend ECP1: %v vs %v", at50["ECP1, pairing"], at50["ECP1, retire"])
+	}
+	// …but a strong in-block scheme dominates either OS policy on the
+	// weak one (the paper's §1.1 argument).
+	if at50["Aegis 9x61, retire"] <= at50["ECP1, pairing"] {
+		t.Fatalf("strong in-block scheme (%v) not above weak+pairing (%v)",
+			at50["Aegis 9x61, retire"], at50["ECP1, pairing"])
+	}
+	if at50["Aegis 9x61, pairing"] < at50["Aegis 9x61, retire"] {
+		t.Fatalf("pairing hurt the strong scheme: %v vs %v",
+			at50["Aegis 9x61, pairing"], at50["Aegis 9x61, retire"])
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aegis/internal/report"
+	"aegis/internal/scheme"
+	"aegis/internal/sim"
+	"aegis/internal/stats"
+)
+
+// StudyRow is one scheme's outcome in a page-level study.
+type StudyRow struct {
+	Name         string
+	OverheadBits int
+	// OverheadPct is overhead relative to the data block.
+	OverheadPct float64
+	// Faults is the mean recovered-fault count per 4 KB page at death
+	// (Figure 5 / 11).
+	Faults stats.Summary
+	// Lifetime is the mean page lifetime in page writes.
+	Lifetime stats.Summary
+	// ImprovementX is lifetime relative to the unprotected page
+	// (Figure 6 / 12).
+	ImprovementX float64
+	// PerBit is ImprovementX per overhead bit (Figure 7 / 13).
+	PerBit float64
+}
+
+// Study is a complete page-level comparison at one block size.
+type Study struct {
+	BlockBits int
+	Baseline  stats.Summary // unprotected page lifetime
+	Rows      []StudyRow
+}
+
+// runStudy simulates every factory (plus the unprotected baseline) at the
+// given block size.
+func runStudy(p Params, blockBits int, factories []scheme.Factory) Study {
+	cfg := sim.Config{
+		BlockBits: blockBits,
+		PageBytes: 4096,
+		MeanLife:  p.MeanLife,
+		CoV:       p.CoV,
+		Trials:    p.PageTrials,
+		Workers:   p.Workers,
+	}
+	cfg.Seed = p.schemeSeed(fmt.Sprintf("baseline-%d", blockBits))
+	baseline := stats.SummarizeInts(sim.Lifetimes(sim.Pages(scheme.NoneFactory{Bits: blockBits}, cfg)))
+
+	study := Study{BlockBits: blockBits, Baseline: baseline}
+	for _, f := range factories {
+		cfg.Seed = p.schemeSeed(fmt.Sprintf("%s-%d", f.Name(), blockBits))
+		rs := sim.Pages(f, cfg)
+		row := StudyRow{
+			Name:         f.Name(),
+			OverheadBits: f.OverheadBits(),
+			OverheadPct:  100 * float64(f.OverheadBits()) / float64(blockBits),
+			Faults:       stats.SummarizeInts(sim.RecoveredFaults(rs)),
+			Lifetime:     stats.SummarizeInts(sim.Lifetimes(rs)),
+		}
+		if baseline.Mean > 0 {
+			row.ImprovementX = row.Lifetime.Mean / baseline.Mean
+		}
+		if row.OverheadBits > 0 {
+			row.PerBit = row.ImprovementX / float64(row.OverheadBits)
+		}
+		study.Rows = append(study.Rows, row)
+	}
+	return study
+}
+
+var scalingNote = "write counts are lifetime-scaled (see DESIGN.md §3); orderings and ratios are the comparable quantities"
+
+// fig5Table renders the Figure 5 comparison (recoverable faults per page).
+func fig5Table(studies ...Study) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 5: average recoverable faults in a 4KB page (with per-block overhead bits)",
+		Header: []string{"scheme", "block bits", "overhead bits", "overhead %", "faults/page", "±95%"},
+		Notes:  []string{scalingNote},
+	}
+	for _, s := range studies {
+		for _, r := range s.Rows {
+			t.AddRow(r.Name, report.Itoa(s.BlockBits), report.Itoa(r.OverheadBits),
+				report.Ftoa(r.OverheadPct), report.Ftoa(r.Faults.Mean), report.Ftoa(r.Faults.CI95()))
+		}
+	}
+	return t
+}
+
+// fig6Table renders Figure 6 (page lifetime improvement over unprotected).
+func fig6Table(studies ...Study) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 6: 4KB-page lifetime improvement over an unprotected page",
+		Header: []string{"scheme", "block bits", "overhead bits", "lifetime (page writes)", "improvement (x)"},
+		Notes:  []string{scalingNote},
+	}
+	for _, s := range studies {
+		for _, r := range s.Rows {
+			t.AddRow(r.Name, report.Itoa(s.BlockBits), report.Itoa(r.OverheadBits),
+				report.Ftoa(r.Lifetime.Mean), report.Ftoa(r.ImprovementX))
+		}
+	}
+	return t
+}
+
+// fig7Table renders Figure 7 (per-overhead-bit lifetime contribution).
+func fig7Table(studies ...Study) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 7: each overhead bit's contribution to page lifetime improvement",
+		Header: []string{"scheme", "block bits", "overhead bits", "improvement (x)", "improvement per bit"},
+		Notes:  []string{scalingNote},
+	}
+	for _, s := range studies {
+		for _, r := range s.Rows {
+			t.AddRow(r.Name, report.Itoa(s.BlockBits), report.Itoa(r.OverheadBits),
+				report.Ftoa(r.ImprovementX), fmt.Sprintf("%.4f", r.PerBit))
+		}
+	}
+	return t
+}
+
+// fig11Table renders Figure 11 (recoverable faults, Aegis vs variants).
+func fig11Table(s Study) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 11: recoverable faults per 4KB page — Aegis vs Aegis-rw vs Aegis-rw-p (512-bit blocks)",
+		Header: []string{"scheme", "overhead bits", "faults/page", "±95%"},
+		Notes:  []string{scalingNote, "rw variants assume the perfect fail cache of §2.4"},
+	}
+	for _, r := range s.Rows {
+		t.AddRow(r.Name, report.Itoa(r.OverheadBits), report.Ftoa(r.Faults.Mean), report.Ftoa(r.Faults.CI95()))
+	}
+	return t
+}
+
+// fig12Table renders Figure 12 (lifetime improvement, Aegis vs variants).
+func fig12Table(s Study) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 12: 4KB-page lifetime improvement — Aegis vs Aegis-rw vs Aegis-rw-p (512-bit blocks)",
+		Header: []string{"scheme", "overhead bits", "lifetime (page writes)", "improvement (x)"},
+		Notes:  []string{scalingNote},
+	}
+	for _, r := range s.Rows {
+		t.AddRow(r.Name, report.Itoa(r.OverheadBits), report.Ftoa(r.Lifetime.Mean), report.Ftoa(r.ImprovementX))
+	}
+	return t
+}
+
+// fig13Table renders Figure 13 (per-bit contribution, Aegis vs variants).
+func fig13Table(s Study) *report.Table {
+	t := &report.Table{
+		Title:  "Figure 13: per-overhead-bit lifetime contribution — Aegis vs variants (512-bit blocks)",
+		Header: []string{"scheme", "overhead bits", "improvement (x)", "improvement per bit"},
+		Notes:  []string{scalingNote, "fail-cache SRAM is excluded from per-block budgets, as in the paper"},
+	}
+	for _, r := range s.Rows {
+		t.AddRow(r.Name, report.Itoa(r.OverheadBits), report.Ftoa(r.ImprovementX), fmt.Sprintf("%.4f", r.PerBit))
+	}
+	return t
+}

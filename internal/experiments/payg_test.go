@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPAYGTableShape(t *testing.T) {
+	p := tiny()
+	tbl := PAYG(p)
+	// 3 uniform budgets × (1 uniform + 2 PAYG rows).
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		bits, err := strconv.Atoi(row[1])
+		if err != nil || bits <= 0 {
+			t.Fatalf("overhead cell %q", row[1])
+		}
+		life, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || life <= 0 {
+			t.Fatalf("lifetime cell %q", row[2])
+		}
+	}
+	// Equal-overhead discipline: every PAYG row stays within its
+	// uniform row's bit budget.
+	var uniformBits int
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "uniform") {
+			uniformBits, _ = strconv.Atoi(row[1])
+			continue
+		}
+		got, _ := strconv.Atoi(row[1])
+		if got > uniformBits {
+			t.Fatalf("PAYG row %q uses %d bits, above the uniform budget %d", row[0], got, uniformBits)
+		}
+	}
+}
+
+func TestPAYGLargerPoolsLiveLonger(t *testing.T) {
+	p := tiny()
+	tbl := PAYG(p)
+	// Within the Aegis-GEC rows, more slots (larger budgets) must not
+	// shorten lifetime.
+	var lifetimes []float64
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[0], "Aegis 9x61") && strings.HasPrefix(row[0], "PAYG") {
+			v, _ := strconv.ParseFloat(row[2], 64)
+			lifetimes = append(lifetimes, v)
+		}
+	}
+	if len(lifetimes) != 3 {
+		t.Fatalf("Aegis-GEC rows = %d", len(lifetimes))
+	}
+	if lifetimes[2] <= lifetimes[0] {
+		t.Fatalf("49-slot pool (%v) not above 14-slot pool (%v)", lifetimes[2], lifetimes[0])
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"aegis/internal/aegisrw"
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/failcache"
+	"aegis/internal/rdis"
+	"aegis/internal/safer"
+	"aegis/internal/scheme"
+)
+
+// cache is the idealized fail cache the paper grants RDIS always and the
+// rw variants / SAFERN-cache when evaluated.
+var cache = failcache.Perfect{}
+
+// roster512 is the scheme lineup of Figures 5–9 for 512-bit data blocks.
+func roster512() []scheme.Factory {
+	return []scheme.Factory{
+		ecp.MustFactory(512, 4),
+		ecp.MustFactory(512, 5),
+		ecp.MustFactory(512, 6),
+		safer.MustFactory(512, 32),
+		safer.MustFactory(512, 64),
+		safer.MustFactory(512, 128),
+		safer.MustCachedFactory(512, 32, cache),
+		safer.MustCachedFactory(512, 64, cache),
+		safer.MustCachedFactory(512, 128, cache),
+		rdis.MustFactory(512, 3, cache),
+		core.MustFactory(512, 23), // Aegis 23x23
+		core.MustFactory(512, 31), // Aegis 17x31
+		core.MustFactory(512, 61), // Aegis 9x61
+	}
+}
+
+// roster256 is the 256-bit-block lineup of Figure 5 (left half) and the
+// 256-bit columns of Figures 6–7.
+func roster256() []scheme.Factory {
+	return []scheme.Factory{
+		ecp.MustFactory(256, 4),
+		ecp.MustFactory(256, 6),
+		safer.MustFactory(256, 32),
+		safer.MustFactory(256, 64),
+		rdis.MustFactory(256, 3, cache),
+		core.MustFactory(256, 23), // Aegis 12x23
+		core.MustFactory(256, 31), // Aegis 9x31
+	}
+}
+
+// roster8 is the Figure 8 lineup (block failure probability, 512-bit).
+func roster8() []scheme.Factory {
+	return []scheme.Factory{
+		ecp.MustFactory(512, 6),
+		safer.MustFactory(512, 32),
+		safer.MustFactory(512, 64),
+		safer.MustFactory(512, 128),
+		safer.MustCachedFactory(512, 64, cache),
+		safer.MustCachedFactory(512, 128, cache),
+		rdis.MustFactory(512, 3, cache),
+		core.MustFactory(512, 31),
+		core.MustFactory(512, 61),
+	}
+}
+
+// roster9 is the Figure 9 lineup (page survival, 512-bit).
+func roster9() []scheme.Factory {
+	return []scheme.Factory{
+		ecp.MustFactory(512, 6),
+		safer.MustFactory(512, 32),
+		safer.MustCachedFactory(512, 32, cache),
+		safer.MustFactory(512, 64),
+		safer.MustFactory(512, 128),
+		safer.MustCachedFactory(512, 128, cache),
+		core.MustFactory(512, 31),
+		core.MustFactory(512, 61),
+	}
+}
+
+// variantLayouts are the A×B formations of Figures 10–13 with the
+// representative Aegis-rw-p pointer budgets §3.3 selects.
+var variantLayouts = []struct {
+	B        int
+	Pointers int
+}{
+	{B: 23, Pointers: 4}, // Aegis-rw-p 23x23, 4 pointers
+	{B: 31, Pointers: 5}, // 17x31, 5 pointers
+	{B: 61, Pointers: 9}, // 9x61, 9 pointers
+	{B: 71, Pointers: 9}, // 8x71, 9 pointers
+}
+
+// rosterVariants is the Figure 11–13 lineup: Aegis, Aegis-rw and
+// Aegis-rw-p for each formation.
+func rosterVariants() []scheme.Factory {
+	var out []scheme.Factory
+	for _, v := range variantLayouts {
+		out = append(out,
+			core.MustFactory(512, v.B),
+			aegisrw.MustRWFactory(512, v.B, cache),
+			aegisrw.MustRWPFactory(512, v.B, v.Pointers, cache),
+		)
+	}
+	return out
+}

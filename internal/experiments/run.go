@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aegis/internal/report"
+	"aegis/internal/stats"
+)
+
+// Result bundles what one experiment produced.
+type Result struct {
+	Tables []*report.Table
+	// Series carries the raw curves of figure experiments for CSV
+	// export or plotting.
+	Series []stats.Series
+}
+
+// IDs lists the runnable experiments in paper order.
+var IDs = []string{
+	"table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13",
+}
+
+// Run executes one experiment (or "all") under the given parameters.
+func Run(id string, p Params) (Result, error) {
+	switch id {
+	case "table1":
+		return Result{Tables: []*report.Table{Table1()}}, nil
+	case "fig1":
+		return Result{Tables: []*report.Table{Fig1()}}, nil
+	case "fig2":
+		return Result{Tables: Fig2()}, nil
+	case "fig5":
+		s256 := runStudy(p, 256, roster256())
+		s512 := runStudy(p, 512, roster512())
+		return Result{Tables: []*report.Table{fig5Table(s256, s512)}}, nil
+	case "fig6":
+		s256 := runStudy(p, 256, roster256())
+		s512 := runStudy(p, 512, roster512())
+		return Result{Tables: []*report.Table{fig6Table(s256, s512)}}, nil
+	case "fig7":
+		s256 := runStudy(p, 256, roster256())
+		s512 := runStudy(p, 512, roster512())
+		return Result{Tables: []*report.Table{fig7Table(s256, s512)}}, nil
+	case "fig8":
+		t, s := Fig8(p)
+		return Result{Tables: []*report.Table{t}, Series: s}, nil
+	case "fig9":
+		t, s := Fig9(p)
+		return Result{Tables: []*report.Table{t}, Series: s}, nil
+	case "fig10":
+		t, s := Fig10(p)
+		return Result{Tables: []*report.Table{t}, Series: s}, nil
+	case "fig11":
+		s := runStudy(p, 512, rosterVariants())
+		return Result{Tables: []*report.Table{fig11Table(s)}}, nil
+	case "fig12":
+		s := runStudy(p, 512, rosterVariants())
+		return Result{Tables: []*report.Table{fig12Table(s)}}, nil
+	case "fig13":
+		s := runStudy(p, 512, rosterVariants())
+		return Result{Tables: []*report.Table{fig13Table(s)}}, nil
+	case "traffic":
+		return Result{Tables: []*report.Table{Traffic(p)}}, nil
+	case "ablation-wear":
+		return Result{Tables: []*report.Table{AblationWear(p)}}, nil
+	case "ablation-stuck":
+		return Result{Tables: []*report.Table{AblationStuck(p)}}, nil
+	case "ablation-rdis":
+		return Result{Tables: []*report.Table{AblationRDIS(p)}}, nil
+	case "ablation-aegisp":
+		return Result{Tables: []*report.Table{AblationAegisP(p)}}, nil
+	case "ablation-wearlevel":
+		return Result{Tables: []*report.Table{AblationWearLevel(p)}}, nil
+	case "oscapacity":
+		return Result{Tables: []*report.Table{OSCapacity(p)}}, nil
+	case "payg":
+		return Result{Tables: []*report.Table{PAYG(p)}}, nil
+	case "device":
+		return Result{Tables: []*report.Table{Device(p)}}, nil
+	case "latency":
+		return Result{Tables: []*report.Table{Latency(p)}}, nil
+	case "softftc":
+		return Result{Tables: []*report.Table{SoftFTC(p)}}, nil
+	case "memblock":
+		return Result{Tables: []*report.Table{MemBlock(p)}}, nil
+	case "freep":
+		return Result{Tables: []*report.Table{FreeP(p)}}, nil
+	case "all":
+		return RunAll(p)
+	case "extensions":
+		return RunExtensions(p)
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v, %v, \"all\" and \"extensions\")", id, IDs, AblationIDs)
+	}
+}
+
+// RunExtensions executes every extension experiment (ablations and
+// substrate studies) in AblationIDs order.
+func RunExtensions(p Params) (Result, error) {
+	var out Result
+	for _, id := range AblationIDs {
+		r, err := Run(id, p)
+		if err != nil {
+			return Result{}, err
+		}
+		out.Tables = append(out.Tables, r.Tables...)
+		out.Series = append(out.Series, r.Series...)
+	}
+	return out, nil
+}
+
+// RunAll executes every experiment, sharing the page studies that
+// Figures 5/6/7 and 11/12/13 derive from so each simulation runs once.
+func RunAll(p Params) (Result, error) {
+	var out Result
+	out.Tables = append(out.Tables, Table1())
+	out.Tables = append(out.Tables, Fig1())
+	out.Tables = append(out.Tables, Fig2()...)
+
+	s256 := runStudy(p, 256, roster256())
+	s512 := runStudy(p, 512, roster512())
+	out.Tables = append(out.Tables, fig5Table(s256, s512), fig6Table(s256, s512), fig7Table(s256, s512))
+
+	t8, s8 := Fig8(p)
+	out.Tables = append(out.Tables, t8)
+	out.Series = append(out.Series, s8...)
+
+	t9, s9 := Fig9(p)
+	out.Tables = append(out.Tables, t9)
+	out.Series = append(out.Series, s9...)
+
+	t10, s10 := Fig10(p)
+	out.Tables = append(out.Tables, t10)
+	out.Series = append(out.Series, s10...)
+
+	sv := runStudy(p, 512, rosterVariants())
+	out.Tables = append(out.Tables, fig11Table(sv), fig12Table(sv), fig13Table(sv))
+	return out, nil
+}

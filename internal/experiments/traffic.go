@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aegis/internal/aegisrw"
+	"aegis/internal/core"
+	"aegis/internal/report"
+	"aegis/internal/safer"
+	"aegis/internal/scheme"
+	"aegis/internal/sim"
+)
+
+// Traffic quantifies the write-path costs §3.2 discusses qualitatively:
+// the extra inversion writes per request a cache-less scheme issues as a
+// block accumulates faults ("Aegis 9×61 has to generate intensive
+// inversion writes … when there are more than 20 faults"), and how the
+// fail cache eliminates them.
+func Traffic(p Params) *report.Table {
+	const maxFaults = 24
+	factories := []scheme.Factory{
+		safer.MustFactory(512, 64),
+		core.MustFactory(512, 23),
+		core.MustFactory(512, 61),
+		aegisrw.MustRWFactory(512, 61, cache),
+	}
+	cfg := sim.Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  p.MeanLife,
+		CoV:       p.CoV,
+		Trials:    p.CurveTrials / 2,
+		Workers:   p.Workers,
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	t := &report.Table{
+		Title:  "Write traffic: extra physical writes per request vs faults in a 512-bit block",
+		Header: []string{"faults"},
+		Notes: []string{
+			"extra writes = inversion rewrites issued while the verify-read loop converges",
+			"with a perfect fail cache Aegis-rw plans each write in one pass: ≈0 extra writes",
+		},
+	}
+	curves := make([][]sim.TrafficPoint, len(factories))
+	for i, f := range factories {
+		cfg.Seed = p.schemeSeed("traffic-" + f.Name())
+		curves[i] = sim.TrafficCurve(f, cfg, maxFaults, 8)
+		t.Header = append(t.Header, f.Name()+" extra", f.Name()+" repart")
+	}
+	for nf := 1; nf <= maxFaults; nf++ {
+		row := []string{report.Itoa(nf)}
+		for i := range factories {
+			pt := curves[i][nf-1]
+			if pt.VerifyReads == 0 {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", pt.ExtraWrites), fmt.Sprintf("%.3f", pt.Repartitions))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationWearLevelValidatesAssumption(t *testing.T) {
+	p := tiny()
+	tbl := AblationWearLevel(p)
+	if len(tbl.Rows) != 4*6 {
+		t.Fatalf("rows = %d, want 24", len(tbl.Rows))
+	}
+	// Index rows by workload+leveler.
+	firstPct := map[string]float64{}
+	for _, row := range tbl.Rows {
+		key := row[0] + "/" + row[1]
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatalf("vs-perfect cell %q", row[3])
+		}
+		firstPct[key] = v
+	}
+	// Under skew, no leveling collapses early…
+	for _, wl := range []string{"zipf(1.2)", "hotspot"} {
+		if got := firstPct[wl+"/none"]; got > 40 {
+			t.Errorf("%s without leveling reaches %v%% of perfect first-death; expected a collapse", wl, got)
+		}
+		// …while the real techniques stay close to perfect.
+		for _, lev := range []string{"start-gap-rand", "security-refresh"} {
+			if got := firstPct[wl+"/"+lev]; got < 60 {
+				t.Errorf("%s with %s only reaches %v%% of perfect first-death", wl, lev, got)
+			}
+		}
+	}
+	// Uniform workloads need no leveling; everything is near 100 %.
+	for _, lev := range []string{"none", "start-gap", "security-refresh"} {
+		if got := firstPct["uniform/"+lev]; got < 80 {
+			t.Errorf("uniform/%s at %v%% of perfect; should be close", lev, got)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package freep
+
+import (
+	"math/rand"
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/pcm"
+)
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(0, 512, 1); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	if _, err := NewManager(4, 512, -1); err == nil {
+		t.Error("negative spares accepted")
+	}
+}
+
+func TestRedirectConsumesSpares(t *testing.T) {
+	m, err := NewManager(4, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := pcm.NewImmortalBlock(512)
+	if !m.Redirect(1, dead) || !m.Redirect(1, dead) {
+		t.Fatal("redirect failed with spares left")
+	}
+	if m.Redirect(2, dead) {
+		t.Fatal("redirect succeeded with no spares")
+	}
+	if m.SparesLeft() != 0 || m.Remaps(1) != 2 || m.ChainWrites() != 2 {
+		t.Fatalf("state: left=%d remaps=%d chains=%d", m.SparesLeft(), m.Remaps(1), m.ChainWrites())
+	}
+}
+
+func TestPointerStorable(t *testing.T) {
+	m, _ := NewManager(1, 512, 1)
+	blk := pcm.NewImmortalBlock(512)
+	if !m.PointerStorable(blk) {
+		t.Fatal("healthy block cannot store pointer")
+	}
+	// Kill almost every cell: 7×10 = 70 healthy cells needed.
+	for i := 0; i < 512-60; i++ {
+		blk.InjectFault(i, true)
+	}
+	if m.PointerStorable(blk) {
+		t.Fatal("nearly-dead block claimed storable")
+	}
+	if m.Redirect(0, blk) {
+		t.Fatal("redirect succeeded without pointer room")
+	}
+}
+
+func TestOverheadBits(t *testing.T) {
+	// 2 spares of 512-bit blocks under ECP6 (61 bits) = 2 × 573.
+	if got := OverheadBits(512, 61, 2); got != 1146 {
+		t.Fatalf("OverheadBits = %d", got)
+	}
+}
+
+func TestSimulatePageSparesExtendLifetime(t *testing.T) {
+	f := ecp.MustFactory(512, 2)
+	run := func(spares int) int64 {
+		rng := rand.New(rand.NewSource(5))
+		res, err := SimulatePage(8, 512, spares, f, 400, 0.25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spares > 0 && res.Redirections == 0 {
+			t.Fatal("no redirections recorded")
+		}
+		return res.Lifetime
+	}
+	without := run(0)
+	with := run(4)
+	if with <= without {
+		t.Fatalf("4 spares did not extend page life: %d vs %d", with, without)
+	}
+}
+
+func TestSimulatePageStrongSchemeDelaysRedirection(t *testing.T) {
+	// §4: a strong in-block scheme substantially delays redirection —
+	// at equal spare budgets, Aegis pages redirect later and live longer.
+	weak := ecp.MustFactory(512, 1)
+	strong := core.MustFactory(512, 61)
+	rngW := rand.New(rand.NewSource(9))
+	rngS := rand.New(rand.NewSource(9))
+	w, err := SimulatePage(8, 512, 2, weak, 400, 0.25, rngW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SimulatePage(8, 512, 2, strong, 400, 0.25, rngS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lifetime <= w.Lifetime {
+		t.Fatalf("Aegis+spares (%d) not above ECP1+spares (%d)", s.Lifetime, w.Lifetime)
+	}
+}
+
+func TestSimulatePageValidation(t *testing.T) {
+	if _, err := SimulatePage(0, 512, 1, ecp.MustFactory(512, 1), 100, 0.25, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+}

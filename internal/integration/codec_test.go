@@ -1,0 +1,183 @@
+// Package integration holds cross-package tests: scheme interchangeability,
+// metadata codec round-trips, and end-to-end recovery flows that exercise
+// several subsystems together.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aegis/internal/aegisrw"
+	"aegis/internal/bitvec"
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/failcache"
+	"aegis/internal/pcm"
+	"aegis/internal/safer"
+	"aegis/internal/scheme"
+)
+
+// codecFactories enumerates every scheme implementing MetadataCodec.
+func codecFactories() []scheme.Factory {
+	cache := failcache.Perfect{}
+	return []scheme.Factory{
+		core.MustFactory(512, 23),
+		core.MustFactory(512, 61),
+		aegisrw.MustRWFactory(512, 31, cache),
+		aegisrw.MustRWPFactory(512, 23, 4, cache),
+		aegisrw.MustRWPFactory(512, 61, 9, cache),
+		safer.MustFactory(512, 32),
+		safer.MustFactory(512, 64),
+		safer.MustCachedFactory(512, 32, cache),
+		ecp.MustFactory(512, 6),
+		ecp.MustFactory(512, 2),
+	}
+}
+
+// TestMetadataFitsBudget is the operational form of Table 1: every
+// scheme's bookkeeping state must serialize into exactly OverheadBits()
+// bits.
+func TestMetadataFitsBudget(t *testing.T) {
+	for _, f := range codecFactories() {
+		s := f.New()
+		codec, ok := s.(scheme.MetadataCodec)
+		if !ok {
+			t.Fatalf("%s does not implement MetadataCodec", f.Name())
+		}
+		if got := codec.MarshalBits().Len(); got != f.OverheadBits() {
+			t.Errorf("%s: metadata is %d bits, budget is %d", f.Name(), got, f.OverheadBits())
+		}
+	}
+}
+
+// TestCodecRoundTripAfterFaults drives each scheme through faulty writes,
+// snapshots its metadata, restores it into a FRESH instance, and checks
+// the fresh instance decodes the block identically — i.e. the overhead
+// bits alone carry the full recovery state.
+func TestCodecRoundTripAfterFaults(t *testing.T) {
+	for _, f := range codecFactories() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 20; trial++ {
+				blk := pcm.NewImmortalBlock(512)
+				nf := rng.Intn(5)
+				for _, p := range rng.Perm(512)[:nf] {
+					blk.InjectFault(p, rng.Intn(2) == 0)
+				}
+				s := f.New()
+				var data *bitvec.Vector
+				ok := true
+				for w := 0; w < 6; w++ {
+					data = bitvec.Random(512, rng)
+					if err := s.Write(blk, data); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue // block died; nothing to snapshot
+				}
+				bits := s.(scheme.MetadataCodec).MarshalBits()
+
+				fresh := f.New()
+				if err := fresh.(scheme.MetadataCodec).UnmarshalBits(bits); err != nil {
+					t.Fatalf("trial %d: unmarshal: %v", trial, err)
+				}
+				if !fresh.Read(blk, nil).Equal(data) {
+					t.Fatalf("trial %d: restored instance decodes wrong data (%d faults)", trial, nf)
+				}
+				// The restored instance must also serve further writes.
+				next := bitvec.Random(512, rng)
+				if err := fresh.Write(blk, next); err != nil {
+					t.Fatalf("trial %d: restored instance cannot write: %v", trial, err)
+				}
+				if !fresh.Read(blk, nil).Equal(next) {
+					t.Fatalf("trial %d: restored instance mis-writes", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestCodecRejectsGarbage feeds wrong-length and malformed vectors.
+func TestCodecRejectsGarbage(t *testing.T) {
+	for _, f := range codecFactories() {
+		s := f.New().(scheme.MetadataCodec)
+		if err := s.UnmarshalBits(bitvec.New(f.New().OverheadBits() + 1)); err == nil {
+			t.Errorf("%s accepted overlong metadata", f.Name())
+		}
+		if err := s.UnmarshalBits(bitvec.New(1)); err == nil {
+			t.Errorf("%s accepted truncated metadata", f.Name())
+		}
+	}
+	// Aegis: a slope value ≥ B must be rejected (B=23 < 2^5−1).
+	ag := core.MustFactory(512, 23).New().(*core.Aegis)
+	bad := bitvec.New(ag.OverheadBits())
+	for i := 0; i < 5; i++ {
+		bad.Set(i, true) // slope = 31
+	}
+	if err := ag.UnmarshalBits(bad); err == nil {
+		t.Error("Aegis accepted out-of-range slope")
+	}
+}
+
+// TestCodecSAFERDuplicateFieldsRejected covers the SAFER validation path.
+func TestCodecSAFERDuplicateFieldsRejected(t *testing.T) {
+	s, err := safer.New(512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := s.MarshalBits()
+	// Craft metadata claiming 2 fields, both position 3.
+	w := scheme.NewBitWriter(good.Len())
+	w.WriteUint(3, 4)
+	w.WriteUint(3, 4)
+	w.WriteUint(0, 4)
+	w.WriteUint(0, 4)
+	w.WriteUint(0, 4)
+	w.WriteVector(bitvec.New(32))
+	w.WriteUint(2, 3) // count = 2
+	if err := s.UnmarshalBits(w.Finish()); err == nil {
+		t.Fatal("duplicate fields accepted")
+	}
+}
+
+// TestSchemesInterchangeable drives every registered scheme through the
+// same harness loop via the common interface — the property that makes
+// the Monte Carlo engine scheme-agnostic.
+func TestSchemesInterchangeable(t *testing.T) {
+	cache := failcache.Perfect{}
+	factories := []scheme.Factory{
+		scheme.NoneFactory{Bits: 512},
+		core.MustFactory(512, 23),
+		aegisrw.MustRWFactory(512, 23, cache),
+		aegisrw.MustRWPFactory(512, 23, 6, cache),
+		safer.MustFactory(512, 32),
+		safer.MustCachedFactory(512, 32, cache),
+		ecp.MustFactory(512, 6),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range factories {
+		blk := pcm.NewImmortalBlock(512)
+		s := f.New()
+		for w := 0; w < 5; w++ {
+			data := bitvec.Random(512, rng)
+			if err := s.Write(blk, data); err != nil {
+				t.Fatalf("%s: clean-block write failed: %v", f.Name(), err)
+			}
+			if !s.Read(blk, nil).Equal(data) {
+				t.Fatalf("%s: read differs", f.Name())
+			}
+		}
+		if s.Name() == "" || f.BlockBits() != 512 {
+			t.Fatalf("%s: metadata accessors broken", f.Name())
+		}
+	}
+}
+
+func Example() {
+	fmt.Println(core.MustFactory(512, 61).Name())
+	// Output: Aegis 9x61
+}

@@ -1,0 +1,97 @@
+package integration
+
+import (
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/safer"
+	"aegis/internal/scheme"
+	"aegis/internal/sim"
+	"aegis/internal/stats"
+)
+
+// TestSoakStatisticalSanity runs a larger Monte Carlo than the unit
+// tests and checks cross-scheme statistical relations that the paper's
+// evaluation rests on.  Skipped in -short mode.
+func TestSoakStatisticalSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	cfg := sim.Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  1000,
+		CoV:       0.25,
+		Trials:    48,
+		Seed:      123,
+	}
+	lifetime := func(f scheme.Factory) stats.Summary {
+		return stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(f, cfg)))
+	}
+	none := lifetime(scheme.NoneFactory{Bits: 512})
+	ecp6 := lifetime(ecp.MustFactory(512, 6))
+	safer64 := lifetime(safer.MustFactory(512, 64))
+	a23 := lifetime(core.MustFactory(512, 23))
+	a61 := lifetime(core.MustFactory(512, 61))
+
+	// Strict ordering with comfortable margins (means over 48 blocks).
+	chain := []struct {
+		name string
+		s    stats.Summary
+	}{
+		{"None", none}, {"ECP6", ecp6}, {"SAFER64", safer64}, {"Aegis 9x61", a61},
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i].s.Mean <= chain[i-1].s.Mean {
+			t.Fatalf("%s (%.0f) not above %s (%.0f)",
+				chain[i].name, chain[i].s.Mean, chain[i-1].name, chain[i-1].s.Mean)
+		}
+	}
+	// Aegis 23x23 competes with SAFER64 at less than a third of the bits.
+	if a23.Mean < 0.85*safer64.Mean {
+		t.Fatalf("Aegis 23x23 (%.0f) far below SAFER64 (%.0f)", a23.Mean, safer64.Mean)
+	}
+	// Every block lifetime is positive and the protected distributions
+	// sit beyond the first-fault horizon of the unprotected baseline.
+	if none.Min <= 0 {
+		t.Fatalf("unprotected min lifetime = %v", none.Min)
+	}
+	if a61.Min <= none.Max {
+		t.Logf("note: weakest Aegis 9x61 block (%.0f) under strongest unprotected (%.0f) — possible but rare", a61.Min, none.Max)
+	}
+	// Dispersion sanity: CoV of protected lifetimes stays below the
+	// cell-level 25 % (failure needs many cells, which averages).
+	if cov := a61.StdDev / a61.Mean; cov > 0.25 {
+		t.Fatalf("Aegis 9x61 lifetime CoV = %.2f, implausibly high", cov)
+	}
+}
+
+// TestSoakPageVsBlockConsistency cross-checks the two simulation
+// granularities: a page dies no later than its own weakest block would
+// alone (same seeds produce different cell draws, so compare
+// distributions, not trials).
+func TestSoakPageVsBlockConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	cfg := sim.Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  800,
+		CoV:       0.25,
+		Trials:    24,
+		Seed:      99,
+	}
+	f := core.MustFactory(512, 31)
+	pages := stats.SummarizeInts(sim.Lifetimes(sim.Pages(f, cfg)))
+	blocks := stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(f, cfg)))
+	if pages.Mean >= blocks.Mean {
+		t.Fatalf("mean page lifetime (%.0f) not below mean block lifetime (%.0f)", pages.Mean, blocks.Mean)
+	}
+	// A 64-block page's lifetime approximates the min of 64 block
+	// lifetimes; it must sit well below the block mean but above zero.
+	if pages.Mean < 0.5*blocks.Mean {
+		t.Fatalf("page lifetime (%.0f) implausibly far below block mean (%.0f)", pages.Mean, blocks.Mean)
+	}
+}

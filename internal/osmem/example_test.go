@@ -1,0 +1,25 @@
+package osmem_test
+
+import (
+	"fmt"
+
+	"aegis/internal/osmem"
+)
+
+// Two pages with failed blocks at different offsets pair into one
+// usable logical page; a later overlapping failure breaks the pair.
+func Example() {
+	pool, err := osmem.NewPool(2, 8, true)
+	if err != nil {
+		panic(err)
+	}
+	pool.FailBlock(0, 3)
+	pool.FailBlock(1, 5)
+	fmt.Println("after compatible failures:", pool.State(0), "usable:", pool.Capacity().Usable())
+
+	pool.FailBlock(0, 5) // now collides with page 1's dead block
+	fmt.Println("after overlap:", pool.State(0), "usable:", pool.Capacity().Usable())
+	// Output:
+	// after compatible failures: paired usable: 1
+	// after overlap: retired usable: 0
+}

@@ -1,0 +1,184 @@
+// Package osmem models the OS-assisted fault handling layer the paper
+// positions above in-block recovery (§1.1, §4): once a data block inside
+// a page exhausts its recovery scheme, the OS must stop allocating the
+// page — and, to slow the resulting capacity loss, Dynamic Pairing
+// (Ipek et al., ASPLOS 2010) can fuse two faulty pages whose failed
+// blocks sit at different offsets into one usable logical page.
+//
+// The paper's argument is that this layer works acceptably only on top
+// of a strong first line of defense: with weak in-block protection,
+// pages retire early and the allocatable pool drains fast.  The
+// `oscapacity` experiment quantifies that with block-death times drawn
+// from the actual schemes of this repository.
+package osmem
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+)
+
+// State is a page's allocation state.
+type State int
+
+const (
+	// Healthy pages have no dead blocks and are directly usable.
+	Healthy State = iota
+	// Retired pages have dead blocks and no compatible partner.
+	Retired
+	// Paired pages serve together with a partner as one logical page.
+	Paired
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Retired:
+		return "retired"
+	case Paired:
+		return "paired"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Capacity summarizes the allocatable pool.
+type Capacity struct {
+	// Healthy counts fault-free pages.
+	Healthy int
+	// Pairs counts page pairs, each serving as one logical page.
+	Pairs int
+	// Retired counts faulty pages currently without a partner.
+	Retired int
+}
+
+// Usable returns the number of logical pages the pool can serve.
+func (c Capacity) Usable() int { return c.Healthy + c.Pairs }
+
+// Pool tracks page states, dead-block sets, and the dynamic pairing of
+// retired pages.
+type Pool struct {
+	pages         int
+	blocksPerPage int
+	pairing       bool
+
+	state   []State
+	dead    []*bitvec.Vector
+	partner []int
+}
+
+// NewPool creates a pool of fault-free pages.  When pairing is false the
+// pool models plain retirement (the paper's "exclude memory pages
+// containing faulty bits from being allocated").
+func NewPool(pages, blocksPerPage int, pairing bool) (*Pool, error) {
+	if pages <= 0 || blocksPerPage <= 0 {
+		return nil, fmt.Errorf("osmem: pool of %d pages × %d blocks", pages, blocksPerPage)
+	}
+	p := &Pool{
+		pages:         pages,
+		blocksPerPage: blocksPerPage,
+		pairing:       pairing,
+		state:         make([]State, pages),
+		dead:          make([]*bitvec.Vector, pages),
+		partner:       make([]int, pages),
+	}
+	for i := range p.dead {
+		p.dead[i] = bitvec.New(blocksPerPage)
+		p.partner[i] = -1
+	}
+	return p, nil
+}
+
+// Pages returns the physical page count.
+func (p *Pool) Pages() int { return p.pages }
+
+// State returns page pg's allocation state.
+func (p *Pool) State(pg int) State { return p.state[pg] }
+
+// Partner returns pg's pairing partner, or -1.
+func (p *Pool) Partner(pg int) int { return p.partner[pg] }
+
+// DeadBlocks returns a copy of pg's dead-block offsets.
+func (p *Pool) DeadBlocks(pg int) []int { return p.dead[pg].OnesIndices() }
+
+// compatible reports whether two faulty pages can pair: their dead
+// blocks must not overlap at any offset.
+func (p *Pool) compatible(a, b int) bool {
+	aw, bw := p.dead[a].Words(), p.dead[b].Words()
+	for i := range aw {
+		if aw[i]&bw[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tryPair searches the retired pool for a compatible partner for pg and
+// pairs greedily with the first match.
+func (p *Pool) tryPair(pg int) {
+	if !p.pairing || p.state[pg] != Retired {
+		return
+	}
+	for other := 0; other < p.pages; other++ {
+		if other == pg || p.state[other] != Retired {
+			continue
+		}
+		if p.compatible(pg, other) {
+			p.state[pg], p.state[other] = Paired, Paired
+			p.partner[pg], p.partner[other] = other, pg
+			return
+		}
+	}
+}
+
+// FailBlock records the death of one block of page pg: a healthy page
+// retires (and tries to pair); a paired page whose new dead block
+// overlaps its partner's breaks the pair and both look for new partners.
+func (p *Pool) FailBlock(pg, block int) {
+	if pg < 0 || pg >= p.pages {
+		panic(fmt.Sprintf("osmem: page %d out of range", pg))
+	}
+	if block < 0 || block >= p.blocksPerPage {
+		panic(fmt.Sprintf("osmem: block %d out of range", block))
+	}
+	if p.dead[pg].Get(block) {
+		return // already dead
+	}
+	p.dead[pg].Set(block, true)
+	switch p.state[pg] {
+	case Healthy:
+		p.state[pg] = Retired
+		p.tryPair(pg)
+	case Paired:
+		other := p.partner[pg]
+		if p.dead[other].Get(block) {
+			// The pair now collides at this offset: break it.
+			p.state[pg], p.state[other] = Retired, Retired
+			p.partner[pg], p.partner[other] = -1, -1
+			p.tryPair(pg)
+			if p.state[other] == Retired {
+				p.tryPair(other)
+			}
+		}
+	case Retired:
+		// Dead set grew; existing incompatibilities can only grow too.
+	}
+}
+
+// Capacity reports the current pool composition.
+func (p *Pool) Capacity() Capacity {
+	var c Capacity
+	for pg := 0; pg < p.pages; pg++ {
+		switch p.state[pg] {
+		case Healthy:
+			c.Healthy++
+		case Retired:
+			c.Retired++
+		case Paired:
+			c.Pairs++ // counted once per member; halved below
+		}
+	}
+	c.Pairs /= 2
+	return c
+}

@@ -1,0 +1,196 @@
+package osmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, 4, true); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if _, err := NewPool(4, 0, true); err == nil {
+		t.Error("zero blocks accepted")
+	}
+}
+
+func TestRetirementWithoutPairing(t *testing.T) {
+	p, err := NewPool(4, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := p.Capacity(); c.Healthy != 4 || c.Usable() != 4 {
+		t.Fatalf("fresh capacity = %+v", c)
+	}
+	p.FailBlock(0, 3)
+	if p.State(0) != Retired {
+		t.Fatalf("state = %v", p.State(0))
+	}
+	p.FailBlock(1, 5) // compatible offsets, but pairing disabled
+	c := p.Capacity()
+	if c.Healthy != 2 || c.Pairs != 0 || c.Retired != 2 || c.Usable() != 2 {
+		t.Fatalf("capacity = %+v", c)
+	}
+}
+
+func TestPairingCompatiblePages(t *testing.T) {
+	p, err := NewPool(4, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FailBlock(0, 3)
+	p.FailBlock(1, 5)
+	if p.State(0) != Paired || p.State(1) != Paired {
+		t.Fatalf("states = %v, %v", p.State(0), p.State(1))
+	}
+	if p.Partner(0) != 1 || p.Partner(1) != 0 {
+		t.Fatalf("partners = %d, %d", p.Partner(0), p.Partner(1))
+	}
+	c := p.Capacity()
+	if c.Healthy != 2 || c.Pairs != 1 || c.Usable() != 3 {
+		t.Fatalf("capacity = %+v", c)
+	}
+}
+
+func TestIncompatiblePagesStayRetired(t *testing.T) {
+	p, err := NewPool(2, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FailBlock(0, 3)
+	p.FailBlock(1, 3) // same offset: incompatible
+	if p.State(0) != Retired || p.State(1) != Retired {
+		t.Fatalf("states = %v, %v", p.State(0), p.State(1))
+	}
+	if got := p.Capacity().Usable(); got != 0 {
+		t.Fatalf("usable = %d", got)
+	}
+}
+
+func TestPairBreaksOnOverlap(t *testing.T) {
+	p, err := NewPool(3, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FailBlock(0, 3)
+	p.FailBlock(1, 5) // pairs with 0
+	if p.State(0) != Paired {
+		t.Fatal("setup: no pair")
+	}
+	// Page 0 now fails at offset 5, colliding with its partner.
+	p.FailBlock(0, 5)
+	if p.State(0) != Retired || p.State(1) != Retired {
+		t.Fatalf("pair did not break: %v, %v", p.State(0), p.State(1))
+	}
+	// Page 2 fails at a compatible offset and pairs with one of them.
+	p.FailBlock(2, 7)
+	c := p.Capacity()
+	if c.Pairs != 1 || c.Retired != 1 {
+		t.Fatalf("capacity after re-pair = %+v", c)
+	}
+}
+
+func TestRepairAfterBreakPrefersCompatibility(t *testing.T) {
+	p, err := NewPool(4, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pages 0,1 pair; page 2 retired incompatible with both; page 3 healthy.
+	p.FailBlock(0, 0)
+	p.FailBlock(1, 1)
+	p.FailBlock(2, 0)
+	p.FailBlock(2, 1)
+	if p.State(2) != Retired {
+		t.Fatal("page 2 should be retired")
+	}
+	// Break pair 0-1 via overlap at offset 2.
+	p.FailBlock(0, 2)
+	p.FailBlock(1, 2)
+	// Page 0 (dead: 0,2) and page 1 (dead: 1,2) overlap at 2; page 2
+	// (dead: 0,1) overlaps both at 0 and 1 respectively... but not at
+	// every offset: page 0 vs page 2 share offset 0 — incompatible;
+	// page 1 vs page 2 share offset 1 — incompatible.  All retired.
+	c := p.Capacity()
+	if c.Pairs != 0 || c.Retired != 3 || c.Healthy != 1 {
+		t.Fatalf("capacity = %+v", c)
+	}
+}
+
+func TestDoubleFailIdempotent(t *testing.T) {
+	p, err := NewPool(2, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FailBlock(0, 1)
+	p.FailBlock(0, 1)
+	if got := len(p.DeadBlocks(0)); got != 1 {
+		t.Fatalf("dead blocks = %d", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	p, _ := NewPool(2, 4, true)
+	for _, f := range []func(){
+		func() { p.FailBlock(-1, 0) },
+		func() { p.FailBlock(2, 0) },
+		func() { p.FailBlock(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: invariants hold under random failure streams — paired pages
+// always have disjoint dead sets and mutual partners; usable capacity
+// with pairing ≥ usable capacity without, fed the same stream.
+func TestPropPairingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const pages, blocks = 12, 16
+		paired, _ := NewPool(pages, blocks, true)
+		plain, _ := NewPool(pages, blocks, false)
+		for step := 0; step < 80; step++ {
+			pg := rng.Intn(pages)
+			bl := rng.Intn(blocks)
+			paired.FailBlock(pg, bl)
+			plain.FailBlock(pg, bl)
+
+			for a := 0; a < pages; a++ {
+				if paired.State(a) == Paired {
+					b := paired.Partner(a)
+					if b < 0 || paired.Partner(b) != a {
+						return false
+					}
+					if !paired.compatible(a, b) {
+						return false
+					}
+				} else if paired.Partner(a) != -1 {
+					return false
+				}
+			}
+			if paired.Capacity().Usable() < plain.Capacity().Usable() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Healthy.String() != "healthy" || Retired.String() != "retired" || Paired.String() != "paired" {
+		t.Fatal("state strings wrong")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state empty")
+	}
+}

@@ -1,0 +1,37 @@
+package payg_test
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/core"
+	"aegis/internal/payg"
+	"aegis/internal/pcm"
+)
+
+// A PAYG block rides on its cheap ECP1 entry until a second fault
+// forces escalation to a pooled Aegis slot.
+func Example() {
+	pool := payg.NewPool(4)
+	blk, err := payg.NewBlock(512, 1, pool, core.MustFactory(512, 61))
+	if err != nil {
+		panic(err)
+	}
+	mem := pcm.NewImmortalBlock(512)
+	mem.InjectFault(7, true)
+
+	data := bitvec.New(512)
+	if err := blk.Write(mem, data); err != nil {
+		panic(err)
+	}
+	fmt.Println("one fault, escalated:", blk.Escalated())
+
+	mem.InjectFault(100, true)
+	if err := blk.Write(mem, data); err != nil {
+		panic(err)
+	}
+	fmt.Println("two faults, escalated:", blk.Escalated(), "pool used:", pool.Used())
+	// Output:
+	// one fault, escalated: false
+	// two faults, escalated: true pool used: 1
+}

@@ -1,0 +1,132 @@
+// Package payg implements the Pay-As-You-Go hard-error correction
+// framework (Qureshi, MICRO 2011) that the paper's related work singles
+// out as a natural host for Aegis: "As PAYG is a framework that can
+// employ any error correction scheme in its GEC component, Aegis
+// complements PAYG with its strong fault tolerance capability and its
+// space efficiency" (§4).
+//
+// Cell lifetime varies so much that provisioning every block for the
+// worst case wastes space: most blocks die with far fewer faults than
+// the budget assumes.  PAYG gives each block a cheap Local Error
+// Correction entry (LEC — an ECP-style pointer, enough for the first
+// fault) and keeps a small Global Error Correction (GEC) pool; only the
+// minority of blocks whose faults outgrow their LEC get a GEC slot,
+// which here instantiates a full recovery scheme (e.g. Aegis 9×61) for
+// that block on demand.
+//
+// A block dies when its LEC is exhausted and no GEC slot is available —
+// or when even the GEC scheme cannot mask its faults.
+package payg
+
+import (
+	"errors"
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/ecp"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+// ErrPoolExhausted reports that a block needed a GEC slot but the global
+// pool was empty.  It wraps scheme.ErrUnrecoverable so harness code that
+// checks for unrecoverable writes keeps working.
+var ErrPoolExhausted = fmt.Errorf("payg: GEC pool exhausted: %w", scheme.ErrUnrecoverable)
+
+// Pool is the shared GEC slot budget of one protection domain (a page
+// or a device).  It is not safe for concurrent use; simulation workers
+// own their domains.
+type Pool struct {
+	capacity int
+	used     int
+}
+
+// NewPool returns a pool of nSlots GEC slots.
+func NewPool(nSlots int) *Pool {
+	if nSlots < 0 {
+		nSlots = 0
+	}
+	return &Pool{capacity: nSlots}
+}
+
+// Capacity returns the total slot budget.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Used returns how many slots have been handed out.
+func (p *Pool) Used() int { return p.used }
+
+// acquire takes one slot, reporting false when none remain.
+func (p *Pool) acquire() bool {
+	if p.used >= p.capacity {
+		return false
+	}
+	p.used++
+	return true
+}
+
+// Block protects one data block under PAYG: an ECP-style LEC with a
+// fixed number of local entries, escalating to a scheme built by the
+// GEC factory when the local entries run out.
+type Block struct {
+	lec  *ecp.ECP
+	pool *Pool
+	gecF scheme.Factory
+	gec  scheme.Scheme // non-nil once escalated
+}
+
+var _ scheme.Scheme = (*Block)(nil)
+
+// NewBlock returns a PAYG-protected block with lecEntries local pointers
+// and on-demand GEC slots from pool built by gecFactory.
+func NewBlock(n, lecEntries int, pool *Pool, gecFactory scheme.Factory) (*Block, error) {
+	if gecFactory.BlockBits() != n {
+		return nil, fmt.Errorf("payg: GEC factory protects %d-bit blocks, want %d", gecFactory.BlockBits(), n)
+	}
+	lec, err := ecp.New(n, lecEntries)
+	if err != nil {
+		return nil, err
+	}
+	return &Block{lec: lec, pool: pool, gecF: gecFactory}, nil
+}
+
+// Name implements scheme.Scheme.
+func (b *Block) Name() string {
+	return fmt.Sprintf("PAYG[%s+%s]", b.lec.Name(), b.gecF.Name())
+}
+
+// OverheadBits implements scheme.Scheme: the per-block cost is the LEC
+// only.  The GEC pool and its mapping structures are a domain-level cost
+// accounted by the experiment (see experiments.PAYG), exactly as the
+// PAYG paper budgets them.
+func (b *Block) OverheadBits() int { return b.lec.OverheadBits() }
+
+// Escalated reports whether the block holds a GEC slot.
+func (b *Block) Escalated() bool { return b.gec != nil }
+
+// Write implements scheme.Scheme.
+func (b *Block) Write(blk *pcm.Block, data *bitvec.Vector) error {
+	if b.gec != nil {
+		return b.gec.Write(blk, data)
+	}
+	err := b.lec.Write(blk, data)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, scheme.ErrUnrecoverable) {
+		return err
+	}
+	// LEC exhausted: escalate to a GEC slot if one remains.
+	if !b.pool.acquire() {
+		return ErrPoolExhausted
+	}
+	b.gec = b.gecF.New()
+	return b.gec.Write(blk, data)
+}
+
+// Read implements scheme.Scheme.
+func (b *Block) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
+	if b.gec != nil {
+		return b.gec.Read(blk, dst)
+	}
+	return b.lec.Read(blk, dst)
+}

@@ -1,0 +1,185 @@
+package payg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/core"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+func TestPool(t *testing.T) {
+	p := NewPool(2)
+	if p.Capacity() != 2 || p.Used() != 0 {
+		t.Fatalf("fresh pool: %d/%d", p.Used(), p.Capacity())
+	}
+	if !p.acquire() || !p.acquire() {
+		t.Fatal("acquire failed with capacity left")
+	}
+	if p.acquire() {
+		t.Fatal("acquire succeeded beyond capacity")
+	}
+	if NewPool(-3).Capacity() != 0 {
+		t.Fatal("negative capacity not clamped")
+	}
+}
+
+func TestNewBlockValidation(t *testing.T) {
+	pool := NewPool(1)
+	if _, err := NewBlock(256, 1, pool, core.MustFactory(512, 61)); err == nil {
+		t.Fatal("mismatched GEC block size accepted")
+	}
+	if _, err := NewBlock(512, -1, pool, core.MustFactory(512, 61)); err == nil {
+		t.Fatal("negative LEC entries accepted")
+	}
+}
+
+func TestLECHandlesFirstFault(t *testing.T) {
+	pool := NewPool(1)
+	b, err := NewBlock(512, 1, pool, core.MustFactory(512, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := pcm.NewImmortalBlock(512)
+	blk.InjectFault(7, true)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		data := bitvec.Random(512, rng)
+		if err := b.Write(blk, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if !b.Read(blk, nil).Equal(data) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+	if b.Escalated() {
+		t.Fatal("escalated although LEC suffices for one fault")
+	}
+	if pool.Used() != 0 {
+		t.Fatal("pool consumed without escalation")
+	}
+}
+
+func TestEscalationOnSecondFault(t *testing.T) {
+	pool := NewPool(1)
+	b, err := NewBlock(512, 1, pool, core.MustFactory(512, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := pcm.NewImmortalBlock(512)
+	blk.InjectFault(7, true)
+	blk.InjectFault(100, false)
+	data := bitvec.New(512)
+	data.Set(100, true) // both faults stuck-at-Wrong
+	if err := b.Write(blk, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !b.Escalated() {
+		t.Fatal("no escalation with two W faults and one LEC entry")
+	}
+	if pool.Used() != 1 {
+		t.Fatalf("pool used = %d", pool.Used())
+	}
+	if !b.Read(blk, nil).Equal(data) {
+		t.Fatal("read differs after escalation")
+	}
+	// Further writes stay on the GEC.
+	next := bitvec.Random(512, rand.New(rand.NewSource(2)))
+	if err := b.Write(blk, next); err != nil {
+		t.Fatalf("post-escalation write: %v", err)
+	}
+	if !b.Read(blk, nil).Equal(next) {
+		t.Fatal("post-escalation read differs")
+	}
+}
+
+func TestPoolExhaustionKillsBlock(t *testing.T) {
+	pool := NewPool(0)
+	b, err := NewBlock(512, 1, pool, core.MustFactory(512, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := pcm.NewImmortalBlock(512)
+	blk.InjectFault(7, true)
+	blk.InjectFault(100, true)
+	err = b.Write(blk, bitvec.New(512))
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("want ErrPoolExhausted, got %v", err)
+	}
+	if !errors.Is(err, scheme.ErrUnrecoverable) {
+		t.Fatal("ErrPoolExhausted must wrap ErrUnrecoverable")
+	}
+}
+
+func TestSharedPoolAcrossBlocks(t *testing.T) {
+	pool := NewPool(1)
+	mk := func() (*Block, *pcm.Block) {
+		b, err := NewBlock(512, 1, pool, core.MustFactory(512, 61))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk := pcm.NewImmortalBlock(512)
+		blk.InjectFault(7, true)
+		blk.InjectFault(100, true)
+		return b, blk
+	}
+	b1, blk1 := mk()
+	b2, blk2 := mk()
+	if err := b1.Write(blk1, bitvec.New(512)); err != nil {
+		t.Fatalf("first block should escalate: %v", err)
+	}
+	err := b2.Write(blk2, bitvec.New(512))
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("second block should find the pool empty, got %v", err)
+	}
+}
+
+func TestOverheadIsLECOnly(t *testing.T) {
+	pool := NewPool(4)
+	b, err := NewBlock(512, 1, pool, core.MustFactory(512, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.OverheadBits(); got != 11 { // ECP1 on 512 bits
+		t.Fatalf("OverheadBits = %d, want 11", got)
+	}
+	if b.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestSimulatePagePAYGBeatsPureLEC(t *testing.T) {
+	cfg := PageConfig{
+		BlockBits:  512,
+		Blocks:     32,
+		LECEntries: 1,
+		MeanLife:   400,
+		CoV:        0.25,
+	}
+	gec := core.MustFactory(512, 61)
+	rng := rand.New(rand.NewSource(3))
+
+	cfg.GECSlots = 0
+	lecOnly, err := SimulatePage(cfg, gec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GECSlots = 8
+	rng = rand.New(rand.NewSource(3))
+	withGEC, err := SimulatePage(cfg, gec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withGEC.Lifetime <= lecOnly.Lifetime {
+		t.Fatalf("GEC slots did not extend the page: %d vs %d", withGEC.Lifetime, lecOnly.Lifetime)
+	}
+	if withGEC.PoolUsed == 0 || withGEC.Escalated == 0 {
+		t.Fatalf("no escalations recorded: %+v", withGEC)
+	}
+	if withGEC.PoolUsed != withGEC.Escalated {
+		t.Fatalf("pool used (%d) != escalated blocks (%d)", withGEC.PoolUsed, withGEC.Escalated)
+	}
+}

@@ -1,0 +1,88 @@
+package payg
+
+import (
+	"math/rand"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/dist"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+// PageResult describes one PAYG-protected page written to death.
+type PageResult struct {
+	// Lifetime is the number of successful page writes.
+	Lifetime int64
+	// Escalated is how many of the page's blocks held a GEC slot when
+	// the page died.
+	Escalated int
+	// PoolUsed is the number of GEC slots consumed.
+	PoolUsed int
+	// RecoveredFaults is the page's total stuck-cell count at death.
+	RecoveredFaults int
+}
+
+// PageConfig parameterizes SimulatePage.
+type PageConfig struct {
+	BlockBits  int
+	Blocks     int // blocks per page
+	LECEntries int // local pointers per block
+	GECSlots   int // shared pool size for the page
+	MeanLife   float64
+	CoV        float64
+}
+
+// SimulatePage writes random data into every block of a PAYG page until
+// some block takes an unrecoverable write (LEC exhausted with an empty
+// pool, or GEC scheme defeated).  Wear follows the paper's
+// request-scoped model.
+func SimulatePage(cfg PageConfig, gecFactory scheme.Factory, rng *rand.Rand) (PageResult, error) {
+	pool := NewPool(cfg.GECSlots)
+	blocks := make([]*pcm.Block, cfg.Blocks)
+	schemes := make([]*Block, cfg.Blocks)
+	ld := dist.Normal{MeanLife: cfg.MeanLife, CoV: cfg.CoV}
+	for i := range blocks {
+		blocks[i] = pcm.NewBlock(cfg.BlockBits, ld, rng)
+		s, err := NewBlock(cfg.BlockBits, cfg.LECEntries, pool, gecFactory)
+		if err != nil {
+			return PageResult{}, err
+		}
+		schemes[i] = s
+	}
+	data := bitvec.New(cfg.BlockBits)
+	var writes int64
+	alive := true
+	for alive {
+		for i := range blocks {
+			randomizeInto(data, rng)
+			blocks[i].BeginRequest()
+			err := schemes[i].Write(blocks[i], data)
+			blocks[i].EndRequest()
+			if err != nil {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			writes++
+		}
+	}
+	res := PageResult{Lifetime: writes, PoolUsed: pool.Used()}
+	for i := range blocks {
+		res.RecoveredFaults += blocks[i].FaultCount()
+		if schemes[i].Escalated() {
+			res.Escalated++
+		}
+	}
+	return res, nil
+}
+
+func randomizeInto(data *bitvec.Vector, rng *rand.Rand) {
+	words := data.Words()
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	if r := data.Len() % 64; r != 0 {
+		words[len(words)-1] &= (uint64(1) << uint(r)) - 1
+	}
+}

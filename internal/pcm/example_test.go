@@ -1,0 +1,47 @@
+package pcm_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/dist"
+	"aegis/internal/pcm"
+)
+
+// A cell wears out after its endurance budget and sticks at the value of
+// the write that exhausted it; the stuck value stays readable.
+func ExampleBlock_WriteRaw() {
+	block := pcm.NewBlock(8, dist.Fixed(2), rand.New(rand.NewSource(1)))
+	ones := bitvec.New(8)
+	ones.Fill(true)
+	zeros := bitvec.New(8)
+
+	block.WriteRaw(ones)  // pulse 1 per cell
+	block.WriteRaw(zeros) // pulse 2: budgets exhausted, stuck at 0
+	block.WriteRaw(ones)  // stuck cells ignore further pulses
+
+	fmt.Println("faults:", block.FaultCount())
+	fmt.Println("reads back:", block.Read(nil))
+	// Output:
+	// faults: 8
+	// reads back: 00000000
+}
+
+// Request-scoped wear (the paper's model): a scheme's internal rewrites
+// within one request charge each cell at most one pulse.
+func ExampleBlock_BeginRequest() {
+	block := pcm.NewBlock(8, dist.Fixed(10), rand.New(rand.NewSource(1)))
+	ones := bitvec.New(8)
+	ones.Fill(true)
+	zeros := bitvec.New(8)
+
+	block.BeginRequest()
+	block.WriteRaw(ones)
+	block.WriteRaw(zeros)
+	block.WriteRaw(ones) // three programmings…
+	pulses := block.EndRequest()
+
+	fmt.Println("pulses charged:", pulses) // …one pulse each
+	// Output: pulses charged: 8
+}

@@ -1,0 +1,284 @@
+// Package pcm models phase-change-memory data blocks at the level of
+// detail the paper's evaluation needs (§3.1):
+//
+//   - every cell has a finite write endurance drawn from a lifetime
+//     distribution; once the budget is exhausted the cell becomes
+//     permanently stuck at the value it last stored (stuck-at fault);
+//   - a stuck cell's value remains readable but can no longer be changed;
+//   - writes are differential: a read precedes every write and only cells
+//     whose stored value differs from the datum receive a programming
+//     pulse (this is what wears cells and is what the paper approximates
+//     as "a cell has a 50 % probability to be excluded" under random
+//     data);
+//   - a verification read after a write reveals cells whose stored value
+//     disagrees with what was written (stuck-at-Wrong cells).
+//
+// The model is deterministic given the lifetimes assigned at block
+// construction, so experiments are reproducible from a seed.
+package pcm
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/dist"
+)
+
+// Stats accumulates wear and traffic counters for a block.
+type Stats struct {
+	// RawWrites counts WriteRaw invocations (write requests that reached
+	// the block, including a scheme's extra inversion rewrites).
+	RawWrites int64
+	// BitWrites counts individual programming pulses (cells actually
+	// written).  This is the quantity that consumes endurance.
+	BitWrites int64
+	// NewFaults counts cells that became stuck.
+	NewFaults int64
+}
+
+// Block is an array of PCM cells protected as one unit by a recovery
+// scheme.  Data blocks in the paper are 256 or 512 bits.
+type Block struct {
+	n      int
+	stored *bitvec.Vector // current cell contents (stuck cells hold their stuck value)
+	stuck  *bitvec.Vector // stuck-at mask
+	life   []int32        // remaining programming pulses per cell; <0 = immortal
+	stats  Stats
+
+	// Request-scoped wear (the paper's model, §3.1): between
+	// BeginRequest and EndRequest, programming happens logically but
+	// wear is charged once per cell whose final value differs from its
+	// value at request start, and wear-out deaths materialize at
+	// EndRequest.  baseline == nil means immediate (per-pulse) wear.
+	baseline *bitvec.Vector
+}
+
+// NewBlock creates an n-bit block with per-cell lifetimes drawn from d
+// using rng.  All cells start storing 0.
+func NewBlock(n int, d dist.Lifetime, rng *rand.Rand) *Block {
+	if n <= 0 {
+		panic(fmt.Sprintf("pcm: block size %d must be positive", n))
+	}
+	b := &Block{
+		n:      n,
+		stored: bitvec.New(n),
+		stuck:  bitvec.New(n),
+		life:   make([]int32, n),
+	}
+	for i := range b.life {
+		v := d.Sample(rng)
+		switch {
+		case v < 0:
+			b.life[i] = -1
+		case v > 1<<31-1:
+			b.life[i] = 1<<31 - 1
+		default:
+			b.life[i] = int32(v)
+		}
+	}
+	return b
+}
+
+// NewImmortalBlock creates a block whose cells never wear out; faults can
+// only appear through InjectFault.  Used by fault-injection experiments
+// (Figure 8) and tests.
+func NewImmortalBlock(n int) *Block {
+	return NewBlock(n, dist.Immortal{}, nil)
+}
+
+// Size returns the number of cells.
+func (b *Block) Size() int { return b.n }
+
+// Stats returns a copy of the block's counters.
+func (b *Block) Stats() Stats { return b.stats }
+
+// Read copies the block's current contents into dst (allocated when nil)
+// and returns it.  Stuck cells read their stuck value.
+func (b *Block) Read(dst *bitvec.Vector) *bitvec.Vector {
+	if dst == nil {
+		dst = bitvec.New(b.n)
+	}
+	dst.CopyFrom(b.stored)
+	return dst
+}
+
+// WriteRaw performs one differential write of data into the block: every
+// non-stuck cell whose stored value differs from the datum receives a
+// programming pulse.  Cells whose endurance budget is exhausted by this
+// write become stuck at the newly written value (the pulse that kills the
+// cell still succeeds; the fault reveals itself on a later conflicting
+// write).  It returns the number of programming pulses issued.
+//
+// WriteRaw never fails: stuck cells silently keep their stuck value, which
+// is exactly the physical behaviour recovery schemes must detect with a
+// verification read.
+func (b *Block) WriteRaw(data *bitvec.Vector) int {
+	if data.Len() != b.n {
+		panic(fmt.Sprintf("pcm: write of %d bits into %d-bit block", data.Len(), b.n))
+	}
+	b.stats.RawWrites++
+	pulses := 0
+	sw := b.stored.Words()
+	kw := b.stuck.Words()
+	dw := data.Words()
+	deferred := b.baseline != nil
+	for wi := range sw {
+		// Cells that differ and are not stuck get written.
+		writable := (sw[wi] ^ dw[wi]) &^ kw[wi]
+		if writable == 0 {
+			continue
+		}
+		pulses += bits.OnesCount64(writable)
+		// Flip the writable cells to the new data.
+		sw[wi] ^= writable
+		if deferred {
+			continue // wear settles at EndRequest
+		}
+		// Wear each written cell.
+		w := writable
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &= w - 1
+			b.wearCell(wi, bit)
+		}
+	}
+	b.stats.BitWrites += int64(pulses)
+	return pulses
+}
+
+// wearCell charges one programming pulse to cell (wi*64 + bit), marking
+// it stuck at its current stored value when the budget runs out.
+func (b *Block) wearCell(wi, bit int) {
+	idx := wi*64 + bit
+	if b.life[idx] < 0 {
+		return // immortal
+	}
+	b.life[idx]--
+	if b.life[idx] == 0 {
+		b.stuck.Words()[wi] |= 1 << uint(bit)
+		b.stats.NewFaults++
+	}
+}
+
+// BeginRequest switches the block into request-scoped wear until the
+// matching EndRequest: programming between the two is logically applied
+// immediately, but endurance is charged once per cell whose value at
+// EndRequest differs from its value now, and wear-out deaths materialize
+// at EndRequest.  This is the paper's wear model ("a cell has a 50 %
+// probability to be excluded in serving a write request", §3.1): a
+// scheme's internal verify-and-rewrite iterations count as part of one
+// write request.  Nested BeginRequest calls panic.
+func (b *Block) BeginRequest() {
+	if b.baseline != nil {
+		panic("pcm: nested BeginRequest")
+	}
+	b.baseline = b.stored.Clone()
+}
+
+// EndRequest settles a request-scoped write: every non-stuck cell whose
+// stored value changed since BeginRequest is charged one pulse, cells
+// whose budget ran out become stuck at their current value, and the
+// block returns to immediate wear.  It returns the number of pulses
+// charged.
+func (b *Block) EndRequest() int {
+	if b.baseline == nil {
+		panic("pcm: EndRequest without BeginRequest")
+	}
+	sw := b.stored.Words()
+	kw := b.stuck.Words()
+	bw := b.baseline.Words()
+	pulses := 0
+	for wi := range sw {
+		changed := (sw[wi] ^ bw[wi]) &^ kw[wi]
+		if changed == 0 {
+			continue
+		}
+		pulses += bits.OnesCount64(changed)
+		w := changed
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &= w - 1
+			b.wearCell(wi, bit)
+		}
+	}
+	b.baseline = nil
+	return pulses
+}
+
+// InRequest reports whether a request-scoped write is open.
+func (b *Block) InRequest() bool { return b.baseline != nil }
+
+// Verify compares the block contents against intended and returns the
+// mask of mismatching cells (allocating when dst is nil).  After a
+// WriteRaw(intended), every mismatch is by construction a stuck-at-Wrong
+// cell for that data.
+func (b *Block) Verify(intended *bitvec.Vector, dst *bitvec.Vector) *bitvec.Vector {
+	if dst == nil {
+		dst = bitvec.New(b.n)
+	}
+	dst.Xor(b.stored, intended)
+	return dst
+}
+
+// IsStuck reports whether cell i has a stuck-at fault.
+func (b *Block) IsStuck(i int) bool { return b.stuck.Get(i) }
+
+// StuckValue returns the stuck value of cell i; it panics if the cell is
+// healthy.  Only fault-aware schemes (with a fail cache) may call this.
+func (b *Block) StuckValue(i int) bool {
+	if !b.stuck.Get(i) {
+		panic(fmt.Sprintf("pcm: StuckValue of healthy cell %d", i))
+	}
+	return b.stored.Get(i)
+}
+
+// FaultCount returns the number of stuck cells.
+func (b *Block) FaultCount() int { return b.stuck.PopCount() }
+
+// Faults returns the positions of all stuck cells in ascending order.
+func (b *Block) Faults() []int { return b.stuck.OnesIndices() }
+
+// StuckMask returns a copy of the stuck-cell mask.
+func (b *Block) StuckMask(dst *bitvec.Vector) *bitvec.Vector {
+	if dst == nil {
+		dst = bitvec.New(b.n)
+	}
+	dst.CopyFrom(b.stuck)
+	return dst
+}
+
+// InjectFault forces cell i to be stuck at value v, regardless of its
+// remaining endurance.  Used by fault-injection experiments.
+func (b *Block) InjectFault(i int, v bool) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("pcm: InjectFault index %d out of range", i))
+	}
+	if !b.stuck.Get(i) {
+		b.stats.NewFaults++
+	}
+	b.stuck.Set(i, true)
+	b.stored.Set(i, v)
+	b.life[i] = 0
+}
+
+// RemainingLife returns cell i's remaining endurance budget (-1 when the
+// cell is immortal).  Exposed for tests and wear analyses.
+func (b *Block) RemainingLife(i int) int32 { return b.life[i] }
+
+// MinRemainingLife returns the smallest remaining endurance across healthy
+// cells, or -1 if every cell is stuck or immortal.  Device simulations use
+// it to fast-forward over write intervals in which no new fault can occur.
+func (b *Block) MinRemainingLife() int32 {
+	min := int32(-1)
+	for i, l := range b.life {
+		if l <= 0 || b.stuck.Get(i) {
+			continue
+		}
+		if min < 0 || l < min {
+			min = l
+		}
+	}
+	return min
+}

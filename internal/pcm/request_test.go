@@ -1,0 +1,153 @@
+package pcm
+
+import (
+	"math/rand"
+	"testing"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/dist"
+)
+
+func TestRequestWearChargesOncePerCell(t *testing.T) {
+	b := NewBlock(64, dist.Fixed(10), rand.New(rand.NewSource(1)))
+	ones := bitvec.New(64)
+	ones.Fill(true)
+	zeros := bitvec.New(64)
+
+	b.BeginRequest()
+	b.WriteRaw(ones)  // flip all
+	b.WriteRaw(zeros) // flip back
+	b.WriteRaw(ones)  // flip again
+	pulses := b.EndRequest()
+	// Final state differs from the request baseline in all 64 cells —
+	// exactly one pulse each despite three programmings.
+	if pulses != 64 {
+		t.Fatalf("EndRequest pulses = %d, want 64", pulses)
+	}
+	if got := b.RemainingLife(0); got != 9 {
+		t.Fatalf("RemainingLife = %d, want 9 (one pulse charged)", got)
+	}
+}
+
+func TestRequestWearNoChangeNoCharge(t *testing.T) {
+	b := NewBlock(64, dist.Fixed(10), rand.New(rand.NewSource(1)))
+	ones := bitvec.New(64)
+	ones.Fill(true)
+	zeros := bitvec.New(64)
+
+	b.BeginRequest()
+	b.WriteRaw(ones)
+	b.WriteRaw(zeros) // back to baseline
+	pulses := b.EndRequest()
+	if pulses != 0 {
+		t.Fatalf("EndRequest pulses = %d, want 0 (final == baseline)", pulses)
+	}
+	if got := b.RemainingLife(5); got != 10 {
+		t.Fatalf("RemainingLife = %d, want 10", got)
+	}
+}
+
+func TestRequestDeathsMaterializeAtEnd(t *testing.T) {
+	b := NewBlock(8, dist.Fixed(1), rand.New(rand.NewSource(1)))
+	ones := bitvec.New(8)
+	ones.Fill(true)
+
+	b.BeginRequest()
+	b.WriteRaw(ones)
+	if b.FaultCount() != 0 {
+		t.Fatal("faults appeared mid-request under request wear")
+	}
+	b.EndRequest()
+	if got := b.FaultCount(); got != 8 {
+		t.Fatalf("faults after EndRequest = %d, want 8", got)
+	}
+	// Stuck at the final value 1.
+	if !b.StuckValue(0) {
+		t.Fatal("stuck value should be the final written value")
+	}
+}
+
+func TestRequestBracketingPanics(t *testing.T) {
+	b := NewImmortalBlock(8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("EndRequest without BeginRequest did not panic")
+			}
+		}()
+		b.EndRequest()
+	}()
+	b.BeginRequest()
+	if !b.InRequest() {
+		t.Fatal("InRequest false after BeginRequest")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nested BeginRequest did not panic")
+			}
+		}()
+		b.BeginRequest()
+	}()
+	b.EndRequest()
+	if b.InRequest() {
+		t.Fatal("InRequest true after EndRequest")
+	}
+}
+
+func TestRequestWearStuckCellsExcluded(t *testing.T) {
+	b := NewImmortalBlock(8)
+	b.InjectFault(2, true)
+	zeros := bitvec.New(8)
+	b.BeginRequest()
+	b.WriteRaw(zeros)
+	if pulses := b.EndRequest(); pulses != 0 {
+		t.Fatalf("stuck cell charged %d pulses", pulses)
+	}
+}
+
+func TestRequestModeReadsSeeIntermediateState(t *testing.T) {
+	// Schemes rely on verification reads mid-request.
+	b := NewBlock(8, dist.Fixed(100), rand.New(rand.NewSource(1)))
+	data := bitvec.New(8)
+	data.Set(3, true)
+	b.BeginRequest()
+	b.WriteRaw(data)
+	if !b.Read(nil).Get(3) {
+		t.Fatal("mid-request read does not see the write")
+	}
+	if b.Verify(data, nil).Any() {
+		t.Fatal("mid-request verify reports phantom errors")
+	}
+	b.EndRequest()
+}
+
+func TestRequestVsPulseWearDiverge(t *testing.T) {
+	// Writing A then B then A within a request: pulse wear charges 3
+	// programmings for cells that flip thrice; request wear charges at
+	// most 1.
+	mk := func() *Block {
+		return NewBlock(64, dist.Fixed(1000), rand.New(rand.NewSource(7)))
+	}
+	ones := bitvec.New(64)
+	ones.Fill(true)
+	zeros := bitvec.New(64)
+
+	pulse := mk()
+	pulse.WriteRaw(ones)
+	pulse.WriteRaw(zeros)
+	pulse.WriteRaw(ones)
+	if got := pulse.RemainingLife(0); got != 997 {
+		t.Fatalf("pulse wear RemainingLife = %d, want 997", got)
+	}
+
+	req := mk()
+	req.BeginRequest()
+	req.WriteRaw(ones)
+	req.WriteRaw(zeros)
+	req.WriteRaw(ones)
+	req.EndRequest()
+	if got := req.RemainingLife(0); got != 999 {
+		t.Fatalf("request wear RemainingLife = %d, want 999", got)
+	}
+}

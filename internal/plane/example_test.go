@@ -1,0 +1,48 @@
+package plane_test
+
+import (
+	"fmt"
+
+	"aegis/internal/plane"
+)
+
+// Build the paper's strongest 512-bit configuration and inspect it.
+func ExampleNewLayout() {
+	l, err := plane.NewLayout(512, 61)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(l, "slopes:", l.Slopes(), "hard FTC:", l.HardFTC(), "overhead:", l.OverheadBits())
+	// Output: 9x61 slopes: 61 hard FTC: 11 overhead: 67
+}
+
+// Theorem 2 in action: any two bits in different columns collide under
+// exactly one slope, so a re-partition always separates them.
+func ExampleLayout_CollidingSlope() {
+	l := plane.MustLayout(32, 7)
+	k, ok := l.CollidingSlope(3, 24)
+	fmt.Println("collide:", ok, "at slope", k)
+	fmt.Println("slope 1 separates them:", !l.SameGroup(3, 24, 1))
+	// Output:
+	// collide: true at slope 0
+	// slope 1 separates them: true
+}
+
+// Group 0 under slope 0 is a rectangle row; under slope 1 the same
+// anchor collects a diagonal — no bit beyond the anchor repeats
+// (Theorem 2).
+func ExampleLayout_GroupMembers() {
+	l := plane.MustLayout(32, 7)
+	fmt.Println(l.GroupMembers(0, 0)) // slope 0
+	fmt.Println(l.GroupMembers(0, 1)) // slope 1
+	// Output:
+	// [0 7 14 21 28]
+	// [0 8 16 24]
+}
+
+// ChooseB picks the smallest usable prime for a required slope count.
+func ExampleChooseB() {
+	// Hard FTC 10 needs C(10,2)+1 = 46 slopes.
+	fmt.Println(plane.ChooseB(512, 46))
+	// Output: 47
+}

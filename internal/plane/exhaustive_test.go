@@ -1,0 +1,103 @@
+package plane
+
+import (
+	"testing"
+
+	"aegis/internal/prime"
+)
+
+// TestTheoremsExhaustiveSmall proves Theorems 1 and 2 by enumeration for
+// every valid layout with B ≤ 31 and n ≤ 200: every slope partitions the
+// block exactly once, and every bit pair shares a group under at most
+// one slope.  Combined with the property tests on the paper's 512-bit
+// layouts, this grounds the scheme's two guarantees in checked fact.
+func TestTheoremsExhaustiveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration in -short mode")
+	}
+	layouts := 0
+	for _, b := range prime.PrimesUpTo(31) {
+		for n := 2; n <= 200; n++ {
+			l, err := NewLayout(n, b)
+			if err != nil {
+				continue // A > B: invalid, rejected
+			}
+			layouts++
+			// Theorem 1.
+			for k := 0; k < l.Slopes(); k++ {
+				seen := make([]bool, n)
+				for y := 0; y < l.Groups(); y++ {
+					for _, x := range l.GroupMembers(y, k) {
+						if seen[x] {
+							t.Fatalf("%s slope %d: bit %d in two groups", l, k, x)
+						}
+						seen[x] = true
+					}
+				}
+				for x := 0; x < n; x++ {
+					if !seen[x] {
+						t.Fatalf("%s slope %d: bit %d unassigned", l, k, x)
+					}
+				}
+			}
+			// Theorem 2.
+			for x1 := 0; x1 < n; x1++ {
+				for x2 := x1 + 1; x2 < n; x2++ {
+					collisions := 0
+					for k := 0; k < l.Slopes(); k++ {
+						if l.Group(x1, k) == l.Group(x2, k) {
+							collisions++
+						}
+					}
+					if collisions > 1 {
+						t.Fatalf("%s: bits %d,%d collide under %d slopes", l, x1, x2, collisions)
+					}
+					wantK, wantOK := l.CollidingSlope(x1, x2)
+					if wantOK != (collisions == 1) {
+						t.Fatalf("%s: CollidingSlope(%d,%d) ok=%v, found %d", l, x1, x2, wantOK, collisions)
+					}
+					if wantOK && l.Group(x1, wantK) != l.Group(x2, wantK) {
+						t.Fatalf("%s: CollidingSlope(%d,%d)=%d is not a collision", l, x1, x2, wantK)
+					}
+				}
+			}
+		}
+	}
+	if layouts < 100 {
+		t.Fatalf("only %d layouts enumerated; enumeration broken", layouts)
+	}
+}
+
+// TestHardFTCGuaranteeExhaustive verifies the hard-FTC guarantee by
+// brute force on a small layout: EVERY fault set of size HardFTC is
+// separable.  (5×7 has C(32,4) = 35960 four-fault sets.)
+func TestHardFTCGuaranteeExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration in -short mode")
+	}
+	l := MustLayout(32, 7)
+	f := l.HardFTC() // 4
+	if f != 4 {
+		t.Fatalf("5x7 hard FTC = %d, want 4", f)
+	}
+	faults := make([]int, f)
+	var rec func(start, depth int)
+	checked := 0
+	rec = func(start, depth int) {
+		if depth == f {
+			checked++
+			if _, ok := l.FindCollisionFree(faults, 0); !ok {
+				t.Fatalf("fault set %v defeats the hard FTC guarantee", faults)
+			}
+			return
+		}
+		for x := start; x < l.N; x++ {
+			faults[depth] = x
+			rec(x+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	if checked != 35960 {
+		t.Fatalf("checked %d sets, want C(32,4) = 35960", checked)
+	}
+}

@@ -1,0 +1,49 @@
+package plane
+
+import (
+	"testing"
+
+	"aegis/internal/prime"
+)
+
+// FuzzLayoutInvariants drives NewLayout and the group math with
+// arbitrary parameters: construction either fails cleanly or yields a
+// layout satisfying Theorems 1 and 2 on fuzz-chosen bit pairs.
+func FuzzLayoutInvariants(f *testing.F) {
+	f.Add(512, 61, 17, 401)
+	f.Add(256, 23, 0, 255)
+	f.Add(32, 7, 3, 24)
+	f.Fuzz(func(t *testing.T, n, b, x1, x2 int) {
+		if n < 1 || n > 4096 || b < 2 || b > 512 {
+			return
+		}
+		l, err := NewLayout(n, b)
+		if err != nil {
+			return // invalid parameters must fail cleanly, not panic
+		}
+		if !prime.IsPrime(l.B) || l.A > l.B {
+			t.Fatalf("accepted invalid layout %s", l)
+		}
+		x1 = ((x1 % n) + n) % n
+		x2 = ((x2 % n) + n) % n
+		if x1 == x2 {
+			return
+		}
+		k, ok := l.CollidingSlope(x1, x2)
+		collisions := 0
+		for s := 0; s < l.Slopes(); s++ {
+			if l.SameGroup(x1, x2, s) {
+				collisions++
+				if !ok || s != k {
+					t.Fatalf("%s: collision at slope %d but CollidingSlope=(%d,%v)", l, s, k, ok)
+				}
+			}
+		}
+		if ok && collisions != 1 {
+			t.Fatalf("%s: CollidingSlope ok but %d collisions", l, collisions)
+		}
+		if !ok && collisions != 0 {
+			t.Fatalf("%s: CollidingSlope not-ok but %d collisions", l, collisions)
+		}
+	})
+}

@@ -1,0 +1,401 @@
+package plane
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperLayouts are the A×B configurations the paper evaluates.
+var paperLayouts = []struct {
+	n, b, wantA int
+}{
+	{32, 7, 5},    // Figure 2 illustration
+	{512, 23, 23}, // Aegis 23×23
+	{512, 31, 17}, // Aegis 17×31
+	{512, 61, 9},  // Aegis 9×61
+	{512, 71, 8},  // Aegis 8×71
+	{256, 23, 12}, // Aegis 12×23
+	{256, 31, 9},  // Aegis 9×31
+}
+
+func TestNewLayoutPaperConfigs(t *testing.T) {
+	for _, c := range paperLayouts {
+		l, err := NewLayout(c.n, c.b)
+		if err != nil {
+			t.Fatalf("NewLayout(%d, %d): %v", c.n, c.b, err)
+		}
+		if l.A != c.wantA {
+			t.Errorf("NewLayout(%d, %d).A = %d, want %d", c.n, c.b, l.A, c.wantA)
+		}
+		if (l.A-1)*l.B >= c.n || l.A*l.B < c.n {
+			t.Errorf("%s does not satisfy (A-1)B < n <= AB for n=%d", l, c.n)
+		}
+	}
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(512, 24); err == nil {
+		t.Error("non-prime B accepted")
+	}
+	if _, err := NewLayout(512, 19); err == nil {
+		t.Error("A > B accepted (512 needs A=27 for B=19)")
+	}
+	if _, err := NewLayout(0, 7); err == nil {
+		t.Error("zero-size block accepted")
+	}
+	if _, err := NewLayout(-8, 7); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+func TestMustLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLayout with invalid B did not panic")
+		}
+	}()
+	MustLayout(512, 24)
+}
+
+func TestChooseB(t *testing.T) {
+	// For 512-bit blocks, the minimum usable prime is 23 (B=19 gives A=27>19).
+	if got := ChooseB(512, 2); got != 23 {
+		t.Errorf("ChooseB(512, 2) = %d, want 23", got)
+	}
+	// Hard FTC 8 needs C(8,2)+1 = 29 slopes -> B = 29.
+	if got := ChooseB(512, 29); got != 29 {
+		t.Errorf("ChooseB(512, 29) = %d, want 29", got)
+	}
+	// Hard FTC 10 needs 46 slopes -> B = 47.
+	if got := ChooseB(512, 46); got != 47 {
+		t.Errorf("ChooseB(512, 46) = %d, want 47", got)
+	}
+	if got := ChooseB(256, 2); got != 17 {
+		// 256: B=17 -> A=16 <= 17 OK; B=13 -> A=20 > 13.
+		t.Errorf("ChooseB(256, 2) = %d, want 17", got)
+	}
+}
+
+func TestPointOffsetRoundTrip(t *testing.T) {
+	l := MustLayout(512, 61)
+	for x := 0; x < l.N; x++ {
+		a, b := l.Point(x)
+		if a < 0 || a >= l.A || b < 0 || b >= l.B {
+			t.Fatalf("Point(%d) = (%d,%d) outside rectangle", x, a, b)
+		}
+		back, ok := l.Offset(a, b)
+		if !ok || back != x {
+			t.Fatalf("Offset(Point(%d)) = %d, ok=%v", x, back, ok)
+		}
+	}
+}
+
+func TestOffsetUnmapped(t *testing.T) {
+	l := MustLayout(32, 7) // 5×7 rectangle, 3 unmapped points
+	unmapped := 0
+	for a := 0; a < l.A; a++ {
+		for b := 0; b < l.B; b++ {
+			if _, ok := l.Offset(a, b); !ok {
+				unmapped++
+			}
+		}
+	}
+	if unmapped != 3 {
+		t.Fatalf("5×7 layout for 32 bits has %d unmapped points, want 3", unmapped)
+	}
+	if _, ok := l.Offset(-1, 0); ok {
+		t.Error("Offset(-1,0) should not be ok")
+	}
+	if _, ok := l.Offset(0, 7); ok {
+		t.Error("Offset(0,B) should not be ok")
+	}
+}
+
+// Theorem 1: under any slope, every bit is in exactly one group, and the
+// union of all groups covers every bit exactly once.
+func TestTheorem1Partition(t *testing.T) {
+	for _, c := range paperLayouts {
+		l := MustLayout(c.n, c.b)
+		for k := 0; k < l.Slopes(); k++ {
+			seen := make([]int, l.N)
+			for y := 0; y < l.Groups(); y++ {
+				for _, x := range l.GroupMembers(y, k) {
+					seen[x]++
+					if got := l.Group(x, k); got != y {
+						t.Fatalf("%s slope %d: bit %d listed in group %d but Group()=%d", l, k, x, y, got)
+					}
+				}
+			}
+			for x, cnt := range seen {
+				if cnt != 1 {
+					t.Fatalf("%s slope %d: bit %d covered %d times", l, k, x, cnt)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 2: two distinct bits share a group under at most one slope.
+func TestTheorem2AtMostOneCollision(t *testing.T) {
+	l := MustLayout(32, 7) // small enough for exhaustive pairs × slopes
+	for x1 := 0; x1 < l.N; x1++ {
+		for x2 := x1 + 1; x2 < l.N; x2++ {
+			collisions := 0
+			var at int
+			for k := 0; k < l.Slopes(); k++ {
+				if l.SameGroup(x1, x2, k) {
+					collisions++
+					at = k
+				}
+			}
+			wantK, wantOK := l.CollidingSlope(x1, x2)
+			if collisions > 1 {
+				t.Fatalf("bits %d,%d collide under %d slopes", x1, x2, collisions)
+			}
+			if wantOK != (collisions == 1) {
+				t.Fatalf("CollidingSlope(%d,%d) ok=%v but found %d collisions", x1, x2, wantOK, collisions)
+			}
+			if wantOK && wantK != at {
+				t.Fatalf("CollidingSlope(%d,%d) = %d, but collision is at slope %d", x1, x2, wantK, at)
+			}
+		}
+	}
+}
+
+// Property form of Theorem 2 on the paper's big layouts: random pairs,
+// CollidingSlope agrees with brute force.
+func TestPropTheorem2(t *testing.T) {
+	layouts := []*Layout{MustLayout(512, 61), MustLayout(512, 23), MustLayout(256, 31)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layouts[rng.Intn(len(layouts))]
+		x1 := rng.Intn(l.N)
+		x2 := rng.Intn(l.N)
+		if x1 == x2 {
+			return true
+		}
+		k, ok := l.CollidingSlope(x1, x2)
+		count := 0
+		for s := 0; s < l.Slopes(); s++ {
+			if l.SameGroup(x1, x2, s) {
+				if !ok || s != k {
+					return false
+				}
+				count++
+			}
+		}
+		if ok {
+			return count == 1
+		}
+		return count == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bits in the same column (same a) never share a group under any slope.
+func TestSameColumnNeverCollides(t *testing.T) {
+	l := MustLayout(512, 61)
+	for a := 0; a < l.A; a++ {
+		x1, ok1 := l.Offset(a, 0)
+		x2, ok2 := l.Offset(a, 1)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if _, ok := l.CollidingSlope(x1, x2); ok {
+			t.Fatalf("same-column bits %d,%d report a colliding slope", x1, x2)
+		}
+		for k := 0; k < l.Slopes(); k++ {
+			if l.SameGroup(x1, x2, k) {
+				t.Fatalf("same-column bits %d,%d share group under slope %d", x1, x2, k)
+			}
+		}
+	}
+}
+
+func TestGroupMaskMatchesMembers(t *testing.T) {
+	l := MustLayout(256, 23)
+	for k := 0; k < l.Slopes(); k++ {
+		for y := 0; y < l.Groups(); y++ {
+			mask := l.GroupMask(y, k)
+			members := l.GroupMembers(y, k)
+			if mask.PopCount() != len(members) {
+				t.Fatalf("slope %d group %d: mask has %d bits, members %d", k, y, mask.PopCount(), len(members))
+			}
+			for _, x := range members {
+				if !mask.Get(x) {
+					t.Fatalf("slope %d group %d: member %d missing from mask", k, y, x)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupSizeBounds(t *testing.T) {
+	for _, c := range paperLayouts {
+		l := MustLayout(c.n, c.b)
+		for k := 0; k < l.Slopes(); k++ {
+			for y := 0; y < l.Groups(); y++ {
+				if n := len(l.GroupMembers(y, k)); n > l.A {
+					t.Fatalf("%s: group size %d exceeds A=%d", l, n, l.A)
+				}
+			}
+		}
+	}
+}
+
+func TestCollisionFree(t *testing.T) {
+	l := MustLayout(512, 23)
+	// Construct two bits guaranteed to collide under slope 0: same b, different a.
+	x1, _ := l.Offset(0, 5)
+	x2, _ := l.Offset(1, 5)
+	if l.CollisionFree([]int{x1, x2}, 0) {
+		t.Fatal("same-row bits should collide under slope 0")
+	}
+	k, ok := l.FindCollisionFree([]int{x1, x2}, 0)
+	if !ok || k == 0 {
+		t.Fatalf("FindCollisionFree = (%d,%v), want nonzero slope", k, ok)
+	}
+	if !l.CollisionFree([]int{x1, x2}, k) {
+		t.Fatal("returned slope still collides")
+	}
+	// Empty and singleton sets are always collision free.
+	if !l.CollisionFree(nil, 0) || !l.CollisionFree([]int{7}, 0) {
+		t.Fatal("trivial sets should be collision free")
+	}
+}
+
+func TestCollisionFreePigeonhole(t *testing.T) {
+	l := MustLayout(512, 23)
+	offsets := make([]int, l.B+1)
+	for i := range offsets {
+		offsets[i] = i
+	}
+	if l.CollisionFree(offsets, 0) {
+		t.Fatal("more offsets than groups cannot be collision free")
+	}
+}
+
+// Hard FTC guarantee: for ANY fault set of size ≤ HardFTC, a collision-free
+// slope exists.  Tested probabilistically with random fault sets.
+func TestPropHardFTCGuarantee(t *testing.T) {
+	layouts := []*Layout{MustLayout(512, 23), MustLayout(512, 61), MustLayout(256, 31)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layouts[rng.Intn(len(layouts))]
+		fmax := l.HardFTC()
+		// Random distinct fault positions.
+		perm := rng.Perm(l.N)[:fmax]
+		_, ok := l.FindCollisionFree(perm, rng.Intn(l.Slopes()))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardFTCValues(t *testing.T) {
+	cases := []struct {
+		n, b, want, wantRW int
+	}{
+		{512, 23, 7, 9},  // C(7,2)+1=22 ≤ 23; rw: ⌊9/2⌋·⌈9/2⌉+1=21 ≤ 23
+		{512, 29, 8, 10}, // C(8,2)+1=29 ≤ 29; rw: 5·5+1=26 ≤ 29
+		{512, 31, 8, 11}, // rw: ⌊11/2⌋·⌈11/2⌉+1 = 31 ≤ 31
+		{512, 37, 9, 12}, // C(9,2)+1=37; rw: 6·6+1=37 ≤ 37
+		{512, 47, 10, 13},
+		{512, 61, 11, 15}, // C(11,2)+1=56 ≤ 61; rw: 7·8+1=57 ≤ 61
+		{512, 71, 12, 16},
+	}
+	for _, c := range cases {
+		l := MustLayout(c.n, c.b)
+		if got := l.HardFTC(); got != c.want {
+			t.Errorf("%s HardFTC = %d, want %d", l, got, c.want)
+		}
+		if got := l.HardFTCRW(); got != c.wantRW {
+			t.Errorf("%s HardFTCRW = %d, want %d", l, got, c.wantRW)
+		}
+	}
+}
+
+func TestOverheadBits(t *testing.T) {
+	// §2.3 / Figure 5 captions: 9×61 -> 67 bits, 17×31 -> 36, 23×23 -> 28,
+	// 12×23 -> 28, 8×71 -> 78.
+	cases := []struct{ n, b, want int }{
+		{512, 61, 67},
+		{512, 31, 36},
+		{512, 23, 28},
+		{256, 23, 28},
+		{512, 71, 78},
+	}
+	for _, c := range cases {
+		l := MustLayout(c.n, c.b)
+		if got := l.OverheadBits(); got != c.want {
+			t.Errorf("%s OverheadBits = %d, want %d", l, got, c.want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 23: 5, 61: 6, 64: 6, 65: 7}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFigure2Illustration(t *testing.T) {
+	// The paper's Figure 2: 32 bits on 5×7, 7 groups of 5 bits (some of 4,
+	// because of the 3 unmapped points).
+	l := MustLayout(32, 7)
+	if l.Slopes() != 7 || l.Groups() != 7 {
+		t.Fatalf("5×7 layout: slopes=%d groups=%d, want 7,7", l.Slopes(), l.Groups())
+	}
+	total := 0
+	for y := 0; y < 7; y++ {
+		total += len(l.GroupMembers(y, 0))
+	}
+	if total != 32 {
+		t.Fatalf("slope-0 groups cover %d bits, want 32", total)
+	}
+}
+
+func TestSlopeRangePanics(t *testing.T) {
+	l := MustLayout(32, 7)
+	for _, f := range []func(){
+		func() { l.Group(0, 7) },
+		func() { l.Group(0, -1) },
+		func() { l.Group(32, 0) },
+		func() { l.GroupMembers(7, 0) },
+		func() { l.GroupMask(0, 7) },
+		func() { l.CollidingSlope(3, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkGroup(b *testing.B) {
+	l := MustLayout(512, 61)
+	for i := 0; i < b.N; i++ {
+		_ = l.Group(i%512, i%61)
+	}
+}
+
+func BenchmarkFindCollisionFree(b *testing.B) {
+	l := MustLayout(512, 61)
+	rng := rand.New(rand.NewSource(1))
+	faults := rng.Perm(512)[:10]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.FindCollisionFree(faults, i%61)
+	}
+}

@@ -1,0 +1,91 @@
+package plane
+
+import "fmt"
+
+// CollisionROM is the hardware lookup table §2.4 describes for Aegis-rw:
+// an n×n×⌈log₂B⌉ ROM giving, for any pair of bit offsets, the unique
+// slope on which they share a group (Theorem 2), or a no-collision
+// sentinel for same-column pairs.  Package plane computes the same
+// answer algebraically (CollidingSlope); this type materializes the ROM
+// so its contents and silicon cost can be inspected and tested —
+// "use one bit's address as the column address and the other bit's
+// address as row address to read the slope from the ROM".
+type CollisionROM struct {
+	layout *Layout
+	// entries is row-major n×n; NoCollision marks same-column pairs
+	// and the diagonal.
+	entries []uint16
+}
+
+// NoCollision is the sentinel stored for pairs that never share a group.
+const NoCollision = ^uint16(0)
+
+// BuildCollisionROM materializes the ROM for a layout.
+func BuildCollisionROM(l *Layout) *CollisionROM {
+	rom := &CollisionROM{
+		layout:  l,
+		entries: make([]uint16, l.N*l.N),
+	}
+	for x1 := 0; x1 < l.N; x1++ {
+		for x2 := 0; x2 < l.N; x2++ {
+			idx := x1*l.N + x2
+			if x1 == x2 {
+				rom.entries[idx] = NoCollision
+				continue
+			}
+			if k, ok := l.CollidingSlope(x1, x2); ok {
+				rom.entries[idx] = uint16(k)
+			} else {
+				rom.entries[idx] = NoCollision
+			}
+		}
+	}
+	return rom
+}
+
+// Lookup reads the ROM: the slope on which x1 and x2 collide, with
+// ok=false for pairs that never do.
+func (r *CollisionROM) Lookup(x1, x2 int) (slope int, ok bool) {
+	if x1 < 0 || x1 >= r.layout.N || x2 < 0 || x2 >= r.layout.N {
+		panic(fmt.Sprintf("plane: ROM lookup (%d,%d) out of range", x1, x2))
+	}
+	e := r.entries[x1*r.layout.N+x2]
+	if e == NoCollision {
+		return 0, false
+	}
+	return int(e), true
+}
+
+// SizeBits returns the ROM's storage cost as the paper counts it:
+// n·n·⌈log₂B⌉ bits (the sentinel rides in an unused slope encoding).
+// For Aegis 9×61 over 512-bit blocks this is 512·512·6 = 1.5 Mbit of
+// chip-level (not per-block) ROM — the §2.4 cost of slope selection
+// without trials.
+func (r *CollisionROM) SizeBits() int {
+	return r.layout.N * r.layout.N * CeilLog2(r.layout.B)
+}
+
+// GroupROM materializes the two ROMs of Figure 3: for every
+// (slope, group) pair, the member-bit mask of the group (the paper's
+// "49×32-bit ROM" for the 5×7 example) and the group's ID column.
+// GroupMask already serves reads; GroupROM exposes the aggregate
+// geometry and cost.
+type GroupROM struct {
+	layout *Layout
+}
+
+// BuildGroupROM wraps a layout's precomputed masks as the Figure 3/4
+// ROM view.
+func BuildGroupROM(l *Layout) *GroupROM { return &GroupROM{layout: l} }
+
+// Rows returns the ROM's row count: one per (slope, group) combination,
+// B² rows (49 in the paper's 5×7 illustration).
+func (g *GroupROM) Rows() int { return g.layout.B * g.layout.B }
+
+// MemberMaskBits returns the size of the member-mask ROM: B²·n bits.
+func (g *GroupROM) MemberMaskBits() int { return g.Rows() * g.layout.N }
+
+// Row returns row (slope, group) of the member-mask ROM as bit offsets.
+func (g *GroupROM) Row(slope, group int) []int {
+	return g.layout.GroupMembers(group, slope)
+}

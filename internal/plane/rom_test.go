@@ -1,0 +1,106 @@
+package plane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCollisionROMMatchesAlgebraExhaustive(t *testing.T) {
+	l := MustLayout(32, 7)
+	rom := BuildCollisionROM(l)
+	for x1 := 0; x1 < l.N; x1++ {
+		for x2 := 0; x2 < l.N; x2++ {
+			if x1 == x2 {
+				if _, ok := rom.Lookup(x1, x2); ok {
+					t.Fatalf("diagonal (%d,%d) reports a collision", x1, x2)
+				}
+				continue
+			}
+			wantK, wantOK := l.CollidingSlope(x1, x2)
+			gotK, gotOK := rom.Lookup(x1, x2)
+			if wantOK != gotOK || (wantOK && wantK != gotK) {
+				t.Fatalf("ROM(%d,%d) = (%d,%v), algebra = (%d,%v)", x1, x2, gotK, gotOK, wantK, wantOK)
+			}
+		}
+	}
+}
+
+func TestCollisionROMSampled512(t *testing.T) {
+	l := MustLayout(512, 61)
+	rom := BuildCollisionROM(l)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		x1, x2 := rng.Intn(512), rng.Intn(512)
+		if x1 == x2 {
+			continue
+		}
+		wantK, wantOK := l.CollidingSlope(x1, x2)
+		gotK, gotOK := rom.Lookup(x1, x2)
+		if wantOK != gotOK || (wantOK && wantK != gotK) {
+			t.Fatalf("ROM(%d,%d) = (%d,%v), algebra = (%d,%v)", x1, x2, gotK, gotOK, wantK, wantOK)
+		}
+	}
+}
+
+func TestCollisionROMSymmetric(t *testing.T) {
+	l := MustLayout(256, 23)
+	rom := BuildCollisionROM(l)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		x1, x2 := rng.Intn(256), rng.Intn(256)
+		k1, ok1 := rom.Lookup(x1, x2)
+		k2, ok2 := rom.Lookup(x2, x1)
+		if x1 == x2 {
+			continue
+		}
+		if ok1 != ok2 || (ok1 && k1 != k2) {
+			t.Fatalf("ROM not symmetric at (%d,%d)", x1, x2)
+		}
+	}
+}
+
+func TestCollisionROMSizeBits(t *testing.T) {
+	// §2.4's n×n×⌈log₂B⌉: 512·512·6 for Aegis 9×61.
+	rom := BuildCollisionROM(MustLayout(512, 61))
+	if got := rom.SizeBits(); got != 512*512*6 {
+		t.Fatalf("SizeBits = %d, want %d", got, 512*512*6)
+	}
+}
+
+func TestCollisionROMLookupPanics(t *testing.T) {
+	rom := BuildCollisionROM(MustLayout(32, 7))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rom.Lookup(32, 0)
+}
+
+func TestGroupROMGeometry(t *testing.T) {
+	// Figure 3's illustration: the 5×7 scheme uses a 49-row ROM of
+	// 32-bit member masks.
+	l := MustLayout(32, 7)
+	g := BuildGroupROM(l)
+	if g.Rows() != 49 {
+		t.Fatalf("Rows = %d, want 49", g.Rows())
+	}
+	if g.MemberMaskBits() != 49*32 {
+		t.Fatalf("MemberMaskBits = %d, want %d", g.MemberMaskBits(), 49*32)
+	}
+	// Every ROM row matches the algebraic group membership.
+	for k := 0; k < l.Slopes(); k++ {
+		for y := 0; y < l.Groups(); y++ {
+			row := g.Row(k, y)
+			want := l.GroupMembers(y, k)
+			if len(row) != len(want) {
+				t.Fatalf("row (%d,%d) = %v, want %v", k, y, row, want)
+			}
+			for i := range row {
+				if row[i] != want[i] {
+					t.Fatalf("row (%d,%d) = %v, want %v", k, y, row, want)
+				}
+			}
+		}
+	}
+}

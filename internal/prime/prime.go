@@ -1,0 +1,99 @@
+// Package prime provides the small-number primality and modular arithmetic
+// helpers that underpin the Aegis partition scheme.
+//
+// The A×B partition plane requires B to be prime (Theorem 2 of the paper
+// relies on Z/BZ being a field), so scheme construction needs fast
+// primality tests and "next prime ≥ x" searches over small integers.
+package prime
+
+import "fmt"
+
+// IsPrime reports whether n is prime.  It uses trial division, which is
+// ample for the block-size-bounded integers this repository works with
+// (B ≤ a few thousand).
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	if n%3 == 0 {
+		return n == 3
+	}
+	for d := 5; d*d <= n; d += 6 {
+		if n%d == 0 || n%(d+2) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the smallest prime ≥ n.  It panics for n exceeding 1<<30 to
+// guard against runaway searches; callers in this repository only ever ask
+// for primes near block sizes.
+func Next(n int) int {
+	if n > 1<<30 {
+		panic(fmt.Sprintf("prime: Next(%d) out of supported range", n))
+	}
+	if n < 2 {
+		return 2
+	}
+	for p := n; ; p++ {
+		if IsPrime(p) {
+			return p
+		}
+	}
+}
+
+// PrimesUpTo returns all primes ≤ n in ascending order using a sieve of
+// Eratosthenes.
+func PrimesUpTo(n int) []int {
+	if n < 2 {
+		return nil
+	}
+	composite := make([]bool, n+1)
+	var out []int
+	for p := 2; p <= n; p++ {
+		if composite[p] {
+			continue
+		}
+		out = append(out, p)
+		for m := p * p; m <= n; m += p {
+			composite[m] = true
+		}
+	}
+	return out
+}
+
+// Mod returns a mod m with a non-negative result, for m > 0.
+func Mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// ModInverse returns the multiplicative inverse of a modulo the prime p,
+// i.e. the x in [1, p) with a·x ≡ 1 (mod p).  It panics if a ≡ 0 (mod p)
+// or if p is not prime.
+func ModInverse(a, p int) int {
+	if !IsPrime(p) {
+		panic(fmt.Sprintf("prime: ModInverse modulus %d is not prime", p))
+	}
+	a = Mod(a, p)
+	if a == 0 {
+		panic("prime: ModInverse of 0")
+	}
+	// Extended Euclid on (a, p).
+	t, newT := 0, 1
+	r, newR := p, a
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	// r == gcd(a, p) == 1 because p is prime and a != 0 mod p.
+	return Mod(t, p)
+}

@@ -1,0 +1,141 @@
+package prime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[int]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		17: true, 19: true, 23: true, 29: true, 31: true, 37: true,
+		41: true, 43: true, 47: true, 53: true, 59: true, 61: true,
+		67: true, 71: true, 73: true, 79: true, 83: true, 89: true, 97: true,
+	}
+	for n := -5; n <= 100; n++ {
+		want := primes[n]
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeLarger(t *testing.T) {
+	cases := map[int]bool{
+		121:   false, // 11²
+		169:   false, // 13²
+		9973:  true,
+		10007: true,
+		10001: false, // 73 × 137
+		7919:  true,  // 1000th prime
+	}
+	for n, want := range cases {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNext(t *testing.T) {
+	cases := map[int]int{
+		-3: 2, 0: 2, 1: 2, 2: 2, 3: 3, 4: 5, 8: 11, 22: 23,
+		24: 29, 26: 29, 32: 37, 46: 47, 62: 67, 90: 97, 23: 23,
+	}
+	for n, want := range cases {
+		if got := Next(n); got != want {
+			t.Errorf("Next(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPrimesUpTo(t *testing.T) {
+	got := PrimesUpTo(30)
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("PrimesUpTo(30) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrimesUpTo(30)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if PrimesUpTo(1) != nil {
+		t.Fatal("PrimesUpTo(1) should be nil")
+	}
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct{ a, m, want int }{
+		{5, 3, 2}, {-1, 7, 6}, {-7, 7, 0}, {-8, 7, 6}, {0, 5, 0}, {14, 7, 0},
+	}
+	for _, c := range cases {
+		if got := Mod(c.a, c.m); got != c.want {
+			t.Errorf("Mod(%d,%d) = %d, want %d", c.a, c.m, got, c.want)
+		}
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 23, 31, 61, 71} {
+		for a := 1; a < p; a++ {
+			inv := ModInverse(a, p)
+			if Mod(a*inv, p) != 1 {
+				t.Fatalf("ModInverse(%d,%d) = %d: a·inv mod p = %d", a, p, inv, Mod(a*inv, p))
+			}
+			if inv < 1 || inv >= p {
+				t.Fatalf("ModInverse(%d,%d) = %d out of range", a, p, inv)
+			}
+		}
+	}
+}
+
+func TestModInversePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ModInverse(0, 7) },
+		func() { ModInverse(7, 7) }, // ≡ 0 mod 7
+		func() { ModInverse(3, 8) }, // non-prime modulus
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Next(n) is prime and no integer in [n, Next(n)) is prime.
+func TestPropNextIsMinimal(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw % 5000)
+		p := Next(n)
+		if !IsPrime(p) {
+			return false
+		}
+		for q := n; q < p; q++ {
+			if IsPrime(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IsPrime agrees with membership in PrimesUpTo.
+func TestPropSieveAgrees(t *testing.T) {
+	const limit = 2000
+	inSieve := make(map[int]bool)
+	for _, p := range PrimesUpTo(limit) {
+		inSieve[p] = true
+	}
+	for n := 0; n <= limit; n++ {
+		if IsPrime(n) != inSieve[n] {
+			t.Fatalf("IsPrime(%d) = %v disagrees with sieve", n, IsPrime(n))
+		}
+	}
+}

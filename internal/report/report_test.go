@@ -1,0 +1,143 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRowf("beta", 2.5)
+	t.AddRowf("gamma", 10)
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header and separator aligned to the same width.
+	var header, sep string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header, sep = l, lines[i+1]
+			break
+		}
+	}
+	if header == "" || !strings.HasPrefix(sep, "-") {
+		t.Fatalf("header/separator not found:\n%s", out)
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Fatalf("AddRowf float formatting missing:\n%s", out)
+	}
+	if !strings.Contains(out, "gamma  10") {
+		t.Fatalf("int row wrong:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "name,value\nalpha,1\nbeta,2.50\ngamma,10\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Itoa(42) != "42" {
+		t.Fatal("Itoa")
+	}
+	if Ftoa(1.234) != "1.23" {
+		t.Fatal("Ftoa")
+	}
+}
+
+func TestRenderWideCells(t *testing.T) {
+	tbl := &Table{Header: []string{"x"}}
+	tbl.AddRow("a-very-wide-cell")
+	out := tbl.String()
+	if !strings.Contains(out, "a-very-wide-cell") {
+		t.Fatal("wide cell lost")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### demo", "| name | value |", "| --- | --- |", "| beta | 2.50 |", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMarkdownEscapesPipes(t *testing.T) {
+	tbl := &Table{Header: []string{"x"}}
+	tbl.AddRow("a|b")
+	var sb strings.Builder
+	if err := tbl.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `a\|b`) {
+		t.Fatalf("pipe not escaped:\n%s", sb.String())
+	}
+}
+
+func TestRenderToFailingWriter(t *testing.T) {
+	tbl := sample()
+	// Count the write calls each renderer makes, then fail at every
+	// earlier point.
+	count := func(render func(w interface{ Write([]byte) (int, error) }) error) int {
+		c := &failAfter{n: 1 << 30}
+		if err := render(c); err != nil {
+			t.Fatal(err)
+		}
+		return (1 << 30) - c.n
+	}
+	plain := count(func(w interface{ Write([]byte) (int, error) }) error { return tbl.Render(w) })
+	md := count(func(w interface{ Write([]byte) (int, error) }) error { return tbl.RenderMarkdown(w) })
+	for limit := 0; limit < plain; limit++ {
+		if err := tbl.Render(&failAfter{n: limit}); err == nil {
+			t.Fatalf("Render with writer failing at %d returned nil error", limit)
+		}
+	}
+	for limit := 0; limit < md; limit++ {
+		if err := tbl.RenderMarkdown(&failAfter{n: limit}); err == nil {
+			t.Fatalf("RenderMarkdown with writer failing at %d returned nil error", limit)
+		}
+	}
+	if err := tbl.WriteCSV(&failAfter{n: 0}); err == nil {
+		t.Fatal("WriteCSV with failing writer returned nil error")
+	}
+}
+
+// failAfter errors on the n-th write call.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWriter
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errWriter = fmt.Errorf("writer failed")

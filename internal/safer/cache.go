@@ -1,0 +1,297 @@
+package safer
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/failcache"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+// Cached is the per-block state of SAFERN-cache: SAFER with a fail cache
+// that reveals every fault (position and stuck value) before the write.
+//
+// Two things change relative to the cache-less scheme.  First, because
+// the partition fields are part of the per-block bookkeeping that is
+// rewritten on every write anyway, the controller is free to re-select
+// the best m positions from scratch for each write rather than only ever
+// growing the vector.  Second, with stuck values known, a group may hold
+// any number of same-type faults; only stuck-at-Wrong and stuck-at-Right
+// cells must not share a group.  Both relaxations are what let
+// "SAFERN-cache" tolerate far more faults in the paper's Figure 8.
+type Cached struct {
+	n        int
+	addrBits int
+	m        int
+	view     failcache.View
+
+	fields []int
+	inv    *bitvec.Vector
+	masks  []*bitvec.Vector
+
+	phys, errs *bitvec.Vector
+	subset     []int
+
+	ops scheme.OpStats
+}
+
+var _ scheme.Scheme = (*Cached)(nil)
+
+// NewCached returns a fresh SAFERN-cache instance.
+func NewCached(n, nGroups int, view failcache.View) (*Cached, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("safer: block size %d is not a power of two", n)
+	}
+	if nGroups <= 0 || nGroups&(nGroups-1) != 0 || nGroups > n {
+		return nil, fmt.Errorf("safer: group count %d invalid for %d-bit block", nGroups, n)
+	}
+	c := &Cached{
+		n:        n,
+		addrBits: log2(n),
+		m:        log2(nGroups),
+		view:     view,
+		inv:      bitvec.New(nGroups),
+		phys:     bitvec.New(n),
+		errs:     bitvec.New(n),
+	}
+	if c.m > c.addrBits {
+		c.m = c.addrBits
+	}
+	return c, nil
+}
+
+// Name implements scheme.Scheme.
+func (c *Cached) Name() string { return fmt.Sprintf("SAFER%d-cache", 1<<c.m) }
+
+// OverheadBits implements scheme.Scheme; per-block cost is identical to
+// the cache-less SAFER-N — the fail cache is shared chip-level SRAM, as
+// the paper accounts it.
+func (c *Cached) OverheadBits() int { return OverheadBits(c.n, 1<<c.m) }
+
+// OpStats implements scheme.OpReporter.
+func (c *Cached) OpStats() scheme.OpStats { return c.ops }
+
+func (c *Cached) group(x int, fields []int) int {
+	g := 0
+	for i, pos := range fields {
+		g |= ((x >> uint(pos)) & 1) << uint(i)
+	}
+	return g
+}
+
+// selectFields enumerates all m-subsets of the address bits and returns
+// the first one under which no group holds both a stuck-at-Wrong and a
+// stuck-at-Right fault.  ok=false means no position set works and the
+// block is dead.  With 9 address bits the search space is at most
+// C(9,⌊9/2⌋) = 126 subsets, so exhaustive enumeration is what real
+// controller logic could afford too.
+func (c *Cached) selectFields(faults []failcache.Fault, wrong []bool) ([]int, bool) {
+	if len(faults) == 0 {
+		return c.fields, true
+	}
+	if c.subset == nil {
+		c.subset = make([]int, c.m)
+	}
+	subset := c.subset[:c.m]
+	// Initialize to the lexicographically first m-subset {0,1,…,m-1}.
+	for i := range subset {
+		subset[i] = i
+	}
+	for {
+		if c.fieldsValid(subset, faults, wrong) {
+			return subset, true
+		}
+		// Advance to the next m-subset of {0,…,addrBits-1}.
+		i := c.m - 1
+		for i >= 0 && subset[i] == c.addrBits-c.m+i {
+			i--
+		}
+		if i < 0 {
+			return nil, false
+		}
+		subset[i]++
+		for j := i + 1; j < c.m; j++ {
+			subset[j] = subset[j-1] + 1
+		}
+	}
+}
+
+// fieldsValid reports whether the position set separates W from R faults.
+func (c *Cached) fieldsValid(fields []int, faults []failcache.Fault, wrong []bool) bool {
+	for i := range faults {
+		if !wrong[i] {
+			continue
+		}
+		for j := range faults {
+			if wrong[j] {
+				continue
+			}
+			if c.group(faults[i].Pos, fields) == c.group(faults[j].Pos, fields) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c *Cached) rebuildMasks() {
+	if c.masks == nil {
+		c.masks = make([]*bitvec.Vector, 1<<uint(c.m))
+		for g := range c.masks {
+			c.masks[g] = bitvec.New(c.n)
+		}
+	}
+	for _, m := range c.masks {
+		m.Zero()
+	}
+	for x := 0; x < c.n; x++ {
+		c.masks[c.group(x, c.fields)].Set(x, true)
+	}
+}
+
+// Write implements scheme.Scheme.
+func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
+	if data.Len() != c.n {
+		panic(fmt.Sprintf("safer: write of %d bits into %d-bit scheme", data.Len(), c.n))
+	}
+	c.ops.Requests++
+	var local []failcache.Fault
+	wrong := make([]bool, 0, 32)
+	for iter := 0; iter <= c.n; iter++ {
+		faults := mergeFaults(c.view.Known(blk), local)
+		wrong = wrong[:0]
+		for _, f := range faults {
+			wrong = append(wrong, f.Val != data.Get(f.Pos))
+		}
+		fields, ok := c.selectFields(faults, wrong)
+		if !ok {
+			return scheme.ErrUnrecoverable
+		}
+		if !equalInts(fields, c.fields) {
+			c.ops.Repartitions++
+			c.fields = append(c.fields[:0], fields...)
+			c.rebuildMasks()
+		} else if c.masks == nil {
+			c.rebuildMasks()
+		}
+		c.inv.Zero()
+		for i, f := range faults {
+			if wrong[i] {
+				c.inv.Set(c.group(f.Pos, c.fields), true)
+			}
+		}
+		c.phys.CopyFrom(data)
+		for _, g := range c.inv.OnesIndices() {
+			c.phys.Xor(c.phys, c.masks[g])
+		}
+		blk.WriteRaw(c.phys)
+		c.ops.RawWrites++
+		blk.Verify(c.phys, c.errs)
+		c.ops.VerifyReads++
+		if !c.errs.Any() {
+			return nil
+		}
+		for _, p := range c.errs.OnesIndices() {
+			f := failcache.Fault{Pos: p, Val: !c.phys.Get(p)}
+			c.view.Record(f)
+			local = appendFault(local, f)
+		}
+	}
+	return scheme.ErrUnrecoverable
+}
+
+// Read implements scheme.Scheme.
+func (c *Cached) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
+	dst = blk.Read(dst)
+	if !c.inv.Any() {
+		return dst
+	}
+	if c.masks == nil {
+		c.rebuildMasks()
+	}
+	for _, g := range c.inv.OnesIndices() {
+		dst.Xor(dst, c.masks[g])
+	}
+	return dst
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeFaults(cached, local []failcache.Fault) []failcache.Fault {
+	if len(local) == 0 {
+		return cached
+	}
+	out := append([]failcache.Fault(nil), cached...)
+	for _, f := range local {
+		out = appendFault(out, f)
+	}
+	return out
+}
+
+func appendFault(s []failcache.Fault, f failcache.Fault) []failcache.Fault {
+	for _, g := range s {
+		if g.Pos == f.Pos {
+			return s
+		}
+	}
+	return append(s, f)
+}
+
+// CachedFactory builds SAFERN-cache instances.
+type CachedFactory struct {
+	N      int
+	Groups int
+	Cache  failcache.Provider
+
+	nextID atomic.Uint64
+}
+
+// NewCachedFactory returns a SAFERN-cache factory.
+func NewCachedFactory(n, nGroups int, cache failcache.Provider) (*CachedFactory, error) {
+	if _, err := NewCached(n, nGroups, nil); err != nil {
+		return nil, err
+	}
+	return &CachedFactory{N: n, Groups: nGroups, Cache: cache}, nil
+}
+
+// MustCachedFactory is NewCachedFactory that panics on error.
+func MustCachedFactory(n, nGroups int, cache failcache.Provider) *CachedFactory {
+	f, err := NewCachedFactory(n, nGroups, cache)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements scheme.Factory.
+func (f *CachedFactory) Name() string { return fmt.Sprintf("SAFER%d-cache", f.Groups) }
+
+// BlockBits implements scheme.Factory.
+func (f *CachedFactory) BlockBits() int { return f.N }
+
+// OverheadBits implements scheme.Factory.
+func (f *CachedFactory) OverheadBits() int { return OverheadBits(f.N, f.Groups) }
+
+// New implements scheme.Factory.
+func (f *CachedFactory) New() scheme.Scheme {
+	id := f.nextID.Add(1) - 1
+	c, err := NewCached(f.N, f.Groups, f.Cache.View(id))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+var _ scheme.Factory = (*CachedFactory)(nil)

@@ -1,0 +1,138 @@
+package safer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/failcache"
+	"aegis/internal/pcm"
+)
+
+func TestCodecBudgetExact(t *testing.T) {
+	for _, groups := range []int{2, 16, 32, 128} {
+		s, err := New(512, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.MarshalBits().Len(); got != s.OverheadBits() {
+			t.Fatalf("SAFER%d metadata = %d bits, budget %d", groups, got, s.OverheadBits())
+		}
+		c, err := NewCached(512, groups, failcache.Perfect{}.View(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.MarshalBits().Len(); got != c.OverheadBits() {
+			t.Fatalf("SAFER%d-cache metadata = %d bits, budget %d", groups, got, c.OverheadBits())
+		}
+	}
+}
+
+func TestCodecRoundTripAfterFaultyWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, _ := New(512, 64)
+	blk := pcm.NewImmortalBlock(512)
+	for _, p := range rng.Perm(512)[:4] {
+		blk.InjectFault(p, rng.Intn(2) == 0)
+	}
+	var data *bitvec.Vector
+	for w := 0; w < 6; w++ {
+		data = bitvec.Random(512, rng)
+		if err := s.Write(blk, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, _ := New(512, 64)
+	if err := fresh.UnmarshalBits(s.MarshalBits()); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Read(blk, nil).Equal(data) {
+		t.Fatal("restored SAFER decodes wrong data")
+	}
+	if len(fresh.Fields()) != len(s.Fields()) {
+		t.Fatalf("fields not restored: %v vs %v", fresh.Fields(), s.Fields())
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	s, _ := New(512, 32)
+	if err := s.UnmarshalBits(bitvec.New(3)); err == nil {
+		t.Fatal("truncated metadata accepted")
+	}
+	// Field count beyond budget: m=5 for 32 groups; count field is 3
+	// bits wide, so 6 and 7 are representable but invalid.
+	bits := s.MarshalBits()
+	n := bits.Len()
+	// Count lives in the last 3 bits.
+	bits.Set(n-1, true)
+	bits.Set(n-2, true)
+	bits.Set(n-3, true) // count = 7 > m = 5
+	if err := s.UnmarshalBits(bits); err == nil {
+		t.Fatal("excess field count accepted")
+	}
+	// Out-of-range field position (addrBits = 9; positions 9-15 invalid).
+	w := s.MarshalBits()
+	w.Zero()
+	w.Set(0, true)
+	w.Set(1, true)
+	w.Set(3, true) // field0 = 0b1011 = 11 > 8
+	w.Set(w.Len()-3, true)
+	if err := s.UnmarshalBits(w); err == nil {
+		t.Fatal("out-of-range field accepted")
+	}
+}
+
+func TestCachedCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	view := failcache.Perfect{}.View(0)
+	c, _ := NewCached(512, 32, view)
+	blk := pcm.NewImmortalBlock(512)
+	for _, p := range rng.Perm(512)[:6] {
+		blk.InjectFault(p, rng.Intn(2) == 0)
+	}
+	var data *bitvec.Vector
+	for w := 0; w < 6; w++ {
+		data = bitvec.Random(512, rng)
+		if err := c.Write(blk, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, _ := NewCached(512, 32, view)
+	if err := fresh.UnmarshalBits(c.MarshalBits()); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Read(blk, nil).Equal(data) {
+		t.Fatal("restored SAFER-cache decodes wrong data")
+	}
+	if err := fresh.UnmarshalBits(bitvec.New(1)); err == nil {
+		t.Fatal("truncated metadata accepted")
+	}
+}
+
+// Property: SAFER codec round-trips across random fault histories.
+func TestPropCodecPreservesReads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := New(256, 16)
+		blk := pcm.NewImmortalBlock(256)
+		for _, p := range rng.Perm(256)[:rng.Intn(5)] {
+			blk.InjectFault(p, rng.Intn(2) == 0)
+		}
+		var data *bitvec.Vector
+		for w := 0; w < 4; w++ {
+			data = bitvec.Random(256, rng)
+			if err := s.Write(blk, data); err != nil {
+				return true
+			}
+		}
+		fresh, _ := New(256, 16)
+		if err := fresh.UnmarshalBits(s.MarshalBits()); err != nil {
+			return false
+		}
+		return fresh.Read(blk, nil).Equal(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

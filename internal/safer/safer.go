@@ -1,0 +1,332 @@
+// Package safer implements the SAFER stuck-at-fault recovery scheme
+// (Seong et al., MICRO 2010), the primary partition-and-inversion
+// baseline the Aegis paper compares against.
+//
+// SAFER partitions a 2^n-bit data block by selecting up to m bit
+// positions of the in-block cell address to form a "partition vector"
+// (the Aegis paper's term): the group of a cell is the projection of its
+// address onto the selected positions, so m selected positions induce at
+// most 2^m = N groups.  When a newly detected fault collides with an
+// existing one (equal projections), SAFER expands the vector with a bit
+// position at which the two addresses differ — which always exists and
+// always separates exactly that pair while keeping all other pairs
+// separated (adding a position only refines the partition).  The vector
+// can only grow, so with m positions the scheme guarantees m+1 faults
+// (hard FTC) and fails at the first collision it cannot resolve.
+//
+// SAFERCache is the cache-assisted form the paper evaluates as
+// "SAFERN-cache": with every fault's position and stuck value known
+// before the write, the controller re-selects the best m positions from
+// scratch on every write and only needs to separate stuck-at-Wrong from
+// stuck-at-Right cells, letting groups hold multiple same-type faults.
+package safer
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// SAFER is the per-block state of the cache-less SAFER-N scheme.
+type SAFER struct {
+	n        int // block bits (power of two)
+	addrBits int // log2 n
+	m        int // maximum partition-vector size (N = 2^m groups)
+
+	fields []int            // selected address bit positions, in selection order
+	inv    *bitvec.Vector   // inversion bits, one per group (2^m)
+	masks  []*bitvec.Vector // group member masks for the current fields; nil after a field change
+
+	faultPos   []int
+	faultVal   []bool
+	phys, errs *bitvec.Vector
+
+	ops scheme.OpStats
+}
+
+var _ scheme.Scheme = (*SAFER)(nil)
+
+// New returns a fresh SAFER instance for an n-bit block with at most
+// nGroups = 2^m groups.  n and nGroups must be powers of two with
+// nGroups ≤ n.
+func New(n, nGroups int) (*SAFER, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("safer: block size %d is not a power of two", n)
+	}
+	if nGroups <= 0 || nGroups&(nGroups-1) != 0 || nGroups > n {
+		return nil, fmt.Errorf("safer: group count %d invalid for %d-bit block", nGroups, n)
+	}
+	return &SAFER{
+		n:        n,
+		addrBits: log2(n),
+		m:        log2(nGroups),
+		inv:      bitvec.New(nGroups),
+		phys:     bitvec.New(n),
+		errs:     bitvec.New(n),
+	}, nil
+}
+
+func log2(n int) int {
+	b := 0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Name implements scheme.Scheme.
+func (s *SAFER) Name() string { return fmt.Sprintf("SAFER%d", 1<<s.m) }
+
+// OverheadBits implements scheme.Scheme: m position fields of
+// ⌈log₂ log₂ n⌉ bits each, 2^m inversion bits, and a ⌈log₂(m+1)⌉-bit
+// counter of how many fields are in use.  This reproduces the SAFER row
+// of the paper's Table 1 exactly.
+func (s *SAFER) OverheadBits() int { return OverheadBits(s.n, 1<<s.m) }
+
+// OverheadBits is the SAFER-N cost formula for an n-bit block.
+func OverheadBits(n, nGroups int) int {
+	m := log2(nGroups)
+	return m*plane.CeilLog2(log2(n)) + nGroups + plane.CeilLog2(m+1)
+}
+
+// Fields returns the selected address-bit positions (for tests).
+func (s *SAFER) Fields() []int { return append([]int(nil), s.fields...) }
+
+// OpStats implements scheme.OpReporter.
+func (s *SAFER) OpStats() scheme.OpStats { return s.ops }
+
+// group projects a cell address onto the selected positions.
+func (s *SAFER) group(x int) int {
+	g := 0
+	for i, pos := range s.fields {
+		g |= ((x >> uint(pos)) & 1) << uint(i)
+	}
+	return g
+}
+
+// addFieldFor expands the partition vector with a position at which the
+// two colliding addresses differ.  Among the candidates it picks the one
+// leaving the fewest colliding pairs over all currently known faults —
+// the greedy selection of the SAFER paper's dynamic partitioning.  It
+// reports false when the vector is full (block death); a differing
+// unselected position otherwise always exists, because equal projections
+// with all differing bits selected is a contradiction.
+func (s *SAFER) addFieldFor(x1, x2 int) bool {
+	if len(s.fields) >= s.m {
+		return false
+	}
+	diff := x1 ^ x2
+	best, bestCollisions := -1, -1
+	for pos := 0; pos < s.addrBits; pos++ {
+		if diff>>uint(pos)&1 == 0 {
+			continue
+		}
+		used := false
+		for _, f := range s.fields {
+			if f == pos {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		s.fields = append(s.fields, pos)
+		c := s.collidingPairs()
+		s.fields = s.fields[:len(s.fields)-1]
+		if bestCollisions < 0 || c < bestCollisions {
+			best, bestCollisions = pos, c
+		}
+	}
+	if best < 0 {
+		// Unreachable for genuinely colliding pairs; be defensive.
+		return false
+	}
+	s.fields = append(s.fields, best)
+	s.masks = nil
+	s.ops.Repartitions++
+	return true
+}
+
+// collidingPairs counts known-fault pairs sharing a group under the
+// current fields.
+func (s *SAFER) collidingPairs() int {
+	c := 0
+	for i := 0; i < len(s.faultPos); i++ {
+		gi := s.group(s.faultPos[i])
+		for j := i + 1; j < len(s.faultPos); j++ {
+			if gi == s.group(s.faultPos[j]) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// separateKnownFaults grows the partition vector until all known faults
+// have distinct projections.  It reports false when the vector budget is
+// exhausted first.
+func (s *SAFER) separateKnownFaults() bool {
+	for {
+		collision := false
+		for i := 0; i < len(s.faultPos) && !collision; i++ {
+			for j := i + 1; j < len(s.faultPos); j++ {
+				if s.group(s.faultPos[i]) == s.group(s.faultPos[j]) {
+					if !s.addFieldFor(s.faultPos[i], s.faultPos[j]) {
+						return false
+					}
+					collision = true
+					break
+				}
+			}
+		}
+		if !collision {
+			return true
+		}
+	}
+}
+
+// groupMasks returns the member masks of the current partition,
+// rebuilding them after a field change.
+func (s *SAFER) groupMasks() []*bitvec.Vector {
+	if s.masks != nil {
+		return s.masks
+	}
+	s.masks = make([]*bitvec.Vector, 1<<uint(len(s.fields)))
+	for g := range s.masks {
+		s.masks[g] = bitvec.New(s.n)
+	}
+	for x := 0; x < s.n; x++ {
+		s.masks[s.group(x)].Set(x, true)
+	}
+	return s.masks
+}
+
+// buildPhysical computes the physical image of data under the current
+// fields and inversion bits.
+func (s *SAFER) buildPhysical(data *bitvec.Vector) {
+	s.phys.CopyFrom(data)
+	if !s.inv.Any() {
+		return
+	}
+	masks := s.groupMasks()
+	for _, g := range s.inv.OnesIndices() {
+		if g < len(masks) {
+			s.phys.Xor(s.phys, masks[g])
+		}
+	}
+}
+
+// Write implements scheme.Scheme, mirroring the discovery loop of base
+// Aegis: write, verify, accumulate revealed faults, grow the partition
+// vector on collisions, set inversion bits, rewrite.
+func (s *SAFER) Write(blk *pcm.Block, data *bitvec.Vector) error {
+	if data.Len() != s.n {
+		panic(fmt.Sprintf("safer: write of %d bits into %d-bit scheme", data.Len(), s.n))
+	}
+	s.ops.Requests++
+	s.faultPos = s.faultPos[:0]
+	s.faultVal = s.faultVal[:0]
+	for iter := 0; iter <= s.n; iter++ {
+		s.buildPhysical(data)
+		blk.WriteRaw(s.phys)
+		s.ops.RawWrites++
+		blk.Verify(s.phys, s.errs)
+		s.ops.VerifyReads++
+		if !s.errs.Any() {
+			return nil
+		}
+		grew := false
+		for _, p := range s.errs.OnesIndices() {
+			if s.known(p) {
+				continue
+			}
+			s.faultPos = append(s.faultPos, p)
+			s.faultVal = append(s.faultVal, !s.phys.Get(p))
+			grew = true
+		}
+		if !grew {
+			return scheme.ErrUnrecoverable
+		}
+		if !s.separateKnownFaults() {
+			return scheme.ErrUnrecoverable
+		}
+		s.inv.Zero()
+		for i, p := range s.faultPos {
+			if data.Get(p) != s.faultVal[i] {
+				s.inv.Set(s.group(p), true)
+			}
+		}
+	}
+	return scheme.ErrUnrecoverable
+}
+
+func (s *SAFER) known(p int) bool {
+	for _, q := range s.faultPos {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Read implements scheme.Scheme.
+func (s *SAFER) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
+	dst = blk.Read(dst)
+	if !s.inv.Any() {
+		return dst
+	}
+	masks := s.groupMasks()
+	for _, g := range s.inv.OnesIndices() {
+		if g < len(masks) {
+			dst.Xor(dst, masks[g])
+		}
+	}
+	return dst
+}
+
+// Factory builds SAFER-N instances.
+type Factory struct {
+	N      int // block bits
+	Groups int
+}
+
+// NewFactory returns a SAFER-N factory after validating the parameters.
+func NewFactory(n, nGroups int) (*Factory, error) {
+	if _, err := New(n, nGroups); err != nil {
+		return nil, err
+	}
+	return &Factory{N: n, Groups: nGroups}, nil
+}
+
+// MustFactory is NewFactory that panics on error.
+func MustFactory(n, nGroups int) *Factory {
+	f, err := NewFactory(n, nGroups)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements scheme.Factory.
+func (f *Factory) Name() string { return fmt.Sprintf("SAFER%d", f.Groups) }
+
+// BlockBits implements scheme.Factory.
+func (f *Factory) BlockBits() int { return f.N }
+
+// OverheadBits implements scheme.Factory.
+func (f *Factory) OverheadBits() int { return OverheadBits(f.N, f.Groups) }
+
+// New implements scheme.Factory.
+func (f *Factory) New() scheme.Scheme {
+	s, err := New(f.N, f.Groups)
+	if err != nil {
+		panic(err) // validated at factory construction
+	}
+	return s
+}
+
+var _ scheme.Factory = (*Factory)(nil)

@@ -1,0 +1,115 @@
+package scheme
+
+import (
+	"fmt"
+
+	"aegis/internal/bitvec"
+)
+
+// MetadataCodec is implemented by schemes whose per-block bookkeeping
+// state round-trips through exactly OverheadBits() bits.  It is the
+// operational proof that the space budgets of the paper's Table 1 (and
+// of every OverheadBits method in this repository) actually suffice to
+// hold the scheme's state: MarshalBits must produce a vector of exactly
+// OverheadBits() bits, and UnmarshalBits of that vector into a fresh
+// instance must reconstruct a behaviorally identical scheme.
+type MetadataCodec interface {
+	// MarshalBits encodes the current bookkeeping state.  The result
+	// has exactly OverheadBits() bits.
+	MarshalBits() *bitvec.Vector
+	// UnmarshalBits replaces the bookkeeping state with the decoded
+	// one.  It fails if the vector has the wrong length or encodes an
+	// impossible state.
+	UnmarshalBits(v *bitvec.Vector) error
+}
+
+// BitWriter packs little-endian fields into a bit vector.
+type BitWriter struct {
+	v   *bitvec.Vector
+	pos int
+}
+
+// NewBitWriter returns a writer over a fresh n-bit vector.
+func NewBitWriter(n int) *BitWriter {
+	return &BitWriter{v: bitvec.New(n)}
+}
+
+// WriteUint appends the low `width` bits of x.
+func (w *BitWriter) WriteUint(x uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("scheme: field width %d", width))
+	}
+	if width < 64 && x >= 1<<uint(width) {
+		panic(fmt.Sprintf("scheme: value %d exceeds %d-bit field", x, width))
+	}
+	for i := 0; i < width; i++ {
+		w.v.Set(w.pos, x>>uint(i)&1 == 1)
+		w.pos++
+	}
+}
+
+// WriteBool appends one bit.
+func (w *BitWriter) WriteBool(b bool) {
+	w.v.Set(w.pos, b)
+	w.pos++
+}
+
+// WriteVector appends every bit of src.
+func (w *BitWriter) WriteVector(src *bitvec.Vector) {
+	for i := 0; i < src.Len(); i++ {
+		w.v.Set(w.pos, src.Get(i))
+		w.pos++
+	}
+}
+
+// Finish asserts the vector was filled exactly and returns it.
+func (w *BitWriter) Finish() *bitvec.Vector {
+	if w.pos != w.v.Len() {
+		panic(fmt.Sprintf("scheme: wrote %d of %d metadata bits", w.pos, w.v.Len()))
+	}
+	return w.v
+}
+
+// BitReader unpacks fields written by BitWriter.
+type BitReader struct {
+	v   *bitvec.Vector
+	pos int
+}
+
+// NewBitReader returns a reader over v, or an error if the length does
+// not match want.
+func NewBitReader(v *bitvec.Vector, want int) (*BitReader, error) {
+	if v.Len() != want {
+		return nil, fmt.Errorf("scheme: metadata is %d bits, want %d", v.Len(), want)
+	}
+	return &BitReader{v: v}, nil
+}
+
+// ReadUint extracts the next `width` bits.
+func (r *BitReader) ReadUint(width int) uint64 {
+	var x uint64
+	for i := 0; i < width; i++ {
+		if r.v.Get(r.pos) {
+			x |= 1 << uint(i)
+		}
+		r.pos++
+	}
+	return x
+}
+
+// ReadBool extracts one bit.
+func (r *BitReader) ReadBool() bool {
+	b := r.v.Get(r.pos)
+	r.pos++
+	return b
+}
+
+// ReadVector extracts the next n bits into a fresh vector.
+func (r *BitReader) ReadVector(n int) *bitvec.Vector {
+	out := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		out.Set(i, r.v.Get(r.pos))
+		r.pos++
+	}
+	return out
+}

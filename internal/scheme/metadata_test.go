@@ -1,0 +1,97 @@
+package scheme
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aegis/internal/bitvec"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := NewBitWriter(5 + 1 + 8 + 3)
+	w.WriteUint(19, 5)
+	w.WriteBool(true)
+	v := bitvec.New(8)
+	v.Set(0, true)
+	v.Set(7, true)
+	w.WriteVector(v)
+	w.WriteUint(5, 3)
+	out := w.Finish()
+
+	r, err := NewBitReader(out, out.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReadUint(5); got != 19 {
+		t.Fatalf("ReadUint = %d", got)
+	}
+	if !r.ReadBool() {
+		t.Fatal("ReadBool = false")
+	}
+	if got := r.ReadVector(8); !got.Equal(v) {
+		t.Fatalf("ReadVector = %v", got)
+	}
+	if got := r.ReadUint(3); got != 5 {
+		t.Fatalf("trailing ReadUint = %d", got)
+	}
+}
+
+func TestBitWriterOverflowPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBitWriter(4).WriteUint(16, 4) },                          // value too wide
+		func() { NewBitWriter(2).WriteUint(0, -1) },                          // negative width
+		func() { NewBitWriter(2).WriteUint(0, 65) },                          // width > 64
+		func() { NewBitWriter(1).WriteUint(0, 2) },                           // past end
+		func() { NewBitWriter(3).WriteUint(0, 2); NewBitWriter(3).Finish() }, // underfull
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBitReaderLengthCheck(t *testing.T) {
+	if _, err := NewBitReader(bitvec.New(10), 11); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// Property: any sequence of uints of random widths round-trips.
+func TestPropPackingRoundTrip(t *testing.T) {
+	f := func(vals []uint16, widthSeed uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		widths := make([]int, len(vals))
+		total := 0
+		for i := range vals {
+			widths[i] = int(widthSeed%16) + 1 // 1..16 bits
+			widthSeed = widthSeed*31 + 7
+			vals[i] &= (1 << uint(widths[i])) - 1
+			total += widths[i]
+		}
+		w := NewBitWriter(total)
+		for i, v := range vals {
+			w.WriteUint(uint64(v), widths[i])
+		}
+		out := w.Finish()
+		r, err := NewBitReader(out, total)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if got := r.ReadUint(widths[i]); got != uint64(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

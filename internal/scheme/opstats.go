@@ -1,0 +1,34 @@
+package scheme
+
+// OpStats counts the controller operations a scheme performed, the cost
+// dimension the paper discusses around Figure 8 ("intensive inversion
+// writes") and when motivating Aegis-rw ("removes extra inversion
+// writes").  All counters are cumulative over the instance's life.
+type OpStats struct {
+	// Requests is the number of Write calls served (failed ones
+	// included).
+	Requests int64
+	// RawWrites is the number of physical block writes issued,
+	// including inversion rewrites; RawWrites − Requests is the extra
+	// write traffic the scheme generated.
+	RawWrites int64
+	// VerifyReads is the number of verification reads performed.
+	VerifyReads int64
+	// Repartitions counts configuration changes (slope increments for
+	// Aegis, partition-vector growth for SAFER).
+	Repartitions int64
+}
+
+// OpReporter is implemented by schemes that track their operation costs.
+type OpReporter interface {
+	OpStats() OpStats
+}
+
+// ExtraWritesPerRequest returns the scheme's write amplification beyond
+// one physical write per request: (RawWrites − Requests) / Requests.
+func (s OpStats) ExtraWritesPerRequest() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.RawWrites-s.Requests) / float64(s.Requests)
+}

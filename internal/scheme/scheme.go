@@ -1,0 +1,96 @@
+// Package scheme defines the interface every stuck-at-fault recovery
+// scheme in this repository implements, plus the unprotected baseline.
+//
+// A Scheme instance holds the per-block bookkeeping state (what the paper
+// budgets as "overhead bits": slope counters, inversion vectors, partition
+// fields, pointers …) and drives writes and reads of one pcm.Block.  A
+// Factory stamps out per-block instances for the Monte Carlo simulations.
+package scheme
+
+import (
+	"errors"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+)
+
+// ErrUnrecoverable is returned by Write when the block's accumulated
+// stuck-at faults can no longer be masked by the scheme.  The block (and
+// the memory page containing it) is then dead.
+var ErrUnrecoverable = errors.New("scheme: unrecoverable stuck-at faults in block")
+
+// Scheme protects a single PCM data block.
+type Scheme interface {
+	// Name identifies the scheme configuration (e.g. "Aegis 9x61").
+	Name() string
+	// OverheadBits is the per-block bookkeeping cost in bits.
+	OverheadBits() int
+	// Write stores logical data into the block, performing whatever
+	// verification reads, re-partitions and inversion rewrites the
+	// scheme requires.  It returns ErrUnrecoverable when the block can
+	// no longer store arbitrary data.
+	Write(blk *pcm.Block, data *bitvec.Vector) error
+	// Read decodes the block's logical contents into dst (allocated
+	// when nil).  Read is only meaningful after a successful Write.
+	Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector
+}
+
+// Factory creates per-block Scheme instances of one configuration.
+type Factory interface {
+	// Name identifies the configuration.
+	Name() string
+	// BlockBits is the data block size the configuration protects.
+	BlockBits() int
+	// OverheadBits is the per-block bookkeeping cost in bits.
+	OverheadBits() int
+	// New returns a fresh per-block instance.
+	New() Scheme
+}
+
+// None is the unprotected baseline: any stuck-at-Wrong cell kills the
+// block.  It is the denominator of the paper's "lifetime improvement"
+// figures (Figures 6 and 12).
+type None struct {
+	Bits int
+	buf  *bitvec.Vector
+}
+
+// NewNone returns the unprotected baseline for n-bit blocks.
+func NewNone(n int) *None { return &None{Bits: n} }
+
+// Name implements Scheme.
+func (*None) Name() string { return "None" }
+
+// OverheadBits implements Scheme; the unprotected baseline costs nothing.
+func (*None) OverheadBits() int { return 0 }
+
+// Write implements Scheme.  It fails as soon as a verification read
+// disagrees with the written data.
+func (s *None) Write(blk *pcm.Block, data *bitvec.Vector) error {
+	blk.WriteRaw(data)
+	s.buf = blk.Verify(data, s.buf)
+	if s.buf.Any() {
+		return ErrUnrecoverable
+	}
+	return nil
+}
+
+// Read implements Scheme.
+func (s *None) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
+	return blk.Read(dst)
+}
+
+// NoneFactory builds unprotected baselines.
+type NoneFactory struct{ Bits int }
+
+// Name implements Factory.
+func (NoneFactory) Name() string { return "None" }
+
+// BlockBits implements Factory.
+func (f NoneFactory) BlockBits() int { return f.Bits }
+
+// OverheadBits implements Factory.
+func (NoneFactory) OverheadBits() int { return 0 }
+
+// New implements Factory.
+func (f NoneFactory) New() Scheme { return NewNone(f.Bits) }

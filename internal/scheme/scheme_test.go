@@ -1,0 +1,54 @@
+package scheme
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+)
+
+func TestNoneWritesCleanBlocks(t *testing.T) {
+	f := NoneFactory{Bits: 256}
+	if f.Name() != "None" || f.BlockBits() != 256 || f.OverheadBits() != 0 {
+		t.Fatalf("factory metadata wrong: %s %d %d", f.Name(), f.BlockBits(), f.OverheadBits())
+	}
+	s := f.New()
+	blk := pcm.NewImmortalBlock(256)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		data := bitvec.Random(256, rng)
+		if err := s.Write(blk, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if !s.Read(blk, nil).Equal(data) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+}
+
+func TestNoneDiesOnFirstWrongFault(t *testing.T) {
+	s := NewNone(256)
+	blk := pcm.NewImmortalBlock(256)
+	blk.InjectFault(10, true)
+
+	// Stuck-at-Right is invisible…
+	data := bitvec.New(256)
+	data.Set(10, true)
+	if err := s.Write(blk, data); err != nil {
+		t.Fatalf("stuck-at-Right killed unprotected block: %v", err)
+	}
+	// …stuck-at-Wrong is fatal.
+	err := s.Write(blk, bitvec.New(256))
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("expected ErrUnrecoverable, got %v", err)
+	}
+}
+
+func TestNoneOverheadAndName(t *testing.T) {
+	s := NewNone(64)
+	if s.Name() != "None" || s.OverheadBits() != 0 {
+		t.Fatalf("metadata: %s %d", s.Name(), s.OverheadBits())
+	}
+}

@@ -1,0 +1,36 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"aegis/internal/core"
+	"aegis/internal/sim"
+	"aegis/internal/stats"
+)
+
+// Run a small Monte Carlo: blocks written to death under Aegis 9×61.
+func ExampleBlocks() {
+	cfg := sim.Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  400, // scaled endurance; see DESIGN.md §3
+		CoV:       0.25,
+		Trials:    8,
+		Seed:      1,
+	}
+	results := sim.Blocks(core.MustFactory(512, 61), cfg)
+	mean := stats.SummarizeInts(sim.BlockLifetimes(results)).Mean
+	// A cell takes ~2·MeanLife block writes to die (50 % of writes
+	// program it), and Aegis rides through the first dozen faults.
+	fmt.Println("lifetime beyond first cell death:", mean > cfg.MeanLife)
+	// Output: lifetime beyond first cell death: true
+}
+
+// Failure probability by injected-fault count (the paper's Figure 8).
+func ExampleFailureCurve() {
+	cfg := sim.Config{BlockBits: 512, PageBytes: 4096, MeanLife: 400, CoV: 0.25, Trials: 40, Seed: 1}
+	curve := sim.FailureCurve(core.MustFactory(512, 23), cfg, 8, 6)
+	// Aegis 23×23 guarantees 7 faults: zero failures up to there.
+	fmt.Println(curve[7] == 0)
+	// Output: true
+}

@@ -1,0 +1,302 @@
+// Package sim is the Monte Carlo engine behind the paper's evaluation
+// (§3.1): it writes random data into simulated PCM until blocks or pages
+// die, under the paper's model of per-cell normal lifetimes (25 % CoV),
+// differential writes, verification reads, and perfect wear leveling.
+//
+// Three granularities are provided:
+//
+//   - Blocks — one data block written to death (Figure 10);
+//   - Pages — a 4 KB page of data blocks written to death; a page dies
+//     with its first unrecoverable block (Figures 5, 6, 7, 11, 12, 13);
+//   - FailureCurve — fault-injection probe of block failure probability
+//     as a function of fault count (Figure 8).
+//
+// Device-level survival curves (Figure 9) are the stats.Survival
+// transform of page lifetimes: with perfect wear leveling, writes are
+// spread uniformly over live pages, so a device is fully described by the
+// i.i.d. per-page lifetime sample.
+//
+// All runs are deterministic: trial t of a run with seed s uses an RNG
+// seeded with h(s, t), so results are independent of worker scheduling.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"math/rand"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/dist"
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+// Config parameterizes a Monte Carlo run.
+type Config struct {
+	// BlockBits is the data block size (the paper uses 256 and 512).
+	BlockBits int
+	// PageBytes is the memory-block (page) size; the paper reports 4 KB
+	// pages.
+	PageBytes int
+	// MeanLife is the mean per-cell endurance in bit-writes.  The paper
+	// uses 1e8; the default presets scale this down (see DESIGN.md §3 —
+	// ratios, orderings and curve shapes are scale-invariant).
+	MeanLife float64
+	// CoV is the lifetime coefficient of variation (paper: 0.25).
+	CoV float64
+	// Trials is the number of independent blocks/pages to simulate.
+	Trials int
+	// MaxWrites caps a single trial (safety valve; 0 = no cap).
+	MaxWrites int64
+	// Seed makes the run reproducible.
+	Seed int64
+	// Workers limits parallelism (0 = GOMAXPROCS).
+	Workers int
+	// PulseWear switches from the paper's request-scoped wear model
+	// (each cell charged at most one pulse per write request, §3.1) to
+	// fully physical per-pulse wear, where a scheme's extra inversion
+	// rewrites wear cells immediately.  The default (false) matches the
+	// paper; true is the ablation DESIGN.md discusses.
+	PulseWear bool
+}
+
+// BlocksPerPage returns how many data blocks one page holds.
+func (c Config) BlocksPerPage() int { return c.PageBytes * 8 / c.BlockBits }
+
+func (c Config) lifetime() dist.Lifetime {
+	return dist.Normal{MeanLife: c.MeanLife, CoV: c.CoV}
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// trialRNG derives a deterministic per-trial RNG, independent of worker
+// scheduling.
+func trialRNG(seed int64, trial int) *rand.Rand {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(trial+1)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 27
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// forEachTrial fans cfg.Trials trials out over a worker pool.
+func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
+	workers := cfg.workers()
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	if workers <= 1 {
+		for t := 0; t < cfg.Trials; t++ {
+			body(t, trialRNG(cfg.Seed, t))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				body(t, trialRNG(cfg.Seed, t))
+			}
+		}()
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+}
+
+// BlockResult describes one block written to death.
+type BlockResult struct {
+	// Lifetime is the number of successful block writes.
+	Lifetime int64
+	// FaultsAtDeath is the block's stuck-cell count when it failed.
+	FaultsAtDeath int
+	// BitWrites is the total programming pulses the block absorbed,
+	// including the scheme's inversion rewrites.
+	BitWrites int64
+}
+
+// Blocks simulates cfg.Trials independent blocks under the given scheme,
+// each written with fresh random data until the scheme reports the block
+// unrecoverable.
+func Blocks(f scheme.Factory, cfg Config) []BlockResult {
+	results := make([]BlockResult, cfg.Trials)
+	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
+		blk := pcm.NewBlock(cfg.BlockBits, cfg.lifetime(), rng)
+		s := f.New()
+		data := bitvec.New(cfg.BlockBits)
+		var writes int64
+		for cfg.MaxWrites == 0 || writes < cfg.MaxWrites {
+			randomize(data, rng)
+			if err := writeRequest(cfg, s, blk, data); err != nil {
+				break
+			}
+			writes++
+		}
+		st := blk.Stats()
+		results[trial] = BlockResult{
+			Lifetime:      writes,
+			FaultsAtDeath: blk.FaultCount(),
+			BitWrites:     st.BitWrites,
+		}
+	})
+	return results
+}
+
+// PageResult describes one page written to death.
+type PageResult struct {
+	// Lifetime is the number of successful page writes (each page write
+	// rewrites every block of the page with fresh random data).
+	Lifetime int64
+	// RecoveredFaults is the total stuck-cell count across the page's
+	// blocks when the first unrecoverable block killed it — the paper's
+	// "average number of recoverable faults in a 4KB page" (Figure 5).
+	RecoveredFaults int
+}
+
+// Pages simulates cfg.Trials independent 4 KB pages under the given
+// scheme.  A page dies when any of its blocks takes an unrecoverable
+// write.
+func Pages(f scheme.Factory, cfg Config) []PageResult {
+	results := make([]PageResult, cfg.Trials)
+	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
+		nBlocks := cfg.BlocksPerPage()
+		blocks := make([]*pcm.Block, nBlocks)
+		schemes := make([]scheme.Scheme, nBlocks)
+		for i := range blocks {
+			blocks[i] = pcm.NewBlock(cfg.BlockBits, cfg.lifetime(), rng)
+			schemes[i] = f.New()
+		}
+		data := bitvec.New(cfg.BlockBits)
+		var writes int64
+		alive := true
+		for alive && (cfg.MaxWrites == 0 || writes < cfg.MaxWrites) {
+			for i := range blocks {
+				randomize(data, rng)
+				if err := writeRequest(cfg, schemes[i], blocks[i], data); err != nil {
+					alive = false
+					break
+				}
+			}
+			if alive {
+				writes++
+			}
+		}
+		faults := 0
+		for i := range blocks {
+			faults += blocks[i].FaultCount()
+		}
+		results[trial] = PageResult{Lifetime: writes, RecoveredFaults: faults}
+	})
+	return results
+}
+
+// writeRequest performs one scheme write under the configured wear model.
+func writeRequest(cfg Config, s scheme.Scheme, blk *pcm.Block, data *bitvec.Vector) error {
+	if cfg.PulseWear {
+		return s.Write(blk, data)
+	}
+	blk.BeginRequest()
+	err := s.Write(blk, data)
+	blk.EndRequest()
+	return err
+}
+
+// randomize refills data with random bits.
+func randomize(data *bitvec.Vector, rng *rand.Rand) {
+	words := data.Words()
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	if r := data.Len() % 64; r != 0 {
+		words[len(words)-1] &= (uint64(1) << uint(r)) - 1
+	}
+}
+
+// FailureCurve injects faults one at a time into immortal blocks and
+// reports, for each fault count 1…maxFaults, the probability that the
+// block has become unrecoverable (Figure 8).  After each injection the
+// scheme performs writesPerStep random writes; a failed write marks the
+// block dead for that and all higher fault counts.  Stuck values are
+// drawn uniformly, as in the paper.
+func FailureCurve(f scheme.Factory, cfg Config, maxFaults, writesPerStep int) []float64 {
+	return FailureCurveBias(f, cfg, maxFaults, writesPerStep, 0.5)
+}
+
+// FailureCurveBias is FailureCurve with a configurable probability that
+// an injected cell sticks at 1.  bias 0.5 is the paper's model; 0 or 1
+// makes every fault the same type, the friendliest case for schemes that
+// distinguish stuck-at-Wrong from stuck-at-Right cells (ablation).
+func FailureCurveBias(f scheme.Factory, cfg Config, maxFaults, writesPerStep int, bias float64) []float64 {
+	dead := make([]int, maxFaults+1)
+	var mu sync.Mutex
+	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
+		blk := pcm.NewImmortalBlock(cfg.BlockBits)
+		s := f.New()
+		data := bitvec.New(cfg.BlockBits)
+		positions := rng.Perm(cfg.BlockBits)
+		diedAt := maxFaults + 1
+		for nf := 1; nf <= maxFaults && nf <= len(positions); nf++ {
+			blk.InjectFault(positions[nf-1], rng.Float64() < bias)
+			failed := false
+			for w := 0; w < writesPerStep; w++ {
+				randomize(data, rng)
+				if err := writeRequest(cfg, s, blk, data); err != nil {
+					failed = true
+					break
+				}
+			}
+			if failed {
+				diedAt = nf
+				break
+			}
+		}
+		mu.Lock()
+		for nf := diedAt; nf <= maxFaults; nf++ {
+			dead[nf]++
+		}
+		mu.Unlock()
+	})
+	curve := make([]float64, maxFaults+1)
+	for nf := 1; nf <= maxFaults; nf++ {
+		curve[nf] = float64(dead[nf]) / float64(cfg.Trials)
+	}
+	return curve
+}
+
+// Lifetimes extracts the lifetime column of page results.
+func Lifetimes(rs []PageResult) []int64 {
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Lifetime
+	}
+	return out
+}
+
+// BlockLifetimes extracts the lifetime column of block results.
+func BlockLifetimes(rs []BlockResult) []int64 {
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Lifetime
+	}
+	return out
+}
+
+// RecoveredFaults extracts the recovered-fault column of page results.
+func RecoveredFaults(rs []PageResult) []int64 {
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = int64(r.RecoveredFaults)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/scheme"
+	"aegis/internal/stats"
+)
+
+func quickCfg(trials int) Config {
+	return Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  300,
+		CoV:       0.25,
+		Trials:    trials,
+		Seed:      1,
+	}
+}
+
+func TestBlocksProduceFiniteLifetimes(t *testing.T) {
+	cfg := quickCfg(8)
+	rs := Blocks(core.MustFactory(512, 23), cfg)
+	if len(rs) != cfg.Trials {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.Lifetime <= 0 {
+			t.Fatalf("trial %d lifetime = %d", i, r.Lifetime)
+		}
+		if r.FaultsAtDeath <= 0 {
+			t.Fatalf("trial %d died without faults", i)
+		}
+		if r.BitWrites <= 0 {
+			t.Fatalf("trial %d no bit writes", i)
+		}
+		// A cell survives ~MeanLife pulses and is written with ~50 %
+		// probability per block write, so lifetime is on the order of
+		// 2·MeanLife; allow generous slack both ways.
+		if r.Lifetime < int64(cfg.MeanLife/4) || r.Lifetime > int64(cfg.MeanLife*8) {
+			t.Fatalf("trial %d lifetime = %d, implausible for mean life %.0f", i, r.Lifetime, cfg.MeanLife)
+		}
+	}
+}
+
+func TestBlocksDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := quickCfg(6)
+	cfg.Workers = 1
+	seq := Blocks(core.MustFactory(512, 23), cfg)
+	cfg.Workers = 4
+	par := Blocks(core.MustFactory(512, 23), cfg)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trial %d differs between 1 and 4 workers: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestBlocksSeedChangesResults(t *testing.T) {
+	cfg := quickCfg(4)
+	a := Blocks(core.MustFactory(512, 23), cfg)
+	cfg.Seed = 2
+	b := Blocks(core.MustFactory(512, 23), cfg)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestProtectionExtendsBlockLifetime(t *testing.T) {
+	cfg := quickCfg(8)
+	unprot := Blocks(scheme.NoneFactory{Bits: 512}, cfg)
+	prot := Blocks(core.MustFactory(512, 61), cfg)
+	mu := stats.SummarizeInts(BlockLifetimes(unprot)).Mean
+	mp := stats.SummarizeInts(BlockLifetimes(prot)).Mean
+	if mp <= mu {
+		t.Fatalf("Aegis 9x61 block lifetime (%.0f) not above unprotected (%.0f)", mp, mu)
+	}
+}
+
+func TestPagesDieWithFirstBlock(t *testing.T) {
+	cfg := quickCfg(4)
+	rs := Pages(core.MustFactory(512, 23), cfg)
+	for i, r := range rs {
+		if r.Lifetime <= 0 {
+			t.Fatalf("trial %d page lifetime = %d", i, r.Lifetime)
+		}
+		if r.RecoveredFaults <= 0 {
+			t.Fatalf("trial %d page died with no faults", i)
+		}
+	}
+	// Pages contain 64 blocks; the weakest cell of 32768 dies earlier
+	// than the weakest of 512, so page lifetimes sit below block
+	// lifetimes on average.
+	blocks := Blocks(core.MustFactory(512, 23), cfg)
+	mb := stats.SummarizeInts(BlockLifetimes(blocks)).Mean
+	mpg := stats.SummarizeInts(Lifetimes(rs)).Mean
+	if mpg >= mb {
+		t.Fatalf("page lifetime (%.0f) not below single-block lifetime (%.0f)", mpg, mb)
+	}
+}
+
+func TestMaxWritesCap(t *testing.T) {
+	cfg := quickCfg(2)
+	cfg.MaxWrites = 10
+	rs := Blocks(core.MustFactory(512, 23), cfg)
+	for _, r := range rs {
+		if r.Lifetime > 10 {
+			t.Fatalf("lifetime %d exceeds cap", r.Lifetime)
+		}
+	}
+	ps := Pages(core.MustFactory(512, 23), cfg)
+	for _, r := range ps {
+		if r.Lifetime > 10 {
+			t.Fatalf("page lifetime %d exceeds cap", r.Lifetime)
+		}
+	}
+}
+
+func TestFailureCurveShape(t *testing.T) {
+	cfg := quickCfg(60)
+	curve := FailureCurve(ecp.MustFactory(512, 4), cfg, 12, 6)
+	if len(curve) != 13 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	// ECP4: zero failure probability through 4 faults, then a cliff.
+	for nf := 1; nf <= 4; nf++ {
+		if curve[nf] != 0 {
+			t.Fatalf("ECP4 failure probability at %d faults = %v, want 0", nf, curve[nf])
+		}
+	}
+	if curve[6] < 0.5 {
+		t.Fatalf("ECP4 failure probability at 6 faults = %v, want a cliff", curve[6])
+	}
+	// Monotone non-decreasing.
+	for nf := 2; nf <= 12; nf++ {
+		if curve[nf] < curve[nf-1] {
+			t.Fatalf("failure curve decreases at %d: %v < %v", nf, curve[nf], curve[nf-1])
+		}
+	}
+}
+
+func TestFailureCurveAegisBeyondHardFTC(t *testing.T) {
+	cfg := quickCfg(40)
+	curve := FailureCurve(core.MustFactory(512, 23), cfg, 10, 6)
+	// Hard FTC of 23x23 is 7: no failures at or below it.
+	for nf := 1; nf <= 7; nf++ {
+		if curve[nf] != 0 {
+			t.Fatalf("Aegis 23x23 failure probability at %d faults = %v, want 0", nf, curve[nf])
+		}
+	}
+}
+
+func TestBlocksPerPage(t *testing.T) {
+	cfg := quickCfg(1)
+	if got := cfg.BlocksPerPage(); got != 64 {
+		t.Fatalf("BlocksPerPage = %d, want 64", got)
+	}
+	cfg.BlockBits = 256
+	if got := cfg.BlocksPerPage(); got != 128 {
+		t.Fatalf("BlocksPerPage = %d, want 128", got)
+	}
+}
+
+func TestColumnExtractors(t *testing.T) {
+	ps := []PageResult{{Lifetime: 5, RecoveredFaults: 2}, {Lifetime: 7, RecoveredFaults: 3}}
+	if l := Lifetimes(ps); l[0] != 5 || l[1] != 7 {
+		t.Fatalf("Lifetimes = %v", l)
+	}
+	if f := RecoveredFaults(ps); f[0] != 2 || f[1] != 3 {
+		t.Fatalf("RecoveredFaults = %v", f)
+	}
+	bs := []BlockResult{{Lifetime: 9}}
+	if l := BlockLifetimes(bs); l[0] != 9 {
+		t.Fatalf("BlockLifetimes = %v", l)
+	}
+}

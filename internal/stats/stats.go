@@ -1,0 +1,149 @@
+// Package stats provides the summary statistics and curve types the
+// experiment harness reports: means with confidence intervals, quantiles,
+// and the survival curves of the paper's Figure 9.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.  An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95 % confidence
+// interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f ±%.2f [%.2f, %.2f]", s.N, s.Mean, s.CI95(), s.Min, s.Max)
+}
+
+// SummarizeInts is Summarize over an int64 sample.
+func SummarizeInts(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics.  It panics on an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve, one per figure line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Survival converts a sample of lifetimes into a survival curve under the
+// paper's perfect wear-leveling model: writes are spread uniformly over
+// the units still alive, so when the k-th of N units dies the cumulative
+// number of issued writes is
+//
+//	T_k = Σ_{i≤k} (N−i+1)·(ℓ_(i) − ℓ_(i−1))
+//
+// where ℓ_(i) are the sorted per-unit lifetimes (writes received by one
+// unit before it fails).  The returned points are (issued writes,
+// fraction alive) steps, starting at (0, 1).
+func Survival(lifetimes []int64) []Point {
+	n := len(lifetimes)
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), lifetimes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	points := make([]Point, 0, n+1)
+	points = append(points, Point{X: 0, Y: 1})
+	var issued, prev int64
+	for i, l := range sorted {
+		issued += int64(n-i) * (l - prev)
+		prev = l
+		points = append(points, Point{X: float64(issued), Y: float64(n-i-1) / float64(n)})
+	}
+	return points
+}
+
+// HalfLifetime returns the number of issued writes at which half of the
+// units have died, interpolated on the survival curve.
+func HalfLifetime(curve []Point) float64 {
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Y <= 0.5 {
+			// Step curve: the crossing happens at this event.
+			return curve[i].X
+		}
+	}
+	if len(curve) > 0 {
+		return curve[len(curve)-1].X
+	}
+	return 0
+}

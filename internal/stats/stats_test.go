@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 should be positive")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("single Summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int64{10, 20, 30})
+	if s.Mean != 20 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestSurvivalUniformLifetimes(t *testing.T) {
+	// Four units each surviving 10 received writes: with perfect wear
+	// leveling all die at 40 issued writes.
+	pts := Survival([]int64{10, 10, 10, 10})
+	last := pts[len(pts)-1]
+	if last.X != 40 || last.Y != 0 {
+		t.Fatalf("last point = %+v, want (40, 0)", last)
+	}
+	if pts[0].X != 0 || pts[0].Y != 1 {
+		t.Fatalf("first point = %+v", pts[0])
+	}
+}
+
+func TestSurvivalStaggered(t *testing.T) {
+	// Units with lifetimes 1 and 3: first death after 2 issued writes
+	// (both receive 1), second at 2 + 1·2 = 4.
+	pts := Survival([]int64{3, 1})
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[1].X != 2 || pts[1].Y != 0.5 {
+		t.Fatalf("first death = %+v, want (2, 0.5)", pts[1])
+	}
+	if pts[2].X != 4 || pts[2].Y != 0 {
+		t.Fatalf("second death = %+v, want (4, 0)", pts[2])
+	}
+}
+
+func TestSurvivalEmpty(t *testing.T) {
+	if Survival(nil) != nil {
+		t.Fatal("Survival(nil) should be nil")
+	}
+}
+
+func TestHalfLifetime(t *testing.T) {
+	pts := Survival([]int64{1, 2, 3, 4})
+	// Deaths at issued writes 4, 7, 9, 10 with alive fractions 0.75,
+	// 0.5, 0.25, 0; half-lifetime is the second death.
+	if got := HalfLifetime(pts); got != 7 {
+		t.Fatalf("HalfLifetime = %v, want 7", got)
+	}
+	if got := HalfLifetime(nil); got != 0 {
+		t.Fatalf("HalfLifetime(nil) = %v", got)
+	}
+}
+
+// Property: survival curves are monotone in both axes and total issued
+// writes equal the sum of lifetimes.
+func TestPropSurvivalMonotoneAndConservative(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ls := make([]int64, len(raw))
+		var sum int64
+		for i, r := range raw {
+			ls[i] = int64(r%1000) + 1
+			sum += ls[i]
+		}
+		pts := Survival(ls)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].Y > pts[i-1].Y {
+				return false
+			}
+		}
+		return pts[len(pts)-1].X == float64(sum) && pts[len(pts)-1].Y == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

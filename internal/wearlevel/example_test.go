@@ -1,0 +1,26 @@
+package wearlevel_test
+
+import (
+	"fmt"
+
+	"aegis/internal/wearlevel"
+)
+
+// Start-Gap rotates every line through every physical slot: one spare
+// slot, one line shifted every Psi writes.
+func ExampleNewStartGap() {
+	sg, err := wearlevel.NewStartGap(8, 1) // move the gap on every write
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("slots for 8 lines:", sg.Slots())
+	moves := 0
+	for i := 0; i < 9; i++ {
+		_, migrations := sg.OnWrite(0)
+		moves += len(migrations)
+	}
+	fmt.Println("lines migrated over 9 writes:", moves)
+	// Output:
+	// slots for 8 lines: 9
+	// lines migrated over 9 writes: 9
+}

@@ -1,0 +1,82 @@
+package wearlevel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aegis/internal/workload"
+)
+
+// SimResult summarizes one device-level wear-leveling run.
+type SimResult struct {
+	// WritesToFirstDeath is the number of logical writes issued when
+	// the first physical slot exhausted its budget.
+	WritesToFirstDeath int64
+	// WritesToHalfDeath is the paper's half-lifetime analogue: logical
+	// writes issued when half the slots have died.
+	WritesToHalfDeath int64
+	// MigrationWrites counts the extra writes the leveler issued to
+	// move lines around (its overhead).
+	MigrationWrites int64
+}
+
+// Simulate drives a workload through a leveler over physical slots with
+// the given per-slot write budgets (len(budgets) must equal
+// lev.Slots()).  It runs until half of the slots are dead or every
+// budget is exhausted.
+func Simulate(lev Leveler, gen workload.Generator, budgets []int64, rng *rand.Rand) (SimResult, error) {
+	if len(budgets) != lev.Slots() {
+		return SimResult{}, fmt.Errorf("wearlevel: %d budgets for %d slots", len(budgets), lev.Slots())
+	}
+	if gen.Size() != lev.Lines() {
+		return SimResult{}, fmt.Errorf("wearlevel: workload over %d lines, leveler over %d", gen.Size(), lev.Lines())
+	}
+	remaining := append([]int64(nil), budgets...)
+	dead := 0
+	var res SimResult
+	var issued int64
+	wear := func(slot int) {
+		if remaining[slot] <= 0 {
+			return // already dead; extra writes are lost, not recounted
+		}
+		remaining[slot]--
+		if remaining[slot] == 0 {
+			dead++
+			if dead == 1 {
+				res.WritesToFirstDeath = issued
+			}
+			if dead*2 >= len(remaining) {
+				res.WritesToHalfDeath = issued
+			}
+		}
+	}
+	for dead*2 < len(remaining) {
+		issued++
+		phys, migrations := lev.OnWrite(gen.Next(rng))
+		wear(phys)
+		for _, m := range migrations {
+			res.MigrationWrites++
+			wear(m)
+		}
+		// Safety valve: every budget exhausted (can only happen with
+		// tiny budgets in tests).
+		if issued > 4*total(budgets) {
+			break
+		}
+	}
+	if res.WritesToHalfDeath == 0 {
+		res.WritesToHalfDeath = issued
+	}
+	if res.WritesToFirstDeath == 0 {
+		res.WritesToFirstDeath = issued
+	}
+	return res, nil
+}
+
+func total(budgets []int64) int64 {
+	var t int64
+	for _, b := range budgets {
+		t += b
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package wearlevel
+
+import "fmt"
+
+// TwoLevelSecurityRefresh is the configuration the Security Refresh
+// paper actually deploys: the address space is split into regions, an
+// outer refresh permutes lines across regions and an inner refresh
+// permutes within each region, with independent keys and sweep rates.
+// Two levels spread wear faster for a given per-write migration budget
+// and harden the scheme against an adversary who learns one level's
+// key — which is why the Aegis paper cites it alongside randomized
+// Start-Gap as achieving near-perfect leveling.
+//
+// Both levels reuse the pairwise-swap SecurityRefresh machinery, so the
+// composite mapping stays a bijection at every instant.
+type TwoLevelSecurityRefresh struct {
+	n       int
+	regions int
+	psi     int
+	count   int
+	outer   *SecurityRefresh   // permutes region-sized super-lines
+	inner   []*SecurityRefresh // per-region permutation of lines
+	step    int                // round-robin refresh scheduling
+}
+
+// NewTwoLevelSecurityRefresh returns a two-level Security Refresh over n
+// lines split into `regions` regions (both powers of two; lines per
+// region must also exceed one).  One refresh step is taken every psi
+// writes, alternating between the outer level and the inner regions.
+func NewTwoLevelSecurityRefresh(n, regions, psi int, seed int64) (*TwoLevelSecurityRefresh, error) {
+	if n <= 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("wearlevel: size %d is not a power of two > 1", n)
+	}
+	if regions <= 1 || regions&(regions-1) != 0 || regions >= n {
+		return nil, fmt.Errorf("wearlevel: region count %d invalid for %d lines", regions, n)
+	}
+	if psi <= 0 {
+		return nil, fmt.Errorf("wearlevel: psi %d must be positive", psi)
+	}
+	perRegion := n / regions
+	if perRegion <= 1 {
+		return nil, fmt.Errorf("wearlevel: %d lines per region is too few", perRegion)
+	}
+	// The levels advance on our schedule, so their own counters fire on
+	// every OnWrite call (psi = 1) and we gate by ours.
+	outer, err := NewSecurityRefresh(regions, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &TwoLevelSecurityRefresh{n: n, regions: regions, outer: outer}
+	for r := 0; r < regions; r++ {
+		inner, err := NewSecurityRefresh(perRegion, 1, seed+int64(r)+1)
+		if err != nil {
+			return nil, err
+		}
+		t.inner = append(t.inner, inner)
+	}
+	t.psi = psi
+	return t, nil
+}
+
+// Slots implements Leveler.
+func (t *TwoLevelSecurityRefresh) Slots() int { return t.n }
+
+// Lines implements Leveler.
+func (t *TwoLevelSecurityRefresh) Lines() int { return t.n }
+
+// Name implements Leveler.
+func (t *TwoLevelSecurityRefresh) Name() string {
+	return fmt.Sprintf("security-refresh-2l(%dx%d)", t.regions, t.n/t.regions)
+}
+
+// physOf composes the two levels: the inner permutation moves a line
+// within its region, the outer permutation moves whole regions.
+func (t *TwoLevelSecurityRefresh) physOf(logical int) int {
+	perRegion := t.n / t.regions
+	region := logical / perRegion
+	offset := logical % perRegion
+	newOffset := t.inner[region].physOf(offset)
+	newRegion := t.outer.physOf(region)
+	return newRegion*perRegion + newOffset
+}
+
+// OnWrite implements Leveler.
+func (t *TwoLevelSecurityRefresh) OnWrite(logical int) (int, []int) {
+	phys := t.physOf(logical)
+	t.count++
+	if t.count < t.psi {
+		return phys, nil
+	}
+	t.count = 0
+	perRegion := t.n / t.regions
+	var migrations []int
+	if t.step%2 == 0 {
+		// Outer step: region-granular swap; every line of the two
+		// swapped regions migrates.
+		_, regionMoves := t.outer.OnWrite(0)
+		for _, r := range regionMoves {
+			base := r * perRegion
+			for i := 0; i < perRegion; i++ {
+				migrations = append(migrations, base+i)
+			}
+		}
+	} else {
+		// Inner step: advance one region's permutation (round-robin);
+		// map its line swaps through the current outer mapping.
+		region := (t.step / 2) % t.regions
+		_, lineMoves := t.inner[region].OnWrite(0)
+		outerRegion := t.outer.physOf(region)
+		for _, off := range lineMoves {
+			migrations = append(migrations, outerRegion*perRegion+off)
+		}
+	}
+	t.step++
+	return phys, migrations
+}

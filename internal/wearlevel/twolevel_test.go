@@ -1,0 +1,98 @@
+package wearlevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"aegis/internal/workload"
+)
+
+func TestTwoLevelValidation(t *testing.T) {
+	cases := []struct{ n, regions, psi int }{
+		{12, 4, 1},  // n not a power of two
+		{16, 3, 1},  // regions not a power of two
+		{16, 16, 1}, // regions == n
+		{16, 1, 1},  // single region
+		{16, 4, 0},  // zero psi
+		{16, 8, 1},  // 2 lines per region is fine — included as valid below
+	}
+	for _, c := range cases[:5] {
+		if _, err := NewTwoLevelSecurityRefresh(c.n, c.regions, c.psi, 1); err == nil {
+			t.Errorf("params %+v accepted", c)
+		}
+	}
+	if _, err := NewTwoLevelSecurityRefresh(16, 8, 1, 1); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestTwoLevelBijectiveMidSweep(t *testing.T) {
+	tl, err := NewTwoLevelSecurityRefresh(64, 8, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 600; step++ {
+		checkBijection(t, tl, tl.physOf)
+		tl.OnWrite(rng.Intn(64))
+	}
+}
+
+func TestTwoLevelCrossesRegions(t *testing.T) {
+	// The outer level must eventually move a line into a different
+	// region — the whole point of the second level.
+	tl, err := NewTwoLevelSecurityRefresh(32, 4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRegion := 32 / 4
+	crossed := false
+	rng := rand.New(rand.NewSource(9))
+	for step := 0; step < 500 && !crossed; step++ {
+		for la := 0; la < 32; la++ {
+			if tl.physOf(la)/perRegion != la/perRegion {
+				crossed = true
+				break
+			}
+		}
+		tl.OnWrite(rng.Intn(32))
+	}
+	if !crossed {
+		t.Fatal("no line ever left its region")
+	}
+	if tl.Name() == "" || tl.Slots() != 32 || tl.Lines() != 32 {
+		t.Fatal("metadata accessors wrong")
+	}
+}
+
+func TestTwoLevelLevelsUnderHotSpot(t *testing.T) {
+	const n = 64
+	hot, err := workload.NewHotSpot(n, 0.9, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := func() []int64 {
+		rng := rand.New(rand.NewSource(11))
+		b := make([]int64, n)
+		for i := range b {
+			b[i] = int64(20000 + rng.Intn(10000))
+		}
+		return b
+	}
+	static, err := Simulate(Static{N: n}, hot, budgets(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTwoLevelSecurityRefresh(n, 8, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leveled, err := Simulate(tl, hot, budgets(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leveled.WritesToFirstDeath <= 3*static.WritesToFirstDeath {
+		t.Fatalf("two-level refresh first death %d not well above static %d",
+			leveled.WritesToFirstDeath, static.WritesToFirstDeath)
+	}
+}

@@ -1,0 +1,259 @@
+// Package wearlevel implements the wear-leveling techniques the paper's
+// evaluation assumes away ("We assume a perfect wear leveling operation
+// across the memory blocks … techniques such as Randomized Region-based
+// Start-Gap and the Security Refresh have demonstrated an effect close
+// to this", §3.1):
+//
+//   - StartGap — Qureshi et al., MICRO 2009: N logical lines live in N+1
+//     physical slots; a gap slot rotates through the array, shifting one
+//     line every Psi writes, so every line slowly visits every slot.
+//     The randomized variant composes a static random permutation in
+//     front, breaking up spatially-clustered hot regions.
+//   - SecurityRefresh — Seong et al., ISCA 2010: addresses are remapped
+//     by XOR with a random key; a refresh pointer sweeps the space
+//     swapping pairs to migrate from the previous key to the current
+//     one, re-keying every full sweep.
+//
+// Both implement Leveler: a dynamic logical→physical mapping plus the
+// extra migration writes the technique costs.  The wear-leveling
+// ablation uses them to validate the paper's perfect-leveling
+// assumption under skewed workloads.
+package wearlevel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Leveler maps logical line addresses to physical slots, remapping over
+// time so that writes spread across the device.
+type Leveler interface {
+	// Slots is the number of physical slots backing Lines() logical
+	// lines (≥ Lines(); Start-Gap needs one spare).
+	Slots() int
+	// Lines is the logical address-space size.
+	Lines() int
+	// OnWrite maps one logical write to its physical slot and advances
+	// the leveler's internal schedule.  The returned migrations lists
+	// physical slots that absorbed an extra migration write as part of
+	// this step (excluding the data write to phys itself).
+	OnWrite(logical int) (phys int, migrations []int)
+	// Name identifies the technique.
+	Name() string
+}
+
+// Static is the no-leveling baseline: identity mapping, no migrations.
+type Static struct{ N int }
+
+// Slots implements Leveler.
+func (s Static) Slots() int { return s.N }
+
+// Lines implements Leveler.
+func (s Static) Lines() int { return s.N }
+
+// OnWrite implements Leveler.
+func (s Static) OnWrite(logical int) (int, []int) { return logical, nil }
+
+// Name implements Leveler.
+func (Static) Name() string { return "none" }
+
+// StartGap is the Start-Gap algorithm over N logical lines and N+1
+// physical slots.
+type StartGap struct {
+	n     int
+	psi   int // writes between gap movements
+	start int
+	gap   int // physical index of the empty slot, in [0, n]
+	count int
+	perm  []int // optional static randomization (nil = plain Start-Gap)
+}
+
+// NewStartGap returns plain Start-Gap moving the gap every psi writes.
+func NewStartGap(n, psi int) (*StartGap, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wearlevel: %d lines", n)
+	}
+	if psi <= 0 {
+		return nil, fmt.Errorf("wearlevel: psi %d must be positive", psi)
+	}
+	return &StartGap{n: n, psi: psi, gap: n}, nil
+}
+
+// NewRandomizedStartGap returns the randomized region-based variant the
+// paper cites: a seed-derived static permutation in front of Start-Gap.
+// (The original uses an invertible binary matrix; any fixed random
+// bijection provides the same spreading for simulation purposes.)
+func NewRandomizedStartGap(n, psi int, seed int64) (*StartGap, error) {
+	sg, err := NewStartGap(n, psi)
+	if err != nil {
+		return nil, err
+	}
+	sg.perm = rand.New(rand.NewSource(seed)).Perm(n)
+	return sg, nil
+}
+
+// Slots implements Leveler: one spare slot for the gap.
+func (s *StartGap) Slots() int { return s.n + 1 }
+
+// Lines implements Leveler.
+func (s *StartGap) Lines() int { return s.n }
+
+// Name implements Leveler.
+func (s *StartGap) Name() string {
+	if s.perm != nil {
+		return fmt.Sprintf("start-gap-rand(psi=%d)", s.psi)
+	}
+	return fmt.Sprintf("start-gap(psi=%d)", s.psi)
+}
+
+// physOf maps a logical line under the current start/gap registers:
+// PA = (LA + start) mod N, skipping the gap slot.
+func (s *StartGap) physOf(logical int) int {
+	if s.perm != nil {
+		logical = s.perm[logical]
+	}
+	pa := (logical + s.start) % s.n
+	if pa >= s.gap {
+		pa++
+	}
+	return pa
+}
+
+// OnWrite implements Leveler.
+func (s *StartGap) OnWrite(logical int) (int, []int) {
+	phys := s.physOf(logical)
+	s.count++
+	if s.count < s.psi {
+		return phys, nil
+	}
+	s.count = 0
+	// Move the gap: the line in slot gap−1 (or slot N when the gap is
+	// at 0) shifts into the empty slot; that slot absorbs one
+	// migration write.
+	var migrations []int
+	if s.gap == 0 {
+		// Gap wraps: the line at the top moves down into slot 0, and
+		// start advances so the mapping stays consistent.
+		migrations = append(migrations, 0)
+		s.gap = s.n
+		s.start = (s.start + 1) % s.n
+	} else {
+		migrations = append(migrations, s.gap)
+		s.gap--
+	}
+	return phys, migrations
+}
+
+// SecurityRefresh remaps addresses by XOR with a random key and sweeps
+// the space swapping line pairs to migrate between consecutive keys.
+// The address-space size must be a power of two.
+type SecurityRefresh struct {
+	n       int
+	psi     int // writes between refresh steps
+	curKey  int // key being installed by the current sweep
+	prevKey int // key the unswept region still uses
+	ptr     int // sweep pointer: logical addresses < ptr use curKey
+	count   int
+	rng     *rand.Rand
+}
+
+// NewSecurityRefresh returns a single-level Security Refresh over n
+// lines (n a power of two), advancing one remap step every psi writes.
+func NewSecurityRefresh(n, psi int, seed int64) (*SecurityRefresh, error) {
+	if n <= 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("wearlevel: size %d is not a power of two > 1", n)
+	}
+	if psi <= 0 {
+		return nil, fmt.Errorf("wearlevel: psi %d must be positive", psi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sr := &SecurityRefresh{n: n, psi: psi, rng: rng}
+	sr.prevKey = 0
+	sr.curKey = sr.freshKey()
+	return sr, nil
+}
+
+// freshKey draws a key different from the previous one, so every sweep
+// actually moves lines.
+func (s *SecurityRefresh) freshKey() int {
+	for {
+		k := s.rng.Intn(s.n)
+		if k != s.prevKey {
+			return k
+		}
+	}
+}
+
+// Slots implements Leveler.
+func (s *SecurityRefresh) Slots() int { return s.n }
+
+// Lines implements Leveler.
+func (s *SecurityRefresh) Lines() int { return s.n }
+
+// Name implements Leveler.
+func (s *SecurityRefresh) Name() string { return fmt.Sprintf("security-refresh(psi=%d)", s.psi) }
+
+// physOf maps a logical address under the sweep state.  Remapping
+// happens in pairs {a, a ^ (prevKey^curKey)}: both keys send such a pair
+// to the same two physical slots, so swapping them keeps the global
+// mapping a bijection mid-sweep.  A pair is remapped once its leader
+// (the smaller member) has been passed by the sweep pointer.
+func (s *SecurityRefresh) physOf(logical int) int {
+	k := s.prevKey ^ s.curKey
+	leader := logical
+	if partner := logical ^ k; partner < leader {
+		leader = partner
+	}
+	if leader < s.ptr {
+		return logical ^ s.curKey
+	}
+	return logical ^ s.prevKey
+}
+
+// OnWrite implements Leveler.
+func (s *SecurityRefresh) OnWrite(logical int) (int, []int) {
+	phys := s.physOf(logical)
+	s.count++
+	if s.count < s.psi {
+		return phys, nil
+	}
+	s.count = 0
+	var migrations []int
+	// Refresh step: when the sweep pointer is a pair leader, swap the
+	// pair's two physical slots; both absorb a migration write.
+	k := s.prevKey ^ s.curKey
+	if s.ptr < s.ptr^k {
+		migrations = append(migrations, s.ptr^s.prevKey, s.ptr^s.curKey)
+	}
+	s.ptr++
+	if s.ptr == s.n {
+		// Sweep complete: rotate keys and start over.
+		s.ptr = 0
+		s.prevKey = s.curKey
+		s.curKey = s.freshKey()
+	}
+	return phys, migrations
+}
+
+// Perfect spreads writes round-robin regardless of the logical address —
+// the paper's idealized assumption, usable only in simulation.
+type Perfect struct {
+	N    int
+	next int
+}
+
+// Slots implements Leveler.
+func (p *Perfect) Slots() int { return p.N }
+
+// Lines implements Leveler.
+func (p *Perfect) Lines() int { return p.N }
+
+// Name implements Leveler.
+func (p *Perfect) Name() string { return "perfect" }
+
+// OnWrite implements Leveler.
+func (p *Perfect) OnWrite(int) (int, []int) {
+	phys := p.next
+	p.next = (p.next + 1) % p.N
+	return phys, nil
+}

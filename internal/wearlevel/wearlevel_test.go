@@ -1,0 +1,283 @@
+package wearlevel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aegis/internal/workload"
+)
+
+// checkBijection verifies that, at the current instant, every logical
+// line maps to a distinct physical slot.
+func checkBijection(t *testing.T, lev Leveler, physOf func(int) int) {
+	t.Helper()
+	seen := make(map[int]int)
+	for la := 0; la < lev.Lines(); la++ {
+		pa := physOf(la)
+		if pa < 0 || pa >= lev.Slots() {
+			t.Fatalf("logical %d maps to out-of-range slot %d", la, pa)
+		}
+		if other, dup := seen[pa]; dup {
+			t.Fatalf("logical %d and %d both map to slot %d", other, la, pa)
+		}
+		seen[pa] = la
+	}
+}
+
+func TestStartGapMappingStaysBijective(t *testing.T) {
+	sg, err := NewStartGap(16, 1) // move the gap on every write
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 300; step++ {
+		checkBijection(t, sg, sg.physOf)
+		sg.OnWrite(rng.Intn(16))
+	}
+}
+
+func TestStartGapTracksContents(t *testing.T) {
+	// Shadow simulation: maintain actual slot contents by applying the
+	// migrations, and verify physOf always points at the right line.
+	const n = 8
+	sg, err := NewStartGap(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := make([]int, n+1) // slots[i] = logical line stored in slot i
+	for i := 0; i < n; i++ {
+		slots[i] = i
+	}
+	slots[n] = -1 // gap
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 200; step++ {
+		for la := 0; la < n; la++ {
+			if got := slots[sg.physOf(la)]; got != la {
+				t.Fatalf("step %d: slot %d holds line %d, expected %d", step, sg.physOf(la), got, la)
+			}
+		}
+		gapBefore := sg.gap
+		_, migrations := sg.OnWrite(rng.Intn(n))
+		for _, dst := range migrations {
+			// The migration moves the line adjacent to the gap into
+			// the empty slot.
+			var src int
+			if gapBefore == 0 {
+				src = n
+			} else {
+				src = gapBefore - 1
+			}
+			slots[dst] = slots[src]
+			slots[src] = -1
+		}
+	}
+}
+
+func TestStartGapMigrationRate(t *testing.T) {
+	sg, err := NewStartGap(64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := 0
+	rng := rand.New(rand.NewSource(3))
+	const writes = 1000
+	for i := 0; i < writes; i++ {
+		_, m := sg.OnWrite(rng.Intn(64))
+		moves += len(m)
+	}
+	if moves != writes/10 {
+		t.Fatalf("migrations = %d, want %d (one per psi)", moves, writes/10)
+	}
+}
+
+func TestRandomizedStartGapPermutes(t *testing.T) {
+	sg, err := NewRandomizedStartGap(64, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, sg, sg.physOf)
+	identity := true
+	for la := 0; la < 64; la++ {
+		if sg.physOf(la) != la {
+			identity = false
+		}
+	}
+	if identity {
+		t.Fatal("randomized start-gap produced the identity mapping")
+	}
+}
+
+func TestSecurityRefreshBijectiveMidSweep(t *testing.T) {
+	sr, err := NewSecurityRefresh(32, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 500; step++ {
+		checkBijection(t, sr, sr.physOf)
+		sr.OnWrite(rng.Intn(32))
+	}
+}
+
+func TestSecurityRefreshEventuallyRemapsEverything(t *testing.T) {
+	sr, err := NewSecurityRefresh(16, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	visited := map[int]map[int]bool{}
+	for la := 0; la < 16; la++ {
+		visited[la] = map[int]bool{}
+	}
+	for step := 0; step < 16*64; step++ {
+		for la := 0; la < 16; la++ {
+			visited[la][sr.physOf(la)] = true
+		}
+		sr.OnWrite(rng.Intn(16))
+	}
+	for la, slots := range visited {
+		if len(slots) < 4 {
+			t.Fatalf("logical %d visited only %d slots over many sweeps", la, len(slots))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewStartGap(0, 10); err == nil {
+		t.Error("zero lines accepted")
+	}
+	if _, err := NewStartGap(8, 0); err == nil {
+		t.Error("zero psi accepted")
+	}
+	if _, err := NewSecurityRefresh(12, 10, 1); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, err := NewSecurityRefresh(16, 0, 1); err == nil {
+		t.Error("zero psi accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	sg, _ := NewStartGap(8, 10)
+	rsg, _ := NewRandomizedStartGap(8, 10, 1)
+	sr, _ := NewSecurityRefresh(8, 10, 1)
+	for _, lev := range []Leveler{Static{N: 8}, sg, rsg, sr, &Perfect{N: 8}} {
+		if lev.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+}
+
+func TestPerfectRoundRobin(t *testing.T) {
+	p := &Perfect{N: 4}
+	for i := 0; i < 12; i++ {
+		phys, m := p.OnWrite(0)
+		if phys != i%4 || m != nil {
+			t.Fatalf("write %d: phys=%d migrations=%v", i, phys, m)
+		}
+	}
+}
+
+func TestSimulateLevelingBeatsNone(t *testing.T) {
+	const n = 64
+	mk := func() []int64 {
+		rng := rand.New(rand.NewSource(11))
+		b := make([]int64, n)
+		for i := range b {
+			b[i] = int64(800 + rng.Intn(400))
+		}
+		return b
+	}
+	mkGap := func() []int64 { return append(mk(), 1000) } // spare slot for start-gap
+	hot, err := workload.NewHotSpot(n, 0.9, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	static, err := Simulate(Static{N: n}, hot, mk(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := NewStartGap(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leveled, err := Simulate(sg, hot, mkGap(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leveled.WritesToFirstDeath <= 2*static.WritesToFirstDeath {
+		t.Fatalf("start-gap first death %d not well above static %d under hot-spot",
+			leveled.WritesToFirstDeath, static.WritesToFirstDeath)
+	}
+	if leveled.MigrationWrites == 0 {
+		t.Fatal("start-gap reported no migration writes")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	u := workload.Uniform{N: 8}
+	if _, err := Simulate(Static{N: 8}, u, make([]int64, 7), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("wrong budget count accepted")
+	}
+	if _, err := Simulate(Static{N: 9}, u, make([]int64, 9), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("mismatched workload size accepted")
+	}
+}
+
+// Property: Start-Gap stays bijective for arbitrary sizes and psi.
+func TestPropStartGapBijection(t *testing.T) {
+	f := func(nRaw, psiRaw uint8, seed int64) bool {
+		n := int(nRaw%60) + 2
+		psi := int(psiRaw%9) + 1
+		sg, err := NewStartGap(n, psi)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 120; step++ {
+			seen := map[int]bool{}
+			for la := 0; la < n; la++ {
+				pa := sg.physOf(la)
+				if pa < 0 || pa > n || seen[pa] {
+					return false
+				}
+				seen[pa] = true
+			}
+			sg.OnWrite(rng.Intn(n))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Security Refresh stays bijective for power-of-two sizes.
+func TestPropSecurityRefreshBijection(t *testing.T) {
+	f := func(expRaw, psiRaw uint8, seed int64) bool {
+		n := 1 << (uint(expRaw%5) + 2) // 4..64
+		psi := int(psiRaw%9) + 1
+		sr, err := NewSecurityRefresh(n, psi, seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for step := 0; step < 150; step++ {
+			seen := map[int]bool{}
+			for la := 0; la < n; la++ {
+				pa := sr.physOf(la)
+				if pa < 0 || pa >= n || seen[pa] {
+					return false
+				}
+				seen[pa] = true
+			}
+			sr.OnWrite(rng.Intn(n))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package workload generates logical write-address streams for
+// device-level simulations.  The paper assumes perfect wear leveling
+// under which the address stream is irrelevant; these generators exist
+// to *test* that assumption (see the wear-leveling ablation): skewed
+// streams are exactly what Start-Gap and Security Refresh must flatten.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces logical page addresses in [0, Size()).
+type Generator interface {
+	// Next draws the next address to write.
+	Next(rng *rand.Rand) int
+	// Size is the logical address-space size.
+	Size() int
+	// Name identifies the workload.
+	Name() string
+}
+
+// Uniform writes every address with equal probability — the effective
+// stream the paper's perfect-wear-leveling assumption reduces to.
+type Uniform struct{ N int }
+
+// Next implements Generator.
+func (u Uniform) Next(rng *rand.Rand) int { return rng.Intn(u.N) }
+
+// Size implements Generator.
+func (u Uniform) Size() int { return u.N }
+
+// Name implements Generator.
+func (u Uniform) Name() string { return "uniform" }
+
+// Sequential sweeps the address space cyclically — the friendliest
+// non-random stream (inherently leveled, but deterministic and thus
+// attackable without randomization).
+type Sequential struct {
+	N    int
+	next int
+}
+
+// Next implements Generator.
+func (s *Sequential) Next(*rand.Rand) int {
+	a := s.next
+	s.next = (s.next + 1) % s.N
+	return a
+}
+
+// Size implements Generator.
+func (s *Sequential) Size() int { return s.N }
+
+// Name implements Generator.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Zipf draws addresses from a Zipf distribution over a randomly shuffled
+// rank order — a skewed but spread-out stream, the common model of real
+// write traffic.
+type Zipf struct {
+	n     int
+	s     float64
+	perm  []int
+	zipf  *rand.Zipf
+	seed  int64
+	owner *rand.Rand
+}
+
+// NewZipf returns a Zipf(s) workload over n addresses (s > 1).  The
+// rank-to-address permutation is derived from seed so runs are
+// reproducible.
+func NewZipf(n int, s float64, seed int64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: size %d", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent %v must be > 1", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := &Zipf{
+		n:     n,
+		s:     s,
+		perm:  rng.Perm(n),
+		owner: rng,
+	}
+	z.zipf = rand.NewZipf(rng, s, 1, uint64(n-1))
+	return z, nil
+}
+
+// Next implements Generator.  The passed rng is unused: rand.Zipf is
+// bound to its own source at construction, which keeps the hot ranks
+// stable over a run.
+func (z *Zipf) Next(*rand.Rand) int { return z.perm[int(z.zipf.Uint64())] }
+
+// Size implements Generator.
+func (z *Zipf) Size() int { return z.n }
+
+// Name implements Generator.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(%.1f)", z.s) }
+
+// HotSpot concentrates a fraction of the writes onto a small prefix of
+// the (shuffled) address space: HotFrac of the traffic goes to
+// HotAddrFrac of the addresses — the adversarial case for wear leveling.
+type HotSpot struct {
+	N           int
+	HotFrac     float64 // fraction of writes that hit the hot set
+	HotAddrFrac float64 // fraction of addresses forming the hot set
+	perm        []int
+}
+
+// NewHotSpot builds a hot-spot workload with a seed-derived address
+// shuffle.
+func NewHotSpot(n int, hotFrac, hotAddrFrac float64, seed int64) (*HotSpot, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: size %d", n)
+	}
+	if hotFrac <= 0 || hotFrac >= 1 || hotAddrFrac <= 0 || hotAddrFrac >= 1 {
+		return nil, fmt.Errorf("workload: fractions must be in (0,1)")
+	}
+	return &HotSpot{
+		N:           n,
+		HotFrac:     hotFrac,
+		HotAddrFrac: hotAddrFrac,
+		perm:        rand.New(rand.NewSource(seed)).Perm(n),
+	}, nil
+}
+
+// Next implements Generator.
+func (h *HotSpot) Next(rng *rand.Rand) int {
+	hot := int(float64(h.N) * h.HotAddrFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if rng.Float64() < h.HotFrac {
+		return h.perm[rng.Intn(hot)]
+	}
+	if hot >= h.N {
+		return h.perm[rng.Intn(h.N)]
+	}
+	return h.perm[hot+rng.Intn(h.N-hot)]
+}
+
+// Size implements Generator.
+func (h *HotSpot) Size() int { return h.N }
+
+// Name implements Generator.
+func (h *HotSpot) Name() string {
+	return fmt.Sprintf("hotspot(%.0f%%→%.0f%%)", h.HotFrac*100, h.HotAddrFrac*100)
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformCoversSpace(t *testing.T) {
+	u := Uniform{N: 16}
+	if u.Size() != 16 || u.Name() != "uniform" {
+		t.Fatal("metadata wrong")
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 16)
+	const draws = 16000
+	for i := 0; i < draws; i++ {
+		a := u.Next(rng)
+		if a < 0 || a >= 16 {
+			t.Fatalf("address %d out of range", a)
+		}
+		counts[a]++
+	}
+	for a, c := range counts {
+		if math.Abs(float64(c)-1000) > 150 {
+			t.Fatalf("address %d drawn %d times, want ≈1000", a, c)
+		}
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	s := &Sequential{N: 4}
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		if got := s.Next(nil); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+	if s.Size() != 4 || s.Name() != "sequential" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(256, 1.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Size() != 256 || z.Name() == "" {
+		t.Fatal("metadata wrong")
+	}
+	counts := make(map[int]int)
+	const draws = 30000
+	for i := 0; i < draws; i++ {
+		a := z.Next(nil)
+		if a < 0 || a >= 256 {
+			t.Fatalf("address %d out of range", a)
+		}
+		counts[a]++
+	}
+	// The hottest address should take far more than the uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 4*draws/256 {
+		t.Fatalf("hottest address drew %d of %d; not skewed", max, draws)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1.5, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewZipf(8, 1.0, 1); err == nil {
+		t.Error("exponent 1.0 accepted")
+	}
+}
+
+func TestHotSpotConcentration(t *testing.T) {
+	h, err := NewHotSpot(100, 0.9, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := make(map[int]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[h.Next(rng)]++
+	}
+	// The 10 hot addresses (first 10 of the permutation) should absorb
+	// ≈90 % of the writes.
+	hotWrites := 0
+	for i := 0; i < 10; i++ {
+		hotWrites += counts[h.perm[i]]
+	}
+	frac := float64(hotWrites) / draws
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot set absorbed %.2f of writes, want ≈0.9", frac)
+	}
+	if h.Size() != 100 || h.Name() == "" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestHotSpotValidation(t *testing.T) {
+	cases := []struct{ hf, haf float64 }{
+		{0, 0.1}, {1, 0.1}, {0.5, 0}, {0.5, 1},
+	}
+	for _, c := range cases {
+		if _, err := NewHotSpot(10, c.hf, c.haf, 1); err == nil {
+			t.Errorf("fractions (%v,%v) accepted", c.hf, c.haf)
+		}
+	}
+	if _, err := NewHotSpot(0, 0.5, 0.5, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+}
