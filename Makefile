@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench repro repro-quick extensions examples fuzz clean
+.PHONY: all test test-short vet bench bench-json repro repro-quick extensions examples fuzz clean
 
 all: test
 
@@ -15,8 +15,19 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+vet:
+	$(GO) vet ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark pipeline: runs the root-package experiment
+# benchmarks once and writes a normalized BENCH_<date>.json.  Compare two
+# files with `go run ./cmd/benchdiff -old A.json -new B.json`; refresh
+# the CI baseline with BENCH=BENCH_baseline.json.
+BENCH ?= BENCH_$(shell date +%Y-%m-%d).json
+bench-json:
+	$(GO) run ./cmd/benchdiff -run -benchtime 1x -out $(BENCH)
 
 # Regenerate every table and figure of the paper (minutes, one core).
 repro:

@@ -1,17 +1,27 @@
 // Command aegisbench runs the reproduction harness: it regenerates any
 // table or figure of the paper's evaluation and prints it as an aligned
-// ASCII table (optionally exporting CSV).
+// ASCII table (optionally exporting CSV and a machine-readable JSON run
+// manifest).
 //
 // Usage:
 //
 //	aegisbench -exp table1
 //	aegisbench -exp fig5 -preset default
 //	aegisbench -exp all -preset quick -csv out/
+//	aegisbench -exp table1 -json results/
+//	aegisbench -exp all -preset full -cpuprofile cpu.out -http localhost:6060
 //	aegisbench -list
 //
 // Experiments: table1, fig2, fig5…fig13, all.  Presets scale the Monte
 // Carlo effort (see DESIGN.md §3 on lifetime scaling): quick (seconds),
 // default (minutes, the README numbers), full (closer to paper scale).
+//
+// -json DIR serializes the run to DIR/<exp>.json: config, seed, git SHA,
+// Go version, wall/CPU time, per-scheme operation counters and every
+// result row (see DESIGN.md §"Run manifests" for the schema).
+// -cpuprofile/-memprofile/-trace write standard Go profiles; -http
+// serves expvar ("aegis.counters") and net/http/pprof for live
+// inspection of long runs.
 package main
 
 import (
@@ -26,6 +36,8 @@ import (
 	"time"
 
 	"aegis/internal/experiments"
+	"aegis/internal/obs"
+	"aegis/internal/report"
 	"aegis/internal/stats"
 )
 
@@ -61,13 +73,18 @@ func writeSeriesCSV(w io.Writer, series []stats.Series) error {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("aegisbench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment to run: "+strings.Join(experiments.IDs, ", ")+", or all")
-		preset  = fs.String("preset", "default", "effort preset: quick, default, full")
-		seed    = fs.Int64("seed", 0, "override the preset's RNG seed (0 = keep preset seed)")
-		workers = fs.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
-		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
-		format  = fs.String("format", "text", "table output format: text or md (markdown)")
-		list    = fs.Bool("list", false, "list experiments and exit")
+		exp        = fs.String("exp", "all", "experiment to run: "+strings.Join(experiments.IDs, ", ")+", or all")
+		preset     = fs.String("preset", "default", "effort preset: quick, default, full")
+		seed       = fs.Int64("seed", 0, "override the preset's RNG seed (0 = keep preset seed)")
+		workers    = fs.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
+		jsonDir    = fs.String("json", "", "write a machine-readable run manifest into this directory")
+		format     = fs.String("format", "text", "table output format: text or md (markdown)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = fs.String("trace", "", "write an execution trace to this file")
+		httpAddr   = fs.String("http", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,8 +117,28 @@ func run(args []string, out *os.File) error {
 		p.Seed = *seed
 	}
 	p.Workers = *workers
+	reg := obs.NewRegistry()
+	p.Obs = reg
+
+	if *httpAddr != "" {
+		serveDebug(*httpAddr, reg)
+	}
+	prof, err := startProfiles(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "aegisbench:", err)
+		}
+	}()
 
 	start := time.Now()
+	manifest := obs.NewManifest(*exp)
+	manifest.Preset = *preset
+	manifest.Seed = p.Seed
+	manifest.Workers = p.Workers
+	manifest.Config = p
 	result, err := experiments.Run(*exp, p)
 	if err != nil {
 		return err
@@ -158,6 +195,44 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "wrote %d CSV file(s) to %s\n", written, *csvDir)
 	}
+	if *jsonDir != "" {
+		manifest.Finish(start)
+		manifest.Counters = reg.Snapshot()
+		manifest.Tables = manifestTables(result.Tables)
+		manifest.Series = manifestSeries(result.Series)
+		path := filepath.Join(*jsonDir, *exp+".json")
+		if err := manifest.Write(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote run manifest %s\n", path)
+	}
 	fmt.Fprintf(out, "done in %v (preset %s, seed %d)\n", time.Since(start).Round(time.Millisecond), *preset, p.Seed)
 	return nil
+}
+
+// manifestTables converts rendered report tables to their JSON form.
+func manifestTables(tables []*report.Table) []obs.Table {
+	out := make([]obs.Table, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, obs.Table{
+			Title:  t.Title,
+			Header: t.Header,
+			Rows:   t.Rows,
+			Notes:  t.Notes,
+		})
+	}
+	return out
+}
+
+// manifestSeries converts figure curves to their JSON form.
+func manifestSeries(series []stats.Series) []obs.Series {
+	out := make([]obs.Series, 0, len(series))
+	for _, s := range series {
+		ms := obs.Series{Name: s.Name, Points: make([]obs.Point, 0, len(s.Points))}
+		for _, pt := range s.Points {
+			ms.Points = append(ms.Points, obs.Point{X: pt.X, Y: pt.Y})
+		}
+		out = append(out, ms)
+	}
+	return out
 }

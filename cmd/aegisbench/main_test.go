@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"aegis/internal/obs"
 )
 
 // capture runs the CLI with stdout redirected to a pipe-backed file.
@@ -152,6 +155,119 @@ func TestExtensionsRunner(t *testing.T) {
 	for _, want := range []string{"Write traffic", "Soft vs hard FTC", "PAYG", "wear-leveling techniques"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("extensions output missing %q", want)
+		}
+	}
+}
+
+// TestJSONManifestGolden pins the manifest schema: key set, schema
+// marker, git SHA, seed and result rows must stay stable so downstream
+// tooling (cmd/benchdiff, CI artifact consumers) can rely on them.
+func TestJSONManifestGolden(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, []string{"-exp", "table1", "-json", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote run manifest") {
+		t.Fatalf("manifest message missing:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"schema", "experiment", "preset", "seed", "workers",
+		"go_version", "goos", "goarch", "num_cpu", "git_sha",
+		"started_at", "wall_seconds", "cpu_seconds", "config",
+		"counters", "tables",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("manifest missing key %q", key)
+		}
+	}
+
+	m, err := obs.LoadManifest(filepath.Join(dir, "table1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != obs.ManifestSchema {
+		t.Fatalf("schema = %q, want %q", m.Schema, obs.ManifestSchema)
+	}
+	if m.Experiment != "table1" || m.Preset != "default" || m.Seed != 1 {
+		t.Fatalf("run identity wrong: %+v", m)
+	}
+	if m.GitSHA == "" || m.GoVersion == "" {
+		t.Fatalf("environment stamps missing: sha=%q go=%q", m.GitSHA, m.GoVersion)
+	}
+	if len(m.Tables) != 1 || !strings.Contains(m.Tables[0].Title, "Table 1") {
+		t.Fatalf("tables wrong: %+v", m.Tables)
+	}
+	if len(m.Tables[0].Rows) != 10 || m.Tables[0].Rows[9][1] != "101" {
+		t.Fatalf("table1 rows wrong: %+v", m.Tables[0].Rows)
+	}
+	if m.Counters == nil {
+		t.Fatal("counters field absent (want at least an empty object)")
+	}
+}
+
+// TestJSONManifestCounters checks a simulating experiment populates
+// per-scheme counter totals in the manifest.
+func TestJSONManifestCounters(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, []string{"-exp", "fig10", "-preset", "quick", "-json", dir}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.LoadManifest(filepath.Join(dir, "fig10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Counters) == 0 {
+		t.Fatal("fig10 manifest has no counters")
+	}
+	tot, ok := m.Counters["Aegis-rw 9x61"]
+	if !ok {
+		t.Fatalf("missing Aegis-rw 9x61 counters; have %v", keys(m.Counters))
+	}
+	if tot.Writes == 0 || tot.VerifyReads == 0 || tot.BlockDeaths == 0 {
+		t.Fatalf("implausible totals %+v", tot)
+	}
+	if len(m.Series) == 0 {
+		t.Fatal("fig10 manifest lost its series")
+	}
+	if m.WallSeconds <= 0 {
+		t.Fatalf("wall_seconds = %v", m.WallSeconds)
+	}
+}
+
+func keys(m map[string]obs.Totals) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestProfileFlags smoke-tests -cpuprofile/-memprofile/-trace output.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	tr := filepath.Join(dir, "trace.out")
+	_, err := capture(t, []string{"-exp", "table1", "-cpuprofile", cpu, "-memprofile", mem, "-trace", tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, tr} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
 		}
 	}
 }

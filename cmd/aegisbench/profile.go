@@ -1,0 +1,117 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+
+	// Opt-in diagnostics endpoint: importing net/http/pprof and expvar
+	// registers /debug/pprof/* and /debug/vars on the default mux; the
+	// server only starts when -http is given.
+	_ "net/http/pprof"
+
+	"aegis/internal/obs"
+)
+
+// profiler owns the lifecycle of the -cpuprofile/-memprofile/-trace
+// outputs for one harness run.
+type profiler struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// startProfiles begins CPU profiling and execution tracing as requested.
+// Call stop (even on error paths) to flush everything.
+func startProfiles(cpuPath, memPath, tracePath string) (*profiler, error) {
+	p := &profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			p.stopCPU()
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.stopCPU()
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return p, nil
+}
+
+func (p *profiler) stopCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// stop flushes the CPU profile and trace and writes the heap profile.
+func (p *profiler) stop() error {
+	p.stopCPU()
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil {
+			return err
+		}
+		p.traceFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		runtime.GC() // get up-to-date heap statistics
+		werr := pprof.Lookup("heap").WriteTo(f, 0)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("-memprofile: %w", werr)
+		}
+		return cerr
+	}
+	return nil
+}
+
+// publishCountersOnce exposes the run's scheme counters as the expvar
+// variable "aegis.counters" (visible under /debug/vars).  expvar.Publish
+// panics on duplicate names, so guard against repeated runs in-process.
+var publishOnce sync.Once
+
+func publishCounters(reg *obs.Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("aegis.counters", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+	})
+}
+
+// serveDebug starts the opt-in expvar/pprof HTTP endpoint.  Profiling
+// long runs: `aegisbench -exp all -preset full -http localhost:6060`,
+// then `go tool pprof http://localhost:6060/debug/pprof/profile`.
+func serveDebug(addr string, reg *obs.Registry) {
+	publishCounters(reg)
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "aegisbench: -http:", err)
+		}
+	}()
+}

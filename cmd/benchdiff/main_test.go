@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: aegis
+cpu: Some CPU @ 2.40GHz
+BenchmarkTable1-8        	     120	      9731 ns/op	    1024 B/op	      17 allocs/op
+BenchmarkFig5            	       2	 510000000 ns/op
+BenchmarkFig8-8          	       3	 333000000 ns/op	 5000000 B/op	   90000 allocs/op
+PASS
+ok  	aegis	2.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	bs, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(bs), bs)
+	}
+	b := bs[0]
+	if b.Name != "Table1" || b.FullName != "BenchmarkTable1-8" || b.Procs != 8 {
+		t.Fatalf("name parsing wrong: %+v", b)
+	}
+	if b.Iterations != 120 || b.NsPerOp != 9731 || b.BytesPerOp != 1024 || b.AllocsPerOp != 17 {
+		t.Fatalf("metric parsing wrong: %+v", b)
+	}
+	if bs[1].Name != "Fig5" || bs[1].Procs != 0 || bs[1].BytesPerOp != 0 {
+		t.Fatalf("plain line parsing wrong: %+v", bs[1])
+	}
+}
+
+func TestParseBenchOutputAveragesRepeats(t *testing.T) {
+	repeated := "BenchmarkX-4 10 100 ns/op\nBenchmarkX-4 10 300 ns/op\n"
+	bs, err := ParseBenchOutput(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0].NsPerOp != 200 {
+		t.Fatalf("averaging wrong: %+v", bs)
+	}
+}
+
+func benchFile(ns map[string]float64) *File {
+	f := &File{
+		Schema:    BenchSchema,
+		CreatedAt: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC),
+		GoVersion: "go1.22",
+	}
+	// Deterministic order for the test.
+	for _, name := range []string{"Fig5", "Fig8", "Table1", "New"} {
+		v, ok := ns[name]
+		if !ok {
+			continue
+		}
+		f.Benchmarks = append(f.Benchmarks, Benchmark{Name: name, FullName: "Benchmark" + name, Iterations: 1, NsPerOp: v})
+	}
+	return f
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldF := benchFile(map[string]float64{"Fig5": 100, "Fig8": 100, "Table1": 100})
+	newF := benchFile(map[string]float64{"Fig5": 150, "Fig8": 105, "New": 50})
+	r := Compare(oldF, newF, 20)
+	if len(r.Regressions) != 1 || !strings.HasPrefix(r.Regressions[0], "Fig5") {
+		t.Fatalf("regressions = %v, want [Fig5 ...]", r.Regressions)
+	}
+	if len(r.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want 2", r.Deltas)
+	}
+	// Sorted by delta: worst first.
+	if r.Deltas[0].Name != "Fig5" || !r.Deltas[0].Regression || r.Deltas[0].Pct != 50 {
+		t.Fatalf("worst delta wrong: %+v", r.Deltas[0])
+	}
+	if r.Deltas[1].Name != "Fig8" || r.Deltas[1].Regression {
+		t.Fatalf("within-threshold delta wrong: %+v", r.Deltas[1])
+	}
+	if len(r.OnlyOld) != 1 || r.OnlyOld[0] != "Table1" {
+		t.Fatalf("OnlyOld = %v", r.OnlyOld)
+	}
+	if len(r.OnlyNew) != 1 || r.OnlyNew[0] != "New" {
+		t.Fatalf("OnlyNew = %v", r.OnlyNew)
+	}
+	text := r.Format("old.json", "new.json", 20)
+	if !strings.Contains(text, "REGRESSION") || !strings.Contains(text, "2 compared, 1 regression(s)") {
+		t.Fatalf("format wrong:\n%s", text)
+	}
+}
+
+// TestCompareCLIExitsNonZeroOnRegression drives the full CLI path the
+// acceptance criterion requires: comparing two files where one benchmark
+// slowed past the threshold must return an error (→ non-zero exit).
+func TestCompareCLIExitsNonZeroOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_baseline.json")
+	newPath := filepath.Join(dir, "BENCH_new.json")
+	if err := writeFile(oldPath, benchFile(map[string]float64{"Fig5": 100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(newPath, benchFile(map[string]float64{"Fig5": 200})); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "20"}, &out)
+	if err == nil {
+		t.Fatalf("regression not flagged; output:\n%s", out.String())
+	}
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want errRegression", err)
+	}
+
+	// Within threshold → success.
+	out.Reset()
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "150"}, &out); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := benchFile(map[string]float64{"Fig5": 100})
+	bad.Schema = "other/v9"
+	path := filepath.Join(dir, "bad.json")
+	if err := writeFile(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.json")
+	if err := writeFile(good, benchFile(map[string]float64{"Fig5": 100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-old", path, "-new", good}, &bytes.Buffer{}); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestNoArgsIsAnError(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("benchdiff with no mode flags should fail")
+	}
+}

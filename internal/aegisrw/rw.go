@@ -139,6 +139,9 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 		}
 		a.phys.CopyFrom(data)
+		if a.inv.Any() {
+			a.ops.Inversions++
+		}
 		for _, y := range a.inv.OnesIndices() {
 			a.phys.Xor(a.phys, a.layout.GroupMask(y, a.slope))
 		}
@@ -147,6 +150,9 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		blk.Verify(a.phys, a.errs)
 		a.ops.VerifyReads++
 		if !a.errs.Any() {
+			if iter > 0 {
+				a.ops.Salvages++
+			}
 			return nil
 		}
 		for _, p := range a.errs.OnesIndices() {

@@ -175,12 +175,18 @@ func (a *RWP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		a.complement = complement
 
 		mask := a.invertedMask(k, pointers, complement)
+		if mask.Any() {
+			a.ops.Inversions++
+		}
 		a.phys.Xor(data, mask)
 		blk.WriteRaw(a.phys)
 		a.ops.RawWrites++
 		blk.Verify(a.phys, a.errs)
 		a.ops.VerifyReads++
 		if !a.errs.Any() {
+			if iter > 0 {
+				a.ops.Salvages++
+			}
 			return nil
 		}
 		for _, p := range a.errs.OnesIndices() {

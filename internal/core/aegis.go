@@ -96,11 +96,17 @@ func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
 	// fault, so N+1 iterations are an absolute upper bound.
 	for iter := 0; iter <= a.layout.N; iter++ {
 		a.buildPhysical(data)
+		if a.inv.Any() {
+			a.ops.Inversions++
+		}
 		blk.WriteRaw(a.phys)
 		a.ops.RawWrites++
 		blk.Verify(a.phys, a.errs)
 		a.ops.VerifyReads++
 		if !a.errs.Any() {
+			if iter > 0 {
+				a.ops.Salvages++
+			}
 			return nil
 		}
 		// Every mismatch is a stuck-at-Wrong cell for the intended

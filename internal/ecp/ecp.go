@@ -120,6 +120,11 @@ func (e *ECP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		copy(e.ptrs[at+1:], e.ptrs[at:])
 		e.ptrs[at] = p
 	}
+	if e.errs.Any() {
+		// The request needed pointer corrections rather than storing
+		// cleanly on the raw write.
+		e.ops.Salvages++
+	}
 	for i, p := range e.ptrs {
 		e.repl.Set(i, data.Get(p))
 	}

@@ -47,6 +47,7 @@ func AblationWear(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    p.PageTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	for _, f := range factories {
 		cfg.Seed = p.schemeSeed("abl-wear-" + f.Name())
@@ -100,6 +101,7 @@ func AblationStuck(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    p.CurveTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	curves := make([][]float64, len(entries))
 	for i, e := range entries {
@@ -133,6 +135,7 @@ func AblationRDIS(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    p.CurveTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	depths := []int{1, 2, 3, 4}
 	curves := make([][]float64, len(depths))
@@ -181,6 +184,7 @@ func AblationAegisP(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    p.CurveTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	curves := make([][]float64, len(factories))
 	for i, f := range factories {

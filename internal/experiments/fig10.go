@@ -23,6 +23,7 @@ func Fig10(p Params) (*report.Table, []stats.Series) {
 		CoV:       p.CoV,
 		Trials:    p.BlockTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	t := &report.Table{
 		Title:  "Figure 10: 512-bit block lifetime (writes) of Aegis-rw-p vs pointer count p",

@@ -23,6 +23,7 @@ func Fig8(p Params) (*report.Table, []stats.Series) {
 		CoV:       p.CoV,
 		Trials:    p.CurveTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	factories := roster8()
 	t := &report.Table{

@@ -26,6 +26,7 @@ func Fig9(p Params) (*report.Table, []stats.Series) {
 		CoV:       p.CoV,
 		Trials:    p.SurvivalPages,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	factories := roster9()
 	t := &report.Table{

@@ -42,6 +42,7 @@ func Latency(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    p.CurveTrials / 2,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	if cfg.Trials < 1 {
 		cfg.Trials = 1

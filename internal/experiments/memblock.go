@@ -47,6 +47,7 @@ func MemBlock(p Params) *report.Table {
 				CoV:       p.CoV,
 				Trials:    p.PageTrials,
 				Workers:   p.Workers,
+				Obs:       p.Obs,
 				Seed:      p.schemeSeed(fmt.Sprintf("memblock-%s-%d", f.Name(), pageBytes)),
 			}
 			rs := sim.Pages(f, cfg)

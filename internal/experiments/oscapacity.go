@@ -40,6 +40,7 @@ func OSCapacity(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    32, // empirical block-lifetime sample per scheme
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 
 	type event struct {

@@ -44,6 +44,7 @@ func runStudy(p Params, blockBits int, factories []scheme.Factory) Study {
 		CoV:       p.CoV,
 		Trials:    p.PageTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	cfg.Seed = p.schemeSeed(fmt.Sprintf("baseline-%d", blockBits))
 	baseline := stats.SummarizeInts(sim.Lifetimes(sim.Pages(scheme.NoneFactory{Bits: blockBits}, cfg)))

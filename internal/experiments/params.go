@@ -10,7 +10,11 @@
 // process); see DESIGN.md §3.  The -full preset raises the scale.
 package experiments
 
-import "hash/fnv"
+import (
+	"hash/fnv"
+
+	"aegis/internal/obs"
+)
 
 // Params sizes a harness run.
 type Params struct {
@@ -35,6 +39,11 @@ type Params struct {
 	Seed int64
 	// Workers caps simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Obs, when non-nil, collects per-scheme operation counters from
+	// every simulation the experiments run; cmd/aegisbench serializes
+	// the totals into the run manifest.  Excluded from JSON so Params
+	// itself can serve as the manifest's config record.
+	Obs *obs.Registry `json:"-"`
 }
 
 // Quick returns a preset that runs every experiment in well under a

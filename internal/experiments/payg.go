@@ -66,6 +66,7 @@ func PAYG(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    p.PageTrials,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	for _, uf := range uniforms {
 		pageBits := uf.OverheadBits() * blocks

@@ -31,6 +31,7 @@ func Traffic(p Params) *report.Table {
 		CoV:       p.CoV,
 		Trials:    p.CurveTrials / 2,
 		Workers:   p.Workers,
+		Obs:       p.Obs,
 	}
 	if cfg.Trials < 1 {
 		cfg.Trials = 1

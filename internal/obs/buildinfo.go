@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// GoVersion returns the running toolchain version (e.g. "go1.22.4").
+func GoVersion() string { return runtime.Version() }
+
+// GOOS returns the target operating system.
+func GOOS() string { return runtime.GOOS }
+
+// GOARCH returns the target architecture.
+func GOARCH() string { return runtime.GOARCH }
+
+// NumCPU returns the logical CPU count of the host.
+func NumCPU() int { return runtime.NumCPU() }
+
+// GitSHA identifies the source revision the binary was built from.  It
+// prefers the VCS stamp Go embeds in main-package builds; test binaries
+// and GOFLAGS=-buildvcs=false builds fall back to asking git directly.
+// A "-dirty" suffix marks uncommitted changes; "unknown" means no
+// revision could be determined (e.g. building from a source tarball).
+func GitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				return rev + "-dirty"
+			}
+			return rev
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	return "unknown"
+}

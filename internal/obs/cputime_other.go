@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// ProcessCPUSeconds returns 0 on platforms without getrusage.
+func ProcessCPUSeconds() float64 { return 0 }

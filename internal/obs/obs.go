@@ -1,0 +1,164 @@
+// Package obs is the observability layer of the reproduction harness:
+// cheap atomic counters aggregated per scheme, a registry the simulation
+// engine drains per-trial operation statistics into, and a run-manifest
+// format (manifest.go) that records every experiment run — config, seed,
+// environment, wall/CPU time, counter totals and result rows — as JSON.
+//
+// The counters answer the cost questions the paper discusses around
+// Figure 8 ("intensive inversion writes") and that related stuck-at
+// coding work (Kim & Kumar; Wachter-Zeh & Yaakobi) evaluates directly:
+// how many physical writes, verification re-reads, inversion rewrites,
+// re-partition searches and salvaged requests each scheme needed, and
+// how many blocks and pages it lost.
+//
+// Design: schemes keep their existing per-instance scheme.OpStats
+// bookkeeping (plain int64s on the hot path); internal/sim drains those
+// into the shared Registry once per simulated block or page, so the
+// atomic traffic is O(trials), not O(writes), and the overhead on a full
+// harness run is well under 5 %.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is an atomic event counter safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// SchemeCounters aggregates one scheme configuration's operation counts
+// across every simulated block and page of a run.
+type SchemeCounters struct {
+	// Writes is the number of logical write requests served.
+	Writes Counter
+	// RawWrites is the number of physical block writes issued,
+	// inversion rewrites included.
+	RawWrites Counter
+	// VerifyReads is the number of verification re-reads performed.
+	VerifyReads Counter
+	// Inversions is the number of physical writes issued with at least
+	// one group (or cell region) stored inverted.
+	Inversions Counter
+	// Repartitions is the number of partition-configuration changes
+	// (slope increments, partition-vector growth, field re-selection).
+	Repartitions Counter
+	// Salvages is the number of write requests that succeeded only
+	// after at least one failed verification pass — requests the scheme
+	// actively recovered.
+	Salvages Counter
+	// BlockDeaths is the number of simulated blocks that became
+	// unrecoverable.
+	BlockDeaths Counter
+	// PageDeaths is the number of simulated pages lost to their first
+	// unrecoverable block.
+	PageDeaths Counter
+}
+
+// Totals is the plain-value snapshot of SchemeCounters, the form the run
+// manifest serializes.
+type Totals struct {
+	Writes       int64 `json:"writes"`
+	RawWrites    int64 `json:"raw_writes"`
+	VerifyReads  int64 `json:"verify_reads"`
+	Inversions   int64 `json:"inversions"`
+	Repartitions int64 `json:"repartitions"`
+	Salvages     int64 `json:"salvages"`
+	BlockDeaths  int64 `json:"block_deaths"`
+	PageDeaths   int64 `json:"page_deaths"`
+}
+
+// Totals snapshots the counters.
+func (c *SchemeCounters) Totals() Totals {
+	return Totals{
+		Writes:       c.Writes.Load(),
+		RawWrites:    c.RawWrites.Load(),
+		VerifyReads:  c.VerifyReads.Load(),
+		Inversions:   c.Inversions.Load(),
+		Repartitions: c.Repartitions.Load(),
+		Salvages:     c.Salvages.Load(),
+		BlockDeaths:  c.BlockDeaths.Load(),
+		PageDeaths:   c.PageDeaths.Load(),
+	}
+}
+
+// Plus returns the element-wise sum of two snapshots.
+func (t Totals) Plus(u Totals) Totals {
+	return Totals{
+		Writes:       t.Writes + u.Writes,
+		RawWrites:    t.RawWrites + u.RawWrites,
+		VerifyReads:  t.VerifyReads + u.VerifyReads,
+		Inversions:   t.Inversions + u.Inversions,
+		Repartitions: t.Repartitions + u.Repartitions,
+		Salvages:     t.Salvages + u.Salvages,
+		BlockDeaths:  t.BlockDeaths + u.BlockDeaths,
+		PageDeaths:   t.PageDeaths + u.PageDeaths,
+	}
+}
+
+// Registry maps scheme names to their counters for one harness run.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*SchemeCounters
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*SchemeCounters)}
+}
+
+// Scheme returns the counters registered under name, creating them on
+// first use.  The returned pointer is stable for the registry's life, so
+// callers may cache it across trials.
+func (r *Registry) Scheme(name string) *SchemeCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sc, ok := r.m[name]
+	if !ok {
+		sc = &SchemeCounters{}
+		r.m[name] = sc
+	}
+	return sc
+}
+
+// Names returns the registered scheme names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns the current totals of every registered scheme.  The
+// map is freshly allocated and safe to serialize while simulations keep
+// running.
+func (r *Registry) Snapshot() map[string]Totals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Totals, len(r.m))
+	for name, sc := range r.m {
+		out[name] = sc.Totals()
+	}
+	return out
+}
+
+// Reset drops every registered scheme.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m = make(map[string]*SchemeCounters)
+}

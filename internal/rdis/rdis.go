@@ -165,12 +165,18 @@ func (r *RDIS) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		if !r.computeParity(faults, data, r.parity) {
 			return scheme.ErrUnrecoverable
 		}
+		if r.parity.Any() {
+			r.ops.Inversions++
+		}
 		r.phys.Xor(data, r.parity)
 		blk.WriteRaw(r.phys)
 		r.ops.RawWrites++
 		blk.Verify(r.phys, r.errs)
 		r.ops.VerifyReads++
 		if !r.errs.Any() {
+			if iter > 0 {
+				r.ops.Salvages++
+			}
 			return nil
 		}
 		for _, p := range r.errs.OnesIndices() {

@@ -183,6 +183,9 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 		}
 		c.phys.CopyFrom(data)
+		if c.inv.Any() {
+			c.ops.Inversions++
+		}
 		for _, g := range c.inv.OnesIndices() {
 			c.phys.Xor(c.phys, c.masks[g])
 		}
@@ -191,6 +194,9 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		blk.Verify(c.phys, c.errs)
 		c.ops.VerifyReads++
 		if !c.errs.Any() {
+			if iter > 0 {
+				c.ops.Salvages++
+			}
 			return nil
 		}
 		for _, p := range c.errs.OnesIndices() {

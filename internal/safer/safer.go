@@ -232,11 +232,17 @@ func (s *SAFER) Write(blk *pcm.Block, data *bitvec.Vector) error {
 	s.faultVal = s.faultVal[:0]
 	for iter := 0; iter <= s.n; iter++ {
 		s.buildPhysical(data)
+		if s.inv.Any() {
+			s.ops.Inversions++
+		}
 		blk.WriteRaw(s.phys)
 		s.ops.RawWrites++
 		blk.Verify(s.phys, s.errs)
 		s.ops.VerifyReads++
 		if !s.errs.Any() {
+			if iter > 0 {
+				s.ops.Salvages++
+			}
 			return nil
 		}
 		grew := false

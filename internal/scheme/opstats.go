@@ -17,6 +17,14 @@ type OpStats struct {
 	// Repartitions counts configuration changes (slope increments for
 	// Aegis, partition-vector growth for SAFER).
 	Repartitions int64
+	// Inversions is the number of physical writes issued with at least
+	// one group (or invertible region) stored inverted — the "inversion
+	// writes" Figure 8 discusses.
+	Inversions int64
+	// Salvages is the number of write requests that succeeded only
+	// after at least one failed verification pass, i.e. requests the
+	// scheme actively recovered rather than stored cleanly first try.
+	Salvages int64
 }
 
 // OpReporter is implemented by schemes that track their operation costs.

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/obs"
+	"aegis/internal/scheme"
+)
+
+// TestBlocksDrainCounters checks that a block study drains every trial's
+// operation statistics and block deaths into the registry.
+func TestBlocksDrainCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := core.MustFactory(512, 61)
+	cfg := Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  300,
+		CoV:       0.25,
+		Trials:    4,
+		Seed:      1,
+		Obs:       reg,
+	}
+	rs := Blocks(f, cfg)
+	tot, ok := reg.Snapshot()[f.Name()]
+	if !ok {
+		t.Fatalf("no counters registered for %q (have %v)", f.Name(), reg.Names())
+	}
+	var wantWrites int64
+	for _, r := range rs {
+		wantWrites += r.Lifetime
+	}
+	// Every successful write plus each trial's final failing request.
+	if tot.Writes != wantWrites+int64(cfg.Trials) {
+		t.Fatalf("Writes = %d, want %d successful + %d failing", tot.Writes, wantWrites, cfg.Trials)
+	}
+	if tot.BlockDeaths != int64(cfg.Trials) {
+		t.Fatalf("BlockDeaths = %d, want %d", tot.BlockDeaths, cfg.Trials)
+	}
+	if tot.VerifyReads < tot.Writes || tot.RawWrites < tot.Writes {
+		t.Fatalf("implausible totals: %+v", tot)
+	}
+	if tot.Inversions == 0 || tot.Salvages == 0 {
+		t.Fatalf("blocks written to death recorded no inversions/salvages: %+v", tot)
+	}
+	if tot.PageDeaths != 0 {
+		t.Fatalf("block study recorded page deaths: %+v", tot)
+	}
+}
+
+// TestPagesDrainCounters checks page-death accounting and that a nil
+// registry stays a no-op.
+func TestPagesDrainCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := core.MustFactory(512, 61)
+	cfg := Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  300,
+		CoV:       0.25,
+		Trials:    2,
+		Seed:      1,
+		Obs:       reg,
+	}
+	Pages(f, cfg)
+	tot := reg.Snapshot()[f.Name()]
+	if tot.PageDeaths != int64(cfg.Trials) {
+		t.Fatalf("PageDeaths = %d, want %d", tot.PageDeaths, cfg.Trials)
+	}
+	if tot.BlockDeaths != int64(cfg.Trials) {
+		t.Fatalf("BlockDeaths = %d, want %d (one killer block per page)", tot.BlockDeaths, cfg.Trials)
+	}
+	if tot.Writes == 0 {
+		t.Fatal("no writes drained")
+	}
+
+	// Identical run without a registry must not panic and must produce
+	// identical results (observation is passive).
+	cfg.Obs = nil
+	Pages(f, cfg)
+}
+
+// TestFailureCurveDrainsCounters checks fault-injection runs account
+// block deaths for trials that died within the probed fault range.
+func TestFailureCurveDrainsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := scheme.NoneFactory{Bits: 512}
+	cfg := Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  300,
+		CoV:       0.25,
+		Trials:    8,
+		Seed:      1,
+		Obs:       reg,
+	}
+	// The unprotected baseline dies at the first stuck-at-Wrong fault,
+	// so with 8 writes per step every trial dies within maxFaults.
+	FailureCurve(f, cfg, 4, 8)
+	tot := reg.Snapshot()[f.Name()]
+	if tot.BlockDeaths != int64(cfg.Trials) {
+		t.Fatalf("BlockDeaths = %d, want %d", tot.BlockDeaths, cfg.Trials)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"aegis/internal/bitvec"
 	"aegis/internal/dist"
+	"aegis/internal/obs"
 	"aegis/internal/pcm"
 	"aegis/internal/scheme"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// rewrites wear cells immediately.  The default (false) matches the
 	// paper; true is the ablation DESIGN.md discusses.
 	PulseWear bool
+	// Obs, when non-nil, receives each trial's operation counts and
+	// block/page deaths under the scheme factory's name.  Draining
+	// happens once per trial, so the counters cost nothing on the write
+	// hot path.
+	Obs *obs.Registry
 }
 
 // BlocksPerPage returns how many data blocks one page holds.
@@ -115,6 +121,31 @@ func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 	wg.Wait()
 }
 
+// drainOps adds a scheme instance's lifetime operation statistics into
+// the registry counters.  Schemes without OpStats contribute nothing.
+func drainOps(sc *obs.SchemeCounters, s scheme.Scheme) {
+	rep, ok := s.(scheme.OpReporter)
+	if !ok {
+		return
+	}
+	st := rep.OpStats()
+	sc.Writes.Add(st.Requests)
+	sc.RawWrites.Add(st.RawWrites)
+	sc.VerifyReads.Add(st.VerifyReads)
+	sc.Inversions.Add(st.Inversions)
+	sc.Repartitions.Add(st.Repartitions)
+	sc.Salvages.Add(st.Salvages)
+}
+
+// counters resolves the registry slot trials of this run drain into, or
+// nil when observation is off.
+func (c Config) counters(f scheme.Factory) *obs.SchemeCounters {
+	if c.Obs == nil {
+		return nil
+	}
+	return c.Obs.Scheme(f.Name())
+}
+
 // BlockResult describes one block written to death.
 type BlockResult struct {
 	// Lifetime is the number of successful block writes.
@@ -131,14 +162,17 @@ type BlockResult struct {
 // unrecoverable.
 func Blocks(f scheme.Factory, cfg Config) []BlockResult {
 	results := make([]BlockResult, cfg.Trials)
+	sc := cfg.counters(f)
 	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
 		blk := pcm.NewBlock(cfg.BlockBits, cfg.lifetime(), rng)
 		s := f.New()
 		data := bitvec.New(cfg.BlockBits)
 		var writes int64
+		died := false
 		for cfg.MaxWrites == 0 || writes < cfg.MaxWrites {
 			randomize(data, rng)
 			if err := writeRequest(cfg, s, blk, data); err != nil {
+				died = true
 				break
 			}
 			writes++
@@ -148,6 +182,12 @@ func Blocks(f scheme.Factory, cfg Config) []BlockResult {
 			Lifetime:      writes,
 			FaultsAtDeath: blk.FaultCount(),
 			BitWrites:     st.BitWrites,
+		}
+		if sc != nil {
+			drainOps(sc, s)
+			if died {
+				sc.BlockDeaths.Inc()
+			}
 		}
 	})
 	return results
@@ -169,6 +209,7 @@ type PageResult struct {
 // write.
 func Pages(f scheme.Factory, cfg Config) []PageResult {
 	results := make([]PageResult, cfg.Trials)
+	sc := cfg.counters(f)
 	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
 		nBlocks := cfg.BlocksPerPage()
 		blocks := make([]*pcm.Block, nBlocks)
@@ -197,6 +238,16 @@ func Pages(f scheme.Factory, cfg Config) []PageResult {
 			faults += blocks[i].FaultCount()
 		}
 		results[trial] = PageResult{Lifetime: writes, RecoveredFaults: faults}
+		if sc != nil {
+			for i := range schemes {
+				drainOps(sc, schemes[i])
+			}
+			if !alive {
+				// The page died with its first unrecoverable block.
+				sc.BlockDeaths.Inc()
+				sc.PageDeaths.Inc()
+			}
+		}
 	})
 	return results
 }
@@ -240,6 +291,7 @@ func FailureCurve(f scheme.Factory, cfg Config, maxFaults, writesPerStep int) []
 func FailureCurveBias(f scheme.Factory, cfg Config, maxFaults, writesPerStep int, bias float64) []float64 {
 	dead := make([]int, maxFaults+1)
 	var mu sync.Mutex
+	sc := cfg.counters(f)
 	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
 		blk := pcm.NewImmortalBlock(cfg.BlockBits)
 		s := f.New()
@@ -259,6 +311,12 @@ func FailureCurveBias(f scheme.Factory, cfg Config, maxFaults, writesPerStep int
 			if failed {
 				diedAt = nf
 				break
+			}
+		}
+		if sc != nil {
+			drainOps(sc, s)
+			if diedAt <= maxFaults {
+				sc.BlockDeaths.Inc()
 			}
 		}
 		mu.Lock()
