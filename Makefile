@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short vet bench bench-json repro repro-quick extensions examples fuzz clean
+.PHONY: all test test-short vet bench bench-json trace-sample repro repro-quick extensions examples fuzz clean
 
 all: test
 
@@ -28,6 +28,12 @@ bench:
 BENCH ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
 	$(GO) run ./cmd/benchdiff -run -benchtime 1x -out $(BENCH)
+
+# Sample observability bundle: quick fig10 with a v2 run manifest and a
+# 1-in-10 sampled decision-event trace (aegis.events/v1) under out/.
+trace-sample:
+	$(GO) run ./cmd/aegisbench -exp fig10 -preset quick \
+		-json out/ -events out/fig10.events.jsonl -sample 10
 
 # Regenerate every table and figure of the paper (minutes, one core).
 repro:

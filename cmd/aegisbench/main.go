@@ -17,11 +17,16 @@
 // default (minutes, the README numbers), full (closer to paper scale).
 //
 // -json DIR serializes the run to DIR/<exp>.json: config, seed, git SHA,
-// Go version, wall/CPU time, per-scheme operation counters and every
-// result row (see DESIGN.md §"Run manifests" for the schema).
+// Go version, wall/CPU time, per-scheme operation counters, per-scheme
+// histograms and every result row (see DESIGN.md §"Run manifests" for
+// the schema).  -events FILE streams sampled scheme decision events
+// (repartitions, inversions, salvages, deaths) as aegis.events/v1 JSONL;
+// -sample N keeps one event in every N.
 // -cpuprofile/-memprofile/-trace write standard Go profiles; -http
-// serves expvar ("aegis.counters") and net/http/pprof for live
-// inspection of long runs.
+// serves expvar ("aegis.counters"), live run progress as JSON
+// (/debug/aegis/progress) and net/http/pprof for inspection of long
+// runs.  A progress line (trials done, rate, ETA) renders on stderr
+// when it is a terminal; -progress overrides the interval.
 package main
 
 import (
@@ -85,6 +90,9 @@ func run(args []string, out *os.File) error {
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut   = fs.String("trace", "", "write an execution trace to this file")
 		httpAddr   = fs.String("http", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
+		eventsPath = fs.String("events", "", "write a decision-event trace (aegis.events/v1 JSONL) to this file")
+		sample     = fs.Int("sample", 1, "with -events, keep one decision event in every N")
+		progressIv = fs.Duration("progress", 0, "stderr progress-line interval (0 = auto: 2s on a terminal, off otherwise; negative = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,9 +127,21 @@ func run(args []string, out *os.File) error {
 	p.Workers = *workers
 	reg := obs.NewRegistry()
 	p.Obs = reg
+	prog := obs.NewProgress()
+	p.Progress = prog
+
+	var events *obs.EventWriter
+	if *eventsPath != "" {
+		var err error
+		events, err = obs.NewEventWriter(*eventsPath, *sample)
+		if err != nil {
+			return fmt.Errorf("-events: %w", err)
+		}
+		p.Trace = events
+	}
 
 	if *httpAddr != "" {
-		serveDebug(*httpAddr, reg)
+		serveDebug(*httpAddr, reg, prog)
 	}
 	prof, err := startProfiles(*cpuProfile, *memProfile, *traceOut)
 	if err != nil {
@@ -133,6 +153,11 @@ func run(args []string, out *os.File) error {
 		}
 	}()
 
+	stopProgress := func() {}
+	if ivl := progressInterval(*progressIv); ivl > 0 {
+		stopProgress = startProgress(prog, ivl)
+	}
+
 	start := time.Now()
 	manifest := obs.NewManifest(*exp)
 	manifest.Preset = *preset
@@ -140,8 +165,19 @@ func run(args []string, out *os.File) error {
 	manifest.Workers = p.Workers
 	manifest.Config = p
 	result, err := experiments.Run(*exp, p)
+	stopProgress()
 	if err != nil {
+		if events != nil {
+			events.Close()
+		}
 		return err
+	}
+	if events != nil {
+		if cerr := events.Close(); cerr != nil {
+			return fmt.Errorf("-events: %w", cerr)
+		}
+		fmt.Fprintf(out, "wrote event trace %s (%d events, %d dropped by sampling)\n",
+			events.Path(), events.Written(), events.Dropped())
 	}
 	for _, tbl := range result.Tables {
 		var rerr error
@@ -198,6 +234,16 @@ func run(args []string, out *os.File) error {
 	if *jsonDir != "" {
 		manifest.Finish(start)
 		manifest.Counters = reg.Snapshot()
+		manifest.Histograms = reg.HistSnapshot()
+		if events != nil {
+			manifest.Events = &obs.EventTraceInfo{
+				Path:        events.Path(),
+				Schema:      obs.EventSchema,
+				SampleEvery: events.SampleEvery(),
+				Written:     events.Written(),
+				Dropped:     events.Dropped(),
+			}
+		}
 		manifest.Tables = manifestTables(result.Tables)
 		manifest.Series = manifestSeries(result.Series)
 		path := filepath.Join(*jsonDir, *exp+".json")

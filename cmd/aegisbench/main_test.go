@@ -243,6 +243,70 @@ func TestJSONManifestCounters(t *testing.T) {
 	}
 }
 
+// TestEventTraceAndManifestValidate runs a quick simulating preset with
+// -json and -events and validates both artifacts against their schemas.
+// CI runs exactly this combination and uploads the trace, so this test
+// is the schema gate for the pipeline.
+func TestEventTraceAndManifestValidate(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "fig10.events.jsonl")
+	out, err := capture(t, []string{
+		"-exp", "fig10", "-preset", "quick",
+		"-json", dir, "-events", events, "-sample", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote event trace") {
+		t.Fatalf("event-trace message missing:\n%s", out)
+	}
+
+	tr, err := obs.ReadEvents(events)
+	if err != nil {
+		t.Fatalf("event trace does not validate: %v", err)
+	}
+	if tr.SampleEvery != 2 {
+		t.Fatalf("trace header wrong: %+v", tr)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("quick fig10 run produced no decision events")
+	}
+	kinds := map[string]bool{}
+	for _, e := range tr.Events {
+		kinds[e.Kind] = true
+	}
+	if !kinds["block_death"] {
+		t.Fatalf("trace has no block_death events; kinds = %v", kinds)
+	}
+
+	m, err := obs.LoadManifest(filepath.Join(dir, "fig10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != obs.ManifestSchema {
+		t.Fatalf("schema = %q, want v2 %q", m.Schema, obs.ManifestSchema)
+	}
+	if len(m.Histograms) == 0 {
+		t.Fatal("v2 manifest has no histograms")
+	}
+	h, ok := m.Histograms["Aegis-rw 9x61"]
+	if !ok || h.Lifetime.Count == 0 {
+		t.Fatalf("lifetime histogram missing or empty: %+v", m.Histograms)
+	}
+	if m.Events == nil {
+		t.Fatal("manifest lost the event-trace summary")
+	}
+	if m.Events.Path != events || m.Events.SampleEvery != 2 {
+		t.Fatalf("event summary identity wrong: %+v", m.Events)
+	}
+	if m.Events.Written != int64(len(tr.Events)) {
+		t.Fatalf("manifest says %d events written, trace holds %d", m.Events.Written, len(tr.Events))
+	}
+	if m.Events.Dropped != tr.Dropped {
+		t.Fatalf("dropped mismatch: manifest %d, trailer %d", m.Events.Dropped, tr.Dropped)
+	}
+}
+
 func keys(m map[string]obs.Totals) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

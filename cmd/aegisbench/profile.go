@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"sync"
+	"sync/atomic"
 
 	// Opt-in diagnostics endpoint: importing net/http/pprof and expvar
 	// registers /debug/pprof/* and /debug/vars on the default mux; the
@@ -104,11 +106,36 @@ func publishCounters(reg *obs.Registry) {
 	})
 }
 
-// serveDebug starts the opt-in expvar/pprof HTTP endpoint.  Profiling
-// long runs: `aegisbench -exp all -preset full -http localhost:6060`,
-// then `go tool pprof http://localhost:6060/debug/pprof/profile`.
-func serveDebug(addr string, reg *obs.Registry) {
+// debugProgress holds the progress tracker the /debug/aegis/progress
+// handler reads.  A pointer swap (rather than capturing one tracker in
+// the handler closure) keeps repeated in-process runs serving the
+// current run's progress — handlers on the default mux cannot be
+// re-registered.
+var (
+	debugProgress    atomic.Pointer[obs.Progress]
+	progressHTTPOnce sync.Once
+)
+
+func publishProgress(p *obs.Progress) {
+	debugProgress.Store(p)
+	progressHTTPOnce.Do(func() {
+		http.HandleFunc("/debug/aegis/progress", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(debugProgress.Load().Snapshot())
+		})
+	})
+}
+
+// serveDebug starts the opt-in expvar/pprof HTTP endpoint.  Next to
+// /debug/vars and /debug/pprof/* it serves /debug/aegis/progress, the
+// JSON form of the live progress line.  Profiling long runs:
+// `aegisbench -exp all -preset full -http localhost:6060`, then
+// `go tool pprof http://localhost:6060/debug/pprof/profile`.
+func serveDebug(addr string, reg *obs.Registry, prog *obs.Progress) {
 	publishCounters(reg)
+	publishProgress(prog)
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "aegisbench: -http:", err)

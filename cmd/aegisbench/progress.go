@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"aegis/internal/obs"
+)
+
+// progressInterval resolves the -progress flag: an explicit positive
+// interval wins, 0 means auto (render every 2 s when stderr is a
+// terminal, stay quiet when it is redirected — CI logs and test output
+// shouldn't fill with carriage returns), negative disables.
+func progressInterval(flagValue time.Duration) time.Duration {
+	if flagValue != 0 {
+		if flagValue < 0 {
+			return 0
+		}
+		return flagValue
+	}
+	if stderrIsTerminal() {
+		return 2 * time.Second
+	}
+	return 0
+}
+
+// stderrIsTerminal reports whether stderr is attached to a character
+// device (a terminal rather than a pipe or file).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// startProgress renders a live progress line on stderr every interval,
+// overwriting itself in place.  The returned stop function halts the
+// ticker and prints the final state on its own line.
+func startProgress(p *obs.Progress, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(os.Stderr, "\r\x1b[K%s", p.Snapshot())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s\n", p.Snapshot())
+	}
+}

@@ -235,6 +235,10 @@ func compareFiles(oldPath, newPath string, thresholdPct float64, out io.Writer) 
 	if err != nil {
 		return err
 	}
+	if oldF.Schema != newF.Schema {
+		return fmt.Errorf("schema mismatch: %s is %q but %s is %q — re-record one side with this benchdiff (`benchdiff -run`) so both files share a schema",
+			oldPath, oldF.Schema, newPath, newF.Schema)
+	}
 	report := Compare(oldF, newF, thresholdPct)
 	fmt.Fprint(out, report.Format(oldPath, newPath, thresholdPct))
 	if len(report.Regressions) > 0 {
@@ -254,6 +258,10 @@ type Delta struct {
 
 // Report is the outcome of comparing two benchmark files.
 type Report struct {
+	// OldSchema and NewSchema are the input files' schema versions,
+	// echoed in the report header.
+	OldSchema   string
+	NewSchema   string
 	Deltas      []Delta
 	OnlyOld     []string
 	OnlyNew     []string
@@ -270,7 +278,7 @@ func Compare(oldF, newF *File, thresholdPct float64) *Report {
 	for _, b := range newF.Benchmarks {
 		newBy[b.Name] = b
 	}
-	r := &Report{}
+	r := &Report{OldSchema: oldF.Schema, NewSchema: newF.Schema}
 	for _, b := range newF.Benchmarks {
 		o, ok := oldBy[b.Name]
 		if !ok {
@@ -301,7 +309,8 @@ func Compare(oldF, newF *File, thresholdPct float64) *Report {
 // Format renders the comparison as an aligned text table.
 func (r *Report) Format(oldPath, newPath string, thresholdPct float64) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "benchdiff: %s vs %s (threshold +%.1f%%)\n", oldPath, newPath, thresholdPct)
+	fmt.Fprintf(&sb, "benchdiff: %s (%s) vs %s (%s), threshold +%.1f%%\n",
+		oldPath, r.OldSchema, newPath, r.NewSchema, thresholdPct)
 	width := len("benchmark")
 	for _, d := range r.Deltas {
 		if len(d.Name) > width {
@@ -336,7 +345,10 @@ func loadFile(path string) (*File, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if f.Schema != BenchSchema {
+	// Accept any aegis.bench/* version here so compareFiles can name
+	// both sides' schemas in its mismatch error; anything else is not a
+	// benchmark file at all.
+	if !strings.HasPrefix(f.Schema, "aegis.bench/") {
 		return nil, fmt.Errorf("%s has schema %q, want %q", path, f.Schema, BenchSchema)
 	}
 	return &f, nil

@@ -143,6 +143,48 @@ func TestCompareRejectsWrongSchema(t *testing.T) {
 	}
 }
 
+// TestFormatEchoesSchemas pins the report header: it must name the
+// schema of each input so a reader can tell what produced the files.
+func TestFormatEchoesSchemas(t *testing.T) {
+	oldF := benchFile(map[string]float64{"Fig5": 100})
+	newF := benchFile(map[string]float64{"Fig5": 101})
+	r := Compare(oldF, newF, 20)
+	if r.OldSchema != BenchSchema || r.NewSchema != BenchSchema {
+		t.Fatalf("report schemas = %q/%q, want %q", r.OldSchema, r.NewSchema, BenchSchema)
+	}
+	text := r.Format("old.json", "new.json", 20)
+	want := "benchdiff: old.json (" + BenchSchema + ") vs new.json (" + BenchSchema + ")"
+	if !strings.Contains(text, want) {
+		t.Fatalf("header missing schema echo:\n%s", text)
+	}
+}
+
+// TestCompareSchemaMismatch checks two different aegis.bench versions
+// are refused with an error that tells the user how to fix it.
+func TestCompareSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	oldF := benchFile(map[string]float64{"Fig5": 100})
+	oldF.Schema = "aegis.bench/v0"
+	oldPath := filepath.Join(dir, "old.json")
+	if err := writeFile(oldPath, oldF); err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "new.json")
+	if err := writeFile(newPath, benchFile(map[string]float64{"Fig5": 100})); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-old", oldPath, "-new", newPath}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("mixed schemas accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "schema mismatch") ||
+		!strings.Contains(msg, "aegis.bench/v0") || !strings.Contains(msg, BenchSchema) ||
+		!strings.Contains(msg, "re-record") {
+		t.Fatalf("mismatch error unhelpful: %v", err)
+	}
+}
+
 func TestNoArgsIsAnError(t *testing.T) {
 	if err := run(nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("benchdiff with no mode flags should fail")

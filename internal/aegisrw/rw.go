@@ -39,6 +39,7 @@ type RW struct {
 	excluded   []bool
 
 	ops scheme.OpStats
+	tr  scheme.Tracer
 }
 
 var _ scheme.Scheme = (*RW)(nil)
@@ -70,6 +71,16 @@ func (a *RW) Slope() int { return a.slope }
 
 // OpStats implements scheme.OpReporter.
 func (a *RW) OpStats() scheme.OpStats { return a.ops }
+
+// SetTracer implements scheme.Traceable.
+func (a *RW) SetTracer(t scheme.Tracer) { a.tr = t }
+
+// trace reports a decision event when a tracer is attached.
+func (a *RW) trace(e scheme.TraceEvent) {
+	if a.tr != nil {
+		a.tr.TraceEvent(e)
+	}
+}
 
 // findSlope returns a slope under which no group mixes W and R faults,
 // searching from the current slope, or ok=false.  wrong[i] is the W/R
@@ -126,10 +137,12 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		}
 		k, ok := a.findSlope(faults, wrong)
 		if !ok {
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(faults), Cause: scheme.CauseNoSlope})
 			return scheme.ErrUnrecoverable
 		}
 		if k != a.slope {
 			a.ops.Repartitions++
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceRepartition, From: a.slope, To: k, Faults: len(faults)})
 		}
 		a.slope = k
 		a.inv.Zero()
@@ -141,6 +154,9 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		a.phys.CopyFrom(data)
 		if a.inv.Any() {
 			a.ops.Inversions++
+			if a.tr != nil {
+				a.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: a.inv.PopCount(), Faults: len(faults)})
+			}
 		}
 		for _, y := range a.inv.OnesIndices() {
 			a.phys.Xor(a.phys, a.layout.GroupMask(y, a.slope))
@@ -152,6 +168,7 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		if !a.errs.Any() {
 			if iter > 0 {
 				a.ops.Salvages++
+				a.trace(scheme.TraceEvent{Kind: scheme.TraceSalvage, Passes: iter + 1, Faults: len(faults)})
 			}
 			return nil
 		}
@@ -161,6 +178,7 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			local = appendFault(local, f)
 		}
 	}
+	a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 

@@ -36,6 +36,7 @@ type RWP struct {
 	excluded            []bool
 
 	ops scheme.OpStats
+	tr  scheme.Tracer
 }
 
 var _ scheme.Scheme = (*RWP)(nil)
@@ -80,6 +81,16 @@ func (a *RWP) Slope() int { return a.slope }
 
 // OpStats implements scheme.OpReporter.
 func (a *RWP) OpStats() scheme.OpStats { return a.ops }
+
+// SetTracer implements scheme.Traceable.
+func (a *RWP) SetTracer(t scheme.Tracer) { a.tr = t }
+
+// trace reports a decision event when a tracer is attached.
+func (a *RWP) trace(e scheme.TraceEvent) {
+	if a.tr != nil {
+		a.tr.TraceEvent(e)
+	}
+}
 
 // planSlope finds, starting from the current slope, a slope that (a)
 // separates W from R faults and (b) fits the pointer budget: the groups
@@ -165,10 +176,14 @@ func (a *RWP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		}
 		k, pointers, complement, ok := a.planSlope(faults, wrong)
 		if !ok {
+			// planSlope fails only when every W/R-separating slope
+			// exceeds the pointer budget on both sides (or none exists).
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(faults), Cause: scheme.CausePointerBudget})
 			return scheme.ErrUnrecoverable
 		}
 		if k != a.slope {
 			a.ops.Repartitions++
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceRepartition, From: a.slope, To: k, Faults: len(faults)})
 		}
 		a.slope = k
 		a.pointers = append(a.pointers[:0], pointers...)
@@ -177,6 +192,7 @@ func (a *RWP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		mask := a.invertedMask(k, pointers, complement)
 		if mask.Any() {
 			a.ops.Inversions++
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: len(pointers), Faults: len(faults)})
 		}
 		a.phys.Xor(data, mask)
 		blk.WriteRaw(a.phys)
@@ -186,6 +202,7 @@ func (a *RWP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		if !a.errs.Any() {
 			if iter > 0 {
 				a.ops.Salvages++
+				a.trace(scheme.TraceEvent{Kind: scheme.TraceSalvage, Passes: iter + 1, Faults: len(faults)})
 			}
 			return nil
 		}
@@ -195,6 +212,7 @@ func (a *RWP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			local = appendFault(local, f)
 		}
 	}
+	a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 

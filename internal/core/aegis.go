@@ -38,6 +38,7 @@ type Aegis struct {
 	faultVal   []bool
 
 	ops scheme.OpStats
+	tr  scheme.Tracer
 }
 
 var _ scheme.Scheme = (*Aegis)(nil)
@@ -71,6 +72,16 @@ func (a *Aegis) InversionVector() *bitvec.Vector { return a.inv.Clone() }
 // OpStats implements scheme.OpReporter.
 func (a *Aegis) OpStats() scheme.OpStats { return a.ops }
 
+// SetTracer implements scheme.Traceable.
+func (a *Aegis) SetTracer(t scheme.Tracer) { a.tr = t }
+
+// trace reports a decision event when a tracer is attached.
+func (a *Aegis) trace(e scheme.TraceEvent) {
+	if a.tr != nil {
+		a.tr.TraceEvent(e)
+	}
+}
+
 // buildPhysical computes the physical image of data under the current
 // slope and inversion vector into a.phys.
 func (a *Aegis) buildPhysical(data *bitvec.Vector) {
@@ -98,6 +109,9 @@ func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		a.buildPhysical(data)
 		if a.inv.Any() {
 			a.ops.Inversions++
+			if a.tr != nil {
+				a.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: a.inv.PopCount(), Faults: len(a.faultPos)})
+			}
 		}
 		blk.WriteRaw(a.phys)
 		a.ops.RawWrites++
@@ -106,6 +120,7 @@ func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		if !a.errs.Any() {
 			if iter > 0 {
 				a.ops.Salvages++
+				a.trace(scheme.TraceEvent{Kind: scheme.TraceSalvage, Passes: iter + 1, Faults: len(a.faultPos)})
 			}
 			return nil
 		}
@@ -125,6 +140,7 @@ func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			// With a collision-free slope and correctly set
 			// inversion bits this cannot happen; treat it as
 			// unrecoverable rather than looping.
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(a.faultPos), Cause: scheme.CauseStuckVerify})
 			return scheme.ErrUnrecoverable
 		}
 		// Re-partition if any two known faults now share a group.
@@ -134,10 +150,12 @@ func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		// behaviour otherwise.
 		k, ok := a.layout.FindCollisionFree(a.faultPos, a.slope)
 		if !ok {
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(a.faultPos), Cause: scheme.CauseNoSlope})
 			return scheme.ErrUnrecoverable
 		}
 		if k != a.slope {
 			a.ops.Repartitions++
+			a.trace(scheme.TraceEvent{Kind: scheme.TraceRepartition, From: a.slope, To: k, Faults: len(a.faultPos)})
 		}
 		a.slope = k
 		// Rebuild the inversion vector: group of fault p gets
@@ -151,6 +169,7 @@ func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 		}
 	}
+	a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(a.faultPos), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 

@@ -68,10 +68,14 @@ func (a *AegisP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		// slope helps: in any collision-free configuration each wrong
 		// fault occupies its own group, so the inverted-group count is
 		// the W-fault count of this data.
+		a.inner.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(a.inner.faultPos), Cause: scheme.CausePointerBudget})
 		return scheme.ErrUnrecoverable
 	}
 	return nil
 }
+
+// SetTracer implements scheme.Traceable.
+func (a *AegisP) SetTracer(t scheme.Tracer) { a.inner.SetTracer(t) }
 
 // Read implements scheme.Scheme.
 func (a *AegisP) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {

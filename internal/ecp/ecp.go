@@ -34,6 +34,7 @@ type ECP struct {
 
 	errs *bitvec.Vector
 	ops  scheme.OpStats
+	tr   scheme.Tracer
 }
 
 var _ scheme.Scheme = (*ECP)(nil)
@@ -81,6 +82,16 @@ func (e *ECP) UsedEntries() int { return len(e.ptrs) }
 // OpStats implements scheme.OpReporter.
 func (e *ECP) OpStats() scheme.OpStats { return e.ops }
 
+// SetTracer implements scheme.Traceable.
+func (e *ECP) SetTracer(t scheme.Tracer) { e.tr = t }
+
+// trace reports a decision event when a tracer is attached.
+func (e *ECP) trace(ev scheme.TraceEvent) {
+	if e.tr != nil {
+		e.tr.TraceEvent(ev)
+	}
+}
+
 func (e *ECP) entryFor(p int) int {
 	for i, q := range e.ptrs {
 		if q == p {
@@ -108,6 +119,7 @@ func (e *ECP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			continue
 		}
 		if len(e.ptrs) >= e.entries {
+			e.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(e.ptrs) + 1, Cause: scheme.CauseEntriesExhausted})
 			return scheme.ErrUnrecoverable
 		}
 		// Keep pointers ascending: the metadata encoding relies on the
@@ -122,8 +134,11 @@ func (e *ECP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 	}
 	if e.errs.Any() {
 		// The request needed pointer corrections rather than storing
-		// cleanly on the raw write.
+		// cleanly on the raw write.  ECP repairs in one pass: the write
+		// plus the verification read that routed the bad cells to their
+		// replacement bits.
 		e.ops.Salvages++
+		e.trace(scheme.TraceEvent{Kind: scheme.TraceSalvage, Passes: 1, Faults: len(e.ptrs)})
 	}
 	for i, p := range e.ptrs {
 		e.repl.Set(i, data.Get(p))

@@ -40,15 +40,7 @@ func AblationWear(p Params) *report.Table {
 			"single-write schemes (ECP, rw with a perfect cache) are nearly wear-model-invariant",
 		},
 	}
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.PageTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.PageTrials)
 	for _, f := range factories {
 		cfg.Seed = p.schemeSeed("abl-wear-" + f.Name())
 		cfg.PulseWear = false
@@ -94,15 +86,7 @@ func AblationStuck(p Params) *report.Table {
 			"expected null result: with random data the W/R split is decided by the datum, so the curves match across biases — validating the paper's uniform stuck-value model",
 		},
 	}
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.CurveTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.CurveTrials)
 	curves := make([][]float64, len(entries))
 	for i, e := range entries {
 		cfg.Seed = p.schemeSeed(fmt.Sprintf("abl-stuck-%s-%v", e.f.Name(), e.bias))
@@ -128,15 +112,7 @@ func AblationRDIS(p Params) *report.Table {
 		Header: []string{"faults", "RDIS-1", "RDIS-2", "RDIS-3", "RDIS-4"},
 		Notes:  []string{"all depths use the perfect fail cache, as the paper grants RDIS"},
 	}
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.CurveTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.CurveTrials)
 	depths := []int{1, 2, 3, 4}
 	curves := make([][]float64, len(depths))
 	for i, d := range depths {
@@ -177,15 +153,7 @@ func AblationAegisP(p Params) *report.Table {
 			"compare overheads: Aegis 23x23 = 28 bits; Aegis-p q=2/4/8 = 16/26/46 bits",
 		},
 	}
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.CurveTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.CurveTrials)
 	curves := make([][]float64, len(factories))
 	for i, f := range factories {
 		cfg.Seed = p.schemeSeed("abl-aegisp-" + f.Name())

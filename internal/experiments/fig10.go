@@ -16,15 +16,7 @@ var fig10Pointers = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12}
 // lifetime as the pointer budget p grows, for each A×B formation, with
 // the corresponding Aegis-rw lifetime as the plateau reference.
 func Fig10(p Params) (*report.Table, []stats.Series) {
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.BlockTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.BlockTrials)
 	t := &report.Table{
 		Title:  "Figure 10: 512-bit block lifetime (writes) of Aegis-rw-p vs pointer count p",
 		Header: []string{"p"},
@@ -48,6 +40,7 @@ func Fig10(p Params) (*report.Table, []stats.Series) {
 		s := stats.Series{Name: "Aegis-rw-p " + layoutName}
 		for i, ptrs := range fig10Pointers {
 			f := aegisrw.MustRWPFactory(512, v.B, ptrs, cache)
+			p.Progress.SetPhase(fmt.Sprintf("Aegis-rw-p %s p=%d", layoutName, ptrs))
 			cfg.Seed = p.schemeSeed(fmt.Sprintf("fig10-%s-p%d", layoutName, ptrs))
 			mean := stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(f, cfg))).Mean
 			s.Points = append(s.Points, stats.Point{X: float64(ptrs), Y: mean})
@@ -55,6 +48,7 @@ func Fig10(p Params) (*report.Table, []stats.Series) {
 		}
 		series = append(series, s)
 		rwF := aegisrw.MustRWFactory(512, v.B, cache)
+		p.Progress.SetPhase("Aegis-rw " + layoutName)
 		cfg.Seed = p.schemeSeed("fig10-rw-" + layoutName)
 		rwMean := stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(rwF, cfg))).Mean
 		cols[len(fig10Pointers)] = append(cols[len(fig10Pointers)], report.Ftoa(rwMean))

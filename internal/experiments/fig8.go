@@ -16,15 +16,7 @@ const fig8MaxFaults = 30
 // cells with random stuck values, and after each injection the scheme
 // must survive a burst of random writes.
 func Fig8(p Params) (*report.Table, []stats.Series) {
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.CurveTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.CurveTrials)
 	factories := roster8()
 	t := &report.Table{
 		Title:  "Figure 8: 512-bit block failure probability vs number of stuck-at faults",
@@ -37,6 +29,7 @@ func Fig8(p Params) (*report.Table, []stats.Series) {
 	series := make([]stats.Series, len(factories))
 	curves := make([][]float64, len(factories))
 	for i, f := range factories {
+		p.Progress.SetPhase(f.Name())
 		cfg.Seed = p.schemeSeed("fig8-" + f.Name())
 		curves[i] = sim.FailureCurve(f, cfg, fig8MaxFaults, 8)
 		t.Header = append(t.Header, f.Name())

@@ -19,15 +19,7 @@ import (
 // corresponds to 2048 pages; SurvivalPages scales that down alongside the
 // lifetime scale.
 func Fig9(p Params) (*report.Table, []stats.Series) {
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.SurvivalPages,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.SurvivalPages)
 	factories := roster9()
 	t := &report.Table{
 		Title:  "Figure 9: 4KB-page survival under continuous writes (512-bit blocks)",
@@ -41,6 +33,7 @@ func Fig9(p Params) (*report.Table, []stats.Series) {
 	half := make([]float64, len(factories))
 	var safer32Half float64
 	for i, f := range factories {
+		p.Progress.SetPhase(f.Name())
 		cfg.Seed = p.schemeSeed("fig9-" + f.Name())
 		lifetimes := sim.Lifetimes(sim.Pages(f, cfg))
 		curve := stats.Survival(lifetimes)

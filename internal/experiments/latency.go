@@ -35,15 +35,7 @@ func Latency(p Params) *report.Table {
 		core.MustFactory(512, 61),
 		aegisrw.MustRWFactory(512, 61, cache),
 	}
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.CurveTrials / 2,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, p.CurveTrials/2)
 	if cfg.Trials < 1 {
 		cfg.Trials = 1
 	}

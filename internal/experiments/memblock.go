@@ -40,16 +40,10 @@ func MemBlock(p Params) *report.Table {
 		row := []string{f.Name(), report.Itoa(f.OverheadBits())}
 		perBlock := make([]float64, 0, 2)
 		for _, pageBytes := range []int{256, 4096} {
-			cfg := sim.Config{
-				BlockBits: 512,
-				PageBytes: pageBytes,
-				MeanLife:  p.MeanLife,
-				CoV:       p.CoV,
-				Trials:    p.PageTrials,
-				Workers:   p.Workers,
-				Obs:       p.Obs,
-				Seed:      p.schemeSeed(fmt.Sprintf("memblock-%s-%d", f.Name(), pageBytes)),
-			}
+			cfg := p.simConfig(512, p.PageTrials)
+			cfg.PageBytes = pageBytes
+			cfg.Seed = p.schemeSeed(fmt.Sprintf("memblock-%s-%d", f.Name(), pageBytes))
+			p.Progress.SetPhase(fmt.Sprintf("%s %dB page", f.Name(), pageBytes))
 			rs := sim.Pages(f, cfg)
 			mean := stats.SummarizeInts(sim.RecoveredFaults(rs)).Mean
 			row = append(row, report.Ftoa(mean))

@@ -33,15 +33,7 @@ func OSCapacity(p Params) *report.Table {
 	// Capacity thresholds whose crossing times the table reports.
 	thresholds := []float64{0.9, 0.5, 0.1}
 
-	cfg := sim.Config{
-		BlockBits: 512,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    32, // empirical block-lifetime sample per scheme
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(512, 32) // empirical block-lifetime sample per scheme
 
 	type event struct {
 		time  int64

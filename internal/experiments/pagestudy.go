@@ -37,20 +37,14 @@ type Study struct {
 // runStudy simulates every factory (plus the unprotected baseline) at the
 // given block size.
 func runStudy(p Params, blockBits int, factories []scheme.Factory) Study {
-	cfg := sim.Config{
-		BlockBits: blockBits,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.PageTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	cfg := p.simConfig(blockBits, p.PageTrials)
+	p.Progress.SetPhase(fmt.Sprintf("baseline %db", blockBits))
 	cfg.Seed = p.schemeSeed(fmt.Sprintf("baseline-%d", blockBits))
 	baseline := stats.SummarizeInts(sim.Lifetimes(sim.Pages(scheme.NoneFactory{Bits: blockBits}, cfg)))
 
 	study := Study{BlockBits: blockBits, Baseline: baseline}
 	for _, f := range factories {
+		p.Progress.SetPhase(fmt.Sprintf("%s %db", f.Name(), blockBits))
 		cfg.Seed = p.schemeSeed(fmt.Sprintf("%s-%d", f.Name(), blockBits))
 		rs := sim.Pages(f, cfg)
 		row := StudyRow{

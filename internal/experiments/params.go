@@ -14,6 +14,7 @@ import (
 	"hash/fnv"
 
 	"aegis/internal/obs"
+	"aegis/internal/sim"
 )
 
 // Params sizes a harness run.
@@ -39,11 +40,35 @@ type Params struct {
 	Seed int64
 	// Workers caps simulation parallelism (0 = GOMAXPROCS).
 	Workers int
-	// Obs, when non-nil, collects per-scheme operation counters from
-	// every simulation the experiments run; cmd/aegisbench serializes
-	// the totals into the run manifest.  Excluded from JSON so Params
-	// itself can serve as the manifest's config record.
+	// Obs, when non-nil, collects per-scheme operation counters and
+	// histograms from every simulation the experiments run;
+	// cmd/aegisbench serializes the totals into the run manifest.
+	// Excluded from JSON so Params itself can serve as the manifest's
+	// config record.
 	Obs *obs.Registry `json:"-"`
+	// Trace, when non-nil, receives sampled scheme decision events from
+	// every simulation (the aegis.events/v1 trace).
+	Trace *obs.EventWriter `json:"-"`
+	// Progress, when non-nil, receives live experiment/phase labels and
+	// per-trial completion ticks.
+	Progress *obs.Progress `json:"-"`
+}
+
+// simConfig builds the sim.Config shared by every experiment, threading
+// the observability sinks through.  Callers override Trials, PageBytes
+// or PulseWear where an experiment deviates.
+func (p Params) simConfig(blockBits, trials int) sim.Config {
+	return sim.Config{
+		BlockBits: blockBits,
+		PageBytes: 4096,
+		MeanLife:  p.MeanLife,
+		CoV:       p.CoV,
+		Trials:    trials,
+		Workers:   p.Workers,
+		Obs:       p.Obs,
+		Trace:     p.Trace,
+		Progress:  p.Progress,
+	}
 }
 
 // Quick returns a preset that runs every experiment in well under a

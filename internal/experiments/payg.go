@@ -59,15 +59,7 @@ func PAYG(p Params) *report.Table {
 		},
 	}
 
-	simCfg := sim.Config{
-		BlockBits: blockBits,
-		PageBytes: 4096,
-		MeanLife:  p.MeanLife,
-		CoV:       p.CoV,
-		Trials:    p.PageTrials,
-		Workers:   p.Workers,
-		Obs:       p.Obs,
-	}
+	simCfg := p.simConfig(blockBits, p.PageTrials)
 	for _, uf := range uniforms {
 		pageBits := uf.OverheadBits() * blocks
 		simCfg.Seed = p.schemeSeed("payg-uniform-" + uf.Name())

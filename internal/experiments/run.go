@@ -23,6 +23,12 @@ var IDs = []string{
 
 // Run executes one experiment (or "all") under the given parameters.
 func Run(id string, p Params) (Result, error) {
+	if id != "all" && id != "extensions" {
+		// The aggregate runners re-enter Run per experiment, which then
+		// labels itself; labeling here too would flash "all" between
+		// experiments.
+		p.Progress.SetExperiment(id)
+	}
 	switch id {
 	case "table1":
 		return Result{Tables: []*report.Table{Table1()}}, nil
@@ -118,22 +124,27 @@ func RunAll(p Params) (Result, error) {
 	out.Tables = append(out.Tables, Fig1())
 	out.Tables = append(out.Tables, Fig2()...)
 
+	p.Progress.SetExperiment("fig5-7")
 	s256 := runStudy(p, 256, roster256())
 	s512 := runStudy(p, 512, roster512())
 	out.Tables = append(out.Tables, fig5Table(s256, s512), fig6Table(s256, s512), fig7Table(s256, s512))
 
+	p.Progress.SetExperiment("fig8")
 	t8, s8 := Fig8(p)
 	out.Tables = append(out.Tables, t8)
 	out.Series = append(out.Series, s8...)
 
+	p.Progress.SetExperiment("fig9")
 	t9, s9 := Fig9(p)
 	out.Tables = append(out.Tables, t9)
 	out.Series = append(out.Series, s9...)
 
+	p.Progress.SetExperiment("fig10")
 	t10, s10 := Fig10(p)
 	out.Tables = append(out.Tables, t10)
 	out.Series = append(out.Series, s10...)
 
+	p.Progress.SetExperiment("fig11-13")
 	sv := runStudy(p, 512, rosterVariants())
 	out.Tables = append(out.Tables, fig11Table(sv), fig12Table(sv), fig13Table(sv))
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 )
 
 // GoVersion returns the running toolchain version (e.g. "go1.22.4").
@@ -24,7 +25,19 @@ func NumCPU() int { return runtime.NumCPU() }
 // and GOFLAGS=-buildvcs=false builds fall back to asking git directly.
 // A "-dirty" suffix marks uncommitted changes; "unknown" means no
 // revision could be determined (e.g. building from a source tarball).
+// The result is computed once per process: the revision cannot change
+// mid-run, and the git fallback shells out.
 func GitSHA() string {
+	gitSHAOnce.Do(func() { gitSHA = lookupGitSHA() })
+	return gitSHA
+}
+
+var (
+	gitSHAOnce sync.Once
+	gitSHA     string
+)
+
+func lookupGitSHA() string {
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		var rev string
 		dirty := false

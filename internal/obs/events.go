@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventSchema identifies the decision-event trace format: one JSON
+// object per line, a header record first, event records after it, and a
+// trailer record last.  Bump the suffix on any backwards-incompatible
+// change.
+const EventSchema = "aegis.events/v1"
+
+// Event is one sampled scheme decision.  Events from concurrent trials
+// interleave in Seq-assignment order, not trial order; group by Scheme
+// and Trial to reconstruct one block's history.
+type Event struct {
+	// Seq is the global event number (assigned to kept and dropped
+	// events alike, so gaps reveal where sampling discarded events).
+	Seq int64 `json:"seq"`
+	// Scheme is the factory name the event's block belongs to.
+	Scheme string `json:"scheme"`
+	// Trial is the Monte Carlo trial index within the scheme's run.
+	Trial int `json:"trial"`
+	// Kind is the decision type: "repartition", "inversion", "salvage",
+	// "block_death" or "page_death".
+	Kind string `json:"kind"`
+	// From and To are the old and new partition configuration for
+	// repartition events (slope for Aegis variants, partition-vector
+	// size for SAFER, field-set fingerprint for SAFER-cache).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Groups is the number of inverted groups for inversion events
+	// (inverted cells for RDIS, which has no group notion).
+	Groups int `json:"groups,omitempty"`
+	// Passes is the number of verification passes a salvaged request
+	// needed (≥ 2).
+	Passes int `json:"passes,omitempty"`
+	// Faults is the known stuck-cell count when the event fired.
+	Faults int `json:"faults,omitempty"`
+	// Cause names why a block or page died (e.g. "no-collision-free-slope").
+	Cause string `json:"cause,omitempty"`
+}
+
+// eventHeader is the first line of a trace file.
+type eventHeader struct {
+	Schema      string    `json:"schema"`
+	SampleEvery int64     `json:"sample_every"`
+	StartedAt   time.Time `json:"started_at"`
+}
+
+// eventTrailer is the last line of a trace file, written by Close.
+type eventTrailer struct {
+	Trailer bool  `json:"trailer"`
+	Written int64 `json:"written"`
+	Dropped int64 `json:"dropped"`
+}
+
+// EventWriter streams sampled decision events to a JSONL trace file.
+// Emit is safe for concurrent use.  Like Manifest.Write, the file is
+// written to a temp name and renamed into place on Close, so a crashed
+// run never leaves a truncated trace behind.
+type EventWriter struct {
+	path        string
+	sampleEvery int64
+	seq         atomic.Int64
+	written     atomic.Int64
+	dropped     atomic.Int64
+
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	closed bool
+}
+
+// NewEventWriter opens a trace at path, creating parent directories as
+// needed.  sampleEvery keeps one event in every sampleEvery (1 keeps
+// all; values below 1 are treated as 1); the rest only increment the
+// dropped counter.
+func NewEventWriter(path string, sampleEvery int) (*EventWriter, error) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	w := &EventWriter{path: path, sampleEvery: int64(sampleEvery), f: f}
+	w.bw = bufio.NewWriter(f)
+	w.enc = json.NewEncoder(w.bw)
+	if err := w.enc.Encode(eventHeader{
+		Schema:      EventSchema,
+		SampleEvery: w.sampleEvery,
+		StartedAt:   time.Now().UTC(),
+	}); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return w, nil
+}
+
+// Path returns the final (post-rename) trace path.
+func (w *EventWriter) Path() string { return w.path }
+
+// SampleEvery returns the effective sampling interval.
+func (w *EventWriter) SampleEvery() int64 { return w.sampleEvery }
+
+// Written returns how many events were written so far.
+func (w *EventWriter) Written() int64 { return w.written.Load() }
+
+// Dropped returns how many events sampling discarded so far.
+func (w *EventWriter) Dropped() int64 { return w.dropped.Load() }
+
+// Emit records one event, subject to sampling.  The sequence number is
+// assigned here; the caller leaves e.Seq zero.
+func (w *EventWriter) Emit(e Event) {
+	seq := w.seq.Add(1)
+	if w.sampleEvery > 1 && seq%w.sampleEvery != 0 {
+		w.dropped.Add(1)
+		return
+	}
+	e.Seq = seq
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		w.dropped.Add(1)
+		return
+	}
+	if err := w.enc.Encode(e); err != nil {
+		// Disk-level failure: count the event as dropped and keep the
+		// simulation running; Close will surface the close error.
+		w.dropped.Add(1)
+		return
+	}
+	w.written.Add(1)
+}
+
+// Close writes the trailer record, flushes, and renames the temp file
+// to its final path.  Close is idempotent; later Emit calls are counted
+// as dropped.
+func (w *EventWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	terr := w.enc.Encode(eventTrailer{
+		Trailer: true,
+		Written: w.written.Load(),
+		Dropped: w.dropped.Load(),
+	})
+	ferr := w.bw.Flush()
+	cerr := w.f.Close()
+	if terr != nil || ferr != nil || cerr != nil {
+		os.Remove(w.f.Name())
+		if terr != nil {
+			return terr
+		}
+		if ferr != nil {
+			return ferr
+		}
+		return cerr
+	}
+	return os.Rename(w.f.Name(), w.path)
+}
+
+// EventTrace is a decoded trace file.
+type EventTrace struct {
+	SampleEvery int64
+	Events      []Event
+	Written     int64
+	Dropped     int64
+}
+
+// ReadEvents loads and validates a trace written by EventWriter: the
+// header schema must match, every line must decode, and the trailer
+// counts must agree with the events present.
+func ReadEvents(path string) (*EventTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("obs: event trace %s is empty", path)
+	}
+	var hdr eventHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("obs: parse event-trace header in %s: %w", path, err)
+	}
+	if hdr.Schema != EventSchema {
+		return nil, fmt.Errorf("obs: event trace %s has schema %q, want %q", path, hdr.Schema, EventSchema)
+	}
+	t := &EventTrace{SampleEvery: hdr.SampleEvery}
+	sawTrailer := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if sawTrailer {
+			return nil, fmt.Errorf("obs: event trace %s has records after the trailer", path)
+		}
+		var probe struct {
+			Trailer bool `json:"trailer"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("obs: parse event-trace line in %s: %w", path, err)
+		}
+		if probe.Trailer {
+			var tr eventTrailer
+			if err := json.Unmarshal(line, &tr); err != nil {
+				return nil, fmt.Errorf("obs: parse event-trace trailer in %s: %w", path, err)
+			}
+			t.Written, t.Dropped = tr.Written, tr.Dropped
+			sawTrailer = true
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("obs: parse event in %s: %w", path, err)
+		}
+		if e.Kind == "" {
+			return nil, fmt.Errorf("obs: event without kind in %s (seq %d)", path, e.Seq)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawTrailer {
+		return nil, fmt.Errorf("obs: event trace %s has no trailer (truncated run?)", path)
+	}
+	if int64(len(t.Events)) != t.Written {
+		return nil, fmt.Errorf("obs: event trace %s has %d events but trailer claims %d", path, len(t.Events), t.Written)
+	}
+	return t, nil
+}

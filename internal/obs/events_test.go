@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "events.jsonl")
+	w, err := NewEventWriter(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(Event{Scheme: "Aegis 9x61", Trial: 0, Kind: "repartition", From: 3, To: 5, Faults: 2})
+	w.Emit(Event{Scheme: "Aegis 9x61", Trial: 0, Kind: "salvage", Passes: 2, Faults: 2})
+	w.Emit(Event{Scheme: "Aegis 9x61", Trial: 1, Kind: "block_death", Faults: 9, Cause: "no-collision-free-slope"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 || tr.Written != 3 || tr.Dropped != 0 {
+		t.Fatalf("trace = %d events, written %d, dropped %d; want 3/3/0", len(tr.Events), tr.Written, tr.Dropped)
+	}
+	if tr.Events[0].Kind != "repartition" || tr.Events[0].To != 5 {
+		t.Fatalf("first event mangled: %+v", tr.Events[0])
+	}
+	if tr.Events[2].Cause != "no-collision-free-slope" {
+		t.Fatalf("death cause mangled: %+v", tr.Events[2])
+	}
+	for i, e := range tr.Events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestEventWriterSampling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := NewEventWriter(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		w.Emit(Event{Scheme: "s", Kind: "inversion"})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SampleEvery != 10 {
+		t.Fatalf("SampleEvery = %d, want 10", tr.SampleEvery)
+	}
+	if len(tr.Events) != 10 || tr.Dropped != 90 {
+		t.Fatalf("kept %d / dropped %d, want 10/90", len(tr.Events), tr.Dropped)
+	}
+	for _, e := range tr.Events {
+		if e.Seq%10 != 0 {
+			t.Fatalf("kept event with off-sample seq %d", e.Seq)
+		}
+	}
+}
+
+func TestEventWriterCloseIdempotentAndLateEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := NewEventWriter(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(Event{Scheme: "s", Kind: "inversion"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+	w.Emit(Event{Scheme: "s", Kind: "inversion"}) // must not panic or write
+	if w.Dropped() != 1 {
+		t.Fatalf("post-close emit not counted as dropped: %d", w.Dropped())
+	}
+	tr, err := ReadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 {
+		t.Fatalf("trace has %d events, want 1", len(tr.Events))
+	}
+}
+
+func TestEventWriterConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := NewEventWriter(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Emit(Event{Scheme: "s", Trial: g, Kind: "inversion", Groups: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != workers*per {
+		t.Fatalf("trace has %d events, want %d", len(tr.Events), workers*per)
+	}
+}
+
+func TestReadEventsRejectsBadTraces(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	header := `{"schema":"aegis.events/v1","sample_every":1,"started_at":"2026-08-06T00:00:00Z"}` + "\n"
+	cases := map[string]string{
+		"empty":         "",
+		"wrong-schema":  `{"schema":"aegis.events/v0"}` + "\n",
+		"no-trailer":    header + `{"seq":1,"scheme":"s","trial":0,"kind":"inversion"}` + "\n",
+		"bad-line":      header + "{not json\n" + `{"trailer":true,"written":0,"dropped":0}` + "\n",
+		"count-drift":   header + `{"trailer":true,"written":5,"dropped":0}` + "\n",
+		"after-trailer": header + `{"trailer":true,"written":0,"dropped":0}` + "\n" + `{"seq":1,"kind":"inversion"}` + "\n",
+		"no-kind":       header + `{"seq":1,"scheme":"s"}` + "\n" + `{"trailer":true,"written":1,"dropped":0}` + "\n",
+	}
+	for name, content := range cases {
+		if _, err := ReadEvents(write(name+".jsonl", content)); err == nil {
+			t.Errorf("%s trace accepted", name)
+		}
+	}
+}
+
+func TestEventWriterAtomicRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	w, err := NewEventWriter(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("final trace path exists before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("final trace missing after Close: %v", err)
+	}
+}

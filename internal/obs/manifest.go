@@ -9,8 +9,13 @@ import (
 )
 
 // ManifestSchema identifies the run-manifest format.  Bump the suffix on
-// any backwards-incompatible field change.
-const ManifestSchema = "aegis.run-manifest/v1"
+// any backwards-incompatible field change.  v2 added per-scheme
+// histograms and the event-trace summary; v1 files (no histograms)
+// still load.
+const (
+	ManifestSchema   = "aegis.run-manifest/v2"
+	ManifestSchemaV1 = "aegis.run-manifest/v1"
+)
 
 // Table is the JSON form of one rendered result table (the rows
 // internal/report formats as text).
@@ -52,8 +57,24 @@ type Manifest struct {
 	CPUSeconds  float64           `json:"cpu_seconds"`
 	Config      any               `json:"config"`
 	Counters    map[string]Totals `json:"counters"`
-	Tables      []Table           `json:"tables"`
-	Series      []Series          `json:"series,omitempty"`
+	// Histograms carries the per-scheme distributions (lifetimes,
+	// repartitions per block, salvage depth, extra writes).  v2 only.
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	// Events summarizes the decision-event trace written alongside the
+	// manifest, when one was requested.  v2 only.
+	Events *EventTraceInfo `json:"events,omitempty"`
+	Tables []Table         `json:"tables"`
+	Series []Series        `json:"series,omitempty"`
+}
+
+// EventTraceInfo records where a run's decision-event trace went and how
+// sampling treated it.
+type EventTraceInfo struct {
+	Path        string `json:"path"`
+	Schema      string `json:"schema"`
+	SampleEvery int64  `json:"sample_every"`
+	Written     int64  `json:"written"`
+	Dropped     int64  `json:"dropped"`
 }
 
 // NewManifest returns a manifest stamped with the schema version and the
@@ -126,8 +147,8 @@ func LoadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
 	}
-	if m.Schema != ManifestSchema {
-		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q", path, m.Schema, ManifestSchema)
+	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV1 {
+		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q (or %q)", path, m.Schema, ManifestSchema, ManifestSchemaV1)
 	}
 	return &m, nil
 }

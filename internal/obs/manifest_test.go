@@ -29,6 +29,16 @@ func sampleManifest() *Manifest {
 		Notes:  []string{"scaled"},
 	}}
 	m.Series = []Series{{Name: "Aegis 9x61", Points: []Point{{X: 1, Y: 0.5}}}}
+	var sh SchemeHistograms
+	sh.Lifetime.Observe(42)
+	sh.Repartitions.Observe(3)
+	sh.SalvageDepth.Observe(2)
+	sh.ExtraWrites.Observe(7)
+	m.Histograms = map[string]HistSnapshot{"Aegis 9x61": sh.Totals()}
+	m.Events = &EventTraceInfo{
+		Path: "out/fig5.events.jsonl", Schema: EventSchema,
+		SampleEvery: 10, Written: 90, Dropped: 810,
+	}
 	return m
 }
 
@@ -68,6 +78,48 @@ func TestManifestSchemaStableKeys(t *testing.T) {
 	}
 	if !strings.Contains(string(data), ManifestSchema) {
 		t.Fatalf("schema marker %q missing from encoded manifest", ManifestSchema)
+	}
+}
+
+// TestLoadManifestAcceptsV1 checks manifests from before histograms
+// existed still load: v2 only added fields.
+func TestLoadManifestAcceptsV1(t *testing.T) {
+	m := sampleManifest()
+	m.Schema = ManifestSchemaV1
+	m.Histograms = nil
+	m.Events = nil
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("v1 manifest rejected: %v", err)
+	}
+	if got.Histograms != nil || got.Events != nil {
+		t.Fatalf("v1 manifest grew v2 fields on load: %+v", got)
+	}
+}
+
+func TestManifestHistogramRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	path := filepath.Join(t.TempDir(), "v2.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := got.Histograms["Aegis 9x61"]
+	if !ok {
+		t.Fatal("histograms lost in round trip")
+	}
+	if h.Lifetime.Max != 42 || h.SalvageDepth.Max != 2 || h.ExtraWrites.Sum != 7 {
+		t.Fatalf("histogram values mangled: %+v", h)
+	}
+	if !reflect.DeepEqual(got.Events, m.Events) {
+		t.Fatalf("event summary mangled: %+v", got.Events)
 	}
 }
 

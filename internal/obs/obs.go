@@ -1,8 +1,11 @@
 // Package obs is the observability layer of the reproduction harness:
-// cheap atomic counters aggregated per scheme, a registry the simulation
-// engine drains per-trial operation statistics into, and a run-manifest
-// format (manifest.go) that records every experiment run — config, seed,
-// environment, wall/CPU time, counter totals and result rows — as JSON.
+// cheap atomic counters and log-bucket histograms aggregated per scheme
+// (obs.go, histogram.go), a registry the simulation engine drains
+// per-trial operation statistics into, a sampled decision-event trace
+// (events.go, aegis.events/v1 JSONL), live run telemetry (progress.go),
+// and a run-manifest format (manifest.go, aegis.run-manifest/v2) that
+// records every experiment run — config, seed, environment, wall/CPU
+// time, counter totals, histograms and result rows — as JSON.
 //
 // The counters answer the cost questions the paper discusses around
 // Figure 8 ("intensive inversion writes") and that related stuck-at
@@ -105,16 +108,20 @@ func (t Totals) Plus(u Totals) Totals {
 	}
 }
 
-// Registry maps scheme names to their counters for one harness run.
-// The zero value is not usable; call NewRegistry.
+// Registry maps scheme names to their counters and histograms for one
+// harness run.  The zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu sync.Mutex
 	m  map[string]*SchemeCounters
+	h  map[string]*SchemeHistograms
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]*SchemeCounters)}
+	return &Registry{
+		m: make(map[string]*SchemeCounters),
+		h: make(map[string]*SchemeHistograms),
+	}
 }
 
 // Scheme returns the counters registered under name, creating them on
@@ -129,6 +136,20 @@ func (r *Registry) Scheme(name string) *SchemeCounters {
 		r.m[name] = sc
 	}
 	return sc
+}
+
+// Histograms returns the histogram set registered under name, creating
+// it on first use.  Like Scheme, the returned pointer is stable for the
+// registry's life.
+func (r *Registry) Histograms(name string) *SchemeHistograms {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, ok := r.h[name]
+	if !ok {
+		sh = &SchemeHistograms{}
+		r.h[name] = sh
+	}
+	return sh
 }
 
 // Names returns the registered scheme names in sorted order.
@@ -156,9 +177,23 @@ func (r *Registry) Snapshot() map[string]Totals {
 	return out
 }
 
+// HistSnapshot returns the current histogram totals of every scheme
+// with registered histograms.  Like Snapshot, the map is freshly
+// allocated and safe to serialize while simulations keep running.
+func (r *Registry) HistSnapshot() map[string]HistSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistSnapshot, len(r.h))
+	for name, sh := range r.h {
+		out[name] = sh.Totals()
+	}
+	return out
+}
+
 // Reset drops every registered scheme.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.m = make(map[string]*SchemeCounters)
+	r.h = make(map[string]*SchemeHistograms)
 }

@@ -84,9 +84,54 @@ func TestTotalsPlus(t *testing.T) {
 func TestRegistryReset(t *testing.T) {
 	r := NewRegistry()
 	r.Scheme("x").Writes.Inc()
+	r.Histograms("x").Lifetime.Observe(1)
 	r.Reset()
 	if names := r.Names(); len(names) != 0 {
 		t.Fatalf("Names after Reset = %v, want empty", names)
+	}
+	if snap := r.HistSnapshot(); len(snap) != 0 {
+		t.Fatalf("HistSnapshot after Reset = %v, want empty", snap)
+	}
+}
+
+func TestRegistryHistograms(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histograms("Aegis 9x61")
+	if again := r.Histograms("Aegis 9x61"); again != a {
+		t.Fatal("repeated histogram registration returned a different pointer")
+	}
+	if b := r.Histograms("SAFER32"); b == a {
+		t.Fatal("distinct names share histograms")
+	}
+	a.Lifetime.Observe(5)
+	snap := r.HistSnapshot()
+	if snap["Aegis 9x61"].Lifetime.Count != 1 {
+		t.Fatalf("snapshot missing observation: %+v", snap)
+	}
+	if _, ok := snap["SAFER32"]; !ok {
+		t.Fatal("snapshot dropped the empty scheme")
+	}
+}
+
+// TestRegistryConcurrentHistograms exercises create-on-first-use and
+// observation from many goroutines; run under -race in CI.
+func TestRegistryConcurrentHistograms(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.Histograms("shared")
+			for i := 0; i < per; i++ {
+				h.Lifetime.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.HistSnapshot()["shared"].Lifetime.Count; got != workers*per {
+		t.Fatalf("Lifetime.Count = %d, want %d", got, workers*per)
 	}
 }
 

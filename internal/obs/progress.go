@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live telemetry of one harness run: how many Monte
+// Carlo trials are registered and completed, which experiment and phase
+// are running, and the derived rate and ETA.  All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so simulation and
+// experiment code can report unconditionally.
+type Progress struct {
+	total atomic.Int64
+	done  atomic.Int64
+
+	mu         sync.Mutex
+	experiment string
+	phase      string
+	start      time.Time
+}
+
+// NewProgress returns a progress tracker whose clock starts now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now()}
+}
+
+// SetExperiment records the experiment currently running.
+func (p *Progress) SetExperiment(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.experiment = name
+	p.phase = ""
+	p.mu.Unlock()
+}
+
+// SetPhase records the phase within the current experiment (typically
+// the scheme being simulated).
+func (p *Progress) SetPhase(phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = phase
+	p.mu.Unlock()
+}
+
+// AddTotal registers n upcoming trials.
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+}
+
+// Done records n completed trials.
+func (p *Progress) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// ProgressSnapshot is one observation of a run's progress, the form the
+// -http endpoint serves as JSON.
+type ProgressSnapshot struct {
+	Experiment     string  `json:"experiment"`
+	Phase          string  `json:"phase,omitempty"`
+	TrialsDone     int64   `json:"trials_done"`
+	TrialsTotal    int64   `json:"trials_total"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	// ETASeconds estimates the remaining run time from the average
+	// trial rate so far; -1 means unknown (no trials completed yet, or
+	// no total registered).
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// Snapshot returns the current progress.  Safe on a nil receiver, which
+// yields the zero snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{ETASeconds: -1}
+	}
+	p.mu.Lock()
+	exp, phase, start := p.experiment, p.phase, p.start
+	p.mu.Unlock()
+	s := ProgressSnapshot{
+		Experiment:  exp,
+		Phase:       phase,
+		TrialsDone:  p.done.Load(),
+		TrialsTotal: p.total.Load(),
+		ETASeconds:  -1,
+	}
+	s.ElapsedSeconds = time.Since(start).Seconds()
+	if s.ElapsedSeconds > 0 {
+		s.TrialsPerSec = float64(s.TrialsDone) / s.ElapsedSeconds
+	}
+	if s.TrialsPerSec > 0 && s.TrialsTotal > s.TrialsDone {
+		s.ETASeconds = float64(s.TrialsTotal-s.TrialsDone) / s.TrialsPerSec
+	} else if s.TrialsTotal > 0 && s.TrialsDone >= s.TrialsTotal {
+		s.ETASeconds = 0
+	}
+	return s
+}
+
+// String renders the snapshot as the one-line form aegisbench prints on
+// stderr, e.g.
+//
+//	fig10 [Aegis-rw 9x61] 120/360 trials (12.3/s, ETA 19s)
+func (s ProgressSnapshot) String() string {
+	label := s.Experiment
+	if label == "" {
+		label = "run"
+	}
+	if s.Phase != "" {
+		label += " [" + s.Phase + "]"
+	}
+	eta := "ETA ?"
+	if s.ETASeconds >= 0 {
+		eta = "ETA " + (time.Duration(s.ETASeconds * float64(time.Second))).Round(time.Second).String()
+	}
+	return fmt.Sprintf("%s %d/%d trials (%.1f/s, %s)", label, s.TrialsDone, s.TrialsTotal, s.TrialsPerSec, eta)
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgressNilReceiver(t *testing.T) {
+	var p *Progress
+	p.SetExperiment("fig5")
+	p.SetPhase("Aegis")
+	p.AddTotal(10)
+	p.Done(3)
+	s := p.Snapshot()
+	if s.TrialsDone != 0 || s.TrialsTotal != 0 || s.ETASeconds != -1 {
+		t.Fatalf("nil-receiver snapshot not zero: %+v", s)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	p.SetExperiment("fig10")
+	p.SetPhase("Aegis-rw 9x61")
+	p.AddTotal(100)
+	p.Done(25)
+	s := p.Snapshot()
+	if s.Experiment != "fig10" || s.Phase != "Aegis-rw 9x61" {
+		t.Fatalf("labels wrong: %+v", s)
+	}
+	if s.TrialsDone != 25 || s.TrialsTotal != 100 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.TrialsPerSec <= 0 {
+		t.Fatalf("rate not derived: %+v", s)
+	}
+	if s.ETASeconds < 0 {
+		t.Fatalf("ETA unknown with trials completed: %+v", s)
+	}
+
+	p.Done(75)
+	if s = p.Snapshot(); s.ETASeconds != 0 {
+		t.Fatalf("ETA of a finished run = %v, want 0", s.ETASeconds)
+	}
+
+	// A new experiment clears the phase label.
+	p.SetExperiment("fig9")
+	if s = p.Snapshot(); s.Phase != "" {
+		t.Fatalf("phase survived experiment change: %+v", s)
+	}
+}
+
+func TestProgressSnapshotString(t *testing.T) {
+	s := ProgressSnapshot{
+		Experiment: "fig10", Phase: "Aegis-rw 9x61",
+		TrialsDone: 120, TrialsTotal: 360,
+		TrialsPerSec: 12.3, ETASeconds: 19,
+	}
+	got := s.String()
+	for _, want := range []string{"fig10", "[Aegis-rw 9x61]", "120/360", "12.3/s", "ETA 19s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	unknown := ProgressSnapshot{ETASeconds: -1}
+	if !strings.Contains(unknown.String(), "ETA ?") {
+		t.Errorf("unknown-ETA String() = %q, want ETA ?", unknown.String())
+	}
+	if !strings.HasPrefix(unknown.String(), "run ") {
+		t.Errorf("unlabeled String() = %q, want the run fallback label", unknown.String())
+	}
+}

@@ -44,6 +44,7 @@ type RDIS struct {
 	phys, errs *bitvec.Vector
 
 	ops scheme.OpStats
+	tr  scheme.Tracer
 }
 
 var _ scheme.Scheme = (*RDIS)(nil)
@@ -77,6 +78,16 @@ func OverheadBits(rows, cols int) int { return 2*(rows+cols) + 1 }
 
 // OpStats implements scheme.OpReporter.
 func (r *RDIS) OpStats() scheme.OpStats { return r.ops }
+
+// SetTracer implements scheme.Traceable.
+func (r *RDIS) SetTracer(t scheme.Tracer) { r.tr = t }
+
+// trace reports a decision event when a tracer is attached.
+func (r *RDIS) trace(e scheme.TraceEvent) {
+	if r.tr != nil {
+		r.tr.TraceEvent(e)
+	}
+}
 
 // cellOf maps matrix coordinates to the bit offset (row-major).
 func (r *RDIS) cellOf(row, col int) int { return row*r.cols + col }
@@ -163,10 +174,15 @@ func (r *RDIS) Write(blk *pcm.Block, data *bitvec.Vector) error {
 	for iter := 0; iter <= r.n; iter++ {
 		faults := mergeFaults(r.view.Known(blk), local)
 		if !r.computeParity(faults, data, r.parity) {
+			r.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(faults), Cause: scheme.CauseDepthExhausted})
 			return scheme.ErrUnrecoverable
 		}
 		if r.parity.Any() {
 			r.ops.Inversions++
+			if r.tr != nil {
+				// RDIS has no group notion; Groups reports inverted cells.
+				r.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: r.parity.PopCount(), Faults: len(faults)})
+			}
 		}
 		r.phys.Xor(data, r.parity)
 		blk.WriteRaw(r.phys)
@@ -176,6 +192,7 @@ func (r *RDIS) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		if !r.errs.Any() {
 			if iter > 0 {
 				r.ops.Salvages++
+				r.trace(scheme.TraceEvent{Kind: scheme.TraceSalvage, Passes: iter + 1, Faults: len(faults)})
 			}
 			return nil
 		}
@@ -185,6 +202,7 @@ func (r *RDIS) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			local = appendFault(local, f)
 		}
 	}
+	r.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 

@@ -35,6 +35,7 @@ type Cached struct {
 	subset     []int
 
 	ops scheme.OpStats
+	tr  scheme.Tracer
 }
 
 var _ scheme.Scheme = (*Cached)(nil)
@@ -72,6 +73,26 @@ func (c *Cached) OverheadBits() int { return OverheadBits(c.n, 1<<c.m) }
 
 // OpStats implements scheme.OpReporter.
 func (c *Cached) OpStats() scheme.OpStats { return c.ops }
+
+// SetTracer implements scheme.Traceable.
+func (c *Cached) SetTracer(t scheme.Tracer) { c.tr = t }
+
+// trace reports a decision event when a tracer is attached.
+func (c *Cached) trace(e scheme.TraceEvent) {
+	if c.tr != nil {
+		c.tr.TraceEvent(e)
+	}
+}
+
+// fieldsFingerprint compresses a position set into a bitmask, the
+// From/To form repartition events report for field re-selections.
+func fieldsFingerprint(fields []int) int {
+	fp := 0
+	for _, pos := range fields {
+		fp |= 1 << uint(pos)
+	}
+	return fp
+}
 
 func (c *Cached) group(x int, fields []int) int {
 	g := 0
@@ -167,10 +188,18 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		}
 		fields, ok := c.selectFields(faults, wrong)
 		if !ok {
+			c.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(faults), Cause: scheme.CauseNoFieldSet})
 			return scheme.ErrUnrecoverable
 		}
 		if !equalInts(fields, c.fields) {
 			c.ops.Repartitions++
+			if c.tr != nil {
+				c.trace(scheme.TraceEvent{
+					Kind: scheme.TraceRepartition,
+					From: fieldsFingerprint(c.fields), To: fieldsFingerprint(fields),
+					Faults: len(faults),
+				})
+			}
 			c.fields = append(c.fields[:0], fields...)
 			c.rebuildMasks()
 		} else if c.masks == nil {
@@ -185,6 +214,9 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		c.phys.CopyFrom(data)
 		if c.inv.Any() {
 			c.ops.Inversions++
+			if c.tr != nil {
+				c.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: c.inv.PopCount(), Faults: len(faults)})
+			}
 		}
 		for _, g := range c.inv.OnesIndices() {
 			c.phys.Xor(c.phys, c.masks[g])
@@ -196,6 +228,7 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		if !c.errs.Any() {
 			if iter > 0 {
 				c.ops.Salvages++
+				c.trace(scheme.TraceEvent{Kind: scheme.TraceSalvage, Passes: iter + 1, Faults: len(faults)})
 			}
 			return nil
 		}
@@ -205,6 +238,7 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			local = appendFault(local, f)
 		}
 	}
+	c.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 

@@ -45,6 +45,7 @@ type SAFER struct {
 	phys, errs *bitvec.Vector
 
 	ops scheme.OpStats
+	tr  scheme.Tracer
 }
 
 var _ scheme.Scheme = (*SAFER)(nil)
@@ -98,6 +99,16 @@ func (s *SAFER) Fields() []int { return append([]int(nil), s.fields...) }
 // OpStats implements scheme.OpReporter.
 func (s *SAFER) OpStats() scheme.OpStats { return s.ops }
 
+// SetTracer implements scheme.Traceable.
+func (s *SAFER) SetTracer(t scheme.Tracer) { s.tr = t }
+
+// trace reports a decision event when a tracer is attached.
+func (s *SAFER) trace(e scheme.TraceEvent) {
+	if s.tr != nil {
+		s.tr.TraceEvent(e)
+	}
+}
+
 // group projects a cell address onto the selected positions.
 func (s *SAFER) group(x int) int {
 	g := 0
@@ -148,6 +159,9 @@ func (s *SAFER) addFieldFor(x1, x2 int) bool {
 	s.fields = append(s.fields, best)
 	s.masks = nil
 	s.ops.Repartitions++
+	// From/To report the partition-vector size: SAFER re-partitions by
+	// growing the selected-position set, never by swapping a slope.
+	s.trace(scheme.TraceEvent{Kind: scheme.TraceRepartition, From: len(s.fields) - 1, To: len(s.fields), Faults: len(s.faultPos)})
 	return true
 }
 
@@ -234,6 +248,9 @@ func (s *SAFER) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		s.buildPhysical(data)
 		if s.inv.Any() {
 			s.ops.Inversions++
+			if s.tr != nil {
+				s.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: s.inv.PopCount(), Faults: len(s.faultPos)})
+			}
 		}
 		blk.WriteRaw(s.phys)
 		s.ops.RawWrites++
@@ -242,6 +259,7 @@ func (s *SAFER) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		if !s.errs.Any() {
 			if iter > 0 {
 				s.ops.Salvages++
+				s.trace(scheme.TraceEvent{Kind: scheme.TraceSalvage, Passes: iter + 1, Faults: len(s.faultPos)})
 			}
 			return nil
 		}
@@ -255,9 +273,11 @@ func (s *SAFER) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			grew = true
 		}
 		if !grew {
+			s.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(s.faultPos), Cause: scheme.CauseStuckVerify})
 			return scheme.ErrUnrecoverable
 		}
 		if !s.separateKnownFaults() {
+			s.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(s.faultPos), Cause: scheme.CauseVectorFull})
 			return scheme.ErrUnrecoverable
 		}
 		s.inv.Zero()
@@ -267,6 +287,7 @@ func (s *SAFER) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 		}
 	}
+	s.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(s.faultPos), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 

@@ -1,0 +1,95 @@
+package scheme
+
+// TraceKind classifies a scheme decision event.
+type TraceKind uint8
+
+const (
+	// TraceRepartition fires when a scheme changes its partition
+	// configuration (slope increment, partition-vector growth, field
+	// re-selection).  From/To carry the old and new configuration.
+	TraceRepartition TraceKind = iota + 1
+	// TraceInversion fires when a physical write goes out with at least
+	// one group (or cell region) stored inverted.  Groups carries the
+	// inverted-group count (inverted-cell count for RDIS).
+	TraceInversion
+	// TraceSalvage fires when a write request succeeds only after at
+	// least one failed verification pass.  Passes carries the total
+	// verification passes the request needed (≥ 2).
+	TraceSalvage
+	// TraceDeath fires when a block becomes unrecoverable.  Faults
+	// carries the known stuck-cell count, Cause names the failing
+	// mechanism.
+	TraceDeath
+)
+
+// String returns the event-trace kind label.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRepartition:
+		return "repartition"
+	case TraceInversion:
+		return "inversion"
+	case TraceSalvage:
+		return "salvage"
+	case TraceDeath:
+		return "block_death"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one scheme decision, reported as it happens.  Only the
+// fields relevant to Kind are set.
+type TraceEvent struct {
+	Kind TraceKind
+	// From and To are the old and new partition configuration of a
+	// repartition.
+	From, To int
+	// Groups is the inverted-group count of an inversion write.
+	Groups int
+	// Passes is the verification-pass count of a salvaged request.
+	Passes int
+	// Faults is the known stuck-cell count when the event fired.
+	Faults int
+	// Cause names why a block died.
+	Cause string
+}
+
+// Tracer receives decision events from one scheme instance.  A Tracer
+// shared across instances (the simulation engine binds one per trial)
+// must be safe for the engine's worker concurrency.  Implementations
+// decide sampling; schemes report every event.
+type Tracer interface {
+	TraceEvent(TraceEvent)
+}
+
+// Traceable is implemented by schemes that can report their decisions.
+// SetTracer installs the sink; passing nil detaches it.  Untraced
+// instances pay only a nil check per potential event.
+type Traceable interface {
+	SetTracer(Tracer)
+}
+
+// Death cause labels shared by the scheme implementations.  Each names
+// the mechanism that made the block unrecoverable.
+const (
+	// CauseNoSlope: no partition slope separates the known faults
+	// (Aegis variants) or the W/R fault classes (rw variants).
+	CauseNoSlope = "no-collision-free-slope"
+	// CausePointerBudget: a valid configuration exists but needs more
+	// group pointers than the scheme records.
+	CausePointerBudget = "pointer-budget-exceeded"
+	// CauseVectorFull: SAFER's partition vector cannot grow further.
+	CauseVectorFull = "partition-vector-full"
+	// CauseNoFieldSet: no SAFER-cache field subset separates W from R.
+	CauseNoFieldSet = "no-valid-field-set"
+	// CauseEntriesExhausted: all ECP correction entries are in use.
+	CauseEntriesExhausted = "entries-exhausted"
+	// CauseDepthExhausted: RDIS ran out of recursion levels.
+	CauseDepthExhausted = "depth-exhausted"
+	// CauseStuckVerify: a verification pass failed without revealing a
+	// new fault — the defensive exit of the write loops.
+	CauseStuckVerify = "verify-no-new-faults"
+	// CauseIterationLimit: the write loop hit its iteration bound.
+	CauseIterationLimit = "iteration-limit"
+)

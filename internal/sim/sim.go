@@ -63,8 +63,15 @@ type Config struct {
 	// Obs, when non-nil, receives each trial's operation counts and
 	// block/page deaths under the scheme factory's name.  Draining
 	// happens once per trial, so the counters cost nothing on the write
-	// hot path.
+	// hot path.  Histograms (lifetime, repartitions, salvage depth,
+	// extra writes) are recorded into the same registry.
 	Obs *obs.Registry
+	// Trace, when non-nil, receives sampled scheme decision events
+	// (repartitions, inversions, salvages, block and page deaths).
+	Trace *obs.EventWriter
+	// Progress, when non-nil, is ticked once per completed trial; the
+	// run's total is registered when the study starts.
+	Progress *obs.Progress
 }
 
 // BlocksPerPage returns how many data blocks one page holds.
@@ -91,15 +98,21 @@ func trialRNG(seed int64, trial int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h)))
 }
 
-// forEachTrial fans cfg.Trials trials out over a worker pool.
+// forEachTrial fans cfg.Trials trials out over a worker pool, reporting
+// the study's trial count and per-trial completion to cfg.Progress.
 func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
+	cfg.Progress.AddTotal(cfg.Trials)
+	run := func(t int) {
+		body(t, trialRNG(cfg.Seed, t))
+		cfg.Progress.Done(1)
+	}
 	workers := cfg.workers()
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
 	if workers <= 1 {
 		for t := 0; t < cfg.Trials; t++ {
-			body(t, trialRNG(cfg.Seed, t))
+			run(t)
 		}
 		return
 	}
@@ -110,7 +123,7 @@ func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 		go func() {
 			defer wg.Done()
 			for t := range next {
-				body(t, trialRNG(cfg.Seed, t))
+				run(t)
 			}
 		}()
 	}
@@ -137,6 +150,20 @@ func drainOps(sc *obs.SchemeCounters, s scheme.Scheme) {
 	sc.Salvages.Add(st.Salvages)
 }
 
+// drainHists records a scheme instance's per-block distributions.  The
+// per-trial lifetime is observed separately by the study loops, and the
+// salvage depth arrives through the tracer (it is per-request, not
+// recoverable from the lifetime totals OpStats reports).
+func drainHists(h *obs.SchemeHistograms, s scheme.Scheme) {
+	rep, ok := s.(scheme.OpReporter)
+	if !ok {
+		return
+	}
+	st := rep.OpStats()
+	h.Repartitions.Observe(st.Repartitions)
+	h.ExtraWrites.Observe(st.RawWrites - st.Requests)
+}
+
 // counters resolves the registry slot trials of this run drain into, or
 // nil when observation is off.
 func (c Config) counters(f scheme.Factory) *obs.SchemeCounters {
@@ -144,6 +171,61 @@ func (c Config) counters(f scheme.Factory) *obs.SchemeCounters {
 		return nil
 	}
 	return c.Obs.Scheme(f.Name())
+}
+
+// histograms resolves the registry histogram slot, or nil when
+// observation is off.
+func (c Config) histograms(f scheme.Factory) *obs.SchemeHistograms {
+	if c.Obs == nil {
+		return nil
+	}
+	return c.Obs.Histograms(f.Name())
+}
+
+// trialTracer adapts one trial's scheme decision events into the
+// salvage-depth histogram and the sampled event trace.  The engine
+// binds one per trial so events carry the trial index without the
+// schemes knowing about it.
+type trialTracer struct {
+	scheme string
+	trial  int
+	hist   *obs.SchemeHistograms
+	trace  *obs.EventWriter
+}
+
+// TraceEvent implements scheme.Tracer.
+func (t *trialTracer) TraceEvent(e scheme.TraceEvent) {
+	if t.hist != nil && e.Kind == scheme.TraceSalvage {
+		t.hist.SalvageDepth.Observe(int64(e.Passes))
+	}
+	if t.trace == nil {
+		return
+	}
+	t.trace.Emit(obs.Event{
+		Scheme: t.scheme,
+		Trial:  t.trial,
+		Kind:   e.Kind.String(),
+		From:   e.From,
+		To:     e.To,
+		Groups: e.Groups,
+		Passes: e.Passes,
+		Faults: e.Faults,
+		Cause:  e.Cause,
+	})
+}
+
+// attachTracer installs a per-trial tracer on traceable schemes when
+// histograms or event tracing want decision events.  With both off,
+// schemes stay untraced and pay only a nil check per potential event.
+func (c Config) attachTracer(s scheme.Scheme, name string, trial int, h *obs.SchemeHistograms) {
+	if h == nil && c.Trace == nil {
+		return
+	}
+	tb, ok := s.(scheme.Traceable)
+	if !ok {
+		return
+	}
+	tb.SetTracer(&trialTracer{scheme: name, trial: trial, hist: h, trace: c.Trace})
 }
 
 // BlockResult describes one block written to death.
@@ -163,9 +245,12 @@ type BlockResult struct {
 func Blocks(f scheme.Factory, cfg Config) []BlockResult {
 	results := make([]BlockResult, cfg.Trials)
 	sc := cfg.counters(f)
+	h := cfg.histograms(f)
+	name := f.Name()
 	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
 		blk := pcm.NewBlock(cfg.BlockBits, cfg.lifetime(), rng)
 		s := f.New()
+		cfg.attachTracer(s, name, trial, h)
 		data := bitvec.New(cfg.BlockBits)
 		var writes int64
 		died := false
@@ -189,6 +274,10 @@ func Blocks(f scheme.Factory, cfg Config) []BlockResult {
 				sc.BlockDeaths.Inc()
 			}
 		}
+		if h != nil {
+			h.Lifetime.Observe(writes)
+			drainHists(h, s)
+		}
 	})
 	return results
 }
@@ -210,6 +299,8 @@ type PageResult struct {
 func Pages(f scheme.Factory, cfg Config) []PageResult {
 	results := make([]PageResult, cfg.Trials)
 	sc := cfg.counters(f)
+	h := cfg.histograms(f)
+	name := f.Name()
 	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
 		nBlocks := cfg.BlocksPerPage()
 		blocks := make([]*pcm.Block, nBlocks)
@@ -217,6 +308,7 @@ func Pages(f scheme.Factory, cfg Config) []PageResult {
 		for i := range blocks {
 			blocks[i] = pcm.NewBlock(cfg.BlockBits, cfg.lifetime(), rng)
 			schemes[i] = f.New()
+			cfg.attachTracer(schemes[i], name, trial, h)
 		}
 		data := bitvec.New(cfg.BlockBits)
 		var writes int64
@@ -247,6 +339,17 @@ func Pages(f scheme.Factory, cfg Config) []PageResult {
 				sc.BlockDeaths.Inc()
 				sc.PageDeaths.Inc()
 			}
+		}
+		if h != nil {
+			h.Lifetime.Observe(writes)
+			for i := range schemes {
+				drainHists(h, schemes[i])
+			}
+		}
+		if !alive && cfg.Trace != nil {
+			// Block deaths come from the schemes; the page granularity is
+			// the engine's, so the engine reports it.
+			cfg.Trace.Emit(obs.Event{Scheme: name, Trial: trial, Kind: "page_death", Faults: faults})
 		}
 	})
 	return results
@@ -292,9 +395,12 @@ func FailureCurveBias(f scheme.Factory, cfg Config, maxFaults, writesPerStep int
 	dead := make([]int, maxFaults+1)
 	var mu sync.Mutex
 	sc := cfg.counters(f)
+	h := cfg.histograms(f)
+	name := f.Name()
 	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
 		blk := pcm.NewImmortalBlock(cfg.BlockBits)
 		s := f.New()
+		cfg.attachTracer(s, name, trial, h)
 		data := bitvec.New(cfg.BlockBits)
 		positions := rng.Perm(cfg.BlockBits)
 		diedAt := maxFaults + 1
@@ -318,6 +424,11 @@ func FailureCurveBias(f scheme.Factory, cfg Config, maxFaults, writesPerStep int
 			if diedAt <= maxFaults {
 				sc.BlockDeaths.Inc()
 			}
+		}
+		if h != nil {
+			// Fault-injection probes have no lifetime; only the recovery
+			// distributions are meaningful here.
+			drainHists(h, s)
 		}
 		mu.Lock()
 		for nf := diedAt; nf <= maxFaults; nf++ {
