@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short vet bench bench-json trace-sample repro repro-quick extensions examples fuzz clean
+.PHONY: all test test-short test-race vet bench bench-json trace-sample repro repro-quick resume-demo extensions examples fuzz golden clean
 
 all: test
 
@@ -14,6 +14,13 @@ test:
 # Short mode skips the exhaustive/soak tests.
 test-short:
 	$(GO) test -short ./...
+
+# Race-enabled pass over the packages that spawn goroutines (simulation
+# workers, the shard engine) plus the concurrency-adjacent cores.
+test-race:
+	$(GO) test -race -short ./internal/sim/ ./internal/core/ ./internal/aegisrw/ \
+		./internal/experiments/ ./internal/device/ ./internal/obs/ \
+		./internal/engine/ ./internal/plane/ ./internal/bitvec/
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +49,12 @@ repro:
 repro-quick:
 	$(GO) run ./cmd/aegisbench -exp all -preset quick
 
+# Demonstrate sharded, resumable runs: a cold run fills the cache, the
+# rerun is served entirely from it (see DESIGN.md "Sharded runs").
+resume-demo:
+	$(GO) run ./cmd/aegisbench -exp fig9 -preset quick -shards 4 -cache-dir out/shards
+	$(GO) run ./cmd/aegisbench -exp fig9 -preset quick -shards 4 -cache-dir out/shards -resume
+
 # All extension experiments (ablations + substrate studies).
 extensions:
 	$(GO) run ./cmd/aegisbench -exp extensions -preset default
@@ -60,6 +73,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzLayoutInvariants -fuzztime=10s ./internal/plane/
 	$(GO) test -fuzz=FuzzUnmarshalBits -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzWriteRead -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzBitvec -fuzztime=10s ./internal/bitvec/
+	$(GO) test -fuzz=FuzzMetadata -fuzztime=10s ./internal/aegisrw/
+
+# Regenerate the fixed-seed golden regression file after an intentional
+# behaviour change.
+golden:
+	$(GO) test ./internal/experiments/ -run TestGoldenRegression -update
 
 clean:
 	$(GO) clean ./...

@@ -22,6 +22,15 @@
 // the schema).  -events FILE streams sampled scheme decision events
 // (repartitions, inversions, salvages, deaths) as aegis.events/v1 JSONL;
 // -sample N keeps one event in every N.
+// -shards N splits every simulation's trial range into N deterministic
+// shards — results are byte-identical at any shard count, because each
+// trial's RNG derives from its global trial index.  -cache-dir DIR
+// persists each completed shard as a content-addressed aegis.shard/v1
+// file; -resume loads the shards that already exist instead of
+// recomputing them, so an interrupted run finishes from where it was
+// killed and an unchanged rerun reports 100% cache hits (see DESIGN.md
+// §"Sharded runs").
+//
 // -cpuprofile/-memprofile/-trace write standard Go profiles; -http
 // serves expvar ("aegis.counters"), live run progress as JSON
 // (/debug/aegis/progress) and net/http/pprof for inspection of long
@@ -40,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"aegis/internal/engine"
 	"aegis/internal/experiments"
 	"aegis/internal/obs"
 	"aegis/internal/report"
@@ -93,6 +103,9 @@ func run(args []string, out *os.File) error {
 		eventsPath = fs.String("events", "", "write a decision-event trace (aegis.events/v1 JSONL) to this file")
 		sample     = fs.Int("sample", 1, "with -events, keep one decision event in every N")
 		progressIv = fs.Duration("progress", 0, "stderr progress-line interval (0 = auto: 2s on a terminal, off otherwise; negative = off)")
+		shards     = fs.Int("shards", 1, "split each simulation's trial range into this many deterministic shards (results are identical at any shard count)")
+		cacheDir   = fs.String("cache-dir", "", "persist each completed shard as an aegis.shard/v1 file in this directory")
+		resume     = fs.Bool("resume", false, "load shards already present in -cache-dir instead of recomputing them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +142,15 @@ func run(args []string, out *os.File) error {
 	p.Obs = reg
 	prog := obs.NewProgress()
 	p.Progress = prog
+
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
+	}
+	if *resume && *cacheDir == "" {
+		return fmt.Errorf("-resume requires -cache-dir: there is no cache to resume from")
+	}
+	eng := &engine.Engine{Shards: *shards, CacheDir: *cacheDir, Resume: *resume}
+	p.Engine = eng
 
 	var events *obs.EventWriter
 	if *eventsPath != "" {
@@ -178,6 +200,11 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "wrote event trace %s (%d events, %d dropped by sampling)\n",
 			events.Path(), events.Written(), events.Dropped())
+	}
+	if *shards > 1 || *cacheDir != "" {
+		st := reg.Shards().Totals()
+		fmt.Fprintf(out, "shard cache: %d hit(s), %d miss(es), %d shard(s) persisted\n",
+			st.CacheHits, st.CacheMisses, st.Persisted)
 	}
 	for _, tbl := range result.Tables {
 		var rerr error
@@ -242,6 +269,18 @@ func run(args []string, out *os.File) error {
 				SampleEvery: events.SampleEvery(),
 				Written:     events.Written(),
 				Dropped:     events.Dropped(),
+			}
+		}
+		if *shards > 1 || *cacheDir != "" {
+			st := reg.Shards().Totals()
+			manifest.Sharding = &obs.ShardingInfo{
+				ShardSchema: engine.ShardSchema,
+				Shards:      *shards,
+				CacheDir:    *cacheDir,
+				Resume:      *resume,
+				CacheHits:   st.CacheHits,
+				CacheMisses: st.CacheMisses,
+				Persisted:   st.Persisted,
 			}
 		}
 		manifest.Tables = manifestTables(result.Tables)

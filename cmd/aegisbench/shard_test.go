@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aegis/internal/obs"
+)
+
+// stripVolatile drops the lines that legitimately vary between runs
+// (timing, cache traffic), leaving the result tables.
+func stripVolatile(s string) string {
+	var keep []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "done in") || strings.HasPrefix(l, "shard cache:") {
+			continue
+		}
+		keep = append(keep, l)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestShardedResumeDeterminism is the ISSUE's acceptance criterion
+// exercised through the real CLI path: an unsharded run, a sharded
+// cold run, a kill-and-resume run (half the shard files deleted) and a
+// fully-cached rerun must all print byte-identical results — and the
+// final rerun must report zero misses.
+func TestShardedResumeDeterminism(t *testing.T) {
+	cache := t.TempDir()
+	args := func(extra ...string) []string {
+		return append([]string{"-exp", "fig9", "-preset", "quick"}, extra...)
+	}
+
+	ref, err := capture(t, args())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := capture(t, args("-shards", "4", "-cache-dir", cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripVolatile(cold) != stripVolatile(ref) {
+		t.Fatal("sharded run diverged from unsharded run")
+	}
+	if !strings.Contains(cold, "shard cache:") {
+		t.Fatalf("cold run printed no cache summary:\n%s", cold)
+	}
+
+	// Simulate a killed run: delete half the persisted shards, then
+	// resume.  The engine must recompute exactly the deleted ones.
+	files, err := filepath.Glob(filepath.Join(cache, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shards persisted: %v (%v)", files, err)
+	}
+	deleted := 0
+	for i, f := range files {
+		if i%2 == 0 {
+			if err := os.Remove(f); err != nil {
+				t.Fatal(err)
+			}
+			deleted++
+		}
+	}
+
+	resumed, err := capture(t, args("-shards", "4", "-cache-dir", cache, "-resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripVolatile(resumed) != stripVolatile(ref) {
+		t.Fatal("kill-and-resume run diverged from unsharded run")
+	}
+
+	// Unchanged rerun: every shard comes from the cache.
+	warm, err := capture(t, args("-shards", "4", "-cache-dir", cache, "-resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripVolatile(warm) != stripVolatile(ref) {
+		t.Fatal("fully-cached rerun diverged from unsharded run")
+	}
+	if !strings.Contains(warm, " 0 miss(es)") {
+		t.Fatalf("unchanged rerun was not 100%% cache hits:\n%s", warm)
+	}
+	if strings.Contains(warm, "shard cache: 0 hit(s)") {
+		t.Fatalf("unchanged rerun reported no hits:\n%s", warm)
+	}
+}
+
+// TestShardingManifestRecord checks the run manifest records shard
+// provenance when, and only when, the engine is enabled.
+func TestShardingManifestRecord(t *testing.T) {
+	cache := t.TempDir()
+	jsonDir := t.TempDir()
+	if _, err := capture(t, []string{
+		"-exp", "fig9", "-preset", "quick",
+		"-shards", "3", "-cache-dir", cache, "-json", jsonDir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.LoadManifest(filepath.Join(jsonDir, "fig9.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sharding == nil {
+		t.Fatal("sharded run manifest has no sharding block")
+	}
+	if m.Sharding.ShardSchema != "aegis.shard/v1" || m.Sharding.Shards != 3 || m.Sharding.CacheDir != cache {
+		t.Fatalf("sharding identity wrong: %+v", m.Sharding)
+	}
+	if m.Sharding.CacheMisses == 0 || m.Sharding.Persisted == 0 {
+		t.Fatalf("cold-run traffic wrong: %+v", m.Sharding)
+	}
+
+	plainDir := t.TempDir()
+	if _, err := capture(t, []string{"-exp", "table1", "-json", plainDir}); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := obs.LoadManifest(filepath.Join(plainDir, "table1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Sharding != nil {
+		t.Fatalf("unsharded run recorded sharding: %+v", m2.Sharding)
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	if _, err := capture(t, []string{"-exp", "table1", "-resume"}); err == nil ||
+		!strings.Contains(err.Error(), "-cache-dir") {
+		t.Fatalf("-resume without -cache-dir accepted: %v", err)
+	}
+	if _, err := capture(t, []string{"-exp", "table1", "-shards", "0"}); err == nil ||
+		!strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("-shards 0 accepted: %v", err)
+	}
+}

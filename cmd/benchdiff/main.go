@@ -236,8 +236,8 @@ func compareFiles(oldPath, newPath string, thresholdPct float64, out io.Writer) 
 		return err
 	}
 	if oldF.Schema != newF.Schema {
-		return fmt.Errorf("schema mismatch: %s is %q but %s is %q — re-record one side with this benchdiff (`benchdiff -run`) so both files share a schema",
-			oldPath, oldF.Schema, newPath, newF.Schema)
+		return obs.SchemaMismatch(oldPath, oldF.Schema, newPath, newF.Schema,
+			"re-record one side with this benchdiff (`benchdiff -run`) so both files share a schema")
 	}
 	report := Compare(oldF, newF, thresholdPct)
 	fmt.Fprint(out, report.Format(oldPath, newPath, thresholdPct))

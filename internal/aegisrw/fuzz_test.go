@@ -1,0 +1,78 @@
+package aegisrw
+
+import (
+	"testing"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/failcache"
+	"aegis/internal/pcm"
+)
+
+// bitsFromBytes builds an n-bit vector from raw fuzz bytes, LSB-first.
+func bitsFromBytes(n int, raw []byte) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n && i/8 < len(raw); i++ {
+		v.Set(i, raw[i/8]>>(uint(i)%8)&1 == 1)
+	}
+	return v
+}
+
+// FuzzMetadata feeds arbitrary metadata bytes to both Aegis-rw codecs.
+// Decode must either reject the input or produce a state that
+// re-encodes to the identical bit pattern — the property the page-table
+// persistence path depends on.
+func FuzzMetadata(f *testing.F) {
+	// Seed with genuine encodings: a written RW block and both RWP modes.
+	{
+		rwf := MustRWFactory(256, 23, failcache.Perfect{})
+		s := rwf.New().(*RW)
+		blk := pcm.NewImmortalBlock(256)
+		blk.InjectFault(17, true)
+		data := bitvec.New(256)
+		data.Set(3, true)
+		if err := s.Write(blk, data); err == nil {
+			f.Add(true, s.MarshalBits().Words()[0])
+		}
+		rwpf := MustRWPFactory(256, 23, 3, failcache.Perfect{})
+		p := rwpf.New().(*RWP)
+		if err := p.Write(blk, data); err == nil {
+			f.Add(false, p.MarshalBits().Words()[0])
+		}
+	}
+	f.Add(true, uint64(0))
+	f.Add(false, ^uint64(0))
+
+	f.Fuzz(func(t *testing.T, rw bool, word uint64) {
+		raw := make([]byte, 8)
+		for i := range raw {
+			raw[i] = byte(word >> (8 * i))
+		}
+		if rw {
+			fuzzRWCodec(t, raw)
+		} else {
+			fuzzRWPCodec(t, raw)
+		}
+	})
+}
+
+func fuzzRWCodec(t *testing.T, raw []byte) {
+	s := MustRWFactory(256, 23, failcache.Perfect{}).New().(*RW)
+	v := bitsFromBytes(s.OverheadBits(), raw)
+	if err := s.UnmarshalBits(v); err != nil {
+		return // rejected cleanly
+	}
+	if !s.MarshalBits().Equal(v) {
+		t.Fatal("accepted RW metadata does not round-trip")
+	}
+}
+
+func fuzzRWPCodec(t *testing.T, raw []byte) {
+	s := MustRWPFactory(256, 23, 3, failcache.Perfect{}).New().(*RWP)
+	v := bitsFromBytes(s.OverheadBits(), raw)
+	if err := s.UnmarshalBits(v); err != nil {
+		return // rejected cleanly
+	}
+	if !s.MarshalBits().Equal(v) {
+		t.Fatal("accepted RWP metadata does not round-trip")
+	}
+}

@@ -1,0 +1,86 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// FuzzBitvec interprets the fuzz input as an op program executed in
+// lockstep against a Vector and a plain []bool model: every Set, Flip,
+// Fill, range-invert and Not must leave the two in agreement, and the
+// derived views (PopCount, Any, OnesIndices, Bit) must match the model
+// recomputed from scratch.
+func FuzzBitvec(f *testing.F) {
+	f.Add(uint8(64), []byte{0x00})
+	f.Add(uint8(61), []byte{0x11, 0x92, 0xff, 0x03, 0x40})
+	f.Add(uint8(7), []byte{0xaa, 0x55, 0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, size uint8, program []byte) {
+		n := int(size)%512 + 1
+		v := New(n)
+		model := make([]bool, n)
+
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i], int(program[i+1])%n
+			switch op % 5 {
+			case 0:
+				val := op&0x80 != 0
+				v.Set(arg, val)
+				model[arg] = val
+			case 1:
+				v.Flip(arg)
+				model[arg] = !model[arg]
+			case 2:
+				val := op&0x80 != 0
+				v.Fill(val)
+				for j := range model {
+					model[j] = val
+				}
+			case 3:
+				// Invert the range [arg, min(arg+8, n)).
+				for j := arg; j < arg+8 && j < n; j++ {
+					v.Flip(j)
+					model[j] = !model[j]
+				}
+			case 4:
+				v.Not(v.Clone())
+				for j := range model {
+					model[j] = !model[j]
+				}
+			}
+		}
+
+		ones := 0
+		for i, want := range model {
+			if v.Get(i) != want {
+				t.Fatalf("bit %d = %v, model says %v", i, v.Get(i), want)
+			}
+			wantBit := 0
+			if want {
+				wantBit = 1
+				ones++
+			}
+			if v.Bit(i) != wantBit {
+				t.Fatalf("Bit(%d) = %d, model says %d", i, v.Bit(i), wantBit)
+			}
+		}
+		if v.PopCount() != ones {
+			t.Fatalf("PopCount = %d, model counts %d", v.PopCount(), ones)
+		}
+		if v.Any() != (ones > 0) {
+			t.Fatalf("Any = %v with %d ones", v.Any(), ones)
+		}
+		idx := v.OnesIndices()
+		if len(idx) != ones {
+			t.Fatalf("OnesIndices has %d entries, model counts %d", len(idx), ones)
+		}
+		for _, i := range idx {
+			if !model[i] {
+				t.Fatalf("OnesIndices lists clear bit %d", i)
+			}
+		}
+		// The tail beyond n must stay masked: a clone round trip through
+		// the word representation must compare equal.
+		if !NewFromWords(n, v.Words()).Equal(v) {
+			t.Fatal("word-level round trip differs (unmasked tail?)")
+		}
+	})
+}

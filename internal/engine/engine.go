@@ -1,0 +1,237 @@
+// Package engine is the sharded, resumable experiment runner of the
+// harness.  It splits a simulation's trial range into deterministic
+// shards — shard s of k covers a fixed contiguous slice of the trial
+// range, and each trial's RNG derives from (seed, global trial index)
+// via sim.Config.TrialOffset — so the shard count never changes
+// results: a sharded run is byte-identical to an unsharded one.
+//
+// Each completed shard can be persisted as an aegis.shard/v1 JSON file
+// under a content-addressed key (SHA-256 over the canonicalized
+// configuration, the scheme name, the trial range and the code
+// version).  A rerun with -resume loads the shards that exist and only
+// computes the rest, which makes interrupted runs cheap to finish and
+// unchanged reruns nearly free; cache traffic is reported through
+// internal/obs counters and the live progress line.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"time"
+
+	"aegis/internal/obs"
+	"aegis/internal/scheme"
+	"aegis/internal/sim"
+)
+
+// Engine configures sharded execution.  The zero value and the nil
+// pointer both mean "run directly": every method falls through to the
+// corresponding internal/sim call, so experiment code can route through
+// an *Engine unconditionally.
+type Engine struct {
+	// Shards is the number of deterministic slices to split each
+	// simulation's trial range into (≤ 1 = no splitting).
+	Shards int
+	// CacheDir, when set, persists every computed shard as an
+	// aegis.shard/v1 file named <key>.json under this directory.
+	CacheDir string
+	// Resume, when set, loads shards already present in CacheDir
+	// instead of recomputing them.  Requires CacheDir.
+	Resume bool
+
+	// afterShard, when set, runs after each shard completes (computed
+	// or loaded).  Returning an error aborts the run — tests use it to
+	// simulate a kill mid-run and then resume.
+	afterShard func(scheme, kind string, lo, hi int) error
+}
+
+// enabled reports whether the engine changes execution at all.
+func (e *Engine) enabled() bool {
+	return e != nil && (e.Shards > 1 || e.CacheDir != "")
+}
+
+// shardCount returns the effective shard count, clamped to [1, trials].
+func (e *Engine) shardCount(trials int) int {
+	k := e.Shards
+	if k < 1 {
+		k = 1
+	}
+	if k > trials {
+		k = trials
+	}
+	return k
+}
+
+// splitTrials slices [0, n) into k contiguous ranges whose sizes differ
+// by at most one, earlier shards taking the extra trial.
+func splitTrials(n, k int) [][2]int {
+	ranges := make([][2]int, 0, k)
+	base, extra := n/k, n%k
+	lo := 0
+	for s := 0; s < k; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		ranges = append(ranges, [2]int{lo, lo + size})
+		lo += size
+	}
+	return ranges
+}
+
+// Blocks runs sim.Blocks through the shard engine.
+func (e *Engine) Blocks(f scheme.Factory, cfg sim.Config) ([]sim.BlockResult, error) {
+	if !e.enabled() || cfg.Trials <= 0 {
+		return sim.Blocks(f, cfg), nil
+	}
+	merged, err := e.run(f, cfg, KindBlocks, curveParams{}, func(shardCfg sim.Config, s *Shard) {
+		s.Blocks = sim.Blocks(f, shardCfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged.Blocks, nil
+}
+
+// Pages runs sim.Pages through the shard engine.
+func (e *Engine) Pages(f scheme.Factory, cfg sim.Config) ([]sim.PageResult, error) {
+	if !e.enabled() || cfg.Trials <= 0 {
+		return sim.Pages(f, cfg), nil
+	}
+	merged, err := e.run(f, cfg, KindPages, curveParams{}, func(shardCfg sim.Config, s *Shard) {
+		s.Pages = sim.Pages(f, shardCfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged.Pages, nil
+}
+
+// FailureCurve runs sim.FailureCurve through the shard engine.
+func (e *Engine) FailureCurve(f scheme.Factory, cfg sim.Config, maxFaults, writesPerStep int) ([]float64, error) {
+	return e.FailureCurveBias(f, cfg, maxFaults, writesPerStep, 0.5)
+}
+
+// FailureCurveBias runs sim.FailureCurveBias through the shard engine.
+// Shards carry the mergeable dead counts (sim.FailureCounts); the
+// merged counts divide by the full trial count, so the curve matches an
+// unsharded run exactly.
+func (e *Engine) FailureCurveBias(f scheme.Factory, cfg sim.Config, maxFaults, writesPerStep int, bias float64) ([]float64, error) {
+	if !e.enabled() || cfg.Trials <= 0 {
+		return sim.FailureCurveBias(f, cfg, maxFaults, writesPerStep, bias), nil
+	}
+	cp := curveParams{MaxFaults: maxFaults, WritesPerStep: writesPerStep, Bias: bias}
+	merged, err := e.run(f, cfg, KindCurve, cp, func(shardCfg sim.Config, s *Shard) {
+		s.Dead = sim.FailureCounts(f, shardCfg, maxFaults, writesPerStep, bias)
+	})
+	if err != nil {
+		return nil, err
+	}
+	curve := make([]float64, maxFaults+1)
+	for nf := 1; nf <= maxFaults && nf < len(merged.Dead); nf++ {
+		curve[nf] = float64(merged.Dead[nf]) / float64(cfg.Trials)
+	}
+	return curve, nil
+}
+
+// run is the shared shard loop: derive keys, load what the cache has,
+// compute the rest (each computed shard simulates trial range
+// [lo, hi) via Trials/TrialOffset against a private obs registry so its
+// counter and histogram deltas can be persisted), persist, merge, and
+// fold the merged observability deltas back into the caller's registry.
+func (e *Engine) run(f scheme.Factory, cfg sim.Config, kind string, cp curveParams, compute func(sim.Config, *Shard)) (*Shard, error) {
+	schemeName := f.Name()
+	hash := ConfigHash(cfg, kind, cp)
+	code := obs.GitSHA()
+
+	shards := make([]*Shard, 0, e.shardCount(cfg.Trials))
+	for _, r := range splitTrials(cfg.Trials, e.shardCount(cfg.Trials)) {
+		// Shard ranges live in global trial coordinates, so a shard is
+		// addressed identically no matter how the caller offset the run.
+		lo, hi := cfg.TrialOffset+r[0], cfg.TrialOffset+r[1]
+		key := ShardKey(hash, schemeName, lo, hi, code)
+
+		if e.Resume && e.CacheDir != "" {
+			s, err := LoadShard(shardPath(e.CacheDir, key), key, hash, schemeName, kind, lo, hi)
+			switch {
+			case err == nil:
+				// Cache hit: credit the shard's trials to the live
+				// progress so the run's totals match a computed run.
+				cfg.Progress.AddTotal(s.Trials())
+				cfg.Progress.Done(s.Trials())
+				cfg.Progress.CacheHit(1)
+				if cfg.Obs != nil {
+					cfg.Obs.Shards().CacheHits.Inc()
+				}
+				shards = append(shards, s)
+				if err := e.shardDone(s); err != nil {
+					return nil, err
+				}
+				continue
+			case errors.Is(err, fs.ErrNotExist), errors.Is(err, ErrCorruptShard):
+				// Absent or unreadable: an ordinary miss, recompute.
+			default:
+				// Present but incompatible (schema, key, config hash or
+				// range disagreement): refuse rather than guess.
+				return nil, err
+			}
+		}
+
+		cfg.Progress.CacheMiss(1)
+		if cfg.Obs != nil {
+			cfg.Obs.Shards().CacheMisses.Inc()
+		}
+		priv := obs.NewRegistry()
+		shardCfg := cfg
+		shardCfg.Trials = hi - lo
+		shardCfg.TrialOffset = lo
+		shardCfg.Obs = priv
+		s := &Shard{
+			Schema:      ShardSchema,
+			Key:         key,
+			ConfigHash:  hash,
+			Scheme:      schemeName,
+			Kind:        kind,
+			TrialLo:     lo,
+			TrialHi:     hi,
+			CodeVersion: code,
+			CreatedAt:   time.Now().UTC(),
+		}
+		compute(shardCfg, s)
+		s.Counters = priv.Snapshot()[schemeName]
+		s.Histograms = priv.HistSnapshot()[schemeName]
+		if e.CacheDir != "" {
+			if _, err := WriteShard(e.CacheDir, s); err != nil {
+				return nil, fmt.Errorf("engine: persist %s: %w", shardDesc(s), err)
+			}
+			if cfg.Obs != nil {
+				cfg.Obs.Shards().Persisted.Inc()
+			}
+		}
+		shards = append(shards, s)
+		if err := e.shardDone(s); err != nil {
+			return nil, err
+		}
+	}
+
+	merged, err := Merge(shards)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Obs != nil {
+		// Computed shards drained into private registries, so the
+		// merged deltas are the run's entire contribution.
+		cfg.Obs.AddTotals(schemeName, merged.Counters)
+		cfg.Obs.AddHist(schemeName, merged.Histograms)
+	}
+	return merged, nil
+}
+
+// shardDone invokes the test hook, if any.
+func (e *Engine) shardDone(s *Shard) error {
+	if e.afterShard == nil {
+		return nil
+	}
+	return e.afterShard(s.Scheme, s.Kind, s.TrialLo, s.TrialHi)
+}

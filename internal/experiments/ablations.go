@@ -24,7 +24,7 @@ var AblationIDs = []string{"traffic", "latency", "softftc", "memblock", "oscapac
 // endurance immediately.  Cache-less partition schemes suffer a wear
 // feedback loop under per-pulse wear — the effect the paper alludes to
 // when crediting Aegis-rw with "removing extra inversion writes".
-func AblationWear(p Params) *report.Table {
+func AblationWear(p Params) (*report.Table, error) {
 	factories := []scheme.Factory{
 		ecp.MustFactory(512, 6),
 		safer.MustFactory(512, 64),
@@ -44,9 +44,17 @@ func AblationWear(p Params) *report.Table {
 	for _, f := range factories {
 		cfg.Seed = p.schemeSeed("abl-wear-" + f.Name())
 		cfg.PulseWear = false
-		req := stats.SummarizeInts(sim.Lifetimes(sim.Pages(f, cfg))).Mean
+		reqRs, err := p.Engine.Pages(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		req := stats.SummarizeInts(sim.Lifetimes(reqRs)).Mean
 		cfg.PulseWear = true
-		pulse := stats.SummarizeInts(sim.Lifetimes(sim.Pages(f, cfg))).Mean
+		pulseRs, err := p.Engine.Pages(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pulse := stats.SummarizeInts(sim.Lifetimes(pulseRs)).Mean
 		ratio := 0.0
 		if req > 0 {
 			ratio = pulse / req
@@ -54,7 +62,7 @@ func AblationWear(p Params) *report.Table {
 		t.AddRow(f.Name(), report.Itoa(f.OverheadBits()),
 			report.Ftoa(req), report.Ftoa(pulse), report.Ftoa(ratio))
 	}
-	return t
+	return t, nil
 }
 
 // AblationStuck sweeps the stuck-value bias of injected faults.  The
@@ -66,7 +74,7 @@ func AblationWear(p Params) *report.Table {
 // Aegis-rw alike.  (Same-type fault immunity in Aegis-rw is a per-write
 // property of the data pattern, as examples/failcache demonstrates with
 // an adversarial geometry, not a property of biased stuck values.)
-func AblationStuck(p Params) *report.Table {
+func AblationStuck(p Params) (*report.Table, error) {
 	type entry struct {
 		f    scheme.Factory
 		bias float64
@@ -90,7 +98,11 @@ func AblationStuck(p Params) *report.Table {
 	curves := make([][]float64, len(entries))
 	for i, e := range entries {
 		cfg.Seed = p.schemeSeed(fmt.Sprintf("abl-stuck-%s-%v", e.f.Name(), e.bias))
-		curves[i] = sim.FailureCurveBias(e.f, cfg, maxFaults, 8, e.bias)
+		curve, err := p.Engine.FailureCurveBias(e.f, cfg, maxFaults, 8, e.bias)
+		if err != nil {
+			return nil, err
+		}
+		curves[i] = curve
 	}
 	for nf := 1; nf <= maxFaults; nf++ {
 		row := []string{report.Itoa(nf)}
@@ -99,13 +111,13 @@ func AblationStuck(p Params) *report.Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // AblationRDIS sweeps the RDIS recursion depth, quantifying how much of
 // the comparator's strength (EXPERIMENTS.md's noted deviation) comes
 // from each recursion level.
-func AblationRDIS(p Params) *report.Table {
+func AblationRDIS(p Params) (*report.Table, error) {
 	const maxFaults = 30
 	t := &report.Table{
 		Title:  "Ablation: RDIS recursion depth vs block failure probability (512-bit)",
@@ -118,7 +130,11 @@ func AblationRDIS(p Params) *report.Table {
 	for i, d := range depths {
 		f := rdis.MustFactory(512, d, cache)
 		cfg.Seed = p.schemeSeed(fmt.Sprintf("abl-rdis-%d", d))
-		curves[i] = sim.FailureCurve(f, cfg, maxFaults, 8)
+		curve, err := p.Engine.FailureCurve(f, cfg, maxFaults, 8)
+		if err != nil {
+			return nil, err
+		}
+		curves[i] = curve
 	}
 	for nf := 1; nf <= maxFaults; nf++ {
 		row := []string{report.Itoa(nf)}
@@ -127,7 +143,7 @@ func AblationRDIS(p Params) *report.Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // AblationAegisP quantifies the trade §2.3 sketches in one sentence
@@ -137,7 +153,7 @@ func AblationRDIS(p Params) *report.Table {
 // cache, caps the block at q simultaneously-wrong faults.  Block failure
 // probability vs fault count for Aegis 23×23 against its pointer
 // variants.
-func AblationAegisP(p Params) *report.Table {
+func AblationAegisP(p Params) (*report.Table, error) {
 	const maxFaults = 24
 	factories := []scheme.Factory{
 		core.MustFactory(512, 23),     // 28 bits
@@ -157,7 +173,11 @@ func AblationAegisP(p Params) *report.Table {
 	curves := make([][]float64, len(factories))
 	for i, f := range factories {
 		cfg.Seed = p.schemeSeed("abl-aegisp-" + f.Name())
-		curves[i] = sim.FailureCurve(f, cfg, maxFaults, 8)
+		curve, err := p.Engine.FailureCurve(f, cfg, maxFaults, 8)
+		if err != nil {
+			return nil, err
+		}
+		curves[i] = curve
 		t.Header = append(t.Header, fmt.Sprintf("%s (%db)", f.Name(), f.OverheadBits()))
 	}
 	for nf := 1; nf <= maxFaults; nf++ {
@@ -167,5 +187,5 @@ func AblationAegisP(p Params) *report.Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }

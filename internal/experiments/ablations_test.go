@@ -8,7 +8,10 @@ import (
 func TestAblationWearDirections(t *testing.T) {
 	p := tiny()
 	p.PageTrials = 5
-	tbl := AblationWear(p)
+	tbl, err := AblationWear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -41,7 +44,10 @@ func TestAblationWearDirections(t *testing.T) {
 func TestAblationStuckNullResult(t *testing.T) {
 	p := tiny()
 	p.CurveTrials = 60
-	tbl := AblationStuck(p)
+	tbl, err := AblationStuck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 30 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -71,7 +77,10 @@ func TestAblationStuckNullResult(t *testing.T) {
 func TestAblationRDISDepthMonotone(t *testing.T) {
 	p := tiny()
 	p.CurveTrials = 60
-	tbl := AblationRDIS(p)
+	tbl, err := AblationRDIS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 30 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}

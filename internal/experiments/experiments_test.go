@@ -88,7 +88,10 @@ func TestStudyOrderingAegisBeatsSAFERPlain(t *testing.T) {
 	// using fewer overhead bits.
 	p := tiny()
 	p.PageTrials = 6
-	s := runStudy(p, 512, roster512())
+	s, err := runStudy(p, 512, roster512())
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]StudyRow{}
 	for _, r := range s.Rows {
 		byName[r.Name] = r
@@ -111,7 +114,10 @@ func TestStudyOrderingAegisBeatsSAFERPlain(t *testing.T) {
 
 func TestFig8CurveMonotoneAndECPCliff(t *testing.T) {
 	p := tiny()
-	tbl, series := Fig8(p)
+	tbl, series, err := Fig8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) == 0 || len(tbl.Rows) != fig8MaxFaults {
 		t.Fatalf("fig8 shape: %d series, %d rows", len(series), len(tbl.Rows))
 	}
@@ -140,7 +146,10 @@ func TestFig8CurveMonotoneAndECPCliff(t *testing.T) {
 
 func TestFig9HalfLifetimesPositive(t *testing.T) {
 	p := tiny()
-	tbl, series := Fig9(p)
+	tbl, series, err := Fig9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != len(roster9()) {
 		t.Fatalf("series = %d", len(series))
 	}
@@ -155,7 +164,10 @@ func TestFig9HalfLifetimesPositive(t *testing.T) {
 func TestFig10PlateauShape(t *testing.T) {
 	p := tiny()
 	p.BlockTrials = 16
-	tbl, series := Fig10(p)
+	tbl, series, err := Fig10(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != len(variantLayouts) {
 		t.Fatalf("series = %d", len(series))
 	}
@@ -177,7 +189,10 @@ func TestVariantsOrdering(t *testing.T) {
 	// Aegis on the same formation.
 	p := tiny()
 	p.PageTrials = 5
-	s := runStudy(p, 512, rosterVariants())
+	s, err := runStudy(p, 512, rosterVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]StudyRow{}
 	for _, r := range s.Rows {
 		byName[r.Name] = r

@@ -76,7 +76,10 @@ func TestSoftFTCBeyondHard(t *testing.T) {
 func TestMemBlockTrendSimilar(t *testing.T) {
 	p := tiny()
 	p.PageTrials = 5
-	tbl := MemBlock(p)
+	tbl, err := MemBlock(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}

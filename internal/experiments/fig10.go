@@ -15,7 +15,7 @@ var fig10Pointers = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12}
 // Fig10 regenerates the Aegis-rw-p pointer sweep: mean 512-bit-block
 // lifetime as the pointer budget p grows, for each A×B formation, with
 // the corresponding Aegis-rw lifetime as the plateau reference.
-func Fig10(p Params) (*report.Table, []stats.Series) {
+func Fig10(p Params) (*report.Table, []stats.Series, error) {
 	cfg := p.simConfig(512, p.BlockTrials)
 	t := &report.Table{
 		Title:  "Figure 10: 512-bit block lifetime (writes) of Aegis-rw-p vs pointer count p",
@@ -42,7 +42,11 @@ func Fig10(p Params) (*report.Table, []stats.Series) {
 			f := aegisrw.MustRWPFactory(512, v.B, ptrs, cache)
 			p.Progress.SetPhase(fmt.Sprintf("Aegis-rw-p %s p=%d", layoutName, ptrs))
 			cfg.Seed = p.schemeSeed(fmt.Sprintf("fig10-%s-p%d", layoutName, ptrs))
-			mean := stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(f, cfg))).Mean
+			rs, err := p.Engine.Blocks(f, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			mean := stats.SummarizeInts(sim.BlockLifetimes(rs)).Mean
 			s.Points = append(s.Points, stats.Point{X: float64(ptrs), Y: mean})
 			cols[i] = append(cols[i], report.Ftoa(mean))
 		}
@@ -50,11 +54,15 @@ func Fig10(p Params) (*report.Table, []stats.Series) {
 		rwF := aegisrw.MustRWFactory(512, v.B, cache)
 		p.Progress.SetPhase("Aegis-rw " + layoutName)
 		cfg.Seed = p.schemeSeed("fig10-rw-" + layoutName)
-		rwMean := stats.SummarizeInts(sim.BlockLifetimes(sim.Blocks(rwF, cfg))).Mean
+		rwRs, err := p.Engine.Blocks(rwF, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rwMean := stats.SummarizeInts(sim.BlockLifetimes(rwRs)).Mean
 		cols[len(fig10Pointers)] = append(cols[len(fig10Pointers)], report.Ftoa(rwMean))
 	}
 	for _, row := range cols {
 		t.AddRow(row...)
 	}
-	return t, series
+	return t, series, nil
 }

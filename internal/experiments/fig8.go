@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"aegis/internal/report"
-	"aegis/internal/sim"
 	"aegis/internal/stats"
 )
 
@@ -15,7 +14,7 @@ const fig8MaxFaults = 30
 // for 512-bit data blocks: faults are injected one at a time at random
 // cells with random stuck values, and after each injection the scheme
 // must survive a burst of random writes.
-func Fig8(p Params) (*report.Table, []stats.Series) {
+func Fig8(p Params) (*report.Table, []stats.Series, error) {
 	cfg := p.simConfig(512, p.CurveTrials)
 	factories := roster8()
 	t := &report.Table{
@@ -31,7 +30,11 @@ func Fig8(p Params) (*report.Table, []stats.Series) {
 	for i, f := range factories {
 		p.Progress.SetPhase(f.Name())
 		cfg.Seed = p.schemeSeed("fig8-" + f.Name())
-		curves[i] = sim.FailureCurve(f, cfg, fig8MaxFaults, 8)
+		curve, err := p.Engine.FailureCurve(f, cfg, fig8MaxFaults, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		curves[i] = curve
 		t.Header = append(t.Header, f.Name())
 		series[i].Name = f.Name()
 		for nf := 1; nf <= fig8MaxFaults; nf++ {
@@ -45,5 +48,5 @@ func Fig8(p Params) (*report.Table, []stats.Series) {
 		}
 		t.AddRow(row...)
 	}
-	return t, series
+	return t, series, nil
 }

@@ -18,7 +18,7 @@ import (
 // spread uniformly over the pages still alive).  The paper's 8 MB device
 // corresponds to 2048 pages; SurvivalPages scales that down alongside the
 // lifetime scale.
-func Fig9(p Params) (*report.Table, []stats.Series) {
+func Fig9(p Params) (*report.Table, []stats.Series, error) {
 	cfg := p.simConfig(512, p.SurvivalPages)
 	factories := roster9()
 	t := &report.Table{
@@ -35,8 +35,11 @@ func Fig9(p Params) (*report.Table, []stats.Series) {
 	for i, f := range factories {
 		p.Progress.SetPhase(f.Name())
 		cfg.Seed = p.schemeSeed("fig9-" + f.Name())
-		lifetimes := sim.Lifetimes(sim.Pages(f, cfg))
-		curve := stats.Survival(lifetimes)
+		rs, err := p.Engine.Pages(f, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		curve := stats.Survival(sim.Lifetimes(rs))
 		series[i] = stats.Series{Name: f.Name(), Points: curve}
 		half[i] = stats.HalfLifetime(curve)
 		if f.Name() == "SAFER32" {
@@ -50,5 +53,5 @@ func Fig9(p Params) (*report.Table, []stats.Series) {
 		}
 		t.AddRow(f.Name(), report.Itoa(f.OverheadBits()), report.Ftoa(half[i]), rel)
 	}
-	return t, series
+	return t, series, nil
 }

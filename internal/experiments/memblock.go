@@ -19,7 +19,7 @@ import (
 // memory blocks hold fewer data blocks (4 × 512-bit), so each unit dies
 // on its weakest-of-4 rather than weakest-of-64 block and absolute
 // counts shift — but the scheme ordering must hold.
-func MemBlock(p Params) *report.Table {
+func MemBlock(p Params) (*report.Table, error) {
 	factories := []scheme.Factory{
 		ecp.MustFactory(512, 6),
 		safer.MustFactory(512, 32),
@@ -44,7 +44,10 @@ func MemBlock(p Params) *report.Table {
 			cfg.PageBytes = pageBytes
 			cfg.Seed = p.schemeSeed(fmt.Sprintf("memblock-%s-%d", f.Name(), pageBytes))
 			p.Progress.SetPhase(fmt.Sprintf("%s %dB page", f.Name(), pageBytes))
-			rs := sim.Pages(f, cfg)
+			rs, err := p.Engine.Pages(f, cfg)
+			if err != nil {
+				return nil, err
+			}
 			mean := stats.SummarizeInts(sim.RecoveredFaults(rs)).Mean
 			row = append(row, report.Ftoa(mean))
 			perBlock = append(perBlock, mean/float64(cfg.BlocksPerPage()))
@@ -52,5 +55,5 @@ func MemBlock(p Params) *report.Table {
 		row = append(row, report.Ftoa(perBlock[0]), report.Ftoa(perBlock[1]))
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }

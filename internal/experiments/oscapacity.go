@@ -20,7 +20,7 @@ import (
 // of each scheme, pages fail as their blocks die, and the table reports
 // the usable-capacity fraction over time for weak (ECP1) versus strong
 // (Aegis 9×61) first-line defenses, with and without pairing.
-func OSCapacity(p Params) *report.Table {
+func OSCapacity(p Params) (*report.Table, error) {
 	const (
 		pages         = 128
 		blocksPerPage = 64
@@ -54,7 +54,11 @@ func OSCapacity(p Params) *report.Table {
 		// One event stream per scheme, shared by both OS policies so
 		// the retire-vs-pairing comparison is apples to apples.
 		cfg.Seed = p.schemeSeed("oscap-" + f.Name())
-		sample := sim.BlockLifetimes(sim.Blocks(f, cfg))
+		rs, err := p.Engine.Blocks(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sample := sim.BlockLifetimes(rs)
 		rng := rand.New(rand.NewSource(p.schemeSeed("oscap-events-" + f.Name())))
 		evs := make([]event, 0, pages*blocksPerPage)
 		for pg := 0; pg < pages; pg++ {
@@ -106,5 +110,5 @@ func OSCapacity(p Params) *report.Table {
 				report.Itoa(int(crossing[2])), rel)
 		}
 	}
-	return t
+	return t, nil
 }

@@ -7,7 +7,10 @@ import (
 
 func TestOSCapacityOrdering(t *testing.T) {
 	p := tiny()
-	tbl := OSCapacity(p)
+	tbl, err := OSCapacity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}

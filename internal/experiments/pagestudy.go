@@ -35,18 +35,25 @@ type Study struct {
 }
 
 // runStudy simulates every factory (plus the unprotected baseline) at the
-// given block size.
-func runStudy(p Params, blockBits int, factories []scheme.Factory) Study {
+// given block size, routing each simulation through the shard engine.
+func runStudy(p Params, blockBits int, factories []scheme.Factory) (Study, error) {
 	cfg := p.simConfig(blockBits, p.PageTrials)
 	p.Progress.SetPhase(fmt.Sprintf("baseline %db", blockBits))
 	cfg.Seed = p.schemeSeed(fmt.Sprintf("baseline-%d", blockBits))
-	baseline := stats.SummarizeInts(sim.Lifetimes(sim.Pages(scheme.NoneFactory{Bits: blockBits}, cfg)))
+	base, err := p.Engine.Pages(scheme.NoneFactory{Bits: blockBits}, cfg)
+	if err != nil {
+		return Study{}, err
+	}
+	baseline := stats.SummarizeInts(sim.Lifetimes(base))
 
 	study := Study{BlockBits: blockBits, Baseline: baseline}
 	for _, f := range factories {
 		p.Progress.SetPhase(fmt.Sprintf("%s %db", f.Name(), blockBits))
 		cfg.Seed = p.schemeSeed(fmt.Sprintf("%s-%d", f.Name(), blockBits))
-		rs := sim.Pages(f, cfg)
+		rs, err := p.Engine.Pages(f, cfg)
+		if err != nil {
+			return Study{}, err
+		}
 		row := StudyRow{
 			Name:         f.Name(),
 			OverheadBits: f.OverheadBits(),
@@ -62,7 +69,7 @@ func runStudy(p Params, blockBits int, factories []scheme.Factory) Study {
 		}
 		study.Rows = append(study.Rows, row)
 	}
-	return study
+	return study, nil
 }
 
 var scalingNote = "write counts are lifetime-scaled (see DESIGN.md §3); orderings and ratios are the comparable quantities"

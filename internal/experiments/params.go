@@ -13,6 +13,7 @@ package experiments
 import (
 	"hash/fnv"
 
+	"aegis/internal/engine"
 	"aegis/internal/obs"
 	"aegis/internal/sim"
 )
@@ -40,6 +41,13 @@ type Params struct {
 	Seed int64
 	// Workers caps simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Engine routes every simulation through the shard engine
+	// (internal/engine): splitting, caching and resuming.  nil (or the
+	// zero Engine) runs simulations directly — results are identical
+	// either way, by construction.  Excluded from JSON like the
+	// observability sinks; cmd/aegisbench records sharding in the
+	// manifest's dedicated block instead.
+	Engine *engine.Engine `json:"-"`
 	// Obs, when non-nil, collects per-scheme operation counters and
 	// histograms from every simulation the experiments run;
 	// cmd/aegisbench serializes the totals into the run manifest.

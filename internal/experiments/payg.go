@@ -28,7 +28,7 @@ import (
 // column).  PAYG's advantage in its own paper relies on strong lifetime
 // variation across blocks and much lower end-of-life fault counts than
 // the Aegis paper's model produces.
-func PAYG(p Params) *report.Table {
+func PAYG(p Params) (*report.Table, error) {
 	const (
 		blockBits = 512
 		blocks    = 64 // 4 KB page
@@ -63,7 +63,10 @@ func PAYG(p Params) *report.Table {
 	for _, uf := range uniforms {
 		pageBits := uf.OverheadBits() * blocks
 		simCfg.Seed = p.schemeSeed("payg-uniform-" + uf.Name())
-		rs := sim.Pages(uf, simCfg)
+		rs, err := p.Engine.Pages(uf, simCfg)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(
 			"uniform "+uf.Name(),
 			report.Itoa(pageBits),
@@ -106,7 +109,7 @@ func PAYG(p Params) *report.Table {
 			)
 		}
 	}
-	return t
+	return t, nil
 }
 
 // trialRNGLocal mirrors sim's deterministic per-trial seeding for the

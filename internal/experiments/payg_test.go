@@ -8,7 +8,10 @@ import (
 
 func TestPAYGTableShape(t *testing.T) {
 	p := tiny()
-	tbl := PAYG(p)
+	tbl, err := PAYG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 3 uniform budgets × (1 uniform + 2 PAYG rows).
 	if len(tbl.Rows) != 9 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
@@ -40,7 +43,10 @@ func TestPAYGTableShape(t *testing.T) {
 
 func TestPAYGLargerPoolsLiveLonger(t *testing.T) {
 	p := tiny()
-	tbl := PAYG(p)
+	tbl, err := PAYG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Within the Aegis-GEC rows, more slots (larger budgets) must not
 	// shorten lifetime.
 	var lifetimes []float64

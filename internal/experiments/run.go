@@ -37,51 +37,63 @@ func Run(id string, p Params) (Result, error) {
 	case "fig2":
 		return Result{Tables: Fig2()}, nil
 	case "fig5":
-		s256 := runStudy(p, 256, roster256())
-		s512 := runStudy(p, 512, roster512())
+		s256, s512, err := bothStudies(p)
+		if err != nil {
+			return Result{}, err
+		}
 		return Result{Tables: []*report.Table{fig5Table(s256, s512)}}, nil
 	case "fig6":
-		s256 := runStudy(p, 256, roster256())
-		s512 := runStudy(p, 512, roster512())
+		s256, s512, err := bothStudies(p)
+		if err != nil {
+			return Result{}, err
+		}
 		return Result{Tables: []*report.Table{fig6Table(s256, s512)}}, nil
 	case "fig7":
-		s256 := runStudy(p, 256, roster256())
-		s512 := runStudy(p, 512, roster512())
+		s256, s512, err := bothStudies(p)
+		if err != nil {
+			return Result{}, err
+		}
 		return Result{Tables: []*report.Table{fig7Table(s256, s512)}}, nil
 	case "fig8":
-		t, s := Fig8(p)
-		return Result{Tables: []*report.Table{t}, Series: s}, nil
+		return figResult(Fig8(p))
 	case "fig9":
-		t, s := Fig9(p)
-		return Result{Tables: []*report.Table{t}, Series: s}, nil
+		return figResult(Fig9(p))
 	case "fig10":
-		t, s := Fig10(p)
-		return Result{Tables: []*report.Table{t}, Series: s}, nil
+		return figResult(Fig10(p))
 	case "fig11":
-		s := runStudy(p, 512, rosterVariants())
+		s, err := runStudy(p, 512, rosterVariants())
+		if err != nil {
+			return Result{}, err
+		}
 		return Result{Tables: []*report.Table{fig11Table(s)}}, nil
 	case "fig12":
-		s := runStudy(p, 512, rosterVariants())
+		s, err := runStudy(p, 512, rosterVariants())
+		if err != nil {
+			return Result{}, err
+		}
 		return Result{Tables: []*report.Table{fig12Table(s)}}, nil
 	case "fig13":
-		s := runStudy(p, 512, rosterVariants())
+		s, err := runStudy(p, 512, rosterVariants())
+		if err != nil {
+			return Result{}, err
+		}
 		return Result{Tables: []*report.Table{fig13Table(s)}}, nil
 	case "traffic":
 		return Result{Tables: []*report.Table{Traffic(p)}}, nil
 	case "ablation-wear":
-		return Result{Tables: []*report.Table{AblationWear(p)}}, nil
+		return tableResult(AblationWear(p))
 	case "ablation-stuck":
-		return Result{Tables: []*report.Table{AblationStuck(p)}}, nil
+		return tableResult(AblationStuck(p))
 	case "ablation-rdis":
-		return Result{Tables: []*report.Table{AblationRDIS(p)}}, nil
+		return tableResult(AblationRDIS(p))
 	case "ablation-aegisp":
-		return Result{Tables: []*report.Table{AblationAegisP(p)}}, nil
+		return tableResult(AblationAegisP(p))
 	case "ablation-wearlevel":
 		return Result{Tables: []*report.Table{AblationWearLevel(p)}}, nil
 	case "oscapacity":
-		return Result{Tables: []*report.Table{OSCapacity(p)}}, nil
+		return tableResult(OSCapacity(p))
 	case "payg":
-		return Result{Tables: []*report.Table{PAYG(p)}}, nil
+		return tableResult(PAYG(p))
 	case "device":
 		return Result{Tables: []*report.Table{Device(p)}}, nil
 	case "latency":
@@ -89,7 +101,7 @@ func Run(id string, p Params) (Result, error) {
 	case "softftc":
 		return Result{Tables: []*report.Table{SoftFTC(p)}}, nil
 	case "memblock":
-		return Result{Tables: []*report.Table{MemBlock(p)}}, nil
+		return tableResult(MemBlock(p))
 	case "freep":
 		return Result{Tables: []*report.Table{FreeP(p)}}, nil
 	case "all":
@@ -99,6 +111,35 @@ func Run(id string, p Params) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v, %v, \"all\" and \"extensions\")", id, IDs, AblationIDs)
 	}
+}
+
+// tableResult wraps a single-table runner's (table, error) pair.
+func tableResult(t *report.Table, err error) (Result, error) {
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Tables: []*report.Table{t}}, nil
+}
+
+// figResult wraps a figure runner's (table, series, error) triple.
+func figResult(t *report.Table, s []stats.Series, err error) (Result, error) {
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Tables: []*report.Table{t}, Series: s}, nil
+}
+
+// bothStudies runs the 256- and 512-bit page studies Figures 5–7 share.
+func bothStudies(p Params) (Study, Study, error) {
+	s256, err := runStudy(p, 256, roster256())
+	if err != nil {
+		return Study{}, Study{}, err
+	}
+	s512, err := runStudy(p, 512, roster512())
+	if err != nil {
+		return Study{}, Study{}, err
+	}
+	return s256, s512, nil
 }
 
 // RunExtensions executes every extension experiment (ablations and
@@ -125,27 +166,41 @@ func RunAll(p Params) (Result, error) {
 	out.Tables = append(out.Tables, Fig2()...)
 
 	p.Progress.SetExperiment("fig5-7")
-	s256 := runStudy(p, 256, roster256())
-	s512 := runStudy(p, 512, roster512())
+	s256, s512, err := bothStudies(p)
+	if err != nil {
+		return Result{}, err
+	}
 	out.Tables = append(out.Tables, fig5Table(s256, s512), fig6Table(s256, s512), fig7Table(s256, s512))
 
 	p.Progress.SetExperiment("fig8")
-	t8, s8 := Fig8(p)
+	t8, s8, err := Fig8(p)
+	if err != nil {
+		return Result{}, err
+	}
 	out.Tables = append(out.Tables, t8)
 	out.Series = append(out.Series, s8...)
 
 	p.Progress.SetExperiment("fig9")
-	t9, s9 := Fig9(p)
+	t9, s9, err := Fig9(p)
+	if err != nil {
+		return Result{}, err
+	}
 	out.Tables = append(out.Tables, t9)
 	out.Series = append(out.Series, s9...)
 
 	p.Progress.SetExperiment("fig10")
-	t10, s10 := Fig10(p)
+	t10, s10, err := Fig10(p)
+	if err != nil {
+		return Result{}, err
+	}
 	out.Tables = append(out.Tables, t10)
 	out.Series = append(out.Series, s10...)
 
 	p.Progress.SetExperiment("fig11-13")
-	sv := runStudy(p, 512, rosterVariants())
+	sv, err := runStudy(p, 512, rosterVariants())
+	if err != nil {
+		return Result{}, err
+	}
 	out.Tables = append(out.Tables, fig11Table(sv), fig12Table(sv), fig13Table(sv))
 	return out, nil
 }

@@ -86,6 +86,43 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Merge folds a snapshot back into the live histogram, bucket-wise.
+// This is how internal/engine replays the distributions persisted in a
+// cached shard into a run's registry: merging the snapshot of one trial
+// range is equivalent to having observed those trials directly (up to
+// the histogram's power-of-two bucket resolution, which Observe already
+// imposes — bucket boundaries are identical on both paths).
+func (h *Histogram) Merge(t HistTotals) {
+	if t.Count == 0 {
+		return
+	}
+	for _, b := range t.Buckets {
+		h.buckets[bucketIndex(b.Lo)].Add(b.N)
+	}
+	h.count.Add(t.Count)
+	h.sum.Add(t.Sum)
+	for _, v := range [2]int64{t.Min, t.Max} {
+		for {
+			cur := h.min.Load()
+			if cur != 0 && ^cur <= v {
+				break
+			}
+			if h.min.CompareAndSwap(cur, ^v) {
+				break
+			}
+		}
+		for {
+			cur := h.max.Load()
+			if cur != 0 && cur-1 >= v {
+				break
+			}
+			if h.max.CompareAndSwap(cur, v+1) {
+				break
+			}
+		}
+	}
+}
+
 // Bucket is one non-empty histogram bucket in snapshot form: N values
 // fell in [Lo, Hi].
 type Bucket struct {
@@ -231,5 +268,26 @@ func (h *SchemeHistograms) Totals() HistSnapshot {
 		Repartitions: h.Repartitions.Totals(),
 		SalvageDepth: h.SalvageDepth.Totals(),
 		ExtraWrites:  h.ExtraWrites.Totals(),
+	}
+}
+
+// Merge folds a snapshot into the live histogram set (see
+// Histogram.Merge).
+func (h *SchemeHistograms) Merge(s HistSnapshot) {
+	h.Lifetime.Merge(s.Lifetime)
+	h.Repartitions.Merge(s.Repartitions)
+	h.SalvageDepth.Merge(s.SalvageDepth)
+	h.ExtraWrites.Merge(s.ExtraWrites)
+}
+
+// Plus returns the element-wise merge of two snapshots, the histogram
+// counterpart of Totals.Plus.  The shard merger uses it to combine the
+// distributions of disjoint trial ranges.
+func (s HistSnapshot) Plus(u HistSnapshot) HistSnapshot {
+	return HistSnapshot{
+		Lifetime:     s.Lifetime.Plus(u.Lifetime),
+		Repartitions: s.Repartitions.Plus(u.Repartitions),
+		SalvageDepth: s.SalvageDepth.Plus(u.SalvageDepth),
+		ExtraWrites:  s.ExtraWrites.Plus(u.ExtraWrites),
 	}
 }

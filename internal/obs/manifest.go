@@ -10,10 +10,11 @@ import (
 
 // ManifestSchema identifies the run-manifest format.  Bump the suffix on
 // any backwards-incompatible field change.  v2 added per-scheme
-// histograms and the event-trace summary; v1 files (no histograms)
-// still load.
+// histograms and the event-trace summary; v3 added shard-engine
+// provenance (sharding); v1 and v2 files still load.
 const (
-	ManifestSchema   = "aegis.run-manifest/v2"
+	ManifestSchema   = "aegis.run-manifest/v3"
+	ManifestSchemaV2 = "aegis.run-manifest/v2"
 	ManifestSchemaV1 = "aegis.run-manifest/v1"
 )
 
@@ -63,8 +64,31 @@ type Manifest struct {
 	// Events summarizes the decision-event trace written alongside the
 	// manifest, when one was requested.  v2 only.
 	Events *EventTraceInfo `json:"events,omitempty"`
-	Tables []Table         `json:"tables"`
-	Series []Series        `json:"series,omitempty"`
+	// Sharding records how the shard engine split and cached the run's
+	// simulations, when sharding or shard caching was enabled.  v3 only.
+	Sharding *ShardingInfo `json:"sharding,omitempty"`
+	Tables   []Table       `json:"tables"`
+	Series   []Series      `json:"series,omitempty"`
+}
+
+// ShardingInfo is the manifest's record of shard-engine provenance: the
+// shard split, where the content-addressed cache lives, whether cached
+// shards were eligible to be loaded, and the resulting cache traffic.
+type ShardingInfo struct {
+	// ShardSchema is the shard file format the run produced/consumed
+	// (aegis.shard/v1).
+	ShardSchema string `json:"shard_schema"`
+	// Shards is the number of shards each simulation was split into.
+	Shards int `json:"shards"`
+	// CacheDir is the shard cache directory ("" = persistence off).
+	CacheDir string `json:"cache_dir,omitempty"`
+	// Resume reports whether cached shards were eligible to be loaded.
+	Resume bool `json:"resume"`
+	// CacheHits, CacheMisses and Persisted are the run's shard-cache
+	// traffic totals.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Persisted   int64 `json:"persisted"`
 }
 
 // EventTraceInfo records where a run's decision-event trace went and how
@@ -147,8 +171,8 @@ func LoadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
 	}
-	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV1 {
-		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q (or %q)", path, m.Schema, ManifestSchema, ManifestSchemaV1)
+	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV2 && m.Schema != ManifestSchemaV1 {
+		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q (or %q, %q)", path, m.Schema, ManifestSchema, ManifestSchemaV2, ManifestSchemaV1)
 	}
 	return &m, nil
 }

@@ -108,12 +108,44 @@ func (t Totals) Plus(u Totals) Totals {
 	}
 }
 
+// ShardCounters tallies the shard engine's cache traffic for one run:
+// how many shards were served from the content-addressed cache, how
+// many had to be computed, and how many were persisted.  Unlike
+// SchemeCounters these are run-global, not per-scheme.
+type ShardCounters struct {
+	// CacheHits is the number of shards loaded from the cache.
+	CacheHits Counter
+	// CacheMisses is the number of shards that had to be computed
+	// (cache disabled, entry absent, or entry unreadable).
+	CacheMisses Counter
+	// Persisted is the number of shard files written.
+	Persisted Counter
+}
+
+// ShardTotals is the plain-value snapshot of ShardCounters.
+type ShardTotals struct {
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Persisted   int64 `json:"persisted"`
+}
+
+// Totals snapshots the counters.
+func (c *ShardCounters) Totals() ShardTotals {
+	return ShardTotals{
+		CacheHits:   c.CacheHits.Load(),
+		CacheMisses: c.CacheMisses.Load(),
+		Persisted:   c.Persisted.Load(),
+	}
+}
+
 // Registry maps scheme names to their counters and histograms for one
 // harness run.  The zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu sync.Mutex
 	m  map[string]*SchemeCounters
 	h  map[string]*SchemeHistograms
+
+	shards ShardCounters
 }
 
 // NewRegistry returns an empty registry.
@@ -150,6 +182,33 @@ func (r *Registry) Histograms(name string) *SchemeHistograms {
 		r.h[name] = sh
 	}
 	return sh
+}
+
+// Shards returns the run-global shard-cache counters.  The pointer is
+// stable for the registry's life.
+func (r *Registry) Shards() *ShardCounters { return &r.shards }
+
+// AddTotals folds a counter snapshot into the live counters registered
+// under name, creating them on first use.  The shard engine uses this
+// to credit a cached shard's persisted operation counts to the run as
+// if its trials had been simulated.
+func (r *Registry) AddTotals(name string, t Totals) {
+	sc := r.Scheme(name)
+	sc.Writes.Add(t.Writes)
+	sc.RawWrites.Add(t.RawWrites)
+	sc.VerifyReads.Add(t.VerifyReads)
+	sc.Inversions.Add(t.Inversions)
+	sc.Repartitions.Add(t.Repartitions)
+	sc.Salvages.Add(t.Salvages)
+	sc.BlockDeaths.Add(t.BlockDeaths)
+	sc.PageDeaths.Add(t.PageDeaths)
+}
+
+// AddHist folds a histogram snapshot into the live histograms
+// registered under name, creating them on first use (see
+// SchemeHistograms.Merge).
+func (r *Registry) AddHist(name string, s HistSnapshot) {
+	r.Histograms(name).Merge(s)
 }
 
 // Names returns the registered scheme names in sorted order.

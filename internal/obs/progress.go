@@ -16,6 +16,12 @@ type Progress struct {
 	total atomic.Int64
 	done  atomic.Int64
 
+	// Shard-cache traffic of the run (internal/engine): shards served
+	// from the content-addressed cache vs computed.  Zero on unsharded
+	// runs, which keeps the rendered line unchanged.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
 	mu         sync.Mutex
 	experiment string
 	phase      string
@@ -65,6 +71,22 @@ func (p *Progress) Done(n int) {
 	p.done.Add(int64(n))
 }
 
+// CacheHit records n shards served from the shard cache.
+func (p *Progress) CacheHit(n int) {
+	if p == nil {
+		return
+	}
+	p.cacheHits.Add(int64(n))
+}
+
+// CacheMiss records n shards that had to be computed.
+func (p *Progress) CacheMiss(n int) {
+	if p == nil {
+		return
+	}
+	p.cacheMisses.Add(int64(n))
+}
+
 // ProgressSnapshot is one observation of a run's progress, the form the
 // -http endpoint serves as JSON.
 type ProgressSnapshot struct {
@@ -78,6 +100,10 @@ type ProgressSnapshot struct {
 	// trial rate so far; -1 means unknown (no trials completed yet, or
 	// no total registered).
 	ETASeconds float64 `json:"eta_seconds"`
+	// CacheHits and CacheMisses are the shard engine's cache traffic so
+	// far; both zero on unsharded runs.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 }
 
 // Snapshot returns the current progress.  Safe on a nil receiver, which
@@ -95,6 +121,8 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		TrialsDone:  p.done.Load(),
 		TrialsTotal: p.total.Load(),
 		ETASeconds:  -1,
+		CacheHits:   p.cacheHits.Load(),
+		CacheMisses: p.cacheMisses.Load(),
 	}
 	s.ElapsedSeconds = time.Since(start).Seconds()
 	if s.ElapsedSeconds > 0 {
@@ -124,5 +152,9 @@ func (s ProgressSnapshot) String() string {
 	if s.ETASeconds >= 0 {
 		eta = "ETA " + (time.Duration(s.ETASeconds * float64(time.Second))).Round(time.Second).String()
 	}
-	return fmt.Sprintf("%s %d/%d trials (%.1f/s, %s)", label, s.TrialsDone, s.TrialsTotal, s.TrialsPerSec, eta)
+	cache := ""
+	if s.CacheHits+s.CacheMisses > 0 {
+		cache = fmt.Sprintf(", cache %d/%d shards", s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
+	return fmt.Sprintf("%s %d/%d trials (%.1f/s, %s%s)", label, s.TrialsDone, s.TrialsTotal, s.TrialsPerSec, eta, cache)
 }

@@ -1,0 +1,174 @@
+package plane
+
+import (
+	"math/rand"
+	"testing"
+
+	"aegis/internal/prime"
+)
+
+// primesTo lists the primes in [2, n].
+func primesTo(n int) []int {
+	var out []int
+	for p := 2; p <= n; p++ {
+		if prime.IsPrime(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// propertyLayouts enumerates every valid A×B formation with prime
+// B ≤ 61 and 1 ≤ A ≤ B, each at its largest block size n = A·B (the
+// case with no unmapped rectangle points) and, where different, at a
+// ragged size n = A·B − (B−1)/2 that leaves part of the last column
+// unmapped.  In -short mode the sweep subsamples A to keep the run
+// quick.
+func propertyLayouts(t *testing.T) []*Layout {
+	t.Helper()
+	var layouts []*Layout
+	for _, b := range primesTo(61) {
+		step := 1
+		if testing.Short() {
+			step = 4
+		}
+		for a := 1; a <= b; a += step {
+			n := a * b
+			l, err := NewLayout(n, b)
+			if err != nil {
+				t.Fatalf("NewLayout(%d, %d): %v", n, b, err)
+			}
+			if l.A != a {
+				t.Fatalf("layout %d/%d derived A=%d, want %d", n, b, l.A, a)
+			}
+			layouts = append(layouts, l)
+			if ragged := n - (b-1)/2; a > 1 && ragged > (a-1)*b {
+				lr, err := NewLayout(ragged, b)
+				if err != nil {
+					t.Fatalf("NewLayout(%d, %d): %v", ragged, b, err)
+				}
+				layouts = append(layouts, lr)
+			}
+		}
+	}
+	return layouts
+}
+
+// TestTheorem1EveryPointInExactlyOneGroup: under every slope, the B
+// groups partition the block — each bit appears in exactly one group's
+// member list, and that group is Group(x, k).
+func TestTheorem1EveryPointInExactlyOneGroup(t *testing.T) {
+	for _, l := range propertyLayouts(t) {
+		for k := 0; k < l.B; k++ {
+			seen := make([]int, l.N)
+			for y := 0; y < l.B; y++ {
+				for _, x := range l.GroupMembers(y, k) {
+					seen[x]++
+					if g := l.Group(x, k); g != y {
+						t.Fatalf("%s slope %d: bit %d listed in group %d but Group says %d", l, k, x, y, g)
+					}
+					if !l.GroupMask(y, k).Get(x) {
+						t.Fatalf("%s slope %d: mask of group %d misses member %d", l, k, y, x)
+					}
+				}
+			}
+			for x, n := range seen {
+				if n != 1 {
+					t.Fatalf("%s slope %d: bit %d appears in %d groups, want exactly 1", l, k, x, n)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem2CollisionsNeverRepeat: a pair of distinct points that
+// shares a group under slope k is separated under every other slope;
+// same-column pairs never share a group at all.  Group co-membership of
+// ((a1,b1),(a2,b2)) depends only on (a1−a2, b1−b2) mod B, so checking
+// every pair against the representative x1 = (0, b1) covers all pair
+// classes without the O(N²·B) full sweep; a random direct-pair sample
+// guards the reduction itself.
+func TestTheorem2CollisionsNeverRepeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, l := range propertyLayouts(t) {
+		// Representative pairs: (0, 0) against every (da, b2).
+		x1, ok := l.Offset(0, 0)
+		if !ok {
+			t.Fatalf("%s: origin unmapped", l)
+		}
+		for da := 0; da < l.A; da++ {
+			for b2 := 0; b2 < l.B; b2++ {
+				x2, ok := l.Offset(da, b2)
+				if !ok || x2 == x1 {
+					continue
+				}
+				checkPairSeparation(t, l, x1, x2)
+			}
+		}
+		// Random direct pairs (both endpoints arbitrary).
+		pairs := 50
+		if testing.Short() {
+			pairs = 10
+		}
+		for i := 0; i < pairs && l.N > 1; i++ {
+			p1, p2 := rng.Intn(l.N), rng.Intn(l.N)
+			if p1 == p2 {
+				continue
+			}
+			checkPairSeparation(t, l, p1, p2)
+		}
+	}
+}
+
+// checkPairSeparation asserts Theorem 2 for one pair: at most one slope
+// co-groups it, that slope matches CollidingSlope, and same-column
+// pairs have none.
+func checkPairSeparation(t *testing.T, l *Layout, x1, x2 int) {
+	t.Helper()
+	a1, _ := l.Point(x1)
+	a2, _ := l.Point(x2)
+	var together []int
+	for k := 0; k < l.B; k++ {
+		if l.SameGroup(x1, x2, k) {
+			together = append(together, k)
+		}
+	}
+	wantK, wantOK := l.CollidingSlope(x1, x2)
+	if a1 == a2 {
+		if len(together) != 0 {
+			t.Fatalf("%s: same-column bits %d,%d share a group under slopes %v", l, x1, x2, together)
+		}
+		if wantOK {
+			t.Fatalf("%s: CollidingSlope(%d,%d) = %d for a same-column pair", l, x1, x2, wantK)
+		}
+		return
+	}
+	if len(together) != 1 {
+		t.Fatalf("%s: bits %d,%d share a group under %d slopes (%v), want exactly 1", l, x1, x2, len(together), together)
+	}
+	if !wantOK || wantK != together[0] {
+		t.Fatalf("%s: CollidingSlope(%d,%d) = (%d,%v), exhaustive says %d", l, x1, x2, wantK, wantOK, together[0])
+	}
+}
+
+// TestHardFTCSeparable: any fault set within the layout's hard FTC has
+// a separating slope (the paper's §2.3 guarantee, sampled randomly).
+func TestHardFTCSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, l := range propertyLayouts(t) {
+		ftc := l.HardFTC()
+		if ftc > l.N {
+			ftc = l.N
+		}
+		trials := 20
+		if testing.Short() {
+			trials = 5
+		}
+		for i := 0; i < trials; i++ {
+			faults := rng.Perm(l.N)[:ftc]
+			if _, ok := l.FindCollisionFree(faults, rng.Intn(l.B)); !ok {
+				t.Fatalf("%s: no separating slope for %d ≤ hardFTC=%d faults %v", l, len(faults), ftc, faults)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"aegis/internal/core"
+)
+
+// TestTrialOffsetConcatenation pins the contract internal/engine builds
+// on: a run of Trials=N at offset 0 equals the concatenation of any
+// contiguous split [0,k) + [k,N), because trial t's RNG derives from the
+// global index TrialOffset+t, not from the run's position or length.
+func TestTrialOffsetConcatenation(t *testing.T) {
+	f := core.MustFactory(64, 11)
+	base := Config{
+		BlockBits: 64,
+		PageBytes: 256,
+		MeanLife:  150,
+		CoV:       0.25,
+		Seed:      7,
+		Workers:   2,
+	}
+
+	t.Run("blocks", func(t *testing.T) {
+		whole := base
+		whole.Trials = 10
+		ref := Blocks(f, whole)
+		for _, k := range []int{1, 4, 9} {
+			head, tail := base, base
+			head.Trials, head.TrialOffset = k, 0
+			tail.Trials, tail.TrialOffset = 10-k, k
+			got := append(Blocks(f, head), Blocks(f, tail)...)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("split at %d diverged from whole run", k)
+			}
+		}
+	})
+
+	t.Run("pages", func(t *testing.T) {
+		whole := base
+		whole.Trials = 6
+		ref := Pages(f, whole)
+		head, tail := base, base
+		head.Trials, head.TrialOffset = 2, 0
+		tail.Trials, tail.TrialOffset = 4, 2
+		got := append(Pages(f, head), Pages(f, tail)...)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatal("page split diverged from whole run")
+		}
+	})
+
+	t.Run("curve-counts", func(t *testing.T) {
+		whole := base
+		whole.Trials = 12
+		ref := FailureCounts(f, whole, 8, 4, 0.5)
+		head, tail := base, base
+		head.Trials, head.TrialOffset = 5, 0
+		tail.Trials, tail.TrialOffset = 7, 5
+		a := FailureCounts(f, head, 8, 4, 0.5)
+		b := FailureCounts(f, tail, 8, 4, 0.5)
+		for nf := range ref {
+			if a[nf]+b[nf] != ref[nf] {
+				t.Fatalf("dead counts at %d faults: %d+%d != %d", nf, a[nf], b[nf], ref[nf])
+			}
+		}
+	})
+
+	t.Run("worker-invariance", func(t *testing.T) {
+		// The same property across worker counts: scheduling never leaks
+		// into results.
+		one := base
+		one.Trials, one.Workers = 8, 1
+		many := base
+		many.Trials, many.Workers = 8, 8
+		if !reflect.DeepEqual(Blocks(f, one), Blocks(f, many)) {
+			t.Fatal("worker count changed results")
+		}
+	})
+}

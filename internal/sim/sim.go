@@ -52,6 +52,13 @@ type Config struct {
 	MaxWrites int64
 	// Seed makes the run reproducible.
 	Seed int64
+	// TrialOffset shifts the global trial index of the run's first trial.
+	// Trial t of this run uses the RNG of global trial TrialOffset+t, so
+	// a run of Trials=N at offset 0 produces exactly the concatenation of
+	// any contiguous split [0,k)+[k,N).  The shard engine
+	// (internal/engine) relies on this to make shard boundaries invisible
+	// in the results.
+	TrialOffset int
 	// Workers limits parallelism (0 = GOMAXPROCS).
 	Workers int
 	// PulseWear switches from the paper's request-scoped wear model
@@ -100,10 +107,12 @@ func trialRNG(seed int64, trial int) *rand.Rand {
 
 // forEachTrial fans cfg.Trials trials out over a worker pool, reporting
 // the study's trial count and per-trial completion to cfg.Progress.
+// The body receives the run-local trial index; its RNG is derived from
+// the global index cfg.TrialOffset+trial.
 func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 	cfg.Progress.AddTotal(cfg.Trials)
 	run := func(t int) {
-		body(t, trialRNG(cfg.Seed, t))
+		body(t, trialRNG(cfg.Seed, cfg.TrialOffset+t))
 		cfg.Progress.Done(1)
 	}
 	workers := cfg.workers()
@@ -217,6 +226,8 @@ func (t *trialTracer) TraceEvent(e scheme.TraceEvent) {
 // attachTracer installs a per-trial tracer on traceable schemes when
 // histograms or event tracing want decision events.  With both off,
 // schemes stay untraced and pay only a nil check per potential event.
+// Events carry the global trial index (TrialOffset applied), so traces
+// from sharded runs line up with the merged results.
 func (c Config) attachTracer(s scheme.Scheme, name string, trial int, h *obs.SchemeHistograms) {
 	if h == nil && c.Trace == nil {
 		return
@@ -225,18 +236,19 @@ func (c Config) attachTracer(s scheme.Scheme, name string, trial int, h *obs.Sch
 	if !ok {
 		return
 	}
-	tb.SetTracer(&trialTracer{scheme: name, trial: trial, hist: h, trace: c.Trace})
+	tb.SetTracer(&trialTracer{scheme: name, trial: c.TrialOffset + trial, hist: h, trace: c.Trace})
 }
 
-// BlockResult describes one block written to death.
+// BlockResult describes one block written to death.  The JSON form is
+// part of the aegis.shard/v1 format (internal/engine).
 type BlockResult struct {
 	// Lifetime is the number of successful block writes.
-	Lifetime int64
+	Lifetime int64 `json:"lifetime"`
 	// FaultsAtDeath is the block's stuck-cell count when it failed.
-	FaultsAtDeath int
+	FaultsAtDeath int `json:"faults_at_death"`
 	// BitWrites is the total programming pulses the block absorbed,
 	// including the scheme's inversion rewrites.
-	BitWrites int64
+	BitWrites int64 `json:"bit_writes"`
 }
 
 // Blocks simulates cfg.Trials independent blocks under the given scheme,
@@ -282,15 +294,16 @@ func Blocks(f scheme.Factory, cfg Config) []BlockResult {
 	return results
 }
 
-// PageResult describes one page written to death.
+// PageResult describes one page written to death.  The JSON form is
+// part of the aegis.shard/v1 format (internal/engine).
 type PageResult struct {
 	// Lifetime is the number of successful page writes (each page write
 	// rewrites every block of the page with fresh random data).
-	Lifetime int64
+	Lifetime int64 `json:"lifetime"`
 	// RecoveredFaults is the total stuck-cell count across the page's
 	// blocks when the first unrecoverable block killed it — the paper's
 	// "average number of recoverable faults in a 4KB page" (Figure 5).
-	RecoveredFaults int
+	RecoveredFaults int `json:"recovered_faults"`
 }
 
 // Pages simulates cfg.Trials independent 4 KB pages under the given
@@ -349,7 +362,7 @@ func Pages(f scheme.Factory, cfg Config) []PageResult {
 		if !alive && cfg.Trace != nil {
 			// Block deaths come from the schemes; the page granularity is
 			// the engine's, so the engine reports it.
-			cfg.Trace.Emit(obs.Event{Scheme: name, Trial: trial, Kind: "page_death", Faults: faults})
+			cfg.Trace.Emit(obs.Event{Scheme: name, Trial: cfg.TrialOffset + trial, Kind: "page_death", Faults: faults})
 		}
 	})
 	return results
@@ -392,6 +405,20 @@ func FailureCurve(f scheme.Factory, cfg Config, maxFaults, writesPerStep int) []
 // makes every fault the same type, the friendliest case for schemes that
 // distinguish stuck-at-Wrong from stuck-at-Right cells (ablation).
 func FailureCurveBias(f scheme.Factory, cfg Config, maxFaults, writesPerStep int, bias float64) []float64 {
+	dead := FailureCounts(f, cfg, maxFaults, writesPerStep, bias)
+	curve := make([]float64, maxFaults+1)
+	for nf := 1; nf <= maxFaults; nf++ {
+		curve[nf] = float64(dead[nf]) / float64(cfg.Trials)
+	}
+	return curve
+}
+
+// FailureCounts is the mergeable core of the failure-curve probe:
+// dead[nf] counts the trials whose block was unrecoverable once nf
+// faults had been injected.  Counts from disjoint trial ranges of the
+// same configuration sum to the counts of the combined range, which is
+// what lets internal/engine shard and cache curve experiments.
+func FailureCounts(f scheme.Factory, cfg Config, maxFaults, writesPerStep int, bias float64) []int {
 	dead := make([]int, maxFaults+1)
 	var mu sync.Mutex
 	sc := cfg.counters(f)
@@ -436,11 +463,7 @@ func FailureCurveBias(f scheme.Factory, cfg Config, maxFaults, writesPerStep int
 		}
 		mu.Unlock()
 	})
-	curve := make([]float64, maxFaults+1)
-	for nf := 1; nf <= maxFaults; nf++ {
-		curve[nf] = float64(dead[nf]) / float64(cfg.Trials)
-	}
-	return curve
+	return dead
 }
 
 // Lifetimes extracts the lifetime column of page results.
