@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short test-race vet bench bench-json trace-sample repro repro-quick resume-demo extensions examples fuzz golden clean
+.PHONY: all test test-short test-race vet bench bench-json trace-sample repro repro-quick resume-demo serve-smoke extensions examples fuzz golden clean
 
 all: test
 
@@ -16,11 +16,13 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-enabled pass over the packages that spawn goroutines (simulation
-# workers, the shard engine) plus the concurrency-adjacent cores.
+# workers, the shard engine, the serving daemon) plus the
+# concurrency-adjacent cores.
 test-race:
 	$(GO) test -race -short ./internal/sim/ ./internal/core/ ./internal/aegisrw/ \
 		./internal/experiments/ ./internal/device/ ./internal/obs/ \
-		./internal/engine/ ./internal/plane/ ./internal/bitvec/
+		./internal/engine/ ./internal/plane/ ./internal/bitvec/ \
+		./internal/serve/ ./cmd/aegisd/
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +56,12 @@ repro-quick:
 resume-demo:
 	$(GO) run ./cmd/aegisbench -exp fig9 -preset quick -shards 4 -cache-dir out/shards
 	$(GO) run ./cmd/aegisbench -exp fig9 -preset quick -shards 4 -cache-dir out/shards -resume
+
+# Boot aegisd on a random port, run one job through the HTTP API, save
+# the aegis.job/v1 result manifest under out/serve-smoke/, drain with
+# SIGTERM (see DESIGN.md §11).
+serve-smoke:
+	sh scripts/serve_smoke.sh out/serve-smoke
 
 # All extension experiments (ablations + substrate studies).
 extensions:

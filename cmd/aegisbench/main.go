@@ -29,7 +29,9 @@
 // file; -resume loads the shards that already exist instead of
 // recomputing them, so an interrupted run finishes from where it was
 // killed and an unchanged rerun reports 100% cache hits (see DESIGN.md
-// §"Sharded runs").
+// §"Sharded runs").  -shard-workers N computes N shards concurrently
+// (default NumCPU); like the shard count, the worker count never
+// changes results.
 //
 // -cpuprofile/-memprofile/-trace write standard Go profiles; -http
 // serves expvar ("aegis.counters"), live run progress as JSON
@@ -45,6 +47,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -104,6 +107,7 @@ func run(args []string, out *os.File) error {
 		sample     = fs.Int("sample", 1, "with -events, keep one decision event in every N")
 		progressIv = fs.Duration("progress", 0, "stderr progress-line interval (0 = auto: 2s on a terminal, off otherwise; negative = off)")
 		shards     = fs.Int("shards", 1, "split each simulation's trial range into this many deterministic shards (results are identical at any shard count)")
+		shardWkrs  = fs.Int("shard-workers", 0, "compute this many shards concurrently (0 = NumCPU; results are identical at any worker count)")
 		cacheDir   = fs.String("cache-dir", "", "persist each completed shard as an aegis.shard/v1 file in this directory")
 		resume     = fs.Bool("resume", false, "load shards already present in -cache-dir instead of recomputing them")
 	)
@@ -149,7 +153,14 @@ func run(args []string, out *os.File) error {
 	if *resume && *cacheDir == "" {
 		return fmt.Errorf("-resume requires -cache-dir: there is no cache to resume from")
 	}
-	eng := &engine.Engine{Shards: *shards, CacheDir: *cacheDir, Resume: *resume}
+	if *shardWkrs < 0 {
+		return fmt.Errorf("-shard-workers must be non-negative (got %d)", *shardWkrs)
+	}
+	shardWorkers := *shardWkrs
+	if shardWorkers == 0 {
+		shardWorkers = runtime.NumCPU()
+	}
+	eng := &engine.Engine{Shards: *shards, CacheDir: *cacheDir, Resume: *resume, Workers: shardWorkers}
 	p.Engine = eng
 
 	var events *obs.EventWriter
@@ -276,6 +287,7 @@ func run(args []string, out *os.File) error {
 			manifest.Sharding = &obs.ShardingInfo{
 				ShardSchema: engine.ShardSchema,
 				Shards:      *shards,
+				Workers:     shardWorkers,
 				CacheDir:    *cacheDir,
 				Resume:      *resume,
 				CacheHits:   st.CacheHits,

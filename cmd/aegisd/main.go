@@ -1,0 +1,115 @@
+// Command aegisd is the simulation daemon: an HTTP service that runs
+// Aegis Monte Carlo jobs on a bounded worker pool through the shard
+// engine, so repeated and concurrent requests share work via the
+// content-addressed shard cache.
+//
+// Usage:
+//
+//	aegisd -addr :8080 -cache-dir /var/cache/aegis
+//	aegisd -addr 127.0.0.1:0 -addr-file /tmp/aegisd.addr   # pick a free port
+//
+// API (see DESIGN.md §11 for the full contract):
+//
+//	POST /v1/jobs             submit a job       → 202 + status
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status, queue position, live progress
+//	GET  /v1/jobs/{id}/result merged results     (schema aegis.job/v1)
+//	GET  /v1/healthz          liveness + queue/worker gauges
+//	GET  /debug/aegis/progress, /debug/pprof/*
+//
+// On SIGINT/SIGTERM the daemon drains: no new jobs are accepted,
+// running jobs stop at their next shard boundary, and every completed
+// shard is already persisted — restarting aegisd with the same
+// -cache-dir finishes interrupted jobs from the cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aegis/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aegisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aegisd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts wrapping port 0)")
+		workers  = fs.Int("workers", 2, "jobs run concurrently")
+		queue    = fs.Int("queue", 16, "max queued jobs before submissions get 429")
+		cacheDir = fs.String("cache-dir", "", "shard cache directory (persist + resume; empty = in-memory only)")
+		shards   = fs.Int("shards", 8, "default shards per job")
+		engineW  = fs.Int("engine-workers", 0, "shards computed concurrently per job (0 = NumCPU)")
+		jobTO    = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight shards on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheDir:      *cacheDir,
+		Shards:        *shards,
+		EngineWorkers: *engineW,
+		JobTimeout:    *jobTO,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	srv.Start()
+	fmt.Fprintf(os.Stderr, "aegisd: listening on %s (workers=%d queue=%d shards=%d cache=%q)\n",
+		bound, *workers, *queue, *shards, *cacheDir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "aegisd: %v: draining (in-flight shards finish and persist)\n", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if drainErr != nil {
+		// Shard-boundary drain overran the budget: hard-cancel.
+		fmt.Fprintf(os.Stderr, "aegisd: %v; cancelling running jobs\n", drainErr)
+		srv.Close()
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "aegisd: stopped")
+	return nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunBadAddr: an unbindable address must surface as an error, not a
+// hang.
+func TestRunBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "256.256.256.256:0"}); err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on a free port, runs one job
+// through the HTTP API, and shuts it down with SIGTERM — the same
+// lifecycle `make serve-smoke` exercises in CI.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-workers", "1",
+			"-shards", "4",
+			"-cache-dir", filepath.Join(dir, "cache"),
+			"-drain-timeout", "10s",
+		})
+	}()
+
+	var base string
+	for i := 0; i < 200; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatal("daemon never wrote -addr-file")
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"kind":"blocks","scheme":"aegis:11","block_bits":64,"trials":4}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || status.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, status)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if status.State == "done" {
+			break
+		}
+		if status.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job state %q", status.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + status.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result struct {
+		Schema string `json:"schema"`
+		Blocks []struct {
+			Lifetime int64 `json:"lifetime"`
+		} `json:"blocks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if result.Schema != "aegis.job/v1" {
+		t.Fatalf("result schema %q", result.Schema)
+	}
+	if len(result.Blocks) != 4 {
+		t.Fatalf("got %d block results, want 4", len(result.Blocks))
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	fmt.Fprintln(os.Stderr) // keep -v output tidy after the daemon's stderr lines
+}

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"runtime"
+	"sync"
 	"time"
 
 	"aegis/internal/obs"
@@ -25,10 +27,17 @@ import (
 	"aegis/internal/sim"
 )
 
+// ErrDraining is returned when the engine's Drain channel closes before
+// every shard has been issued: the run stopped cleanly at a shard
+// boundary.  Shards already in flight finish and persist, so a resumed
+// run completes from the cache.
+var ErrDraining = errors.New("engine: draining: run stopped at a shard boundary")
+
 // Engine configures sharded execution.  The zero value and the nil
 // pointer both mean "run directly": every method falls through to the
 // corresponding internal/sim call, so experiment code can route through
-// an *Engine unconditionally.
+// an *Engine unconditionally.  An Engine must not be copied after first
+// use; share it by pointer (methods are safe for concurrent use).
 type Engine struct {
 	// Shards is the number of deterministic slices to split each
 	// simulation's trial range into (≤ 1 = no splitting).
@@ -39,11 +48,27 @@ type Engine struct {
 	// Resume, when set, loads shards already present in CacheDir
 	// instead of recomputing them.  Requires CacheDir.
 	Resume bool
+	// Workers is the number of shards computed concurrently
+	// (0 = NumCPU, ≤ 1 after clamping = serial).  Shard results are
+	// merged in trial order and every shard drains into a private
+	// obs registry, so the worker count never changes results,
+	// counters or histograms — only wall-clock time.
+	Workers int
+	// Drain, when non-nil, soft-stops the run when closed: no new
+	// shard is started, shards already in flight finish and persist,
+	// and the run returns ErrDraining.  The serving daemon shares one
+	// drain channel across every job for SIGTERM handling.  Contrast
+	// with sim.Config.Ctx, which is the hard stop: a cancelled context
+	// aborts mid-shard and the aborted shard is discarded unpersisted.
+	Drain <-chan struct{}
 
 	// afterShard, when set, runs after each shard completes (computed
-	// or loaded).  Returning an error aborts the run — tests use it to
-	// simulate a kill mid-run and then resume.
+	// or loaded).  Calls are serialized.  Returning an error aborts
+	// the run — tests use it to simulate a kill mid-run and then
+	// resume.
 	afterShard func(scheme, kind string, lo, hi int) error
+	// hookMu serializes afterShard across shard workers.
+	hookMu sync.Mutex
 }
 
 // enabled reports whether the engine changes execution at all.
@@ -63,9 +88,36 @@ func (e *Engine) shardCount(trials int) int {
 	return k
 }
 
+// workerCount returns the effective shard-worker count for n shards:
+// Workers, defaulting to NumCPU, clamped to [1, n].
+func (e *Engine) workerCount(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // splitTrials slices [0, n) into k contiguous ranges whose sizes differ
-// by at most one, earlier shards taking the extra trial.
+// by at most one, earlier shards taking the extra trial.  Degenerate
+// requests are clamped rather than producing empty shards: k > n yields
+// n single-trial ranges, k < 1 yields one range, and n ≤ 0 yields none.
 func splitTrials(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
 	ranges := make([][2]int, 0, k)
 	base, extra := n/k, n%k
 	lo := 0
@@ -80,10 +132,33 @@ func splitTrials(n, k int) [][2]int {
 	return ranges
 }
 
+// direct guards the engine-disabled fall-through: the run still honors
+// the hard stop (a cancelled cfg.Ctx means sim returned partial results,
+// which must surface as an error, not as data) and refuses to start
+// once the drain channel has closed.
+func (e *Engine) direct(cfg sim.Config, run func()) error {
+	if e != nil {
+		select {
+		case <-e.Drain:
+			return ErrDraining
+		default:
+		}
+	}
+	run()
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return fmt.Errorf("engine: run aborted: %w", cfg.Ctx.Err())
+	}
+	return nil
+}
+
 // Blocks runs sim.Blocks through the shard engine.
 func (e *Engine) Blocks(f scheme.Factory, cfg sim.Config) ([]sim.BlockResult, error) {
 	if !e.enabled() || cfg.Trials <= 0 {
-		return sim.Blocks(f, cfg), nil
+		var res []sim.BlockResult
+		if err := e.direct(cfg, func() { res = sim.Blocks(f, cfg) }); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	merged, err := e.run(f, cfg, KindBlocks, curveParams{}, func(shardCfg sim.Config, s *Shard) {
 		s.Blocks = sim.Blocks(f, shardCfg)
@@ -97,7 +172,11 @@ func (e *Engine) Blocks(f scheme.Factory, cfg sim.Config) ([]sim.BlockResult, er
 // Pages runs sim.Pages through the shard engine.
 func (e *Engine) Pages(f scheme.Factory, cfg sim.Config) ([]sim.PageResult, error) {
 	if !e.enabled() || cfg.Trials <= 0 {
-		return sim.Pages(f, cfg), nil
+		var res []sim.PageResult
+		if err := e.direct(cfg, func() { res = sim.Pages(f, cfg) }); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	merged, err := e.run(f, cfg, KindPages, curveParams{}, func(shardCfg sim.Config, s *Shard) {
 		s.Pages = sim.Pages(f, shardCfg)
@@ -119,7 +198,11 @@ func (e *Engine) FailureCurve(f scheme.Factory, cfg sim.Config, maxFaults, write
 // unsharded run exactly.
 func (e *Engine) FailureCurveBias(f scheme.Factory, cfg sim.Config, maxFaults, writesPerStep int, bias float64) ([]float64, error) {
 	if !e.enabled() || cfg.Trials <= 0 {
-		return sim.FailureCurveBias(f, cfg, maxFaults, writesPerStep, bias), nil
+		var res []float64
+		if err := e.direct(cfg, func() { res = sim.FailureCurveBias(f, cfg, maxFaults, writesPerStep, bias) }); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	cp := curveParams{MaxFaults: maxFaults, WritesPerStep: writesPerStep, Bias: bias}
 	merged, err := e.run(f, cfg, KindCurve, cp, func(shardCfg sim.Config, s *Shard) {
@@ -140,79 +223,113 @@ func (e *Engine) FailureCurveBias(f scheme.Factory, cfg sim.Config, maxFaults, w
 // [lo, hi) via Trials/TrialOffset against a private obs registry so its
 // counter and histogram deltas can be persisted), persist, merge, and
 // fold the merged observability deltas back into the caller's registry.
+//
+// Shards are scheduled over a bounded worker pool (workerCount): shard
+// s is issued in order but completes whenever its worker finishes.
+// Because trial RNG derives from the global trial index, every shard
+// drains into a private registry, and Merge reassembles payloads in
+// trial order, results are byte-identical at every worker count.  The
+// first shard error stops issue of further shards and wins; a closed
+// Drain channel stops issue with ErrDraining after in-flight shards
+// persist; a cancelled cfg.Ctx aborts in-flight shards mid-trial and
+// discards them unpersisted.
 func (e *Engine) run(f scheme.Factory, cfg sim.Config, kind string, cp curveParams, compute func(sim.Config, *Shard)) (*Shard, error) {
 	schemeName := f.Name()
 	hash := ConfigHash(cfg, kind, cp)
 	code := obs.GitSHA()
 
-	shards := make([]*Shard, 0, e.shardCount(cfg.Trials))
-	for _, r := range splitTrials(cfg.Trials, e.shardCount(cfg.Trials)) {
-		// Shard ranges live in global trial coordinates, so a shard is
-		// addressed identically no matter how the caller offset the run.
-		lo, hi := cfg.TrialOffset+r[0], cfg.TrialOffset+r[1]
-		key := ShardKey(hash, schemeName, lo, hi, code)
+	ranges := splitTrials(cfg.Trials, e.shardCount(cfg.Trials))
+	shards := make([]*Shard, len(ranges))
 
-		if e.Resume && e.CacheDir != "" {
-			s, err := LoadShard(shardPath(e.CacheDir, key), key, hash, schemeName, kind, lo, hi)
-			switch {
-			case err == nil:
-				// Cache hit: credit the shard's trials to the live
-				// progress so the run's totals match a computed run.
-				cfg.Progress.AddTotal(s.Trials())
-				cfg.Progress.Done(s.Trials())
-				cfg.Progress.CacheHit(1)
-				if cfg.Obs != nil {
-					cfg.Obs.Shards().CacheHits.Inc()
-				}
-				shards = append(shards, s)
-				if err := e.shardDone(s); err != nil {
-					return nil, err
-				}
-				continue
-			case errors.Is(err, fs.ErrNotExist), errors.Is(err, ErrCorruptShard):
-				// Absent or unreadable: an ordinary miss, recompute.
-			default:
-				// Present but incompatible (schema, key, config hash or
-				// range disagreement): refuse rather than guess.
-				return nil, err
-			}
+	var (
+		failMu   sync.Mutex
+		firstErr error
+	)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
+		failMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
 
-		cfg.Progress.CacheMiss(1)
-		if cfg.Obs != nil {
-			cfg.Obs.Shards().CacheMisses.Inc()
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		ctxDone = cfg.Ctx.Done()
+	}
+	// stopReason polls the soft- and hard-stop signals without blocking;
+	// the feeder consults it before issuing each shard.
+	stopReason := func() error {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return cfg.Ctx.Err()
 		}
-		priv := obs.NewRegistry()
-		shardCfg := cfg
-		shardCfg.Trials = hi - lo
-		shardCfg.TrialOffset = lo
-		shardCfg.Obs = priv
-		s := &Shard{
-			Schema:      ShardSchema,
-			Key:         key,
-			ConfigHash:  hash,
-			Scheme:      schemeName,
-			Kind:        kind,
-			TrialLo:     lo,
-			TrialHi:     hi,
-			CodeVersion: code,
-			CreatedAt:   time.Now().UTC(),
+		select {
+		case <-e.Drain:
+			return ErrDraining
+		default:
 		}
-		compute(shardCfg, s)
-		s.Counters = priv.Snapshot()[schemeName]
-		s.Histograms = priv.HistSnapshot()[schemeName]
-		if e.CacheDir != "" {
-			if _, err := WriteShard(e.CacheDir, s); err != nil {
-				return nil, fmt.Errorf("engine: persist %s: %w", shardDesc(s), err)
+		return nil
+	}
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range ranges {
+			if err := stopReason(); err != nil {
+				fail(err)
+				return
 			}
-			if cfg.Obs != nil {
-				cfg.Obs.Shards().Persisted.Inc()
+			select {
+			case next <- i:
+			case <-stop:
+				return
+			case <-e.Drain:
+				fail(ErrDraining)
+				return
+			case <-ctxDone:
+				fail(cfg.Ctx.Err())
+				return
 			}
 		}
-		shards = append(shards, s)
-		if err := e.shardDone(s); err != nil {
-			return nil, err
-		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workerCount(len(ranges)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Re-check the stop signals per task: the feeder's
+				// send and a closing Drain/Ctx can race, and a shard
+				// handed over after the signal must not start.
+				if err := stopReason(); err != nil {
+					fail(err)
+					return
+				}
+				// Shard ranges live in global trial coordinates, so a
+				// shard is addressed identically no matter how the
+				// caller offset the run.
+				lo := cfg.TrialOffset + ranges[i][0]
+				hi := cfg.TrialOffset + ranges[i][1]
+				s, err := e.oneShard(cfg, compute, hash, schemeName, kind, code, lo, hi)
+				if err != nil {
+					fail(err)
+					return
+				}
+				shards[i] = s
+			}
+		}()
+	}
+	wg.Wait()
+
+	failMu.Lock()
+	err := firstErr
+	failMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 
 	merged, err := Merge(shards)
@@ -228,10 +345,83 @@ func (e *Engine) run(f scheme.Factory, cfg sim.Config, kind string, cp curvePara
 	return merged, nil
 }
 
-// shardDone invokes the test hook, if any.
+// oneShard loads or computes the shard covering global trials [lo, hi):
+// the cache is consulted first (hit: credit progress and return; absent
+// or corrupt: recompute; incompatible: refuse), then the shard simulates
+// against a private obs registry, persists, and runs the completion
+// hook.  A context cancellation during compute discards the partial
+// shard without persisting it.
+func (e *Engine) oneShard(cfg sim.Config, compute func(sim.Config, *Shard), hash, schemeName, kind, code string, lo, hi int) (*Shard, error) {
+	key := ShardKey(hash, schemeName, lo, hi, code)
+
+	if e.Resume && e.CacheDir != "" {
+		s, err := LoadShard(shardPath(e.CacheDir, key), key, hash, schemeName, kind, lo, hi)
+		switch {
+		case err == nil:
+			// Cache hit: credit the shard's trials to the live
+			// progress so the run's totals match a computed run.
+			cfg.Progress.AddTotal(s.Trials())
+			cfg.Progress.Done(s.Trials())
+			cfg.Progress.CacheHit(1)
+			if cfg.Obs != nil {
+				cfg.Obs.Shards().CacheHits.Inc()
+			}
+			return s, e.shardDone(s)
+		case errors.Is(err, fs.ErrNotExist), errors.Is(err, ErrCorruptShard):
+			// Absent or unreadable: an ordinary miss, recompute.
+		default:
+			// Present but incompatible (schema, key, config hash or
+			// range disagreement): refuse rather than guess.
+			return nil, err
+		}
+	}
+
+	cfg.Progress.CacheMiss(1)
+	if cfg.Obs != nil {
+		cfg.Obs.Shards().CacheMisses.Inc()
+	}
+	priv := obs.NewRegistry()
+	shardCfg := cfg
+	shardCfg.Trials = hi - lo
+	shardCfg.TrialOffset = lo
+	shardCfg.Obs = priv
+	s := &Shard{
+		Schema:      ShardSchema,
+		Key:         key,
+		ConfigHash:  hash,
+		Scheme:      schemeName,
+		Kind:        kind,
+		TrialLo:     lo,
+		TrialHi:     hi,
+		CodeVersion: code,
+		CreatedAt:   time.Now().UTC(),
+	}
+	compute(shardCfg, s)
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		// The hard stop fired mid-shard: the payload is partial, so it
+		// must never be persisted or merged.
+		return nil, fmt.Errorf("engine: %s aborted: %w", shardDesc(s), cfg.Ctx.Err())
+	}
+	s.Counters = priv.Snapshot()[schemeName]
+	s.Histograms = priv.HistSnapshot()[schemeName]
+	if e.CacheDir != "" {
+		if _, err := WriteShard(e.CacheDir, s); err != nil {
+			return nil, fmt.Errorf("engine: persist %s: %w", shardDesc(s), err)
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Shards().Persisted.Inc()
+		}
+	}
+	return s, e.shardDone(s)
+}
+
+// shardDone invokes the test hook, if any; calls are serialized so the
+// hook needs no locking of its own under concurrent shard workers.
 func (e *Engine) shardDone(s *Shard) error {
 	if e.afterShard == nil {
 		return nil
 	}
+	e.hookMu.Lock()
+	defer e.hookMu.Unlock()
 	return e.afterShard(s.Scheme, s.Kind, s.TrialLo, s.TrialHi)
 }

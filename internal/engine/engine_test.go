@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,6 +41,16 @@ func TestSplitTrials(t *testing.T) {
 		{10, 1, [][2]int{{0, 10}}},
 		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
 		{6, 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}}},
+		// Degenerate requests clamp instead of emitting empty shards:
+		// more shards than trials yields one shard per trial, a
+		// non-positive shard count yields one shard, and an empty trial
+		// range yields no shards at all.
+		{3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{1, 8, [][2]int{{0, 1}}},
+		{5, 0, [][2]int{{0, 5}}},
+		{5, -2, [][2]int{{0, 5}}},
+		{0, 3, nil},
+		{-1, 3, nil},
 	}
 	for _, c := range cases {
 		got := splitTrials(c.n, c.k)
@@ -75,6 +86,7 @@ func TestShardKeyStableAndDistinct(t *testing.T) {
 	cfg3.Trials = 99
 	cfg3.TrialOffset = 7
 	cfg3.Workers = 16
+	cfg3.Ctx = context.Background()
 	cfg3.Obs = obs.NewRegistry()
 	cfg3.Progress = obs.NewProgress()
 	if ConfigHash(cfg3, KindBlocks, curveParams{}) != h1 {
@@ -213,7 +225,10 @@ func TestInterruptAndResume(t *testing.T) {
 	ref := sim.Blocks(f, testConfig(10))
 
 	interrupted := errors.New("simulated kill")
-	e := &Engine{Shards: 5, CacheDir: dir, Resume: true}
+	// Workers: 1 pins the serial shard order the kill-after-two-shards
+	// script depends on; the parallel path is covered by
+	// TestParallelWorkersMatchSerial and TestHookErrorStopsParallelRun.
+	e := &Engine{Shards: 5, CacheDir: dir, Resume: true, Workers: 1}
 	computed := 0
 	e.afterShard = func(scheme, kind string, lo, hi int) error {
 		computed++

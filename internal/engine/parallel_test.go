@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aegis/internal/obs"
+	"aegis/internal/sim"
+)
+
+// TestParallelWorkersMatchSerial is the ISSUE's determinism regression:
+// the same configuration run with Workers=1 and Workers=8 must produce
+// byte-identical merged results and identical obs totals, for every
+// shard kind.
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	f := testFactory()
+
+	type outcome struct {
+		blocks []sim.BlockResult
+		pages  []sim.PageResult
+		curve  []float64
+		tot    map[string]obs.Totals
+		hist   map[string]obs.HistSnapshot
+	}
+	run := func(workers int) outcome {
+		t.Helper()
+		e := &Engine{Shards: 8, Workers: workers}
+		reg := obs.NewRegistry()
+		cfg := testConfig(24)
+		cfg.Obs = reg
+		blocks, err := e.Blocks(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages, err := e.Pages(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve, err := e.FailureCurve(f, cfg, 6, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{blocks, pages, curve, reg.Snapshot(), reg.HistSnapshot()}
+	}
+
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial.blocks, parallel.blocks) {
+		t.Error("Workers=8 block results diverged from Workers=1")
+	}
+	if !reflect.DeepEqual(serial.pages, parallel.pages) {
+		t.Error("Workers=8 page results diverged from Workers=1")
+	}
+	if !reflect.DeepEqual(serial.curve, parallel.curve) {
+		t.Error("Workers=8 failure curve diverged from Workers=1")
+	}
+	if !reflect.DeepEqual(serial.tot, parallel.tot) {
+		t.Errorf("obs totals diverged:\nserial   %+v\nparallel %+v", serial.tot, parallel.tot)
+	}
+	if !reflect.DeepEqual(serial.hist, parallel.hist) {
+		t.Error("obs histograms diverged between worker counts")
+	}
+	// And both match the direct, engine-free sim call.
+	if !reflect.DeepEqual(parallel.blocks, sim.Blocks(f, testConfig(24))) {
+		t.Error("parallel engine diverged from direct sim.Blocks")
+	}
+}
+
+// TestParallelCachedRerun: a parallel cold run persists every shard and
+// a parallel rerun is 100% cache hits with identical results.
+func TestParallelCachedRerun(t *testing.T) {
+	f := testFactory()
+	e := &Engine{Shards: 6, Workers: 4, CacheDir: t.TempDir(), Resume: true}
+
+	run := func() ([]sim.BlockResult, obs.ShardTotals) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		cfg := testConfig(18)
+		cfg.Obs = reg
+		res, err := e.Blocks(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg.Shards().Totals()
+	}
+	cold, coldTraffic := run()
+	warm, warmTraffic := run()
+	if coldTraffic.CacheMisses != 6 || coldTraffic.Persisted != 6 {
+		t.Fatalf("cold traffic = %+v", coldTraffic)
+	}
+	if warmTraffic.CacheHits != 6 || warmTraffic.CacheMisses != 0 {
+		t.Fatalf("warm traffic = %+v", warmTraffic)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("parallel cached rerun diverged")
+	}
+}
+
+// TestHookErrorStopsParallelRun: a shard-hook error under concurrent
+// workers aborts the run (no merge happens) and surfaces the error.
+func TestHookErrorStopsParallelRun(t *testing.T) {
+	f := testFactory()
+	boom := errors.New("hook failure")
+	e := &Engine{Shards: 8, Workers: 4}
+	calls := 0
+	e.afterShard = func(scheme, kind string, lo, hi int) error {
+		calls++ // safe: shardDone serializes hook calls
+		if calls == 3 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := e.Blocks(f, testConfig(16)); !errors.Is(err, boom) {
+		t.Fatalf("hook error not propagated: %v", err)
+	}
+}
+
+// TestDrainStopsBetweenShards: closing the Drain channel mid-run stops
+// the engine at a shard boundary with ErrDraining; every shard computed
+// before the drain is persisted, and a resumed run finishes from the
+// cache with results identical to an undrained run.
+func TestDrainStopsBetweenShards(t *testing.T) {
+	f := testFactory()
+	dir := t.TempDir()
+	ref := sim.Blocks(f, testConfig(10))
+
+	drain := make(chan struct{})
+	e := &Engine{Shards: 5, Workers: 1, CacheDir: dir, Resume: true, Drain: drain}
+	done := 0
+	e.afterShard = func(scheme, kind string, lo, hi int) error {
+		done++
+		if done == 2 {
+			close(drain) // SIGTERM lands after the second shard
+		}
+		return nil
+	}
+	_, err := e.Blocks(f, testConfig(10))
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("drained run returned %v, want ErrDraining", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("drained run persisted %d shards, want 2", len(files))
+	}
+
+	// Restart: same cache dir, no drain — completes from the cache.
+	e2 := &Engine{Shards: 5, Workers: 1, CacheDir: dir, Resume: true}
+	prog := obs.NewProgress()
+	cfg := testConfig(10)
+	cfg.Progress = prog
+	got, err := e2.Blocks(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("resumed-after-drain run diverged from reference")
+	}
+	if snap := prog.Snapshot(); snap.CacheHits != 2 || snap.CacheMisses != 3 {
+		t.Fatalf("resume traffic = %d hits / %d misses, want 2/3", snap.CacheHits, snap.CacheMisses)
+	}
+}
+
+// TestDrainAlreadyClosedRefusesToStart: a run launched after the drain
+// signal performs no work at all, including on the engine-disabled
+// fall-through path.
+func TestDrainAlreadyClosedRefusesToStart(t *testing.T) {
+	f := testFactory()
+	drain := make(chan struct{})
+	close(drain)
+
+	e := &Engine{Shards: 4, Drain: drain}
+	if _, err := e.Blocks(f, testConfig(8)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("sharded run after drain returned %v, want ErrDraining", err)
+	}
+	disabled := &Engine{Drain: drain} // no shards, no cache: fall-through
+	if _, err := disabled.Blocks(f, testConfig(8)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("fall-through run after drain returned %v, want ErrDraining", err)
+	}
+}
+
+// TestContextCancelAbortsWithoutPartialShards: cancelling cfg.Ctx stops
+// the run with the context's error, and no partial shard is ever
+// persisted — everything left in the cache is loadable and complete.
+func TestContextCancelAbortsWithoutPartialShards(t *testing.T) {
+	f := testFactory()
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	e := &Engine{Shards: 5, Workers: 1, CacheDir: dir, Resume: true}
+	done := 0
+	e.afterShard = func(scheme, kind string, lo, hi int) error {
+		done++
+		if done == 2 {
+			cancel() // the job deadline fires mid-run
+		}
+		return nil
+	}
+	cfg := testConfig(10)
+	cfg.Ctx = ctx
+	_, err := e.Blocks(f, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("cancelled run left %d shards, want the 2 completed before cancel", len(files))
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), ShardSchema) {
+			t.Fatalf("shard %s is not a complete %s file", path, ShardSchema)
+		}
+	}
+
+	// An expired deadline likewise surfaces as DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	e2 := &Engine{Shards: 2}
+	cfg2 := testConfig(6)
+	cfg2.Ctx = dctx
+	if _, err := e2.Blocks(f, cfg2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline returned %v", err)
+	}
+}
+
+// TestDegenerateShardCounts: shard counts exceeding the trial count (or
+// nonsensical ones) clamp to one shard per trial and still match the
+// unsharded reference — the trials < shards off-by-one guard.
+func TestDegenerateShardCounts(t *testing.T) {
+	f := testFactory()
+	ref := sim.Blocks(f, testConfig(3))
+	for _, shards := range []int{3, 4, 100, -1} {
+		e := &Engine{Shards: shards, CacheDir: t.TempDir(), Resume: true, Workers: 2}
+		got, err := e.Blocks(f, testConfig(3))
+		if err != nil {
+			t.Fatalf("Shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("Shards=%d diverged from unsharded reference", shards)
+		}
+	}
+}
+
+// TestLoadShardMissVsRefusal pins the load-path error contract the run
+// loop branches on: absent and corrupt files are misses (fs.ErrNotExist
+// / ErrCorruptShard), while a parseable file that disagrees with the
+// caller's expectations is a refusal carrying neither sentinel.
+func TestLoadShardMissVsRefusal(t *testing.T) {
+	dir := t.TempDir()
+	s := &Shard{
+		Schema: ShardSchema, ConfigHash: "h", Scheme: "A", Kind: KindBlocks,
+		TrialLo: 0, TrialHi: 3, Blocks: make([]sim.BlockResult, 3),
+	}
+	s.Key = ShardKey(s.ConfigHash, s.Scheme, s.TrialLo, s.TrialHi, "code")
+	path, err := WriteShard(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	isMiss := func(err error) bool {
+		return errors.Is(err, os.ErrNotExist) || errors.Is(err, ErrCorruptShard)
+	}
+
+	// Absent file: miss.
+	if _, err := LoadShard(filepath.Join(dir, "gone.json"), s.Key, "h", "A", KindBlocks, 0, 3); !isMiss(err) {
+		t.Fatalf("absent file: %v, want a miss", err)
+	}
+	// Truncated file: miss (ErrCorruptShard).
+	if err := os.WriteFile(path, []byte(`{"schema": "aegis.sh`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(path, s.Key, "h", "A", KindBlocks, 0, 3); !errors.Is(err, ErrCorruptShard) {
+		t.Fatalf("truncated file: %v, want ErrCorruptShard", err)
+	}
+	// Valid file, disagreeing expectations: refusals, never misses.
+	if _, err := WriteShard(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	refusals := []struct {
+		name string
+		err  error
+	}{
+		{"wrong key", func() error { _, err := LoadShard(path, "otherkey", "h", "A", KindBlocks, 0, 3); return err }()},
+		{"wrong config", func() error { _, err := LoadShard(path, s.Key, "h2", "A", KindBlocks, 0, 3); return err }()},
+		{"wrong scheme", func() error { _, err := LoadShard(path, s.Key, "h", "B", KindBlocks, 0, 3); return err }()},
+		{"wrong kind", func() error { _, err := LoadShard(path, s.Key, "h", "A", KindPages, 0, 3); return err }()},
+		{"wrong range", func() error { _, err := LoadShard(path, s.Key, "h", "A", KindBlocks, 0, 4); return err }()},
+	}
+	for _, c := range refusals {
+		if c.err == nil {
+			t.Errorf("%s: accepted, want refusal", c.name)
+			continue
+		}
+		if isMiss(c.err) {
+			t.Errorf("%s: classified as a miss (%v), want refusal", c.name, c.err)
+		}
+	}
+
+	// A payload shorter than its declared range is a refusal too.
+	bad := *s
+	bad.Blocks = make([]sim.BlockResult, 2)
+	if _, err := WriteShard(dir, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(path, s.Key, "h", "A", KindBlocks, 0, 3); err == nil || isMiss(err) {
+		t.Fatalf("short payload: %v, want refusal", err)
+	}
+}
+
+// TestConcurrentEngineShared: one Engine value used from several
+// goroutines at once (the daemon's worker pool shape) stays correct —
+// every caller gets the reference results.
+func TestConcurrentEngineShared(t *testing.T) {
+	f := testFactory()
+	ref := sim.Blocks(f, testConfig(12))
+	e := &Engine{Shards: 4, Workers: 2, CacheDir: t.TempDir(), Resume: true}
+	var wg sync.WaitGroup
+	errc := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := e.Blocks(f, testConfig(12))
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !reflect.DeepEqual(got, ref) {
+				errc <- errors.New("concurrent caller diverged from reference")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

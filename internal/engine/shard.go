@@ -74,9 +74,10 @@ func (s *Shard) Trials() int { return s.TrialHi - s.TrialLo }
 
 // keyConfig is the canonicalized, result-affecting subset of sim.Config
 // (plus the curve-probe parameters): exactly the fields that change
-// simulation outcomes.  Trials, TrialOffset, Workers and the
+// simulation outcomes.  Trials, TrialOffset, Workers, Ctx and the
 // observability sinks are deliberately absent — the trial range is keyed
-// separately, and worker count or telemetry must never alter results.
+// separately, and worker count, cancellation plumbing or telemetry must
+// never alter results.
 type keyConfig struct {
 	BlockBits int     `json:"block_bits"`
 	PageBytes int     `json:"page_bytes"`

@@ -161,3 +161,55 @@ func checkTol(t *testing.T, scheme, metric string, got, want float64) {
 			fmt.Sprintf("if this change is intentional, regenerate with: go test ./internal/experiments/ -run TestGoldenRegression -update"))
 	}
 }
+
+// goldenRun computes the golden metric table through a given engine —
+// the same pipeline TestGoldenRegression pins.
+func goldenRun(t *testing.T, eng *engine.Engine) map[string]goldenMetrics {
+	t.Helper()
+	cfg := goldenConfig()
+	out := map[string]goldenMetrics{}
+	for _, f := range goldenRoster() {
+		pcfg := cfg
+		pcfg.Seed = Params{Seed: cfg.Seed}.schemeSeed(f.Name())
+		pages, err := eng.Pages(f, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcfg := pcfg
+		bcfg.Trials = 24
+		blocks, err := eng.Blocks(f, bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m goldenMetrics
+		for _, r := range pages {
+			m.PageLifetimeMean += float64(r.Lifetime)
+			m.RecoveredFaultsMean += float64(r.RecoveredFaults)
+		}
+		m.PageLifetimeMean /= float64(len(pages))
+		m.RecoveredFaultsMean /= float64(len(pages))
+		for _, r := range blocks {
+			m.BlockLifetimeMean += float64(r.Lifetime)
+			m.FaultsAtDeathMean += float64(r.FaultsAtDeath)
+		}
+		m.BlockLifetimeMean /= float64(len(blocks))
+		m.FaultsAtDeathMean /= float64(len(blocks))
+		out[f.Name()] = m
+	}
+	return out
+}
+
+// TestGoldenWorkersInvariant pins the parallel shard scheduler against
+// the golden pipeline: a serial engine and an oversubscribed 8-worker
+// engine must agree EXACTLY — same trials, same per-trial RNG, same
+// merge order, so not even the float summation order may differ.  No
+// tolerance here, unlike the golden-file comparison.
+func TestGoldenWorkersInvariant(t *testing.T) {
+	serial := goldenRun(t, &engine.Engine{Shards: 3, Workers: 1})
+	parallel := goldenRun(t, &engine.Engine{Shards: 3, Workers: 8})
+	for name, s := range serial {
+		if p := parallel[name]; p != s {
+			t.Errorf("%s: workers=8 diverged from workers=1\nserial:   %+v\nparallel: %+v", name, s, p)
+		}
+	}
+}

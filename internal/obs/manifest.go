@@ -80,6 +80,9 @@ type ShardingInfo struct {
 	ShardSchema string `json:"shard_schema"`
 	// Shards is the number of shards each simulation was split into.
 	Shards int `json:"shards"`
+	// Workers is the number of shards computed concurrently (the
+	// effective engine worker count; scheduling never affects results).
+	Workers int `json:"workers,omitempty"`
 	// CacheDir is the shard cache directory ("" = persistence off).
 	CacheDir string `json:"cache_dir,omitempty"`
 	// Resume reports whether cached shards were eligible to be loaded.

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aegis/internal/aegisrw"
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/failcache"
+	"aegis/internal/rdis"
+	"aegis/internal/safer"
+	"aegis/internal/scheme"
+)
+
+// cache is the idealized fail cache the paper grants RDIS and the rw /
+// SAFER-cache variants, mirroring internal/experiments.
+var cache = failcache.Perfect{}
+
+// SchemeGrammar documents the job request's scheme syntax; error
+// responses quote it so clients can self-correct.
+const SchemeGrammar = "aegis:B | aegis-p:B:Q | aegis-rw:B | aegis-rw-p:B:P | ecp:ENTRIES | safer:GROUPS | safer-cache:GROUPS | rdis:DEPTH"
+
+// ResolveScheme parses a job request's scheme spec ("family:param…")
+// into a factory for blockBits-sized data blocks.  The families mirror
+// the rosters of internal/experiments; parameters are the same integers
+// the paper's configurations use (e.g. "aegis:61" is Aegis 9x61 at 512
+// bits, "safer-cache:64" is SAFER64-cache).
+func ResolveScheme(spec string, blockBits int) (scheme.Factory, error) {
+	parts := strings.Split(spec, ":")
+	family := parts[0]
+	args := make([]int, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("scheme %q: parameter %q is not an integer (grammar: %s)", spec, p, SchemeGrammar)
+		}
+		args = append(args, v)
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("scheme %q: family %q takes %d parameter(s), got %d (grammar: %s)",
+				spec, family, n, len(args), SchemeGrammar)
+		}
+		return nil
+	}
+	var (
+		f   scheme.Factory
+		err error
+	)
+	switch family {
+	case "aegis":
+		if err = want(1); err == nil {
+			f, err = core.NewFactory(blockBits, args[0])
+		}
+	case "aegis-p":
+		if err = want(2); err == nil {
+			f, err = core.NewPFactory(blockBits, args[0], args[1])
+		}
+	case "aegis-rw":
+		if err = want(1); err == nil {
+			f, err = aegisrw.NewRWFactory(blockBits, args[0], cache)
+		}
+	case "aegis-rw-p":
+		if err = want(2); err == nil {
+			f, err = aegisrw.NewRWPFactory(blockBits, args[0], args[1], cache)
+		}
+	case "ecp":
+		if err = want(1); err == nil {
+			f, err = ecp.NewFactory(blockBits, args[0])
+		}
+	case "safer":
+		if err = want(1); err == nil {
+			f, err = safer.NewFactory(blockBits, args[0])
+		}
+	case "safer-cache":
+		if err = want(1); err == nil {
+			f, err = safer.NewCachedFactory(blockBits, args[0], cache)
+		}
+	case "rdis":
+		if err = want(1); err == nil {
+			f, err = rdis.NewFactory(blockBits, args[0], cache)
+		}
+	default:
+		return nil, fmt.Errorf("unknown scheme family %q (grammar: %s)", family, SchemeGrammar)
+	}
+	if err != nil {
+		if strings.Contains(err.Error(), "grammar") {
+			return nil, err // already self-describing
+		}
+		return nil, fmt.Errorf("scheme %q at %d bits: %w", spec, blockBits, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,555 @@
+// Package serve is the aegisd simulation service: it accepts
+// simulation jobs over HTTP, runs them on a bounded worker pool through
+// the shard engine (internal/engine), and serves merged results with
+// full observability (schema aegis.job/v1).
+//
+// The daemon adds no simulation semantics of its own.  A job is exactly
+// one engine run — same shard cache, same determinism guarantees — so a
+// served result is byte-identical to the equivalent CLI run, and two
+// daemons pointed at the same cache directory share work.
+//
+// Stop semantics mirror the engine's two-tier model: Drain (SIGTERM)
+// closes the engine drain channel, so running jobs stop at the next
+// shard boundary with every completed shard persisted — a restarted
+// daemon finishes those jobs from the cache.  Per-job deadlines use
+// context cancellation, the hard stop: an expired job aborts mid-shard
+// and the aborted shard is discarded.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"aegis/internal/engine"
+	"aegis/internal/obs"
+)
+
+// Options configures a Server.  The zero value is usable: every field
+// has a default chosen for a small shared daemon.
+type Options struct {
+	// Workers is the number of jobs run concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-started jobs;
+	// submissions beyond it are rejected with 429 (default 16).
+	QueueDepth int
+	// CacheDir, when set, persists shards under it and resumes from
+	// them, exactly like aegisbench -cache-dir -resume.
+	CacheDir string
+	// Shards is the per-job shard count (default 8).  Requests may
+	// override it per job.
+	Shards int
+	// EngineWorkers is the number of shards each job computes
+	// concurrently (0 = NumCPU).  Per-trial sim parallelism inside a
+	// shard is pinned to 1, so a daemon's total compute parallelism is
+	// Workers × EngineWorkers.
+	EngineWorkers int
+	// JobTimeout is the default per-job deadline (0 = none).  Requests
+	// may set a shorter one via timeout_seconds.
+	JobTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.EngineWorkers <= 0 {
+		o.EngineWorkers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Server is the aegisd job service.  Create with New, mount Handler on
+// an http.Server, call Start to launch the worker pool, and Drain (or
+// Close) to stop.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	// drainCh is shared by every job's engine as Engine.Drain.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	queueCh chan *Job
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // all jobs ever submitted, by ID
+	active   map[string]*Job // queued or running jobs, by spec hash
+	queue    []*Job          // submission order of queued jobs
+	cancels  map[string]context.CancelFunc
+	nextSeq  int64
+	queued   int
+	running  int
+	draining bool
+	started  bool
+}
+
+// New builds a Server with its routes.  The worker pool does not run
+// until Start; jobs submitted before Start queue up (tests use this to
+// make queue states deterministic).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		drainCh: make(chan struct{}),
+		queueCh: make(chan *Job, opts.QueueDepth),
+		jobs:    make(map[string]*Job),
+		active:  make(map[string]*Job),
+		cancels: make(map[string]context.CancelFunc),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/aegis/progress", s.handleProgress)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the worker pool.  Idempotent; a no-op after Drain.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.draining {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain gracefully stops the server: new submissions get 503, queued
+// jobs are marked aborted, and running jobs stop at their next shard
+// boundary with every completed shard persisted.  Returns once all
+// workers have exited or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.drainOnce.Do(func() {
+		close(s.drainCh)
+		close(s.queueCh) // safe: submissions check draining under mu
+	})
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// Close force-stops the server: drain plus hard-cancelling every
+// running job's context.  Aborted shards are discarded; completed ones
+// are already persisted.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	s.drainOnce.Do(func() {
+		close(s.drainCh)
+		close(s.queueCh)
+	})
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// submit validates, deduplicates and enqueues a request.  It returns
+// the job (new or, for a duplicate, the existing active one), whether
+// the job was newly created, and the HTTP status to answer with.
+func (s *Server) submit(req JobRequest) (*Job, bool, int, error) {
+	f, err := req.normalize()
+	if err != nil {
+		return nil, false, http.StatusBadRequest, err
+	}
+	spec := req.specHash()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, http.StatusServiceUnavailable,
+			&RequestError{Message: "server is draining; resubmit to the restarted daemon (cached shards are kept)"}
+	}
+	if dup, ok := s.active[spec]; ok {
+		return dup, false, http.StatusConflict,
+			&RequestError{Message: "an identical job is already " + dup.stateLocked() + " as " + dup.id}
+	}
+	if s.queued >= s.opts.QueueDepth {
+		return nil, false, http.StatusTooManyRequests,
+			&RequestError{Message: fmt.Sprintf("queue full (%d jobs waiting); retry after a job finishes", s.queued)}
+	}
+	s.nextSeq++
+	job := &Job{
+		id:       fmt.Sprintf("j%06d-%s", s.nextSeq, spec[:12]),
+		seq:      s.nextSeq,
+		spec:     spec,
+		request:  req,
+		factory:  f,
+		progress: obs.NewProgress(),
+		state:    StateQueued,
+		created:  time.Now().UTC(),
+	}
+	job.progress.SetExperiment(job.id)
+	job.progress.AddTotal(req.Trials)
+	s.jobs[job.id] = job
+	s.active[spec] = job
+	s.queue = append(s.queue, job)
+	s.queued++
+	s.queueCh <- job // cannot block: queued ≤ QueueDepth = cap
+	return job, true, http.StatusAccepted, nil
+}
+
+// worker consumes jobs until the queue channel closes (Drain/Close).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queueCh {
+		s.mu.Lock()
+		s.queued--
+		s.dequeueLocked(job)
+		draining := s.draining
+		if !draining {
+			s.running++
+		}
+		s.mu.Unlock()
+		if draining {
+			job.setState(StateAborted, ErrJobAborted)
+			s.retire(job)
+			continue
+		}
+		s.runJob(job)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		s.retire(job)
+	}
+}
+
+// ErrJobAborted marks a job stopped by a daemon drain before or during
+// execution.  Completed shards are persisted; resubmitting the same
+// spec resumes from them.
+var ErrJobAborted = errors.New("job aborted by daemon drain; completed shards are cached")
+
+// dequeueLocked removes a job from the queue-order slice.
+func (s *Server) dequeueLocked(job *Job) {
+	for i, q := range s.queue {
+		if q == job {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// retire drops a finished job from the active-spec index so an
+// identical spec may be resubmitted (and served from the shard cache).
+func (s *Server) retire(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active[job.spec] == job {
+		delete(s.active, job.spec)
+	}
+}
+
+// runJob executes one job through the shard engine.
+func (s *Server) runJob(job *Job) {
+	req := job.request
+	timeout := s.opts.JobTimeout
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	s.mu.Lock()
+	s.cancels[job.id] = cancel
+	s.mu.Unlock()
+	defer func() {
+		cancel()
+		s.mu.Lock()
+		delete(s.cancels, job.id)
+		s.mu.Unlock()
+	}()
+
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.opts.Shards
+	}
+	eng := &engine.Engine{
+		Shards:   shards,
+		CacheDir: s.opts.CacheDir,
+		Resume:   s.opts.CacheDir != "",
+		Workers:  s.opts.EngineWorkers,
+		Drain:    s.drainCh,
+	}
+	reg := obs.NewRegistry()
+	cfg := req.config()
+	cfg.Workers = 1 // parallelism lives at the shard level in the daemon
+	cfg.Ctx = ctx
+	cfg.Obs = reg
+	cfg.Progress = job.progress
+
+	job.setState(StateRunning, nil)
+	start := time.Now()
+	result := &JobResult{
+		Schema:  JobSchema,
+		ID:      job.id,
+		Request: req,
+		Scheme:  job.factory.Name(),
+		Kind:    req.Kind,
+	}
+	var err error
+	switch req.Kind {
+	case KindBlocks:
+		result.Blocks, err = eng.Blocks(job.factory, cfg)
+	case KindPages:
+		result.Pages, err = eng.Pages(job.factory, cfg)
+	case KindCurve:
+		result.Curve, err = eng.FailureCurveBias(job.factory, cfg, req.MaxFaults, req.WritesPerStep, *req.Bias)
+	default:
+		err = fmt.Errorf("serve: unreachable kind %q", req.Kind) // normalize rejects it
+	}
+	if err != nil {
+		if errors.Is(err, engine.ErrDraining) {
+			job.setState(StateAborted, err)
+		} else {
+			job.setState(StateFailed, err)
+		}
+		return
+	}
+	result.ElapsedSeconds = time.Since(start).Seconds()
+	result.Counters = reg.Snapshot()
+	result.Histograms = reg.HistSnapshot()
+	st := reg.Shards().Totals()
+	result.Sharding = obs.ShardingInfo{
+		ShardSchema: engine.ShardSchema,
+		Shards:      shards,
+		Workers:     s.opts.EngineWorkers,
+		CacheDir:    s.opts.CacheDir,
+		Resume:      s.opts.CacheDir != "",
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+		Persisted:   st.Persisted,
+	}
+	job.mu.Lock()
+	job.result = result
+	job.mu.Unlock()
+	job.setState(StateDone, nil)
+}
+
+// stateLocked reads the job state; callers must not hold j.mu.
+func (j *Job) stateLocked() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// queuePosition returns how many jobs precede job in the queue, or -1
+// once it has left the queue.
+func (s *Server) queuePosition(job *Job) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == job {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// status assembles the job's public status view.
+func (s *Server) status(job *Job) JobStatus {
+	state, err, result, created, started, finished := job.snapshot()
+	st := JobStatus{
+		ID:            job.id,
+		State:         state,
+		QueuePosition: s.queuePosition(job),
+		Progress:      job.progress.Snapshot(),
+		CreatedAt:     created,
+		Request:       job.request,
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if !started.IsZero() {
+		t := started
+		st.StartedAt = &t
+	}
+	if !finished.IsZero() {
+		t := finished
+		st.FinishedAt = &t
+	}
+	if result != nil {
+		st.ResultURL = "/v1/jobs/" + job.id + "/result"
+	}
+	return st
+}
+
+// ---- HTTP handlers -------------------------------------------------
+
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &RequestError{Message: "invalid JSON body: " + err.Error()})
+		return
+	}
+	job, created, status, err := s.submit(req)
+	if err != nil {
+		resp := struct {
+			*RequestError
+			ID string `json:"id,omitempty"`
+		}{}
+		var re *RequestError
+		if errors.As(err, &re) {
+			resp.RequestError = re
+		} else {
+			resp.RequestError = &RequestError{Message: err.Error()}
+		}
+		if job != nil { // duplicate submission: point at the live job
+			resp.ID = job.id
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	_ = created
+	w.Header().Set("Location", "/v1/jobs/"+job.id)
+	writeJSON(w, status, s.status(job))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, &RequestError{Message: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(job))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, &RequestError{Message: "unknown job " + r.PathValue("id")})
+		return
+	}
+	state, err, result, _, _, _ := job.snapshot()
+	if result == nil {
+		re := &RequestError{Message: "job " + job.id + " is " + state + "; no result available"}
+		if err != nil {
+			re.Message += ": " + err.Error()
+		}
+		writeJSON(w, http.StatusConflict, re)
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	// Submission order, not map order.
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && jobs[k-1].seq > jobs[k].seq; k-- {
+			jobs[k-1], jobs[k] = jobs[k], jobs[k-1]
+		}
+	}
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = s.status(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := map[string]any{
+		"status":   "ok",
+		"draining": s.draining,
+		"queued":   s.queued,
+		"running":  s.running,
+		"jobs":     len(s.jobs),
+		"workers":  s.opts.Workers,
+	}
+	if s.draining {
+		resp["status"] = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleProgress serves the live progress of every non-finished job,
+// mirroring aegisbench's -progress-addr endpoint shape.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make(map[string]obs.ProgressSnapshot)
+	for _, j := range jobs {
+		switch j.stateLocked() {
+		case StateQueued, StateRunning:
+			out[j.id] = j.progress.Snapshot()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

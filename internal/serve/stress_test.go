@@ -1,0 +1,264 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"aegis/internal/serve"
+)
+
+// stressBody builds a small distinct job spec per seed.
+func stressBody(seed int) string {
+	return fmt.Sprintf(`{"kind":"blocks","scheme":"aegis:11","block_bits":64,"trials":8,"seed":%d}`, seed)
+}
+
+// TestStressNoDuplicateShardWork hammers a running 2-worker daemon with
+// concurrent submissions — many of them identical — and proves via the
+// cache counters that every shard was computed exactly once: for each
+// distinct spec, cache misses summed across all of its jobs equal the
+// shard count, no matter how many times the spec was submitted.
+func TestStressNoDuplicateShardWork(t *testing.T) {
+	const (
+		specs      = 4
+		goroutines = 6
+		rounds     = 3
+		shards     = 4
+	)
+	s := serve.New(serve.Options{
+		Workers:    2,
+		QueueDepth: 64,
+		Shards:     shards,
+		CacheDir:   t.TempDir(),
+	})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+
+	var (
+		mu  sync.Mutex
+		ids = map[string]bool{}
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for sp := 0; sp < specs; sp++ {
+					code, m := postJob(t, ts.URL, stressBody(sp+1))
+					switch code {
+					case http.StatusAccepted, http.StatusConflict:
+						// 409 carries the live duplicate's id; track
+						// every job either way.
+						if id, _ := m["id"].(string); id != "" {
+							mu.Lock()
+							ids[id] = true
+							mu.Unlock()
+						}
+					default:
+						t.Errorf("goroutine %d: unexpected status %d: %v", g, code, m)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drive every accepted job to a terminal state and bucket results
+	// by seed.
+	missesBySeed := map[int64]int64{}
+	resultsBySeed := map[int64][]serve.JobResult{}
+	for id := range ids {
+		st := waitDone(t, ts.URL, id)
+		if st.State != serve.StateDone {
+			t.Fatalf("job %s: state %q (%s)", id, st.State, st.Error)
+		}
+		var res serve.JobResult
+		if code := getJSON(t, ts.URL+st.ResultURL, &res); code != http.StatusOK {
+			t.Fatalf("result %s: %d", id, code)
+		}
+		if hm := res.Sharding.CacheHits + res.Sharding.CacheMisses; hm != shards {
+			t.Fatalf("job %s: hits+misses = %d, want %d", id, hm, shards)
+		}
+		missesBySeed[res.Request.Seed] += res.Sharding.CacheMisses
+		resultsBySeed[res.Request.Seed] = append(resultsBySeed[res.Request.Seed], res)
+	}
+	if len(resultsBySeed) != specs {
+		t.Fatalf("results for %d seeds, want %d", len(resultsBySeed), specs)
+	}
+	for seed, misses := range missesBySeed {
+		// The no-duplicate-work invariant: each of the spec's shards
+		// was computed exactly once across every submission of it.
+		if misses != shards {
+			t.Errorf("seed %d: %d total cache misses across %d jobs, want %d",
+				seed, misses, len(resultsBySeed[seed]), shards)
+		}
+		for _, res := range resultsBySeed[seed][1:] {
+			if !reflect.DeepEqual(res.Blocks, resultsBySeed[seed][0].Blocks) {
+				t.Errorf("seed %d: results diverge between jobs", seed)
+			}
+		}
+	}
+}
+
+// TestStressBurst429 fires a burst of concurrent distinct submissions
+// at an unstarted (never-draining) queue of depth 2: exactly two are
+// admitted, the rest get 429, and the admitted ones report exact queue
+// positions.  Unstarted means no worker races the count.
+func TestStressBurst429(t *testing.T) {
+	const depth, burst = 2, 8
+	s := serve.New(serve.Options{Workers: 1, QueueDepth: depth})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	codes := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _ := postJob(t, ts.URL, stressBody(100+i))
+			codes[i] = code
+		}(i)
+	}
+	wg.Wait()
+
+	accepted, rejected := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if accepted != depth || rejected != burst-depth {
+		t.Fatalf("accepted %d rejected %d, want %d and %d", accepted, rejected, depth, burst-depth)
+	}
+	var h map[string]any
+	getJSON(t, ts.URL+"/v1/healthz", &h)
+	if q, _ := h["queued"].(float64); int(q) != depth {
+		t.Fatalf("healthz reports %v queued, want %d", h["queued"], depth)
+	}
+}
+
+// TestStressDrainUnderLoad drains a busy daemon mid-flight, then proves
+// the restart story: whatever the first daemon finished is reused, and
+// a second daemon on the same cache completes every spec with results
+// identical to an undisturbed run.
+func TestStressDrainUnderLoad(t *testing.T) {
+	const specs, shards = 3, 4
+	cacheDir := t.TempDir()
+	opts := serve.Options{Workers: 2, QueueDepth: 16, Shards: shards, CacheDir: cacheDir}
+
+	// Reference: an undisturbed daemon run of each spec.
+	want := map[int64][]byte{}
+	{
+		s := serve.New(opts)
+		s.Start()
+		ts := httptest.NewServer(s.Handler())
+		for sp := 0; sp < specs; sp++ {
+			code, m := postJob(t, ts.URL, stressBody(200+sp))
+			if code != http.StatusAccepted {
+				t.Fatalf("reference submit: %d", code)
+			}
+			st := waitDone(t, ts.URL, m["id"].(string))
+			var res serve.JobResult
+			getJSON(t, ts.URL+st.ResultURL, &res)
+			want[res.Request.Seed] = mustJSON(t, res.Blocks)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		s.Drain(ctx)
+		cancel()
+		ts.Close()
+	}
+	// The reference polluted the cache; start the real test cold.
+	cacheDir = t.TempDir()
+	opts.CacheDir = cacheDir
+
+	// First daemon: submit everything, then drain immediately.  Jobs
+	// end done (finished before the drain) or aborted (stopped at a
+	// shard boundary); either way no partial shard is cached.
+	s1 := serve.New(opts)
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	for sp := 0; sp < specs; sp++ {
+		if code, _ := postJob(t, ts1.URL, stressBody(200+sp)); code != http.StatusAccepted {
+			t.Fatalf("submit %d failed", sp)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	cancel()
+	var list struct{ Jobs []serve.JobStatus }
+	getJSON(t, ts1.URL+"/v1/jobs", &list)
+	for _, st := range list.Jobs {
+		switch st.State {
+		case serve.StateDone, serve.StateAborted:
+		default:
+			t.Fatalf("after drain job %s is %q", st.ID, st.State)
+		}
+	}
+	ts1.Close()
+
+	// Second daemon, same cache: everything completes, reusing
+	// whatever shards daemon one persisted before the drain.
+	s2 := serve.New(opts)
+	s2.Start()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s2.Drain(ctx)
+	})
+	for sp := 0; sp < specs; sp++ {
+		code, m := postJob(t, ts2.URL, stressBody(200+sp))
+		if code != http.StatusAccepted {
+			t.Fatalf("resubmit %d: %d", sp, code)
+		}
+		st := waitDone(t, ts2.URL, m["id"].(string))
+		if st.State != serve.StateDone {
+			t.Fatalf("resumed job %s: %q (%s)", st.ID, st.State, st.Error)
+		}
+		var res serve.JobResult
+		getJSON(t, ts2.URL+st.ResultURL, &res)
+		if got := mustJSON(t, res.Blocks); string(got) != string(want[res.Request.Seed]) {
+			t.Errorf("seed %d: post-drain result diverges from undisturbed run", res.Request.Seed)
+		}
+		if hm := res.Sharding.CacheHits + res.Sharding.CacheMisses; hm != shards {
+			t.Errorf("seed %d: hits+misses %d, want %d", res.Request.Seed, hm, shards)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/obs"
+	"aegis/internal/scheme"
+)
+
+func ctxConfig(trials, workers int) Config {
+	return Config{
+		BlockBits: 64,
+		PageBytes: 256,
+		MeanLife:  150,
+		CoV:       0.25,
+		Trials:    trials,
+		Seed:      7,
+		Workers:   workers,
+	}
+}
+
+// TestContextIgnoredWhenLive: threading a live context through a run
+// must not change one result bit relative to no context at all.
+func TestContextIgnoredWhenLive(t *testing.T) {
+	f := core.MustFactory(64, 11)
+	for _, workers := range []int{1, 4} {
+		ref := Blocks(f, ctxConfig(10, workers))
+		cfg := ctxConfig(10, workers)
+		cfg.Ctx = context.Background()
+		if !reflect.DeepEqual(Blocks(f, cfg), ref) {
+			t.Fatalf("workers=%d: live context changed results", workers)
+		}
+	}
+}
+
+// TestCancelledContextSkipsTrials: a context cancelled before the run
+// starts means no trial bodies execute, serially and in parallel.
+func TestCancelledContextSkipsTrials(t *testing.T) {
+	f := core.MustFactory(64, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		cfg := ctxConfig(12, workers)
+		cfg.Ctx = ctx
+		prog := obs.NewProgress()
+		cfg.Progress = prog
+		res := Blocks(f, cfg)
+		if len(res) != 12 {
+			t.Fatalf("result slice length %d", len(res))
+		}
+		for i, r := range res {
+			if r.Lifetime != 0 || r.BitWrites != 0 {
+				t.Fatalf("workers=%d: trial %d ran under a cancelled context", workers, i)
+			}
+		}
+		if done := prog.Snapshot().TrialsDone; done != 0 {
+			t.Fatalf("workers=%d: %d trials reported done", workers, done)
+		}
+	}
+}
+
+// countingFactory wraps a scheme factory and calls a hook with the
+// ordinal of each New call; under serial execution New is called once
+// per trial in order, so the hook can cancel a run at a known trial
+// boundary.
+type countingFactory struct {
+	inner scheme.Factory
+	onNew func(n int)
+	n     int
+}
+
+func (c *countingFactory) Name() string      { return c.inner.Name() }
+func (c *countingFactory) BlockBits() int    { return c.inner.BlockBits() }
+func (c *countingFactory) OverheadBits() int { return c.inner.OverheadBits() }
+func (c *countingFactory) New() scheme.Scheme {
+	c.n++
+	if c.onNew != nil {
+		c.onNew(c.n)
+	}
+	return c.inner.New()
+}
+
+// TestMidRunCancelStopsEarly: cancelling from inside the run stops it
+// within the in-flight trial; trials completed before the cancellation
+// keep exactly the results of an uncancelled run.
+func TestMidRunCancelStopsEarly(t *testing.T) {
+	f := core.MustFactory(64, 11)
+	ref := Blocks(f, ctxConfig(20, 1))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := ctxConfig(20, 1)
+	cfg.Ctx = ctx
+	prog := obs.NewProgress()
+	cfg.Progress = prog
+	cf := &countingFactory{inner: f, onNew: func(n int) {
+		if n == 6 { // the 6th trial is starting: exactly 5 completed
+			cancel()
+		}
+	}}
+	res := Blocks(cf, cfg)
+	completed := 0
+	for i, r := range res {
+		if r.Lifetime != 0 || r.BitWrites != 0 {
+			completed++
+			if !reflect.DeepEqual(res[i], ref[i]) {
+				t.Fatalf("trial %d diverged from uncancelled reference", i)
+			}
+		}
+	}
+	if completed == 0 || completed >= 20 {
+		t.Fatalf("completed trials = %d, want an early stop strictly inside (0, 20)", completed)
+	}
+	if done := prog.Snapshot().TrialsDone; int(done) != completed {
+		t.Fatalf("progress reports %d done, results show %d", done, completed)
+	}
+}

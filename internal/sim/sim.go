@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -61,6 +62,15 @@ type Config struct {
 	TrialOffset int
 	// Workers limits parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the run: every trial checks the
+	// context before starting, so a cancelled or expired run stops
+	// within one trial's worth of work.  Trials completed before the
+	// cancellation hold valid results; the remainder of the result
+	// slice stays zero.  Callers that need all-or-nothing semantics
+	// (the shard engine, the serving daemon) check Ctx.Err() after the
+	// run and discard partial output.  Like the observability sinks,
+	// Ctx never affects the results of the trials that do run.
+	Ctx context.Context
 	// PulseWear switches from the paper's request-scoped wear model
 	// (each cell charged at most one pulse per write request, §3.1) to
 	// fully physical per-pulse wear, where a scheme's extra inversion
@@ -105,13 +115,22 @@ func trialRNG(seed int64, trial int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h)))
 }
 
+// cancelled reports whether the run's context (if any) is done.
+func (c Config) cancelled() bool {
+	return c.Ctx != nil && c.Ctx.Err() != nil
+}
+
 // forEachTrial fans cfg.Trials trials out over a worker pool, reporting
 // the study's trial count and per-trial completion to cfg.Progress.
 // The body receives the run-local trial index; its RNG is derived from
-// the global index cfg.TrialOffset+trial.
+// the global index cfg.TrialOffset+trial.  When cfg.Ctx is cancelled,
+// trials not yet started are skipped and the loop returns early.
 func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 	cfg.Progress.AddTotal(cfg.Trials)
 	run := func(t int) {
+		if cfg.cancelled() {
+			return
+		}
 		body(t, trialRNG(cfg.Seed, cfg.TrialOffset+t))
 		cfg.Progress.Done(1)
 	}
@@ -121,6 +140,9 @@ func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 	}
 	if workers <= 1 {
 		for t := 0; t < cfg.Trials; t++ {
+			if cfg.cancelled() {
+				return
+			}
 			run(t)
 		}
 		return
@@ -137,6 +159,9 @@ func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 		}()
 	}
 	for t := 0; t < cfg.Trials; t++ {
+		if cfg.cancelled() {
+			break
+		}
 		next <- t
 	}
 	close(next)

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Smoke-test the aegisd daemon end to end: boot it on a random port,
+# submit one job over HTTP, poll it to completion, save the result
+# manifest (schema aegis.job/v1), and shut the daemon down with SIGTERM.
+# CI uploads the saved JSON as a build artifact.
+#
+# Usage: scripts/serve_smoke.sh [outdir]   (default: out/serve-smoke)
+set -eu
+
+OUT=${1:-out/serve-smoke}
+mkdir -p "$OUT"
+ADDR_FILE="$OUT/aegisd.addr"
+rm -f "$ADDR_FILE"
+
+go build -o "$OUT/aegisd" ./cmd/aegisd
+"$OUT/aegisd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+    -workers 1 -shards 4 -cache-dir "$OUT/shards" &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s "$ADDR_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$DAEMON" 2>/dev/null; then
+        echo "serve-smoke: daemon never came up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+BASE="http://$(cat "$ADDR_FILE")"
+echo "serve-smoke: daemon at $BASE"
+
+curl -fsS "$BASE/v1/healthz" >"$OUT/healthz.json"
+
+JOB='{"kind":"blocks","scheme":"aegis:61","trials":8,"seed":1}'
+ID=$(curl -fsS -X POST -d "$JOB" "$BASE/v1/jobs" | jq -r .id)
+echo "serve-smoke: submitted $ID"
+
+i=0
+while :; do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$ID" | jq -r .state)
+    case "$STATE" in
+    done) break ;;
+    failed | aborted)
+        echo "serve-smoke: job ended $STATE" >&2
+        curl -fsS "$BASE/v1/jobs/$ID" >&2 || true
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "serve-smoke: job stuck in $STATE" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+curl -fsS "$BASE/v1/jobs/$ID/result" >"$OUT/job-result.json"
+jq -e '.schema == "aegis.job/v1" and (.blocks | length) == 8' \
+    "$OUT/job-result.json" >/dev/null
+
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+trap - EXIT
+echo "serve-smoke: OK — result manifest at $OUT/job-result.json"
