@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short test-race vet bench bench-json trace-sample repro repro-quick resume-demo serve-smoke extensions examples fuzz golden clean
+.PHONY: all test test-short test-race vet bench bench-json bench-baseline bench-gate trace-sample repro repro-quick resume-demo serve-smoke extensions examples fuzz golden clean
 
 all: test
 
@@ -37,6 +37,23 @@ bench:
 BENCH ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
 	$(GO) run ./cmd/benchdiff -run -benchtime 1x -out $(BENCH)
+
+# Refresh the checked-in CI baseline.  Run on a quiet machine, commit
+# the result alongside the perf-affecting change, and say why in NOTES
+# (recorded in the file's provenance; see DESIGN.md §12).
+NOTES ?= refreshed by make bench-baseline
+bench-baseline:
+	$(GO) run ./cmd/benchdiff -run -benchtime 1x -notes "$(NOTES)" -out BENCH_baseline.json
+
+# Regression gate: rerun the benchmarks and compare against the
+# checked-in baseline.  Wall-clock gets a loose threshold (shared
+# runners are noisy); allocs/op is deterministic, so its threshold is
+# tight.  The comparison report lands in bench-compare.txt.
+bench-gate:
+	$(GO) run ./cmd/benchdiff -run -benchtime 1x -out BENCH_new.json
+	$(GO) run ./cmd/benchdiff -old BENCH_baseline.json -new BENCH_new.json \
+		-threshold 150 -alloc-threshold 10 > bench-compare.txt; \
+	status=$$?; cat bench-compare.txt; exit $$status
 
 # Sample observability bundle: quick fig10 with a v2 run manifest and a
 # 1-in-10 sampled decision-event trace (aegis.events/v1) under out/.

@@ -33,7 +33,12 @@
 // (default NumCPU); like the shard count, the worker count never
 // changes results.
 //
-// -cpuprofile/-memprofile/-trace write standard Go profiles; -http
+// -cpuprofile/-memprofile/-trace write standard Go profiles.
+// -memprofile first performs a warm-up run and snapshots its heap to
+// <path>.warmup; diff the final profile against it
+// (go tool pprof -diff_base <path>.warmup <path>) to see the measured
+// run's steady-state allocations instead of one-time cache and layout
+// construction.  -http
 // serves expvar ("aegis.counters"), live run progress as JSON
 // (/debug/aegis/progress) and net/http/pprof for inspection of long
 // runs.  A progress line (trials done, rate, ETA) renders on stderr
@@ -189,6 +194,31 @@ func run(args []string, out *os.File) error {
 	stopProgress := func() {}
 	if ivl := progressInterval(*progressIv); ivl > 0 {
 		stopProgress = startProgress(prog, ivl)
+	}
+
+	if *memProfile != "" {
+		// Steady-state heap profiles: an unobserved warm-up run first
+		// populates every process-lifetime cache (plane layout ROMs,
+		// scheme mask stores), then its heap is snapshotted as the
+		// diff base.  Profile the measured run's own allocations with
+		//
+		//	go tool pprof -diff_base <path>.warmup <path>
+		//
+		// Without this the profile is dominated by one-time
+		// construction.  The warm-up doubles the run's wall time.
+		warm := p
+		warm.Obs = nil
+		warm.Progress = nil
+		warm.Trace = nil
+		warm.Engine = nil // direct path: a shard cache would turn the measured run into cache reads
+		if _, err := experiments.Run(*exp, warm); err != nil {
+			return fmt.Errorf("-memprofile warm-up: %w", err)
+		}
+		base := *memProfile + ".warmup"
+		if err := writeHeapProfile(base); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "memprofile: warm-up done, diff base written to %s\n", base)
 	}
 
 	start := time.Now()

@@ -321,11 +321,16 @@ func TestProfileFlags(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.out")
 	mem := filepath.Join(dir, "mem.out")
 	tr := filepath.Join(dir, "trace.out")
-	_, err := capture(t, []string{"-exp", "table1", "-cpuprofile", cpu, "-memprofile", mem, "-trace", tr})
+	out, err := capture(t, []string{"-exp", "table1", "-cpuprofile", cpu, "-memprofile", mem, "-trace", tr})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{cpu, mem, tr} {
+	// -memprofile runs a warm-up pass and snapshots its heap as the
+	// diff base, so the measured profile reflects steady state.
+	if !strings.Contains(out, "memprofile: warm-up done") {
+		t.Fatalf("output does not mention the warm-up diff base:\n%s", out)
+	}
+	for _, path := range []string{cpu, mem, mem + ".warmup", tr} {
 		st, err := os.Stat(path)
 		if err != nil {
 			t.Fatalf("profile %s missing: %v", path, err)

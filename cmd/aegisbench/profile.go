@@ -78,19 +78,24 @@ func (p *profiler) stop() error {
 		p.traceFile = nil
 	}
 	if p.memPath != "" {
-		f, err := os.Create(p.memPath)
-		if err != nil {
-			return fmt.Errorf("-memprofile: %w", err)
-		}
-		runtime.GC() // get up-to-date heap statistics
-		werr := pprof.Lookup("heap").WriteTo(f, 0)
-		cerr := f.Close()
-		if werr != nil {
-			return fmt.Errorf("-memprofile: %w", werr)
-		}
-		return cerr
+		return writeHeapProfile(p.memPath)
 	}
 	return nil
+}
+
+// writeHeapProfile forces a GC and snapshots the heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	runtime.GC() // get up-to-date heap statistics
+	werr := pprof.Lookup("heap").WriteTo(f, 0)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("-memprofile: %w", werr)
+	}
+	return cerr
 }
 
 // publishCountersOnce exposes the run's scheme counters as the expvar

@@ -9,14 +9,19 @@
 //	benchdiff -run -bench 'Table1|Fig5' -benchtime 2x -pkg . -out BENCH_new.json
 //	benchdiff -old BENCH_baseline.json -new BENCH_new.json -threshold 20
 //	benchdiff -run -old BENCH_baseline.json -out BENCH_new.json   (run, then compare)
+//	benchdiff -run -notes "bench host: 8-core xeon" -out BENCH_baseline.json
 //
 // The comparison matches benchmarks by name (GOMAXPROCS suffix
-// stripped), reports the ns/op delta of every common benchmark, and
-// fails when any delta exceeds -threshold percent.  Benchmarks that
-// appear on only one side are reported but never fail the run.
-// CI keeps BENCH_baseline.json checked in; refresh it with
-// `make bench-json` and commit the result alongside perf-affecting
-// changes (see DESIGN.md §"Benchmark pipeline").
+// stripped), reports the ns/op and allocs/op delta of every common
+// benchmark, and fails when a ns/op delta exceeds -threshold percent or
+// an allocs/op delta exceeds -alloc-threshold percent.  Allocation
+// counts are deterministic, so the alloc gate holds even on noisy
+// shared runners where wall-clock thresholds must stay loose.
+// Benchmarks that appear on only one side are reported but never fail
+// the run.  CI keeps BENCH_baseline.json checked in; refresh it with
+// `make bench-baseline` on a quiet machine and commit the result
+// alongside perf-affecting changes (see DESIGN.md §"Benchmark
+// pipeline" and §12 "Hot path and memory discipline").
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -43,14 +49,17 @@ const BenchSchema = "aegis.bench/v1"
 
 // File is one normalized benchmark run.
 type File struct {
-	Schema     string      `json:"schema"`
-	CreatedAt  time.Time   `json:"created_at"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	NumCPU     int         `json:"num_cpu"`
-	GitSHA     string      `json:"git_sha"`
-	Benchtime  string      `json:"benchtime,omitempty"`
+	Schema    string    `json:"schema"`
+	CreatedAt time.Time `json:"created_at"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	GitSHA    string    `json:"git_sha"`
+	Benchtime string    `json:"benchtime,omitempty"`
+	// Notes is free-form provenance supplied at record time (-notes):
+	// what host class produced the file, why it was refreshed.
+	Notes      string      `json:"notes,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -78,15 +87,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		doRun     = fs.Bool("run", false, "run the Go benchmarks and write a normalized JSON file")
-		bench     = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
-		benchtime = fs.String("benchtime", "1x", "value passed to go test -benchtime")
-		pkg       = fs.String("pkg", ".", "package pattern passed to go test")
-		count     = fs.Int("count", 1, "value passed to go test -count")
-		outPath   = fs.String("out", "", "output path for -run (default BENCH_<date>.json)")
-		oldPath   = fs.String("old", "", "baseline benchmark JSON to compare against")
-		newPath   = fs.String("new", "", "fresh benchmark JSON to compare (defaults to -out after -run)")
-		threshold = fs.Float64("threshold", 20, "fail when ns/op regresses by more than this percent")
+		doRun          = fs.Bool("run", false, "run the Go benchmarks and write a normalized JSON file")
+		bench          = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime      = fs.String("benchtime", "1x", "value passed to go test -benchtime")
+		pkg            = fs.String("pkg", ".", "package pattern passed to go test")
+		count          = fs.Int("count", 1, "value passed to go test -count")
+		outPath        = fs.String("out", "", "output path for -run (default BENCH_<date>.json)")
+		notes          = fs.String("notes", "", "free-form provenance recorded in the -run output file")
+		oldPath        = fs.String("old", "", "baseline benchmark JSON to compare against")
+		newPath        = fs.String("new", "", "fresh benchmark JSON to compare (defaults to -out after -run)")
+		threshold      = fs.Float64("threshold", 20, "fail when ns/op regresses by more than this percent")
+		allocThreshold = fs.Float64("alloc-threshold", 10, "fail when allocs/op regresses by more than this percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,7 +110,7 @@ func run(args []string, out io.Writer) error {
 		*outPath = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
 	if *doRun {
-		if err := runBenchmarks(*bench, *benchtime, *pkg, *count, *outPath, out); err != nil {
+		if err := runBenchmarks(*bench, *benchtime, *pkg, *count, *outPath, *notes, out); err != nil {
 			return err
 		}
 		if *newPath == "" {
@@ -110,14 +121,14 @@ func run(args []string, out io.Writer) error {
 		if *newPath == "" {
 			return fmt.Errorf("-old given without -new (or -run)")
 		}
-		return compareFiles(*oldPath, *newPath, *threshold, out)
+		return compareFiles(*oldPath, *newPath, *threshold, *allocThreshold, out)
 	}
 	return nil
 }
 
 // runBenchmarks executes `go test -bench` and writes the normalized
 // results to outPath.
-func runBenchmarks(bench, benchtime, pkg string, count int, outPath string, out io.Writer) error {
+func runBenchmarks(bench, benchtime, pkg string, count int, outPath, notes string, out io.Writer) error {
 	args := []string{
 		"test", "-run", "NONE", "-bench", bench,
 		"-benchtime", benchtime, "-benchmem",
@@ -147,6 +158,7 @@ func runBenchmarks(bench, benchtime, pkg string, count int, outPath string, out 
 		NumCPU:     obs.NumCPU(),
 		GitSHA:     obs.GitSHA(),
 		Benchtime:  benchtime,
+		Notes:      notes,
 		Benchmarks: benchmarks,
 	}
 	if err := writeFile(outPath, f); err != nil {
@@ -225,8 +237,8 @@ func ParseBenchOutput(r io.Reader) ([]Benchmark, error) {
 var errRegression = fmt.Errorf("benchmark regression past threshold")
 
 // compareFiles diffs two normalized benchmark files and fails when any
-// common benchmark's ns/op regressed past thresholdPct.
-func compareFiles(oldPath, newPath string, thresholdPct float64, out io.Writer) error {
+// common benchmark's ns/op or allocs/op regressed past its threshold.
+func compareFiles(oldPath, newPath string, thresholdPct, allocThresholdPct float64, out io.Writer) error {
 	oldF, err := loadFile(oldPath)
 	if err != nil {
 		return err
@@ -239,8 +251,8 @@ func compareFiles(oldPath, newPath string, thresholdPct float64, out io.Writer) 
 		return obs.SchemaMismatch(oldPath, oldF.Schema, newPath, newF.Schema,
 			"re-record one side with this benchdiff (`benchdiff -run`) so both files share a schema")
 	}
-	report := Compare(oldF, newF, thresholdPct)
-	fmt.Fprint(out, report.Format(oldPath, newPath, thresholdPct))
+	report := Compare(oldF, newF, thresholdPct, allocThresholdPct)
+	fmt.Fprint(out, report.Format(oldPath, newPath, thresholdPct, allocThresholdPct))
 	if len(report.Regressions) > 0 {
 		return fmt.Errorf("%w: %s", errRegression, strings.Join(report.Regressions, ", "))
 	}
@@ -253,7 +265,12 @@ type Delta struct {
 	OldNs      float64
 	NewNs      float64
 	Pct        float64 // (new-old)/old in percent
-	Regression bool
+	Regression bool    // ns/op past the time threshold
+
+	OldAllocs       float64
+	NewAllocs       float64
+	AllocPct        float64 // (new-old)/old in percent; +Inf when old was 0
+	AllocRegression bool    // allocs/op past the alloc threshold
 }
 
 // Report is the outcome of comparing two benchmark files.
@@ -268,8 +285,9 @@ type Report struct {
 	Regressions []string
 }
 
-// Compare matches benchmarks by name and computes ns/op deltas.
-func Compare(oldF, newF *File, thresholdPct float64) *Report {
+// Compare matches benchmarks by name and computes ns/op and allocs/op
+// deltas against their respective thresholds.
+func Compare(oldF, newF *File, thresholdPct, allocThresholdPct float64) *Report {
 	oldBy := make(map[string]Benchmark, len(oldF.Benchmarks))
 	for _, b := range oldF.Benchmarks {
 		oldBy[b.Name] = b
@@ -285,13 +303,32 @@ func Compare(oldF, newF *File, thresholdPct float64) *Report {
 			r.OnlyNew = append(r.OnlyNew, b.Name)
 			continue
 		}
-		d := Delta{Name: b.Name, OldNs: o.NsPerOp, NewNs: b.NsPerOp}
+		d := Delta{
+			Name:  b.Name,
+			OldNs: o.NsPerOp, NewNs: b.NsPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: b.AllocsPerOp,
+		}
 		if o.NsPerOp > 0 {
 			d.Pct = 100 * (b.NsPerOp - o.NsPerOp) / o.NsPerOp
 		}
 		d.Regression = d.Pct > thresholdPct
 		if d.Regression {
 			r.Regressions = append(r.Regressions, fmt.Sprintf("%s (+%.1f%%)", d.Name, d.Pct))
+		}
+		// Allocation counts are deterministic, so a benchmark that
+		// allocated nothing in the baseline and allocates now is always
+		// a regression, not a division-by-zero corner.
+		switch {
+		case o.AllocsPerOp > 0:
+			d.AllocPct = 100 * (b.AllocsPerOp - o.AllocsPerOp) / o.AllocsPerOp
+			d.AllocRegression = d.AllocPct > allocThresholdPct
+		case b.AllocsPerOp > 0:
+			d.AllocPct = math.Inf(1)
+			d.AllocRegression = true
+		}
+		if d.AllocRegression {
+			r.Regressions = append(r.Regressions,
+				fmt.Sprintf("%s (allocs %.0f → %.0f)", d.Name, d.OldAllocs, d.NewAllocs))
 		}
 		r.Deltas = append(r.Deltas, d)
 	}
@@ -307,23 +344,34 @@ func Compare(oldF, newF *File, thresholdPct float64) *Report {
 }
 
 // Format renders the comparison as an aligned text table.
-func (r *Report) Format(oldPath, newPath string, thresholdPct float64) string {
+func (r *Report) Format(oldPath, newPath string, thresholdPct, allocThresholdPct float64) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "benchdiff: %s (%s) vs %s (%s), threshold +%.1f%%\n",
-		oldPath, r.OldSchema, newPath, r.NewSchema, thresholdPct)
+	fmt.Fprintf(&sb, "benchdiff: %s (%s) vs %s (%s), thresholds: ns/op +%.1f%%, allocs/op +%.1f%%\n",
+		oldPath, r.OldSchema, newPath, r.NewSchema, thresholdPct, allocThresholdPct)
 	width := len("benchmark")
 	for _, d := range r.Deltas {
 		if len(d.Name) > width {
 			width = len(d.Name)
 		}
 	}
-	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s\n", width, "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s  %12s  %12s  %8s\n", width, "benchmark",
+		"old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	for _, d := range r.Deltas {
 		mark := ""
-		if d.Regression {
-			mark = "  REGRESSION"
+		switch {
+		case d.Regression && d.AllocRegression:
+			mark = "  REGRESSION (time, allocs)"
+		case d.Regression:
+			mark = "  REGRESSION (time)"
+		case d.AllocRegression:
+			mark = "  REGRESSION (allocs)"
 		}
-		fmt.Fprintf(&sb, "%-*s  %14.0f  %14.0f  %+7.1f%%%s\n", width, d.Name, d.OldNs, d.NewNs, d.Pct, mark)
+		allocPct := fmt.Sprintf("%+7.1f%%", d.AllocPct)
+		if math.IsInf(d.AllocPct, 1) {
+			allocPct = "    +inf"
+		}
+		fmt.Fprintf(&sb, "%-*s  %14.0f  %14.0f  %+7.1f%%  %12.0f  %12.0f  %s%s\n",
+			width, d.Name, d.OldNs, d.NewNs, d.Pct, d.OldAllocs, d.NewAllocs, allocPct, mark)
 	}
 	for _, name := range r.OnlyOld {
 		fmt.Fprintf(&sb, "%-*s  only in %s\n", width, name, oldPath)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"errors"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -71,7 +72,7 @@ func benchFile(ns map[string]float64) *File {
 func TestCompareFlagsRegressions(t *testing.T) {
 	oldF := benchFile(map[string]float64{"Fig5": 100, "Fig8": 100, "Table1": 100})
 	newF := benchFile(map[string]float64{"Fig5": 150, "Fig8": 105, "New": 50})
-	r := Compare(oldF, newF, 20)
+	r := Compare(oldF, newF, 20, 10)
 	if len(r.Regressions) != 1 || !strings.HasPrefix(r.Regressions[0], "Fig5") {
 		t.Fatalf("regressions = %v, want [Fig5 ...]", r.Regressions)
 	}
@@ -91,9 +92,95 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if len(r.OnlyNew) != 1 || r.OnlyNew[0] != "New" {
 		t.Fatalf("OnlyNew = %v", r.OnlyNew)
 	}
-	text := r.Format("old.json", "new.json", 20)
+	text := r.Format("old.json", "new.json", 20, 10)
 	if !strings.Contains(text, "REGRESSION") || !strings.Contains(text, "2 compared, 1 regression(s)") {
 		t.Fatalf("format wrong:\n%s", text)
+	}
+}
+
+// allocFile builds a benchmark file with fixed ns/op and the given
+// allocs/op per name, for exercising the allocation gate in isolation.
+func allocFile(allocs map[string]float64) *File {
+	f := &File{Schema: BenchSchema, GoVersion: "go1.22"}
+	for _, name := range []string{"Fig5", "Fig8", "Table1"} {
+		v, ok := allocs[name]
+		if !ok {
+			continue
+		}
+		f.Benchmarks = append(f.Benchmarks, Benchmark{
+			Name: name, FullName: "Benchmark" + name, Iterations: 1, NsPerOp: 100, AllocsPerOp: v,
+		})
+	}
+	return f
+}
+
+func TestCompareFlagsAllocRegressions(t *testing.T) {
+	oldF := allocFile(map[string]float64{"Fig5": 1000, "Fig8": 1000, "Table1": 0})
+	newF := allocFile(map[string]float64{"Fig5": 1200, "Fig8": 1050, "Table1": 3})
+	r := Compare(oldF, newF, 20, 10)
+	if len(r.Regressions) != 2 {
+		t.Fatalf("regressions = %v, want Fig5 and Table1", r.Regressions)
+	}
+	byName := make(map[string]Delta)
+	for _, d := range r.Deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["Fig5"]; !d.AllocRegression || d.AllocPct != 20 || d.Regression {
+		t.Fatalf("Fig5 delta wrong: %+v", d)
+	}
+	if d := byName["Fig8"]; d.AllocRegression || d.AllocPct != 5 {
+		t.Fatalf("Fig8 delta wrong: %+v", d)
+	}
+	// Zero → nonzero allocs is always a regression, whatever the threshold.
+	if d := byName["Table1"]; !d.AllocRegression || !math.IsInf(d.AllocPct, 1) {
+		t.Fatalf("Table1 delta wrong: %+v", d)
+	}
+	text := r.Format("old.json", "new.json", 20, 10)
+	if !strings.Contains(text, "REGRESSION (allocs)") {
+		t.Fatalf("alloc regression not marked:\n%s", text)
+	}
+}
+
+// TestAllocGateCLI drives the CLI path the tentpole requires: a pure
+// allocs/op regression (ns/op flat) must exit non-zero under
+// -alloc-threshold, and a loose threshold must let it pass.
+func TestAllocGateCLI(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_baseline.json")
+	newPath := filepath.Join(dir, "BENCH_new.json")
+	if err := writeFile(oldPath, allocFile(map[string]float64{"Fig5": 1000})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(newPath, allocFile(map[string]float64{"Fig5": 1500})); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "200", "-alloc-threshold", "10"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("alloc regression not flagged (err = %v); output:\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "200", "-alloc-threshold", "60"}, &out); err != nil {
+		t.Fatalf("within-threshold alloc compare failed: %v\n%s", err, out.String())
+	}
+}
+
+// TestNotesRoundTrip pins the provenance field: notes written at record
+// time must survive the JSON round trip.
+func TestNotesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	f := benchFile(map[string]float64{"Fig5": 100})
+	f.Notes = "bench host: 1-core container"
+	if err := writeFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Notes != f.Notes {
+		t.Fatalf("notes = %q, want %q", got.Notes, f.Notes)
 	}
 }
 
@@ -148,11 +235,11 @@ func TestCompareRejectsWrongSchema(t *testing.T) {
 func TestFormatEchoesSchemas(t *testing.T) {
 	oldF := benchFile(map[string]float64{"Fig5": 100})
 	newF := benchFile(map[string]float64{"Fig5": 101})
-	r := Compare(oldF, newF, 20)
+	r := Compare(oldF, newF, 20, 10)
 	if r.OldSchema != BenchSchema || r.NewSchema != BenchSchema {
 		t.Fatalf("report schemas = %q/%q, want %q", r.OldSchema, r.NewSchema, BenchSchema)
 	}
-	text := r.Format("old.json", "new.json", 20)
+	text := r.Format("old.json", "new.json", 20, 10)
 	want := "benchdiff: old.json (" + BenchSchema + ") vs new.json (" + BenchSchema + ")"
 	if !strings.Contains(text, want) {
 		t.Fatalf("header missing schema echo:\n%s", text)

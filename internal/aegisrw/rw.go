@@ -32,11 +32,19 @@ import (
 type RW struct {
 	layout *plane.Layout
 	view   failcache.View
-	slope  int
-	inv    *bitvec.Vector
+	// renew, when set by the factory, hands Reset a fresh fail-cache
+	// view (and with it a fresh block ID), so a reused instance is
+	// indistinguishable from one the factory just built.
+	renew func() failcache.View
+	slope int
+	inv   *bitvec.Vector
 
 	phys, errs *bitvec.Vector
 	excluded   []bool
+	wrong      []bool
+	faults     []failcache.Fault // merged cached + locally discovered, per pass
+	local      []failcache.Fault
+	errPos     []int
 
 	ops scheme.OpStats
 	tr  scheme.Tracer
@@ -82,6 +90,20 @@ func (a *RW) trace(e scheme.TraceEvent) {
 	}
 }
 
+// Reset implements scheme.Resettable.  When the factory installed a
+// renew hook the instance also acquires a fresh fail-cache view, so a
+// finite cache sees a new block ID exactly as it would for a freshly
+// constructed instance.
+func (a *RW) Reset() {
+	if a.renew != nil {
+		a.view = a.renew()
+	}
+	a.slope = 0
+	a.inv.Zero()
+	a.ops = scheme.OpStats{}
+	a.tr = nil
+}
+
 // findSlope returns a slope under which no group mixes W and R faults,
 // searching from the current slope, or ok=false.  wrong[i] is the W/R
 // classification of faults[i] for the data being written.
@@ -120,21 +142,25 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		panic(fmt.Sprintf("aegisrw: write of %d bits into %s scheme", data.Len(), a.layout))
 	}
 	a.ops.Requests++
-	wrong := make([]bool, 0, 32)
-	// Faults seen during this write request, keyed by position.  With a
-	// perfect cache this stays empty; with a finite cache it prevents a
-	// pair of slot-colliding faults from evicting each other between
-	// verification passes forever.
-	var local []failcache.Fault
+	// a.local holds faults seen during this write request, keyed by
+	// position.  With a perfect cache this stays empty; with a finite
+	// cache it prevents a pair of slot-colliding faults from evicting
+	// each other between verification passes forever.
+	a.local = a.local[:0]
 	// A write normally completes in one pass; extra passes happen only
 	// when a cell dies during this very write (or, with a finite
 	// cache, when a fault was evicted and must be rediscovered).
 	for iter := 0; iter <= a.layout.N; iter++ {
-		faults := mergeFaults(a.view.Known(blk), local)
-		wrong = wrong[:0]
+		a.faults = a.view.AppendKnown(blk, a.faults[:0])
+		for _, f := range a.local {
+			a.faults = appendFault(a.faults, f)
+		}
+		faults := a.faults
+		wrong := a.wrong[:0]
 		for _, f := range faults {
 			wrong = append(wrong, f.Val != data.Get(f.Pos))
 		}
+		a.wrong = wrong
 		k, ok := a.findSlope(faults, wrong)
 		if !ok {
 			a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(faults), Cause: scheme.CauseNoSlope})
@@ -158,9 +184,7 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 				a.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: a.inv.PopCount(), Faults: len(faults)})
 			}
 		}
-		for _, y := range a.inv.OnesIndices() {
-			a.phys.Xor(a.phys, a.layout.GroupMask(y, a.slope))
-		}
+		a.layout.XorGroups(a.phys, a.inv, a.slope)
 		blk.WriteRaw(a.phys)
 		a.ops.RawWrites++
 		blk.Verify(a.phys, a.errs)
@@ -172,31 +196,20 @@ func (a *RW) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 			return nil
 		}
-		for _, p := range a.errs.OnesIndices() {
+		a.errPos = a.errs.AppendOnes(a.errPos[:0])
+		for _, p := range a.errPos {
 			f := failcache.Fault{Pos: p, Val: !a.phys.Get(p)}
 			a.view.Record(f)
-			local = appendFault(local, f)
+			a.local = appendFault(a.local, f)
 		}
 	}
-	a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
+	a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(a.local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 
-// mergeFaults unions cached and locally discovered faults, preferring the
-// cached entry on duplicates (the values agree anyway: stuck values never
-// change).
-func mergeFaults(cached, local []failcache.Fault) []failcache.Fault {
-	if len(local) == 0 {
-		return cached
-	}
-	out := append([]failcache.Fault(nil), cached...)
-	for _, f := range local {
-		out = appendFault(out, f)
-	}
-	return out
-}
-
-// appendFault adds f unless a fault at the same position is present.
+// appendFault adds f unless a fault at the same position is present
+// (cached entries win on duplicates; the values agree anyway — stuck
+// values never change).
 func appendFault(s []failcache.Fault, f failcache.Fault) []failcache.Fault {
 	for _, g := range s {
 		if g.Pos == f.Pos {
@@ -209,9 +222,7 @@ func appendFault(s []failcache.Fault, f failcache.Fault) []failcache.Fault {
 // Read implements scheme.Scheme.
 func (a *RW) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
 	dst = blk.Read(dst)
-	for _, y := range a.inv.OnesIndices() {
-		dst.Xor(dst, a.layout.GroupMask(y, a.slope))
-	}
+	a.layout.XorGroups(dst, a.inv, a.slope)
 	return dst
 }
 
@@ -260,8 +271,9 @@ func (f *RWFactory) OverheadBits() int { return f.L.OverheadBits() }
 
 // New implements scheme.Factory.
 func (f *RWFactory) New() scheme.Scheme {
-	id := f.nextID.Add(1) - 1
-	return NewRW(f.L, f.Cache.View(id))
+	s := NewRW(f.L, f.Cache.View(f.nextID.Add(1)-1))
+	s.renew = func() failcache.View { return f.Cache.View(f.nextID.Add(1) - 1) }
+	return s
 }
 
 var _ scheme.Factory = (*RWFactory)(nil)

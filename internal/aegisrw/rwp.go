@@ -26,7 +26,11 @@ import (
 type RWP struct {
 	layout *plane.Layout
 	view   failcache.View
-	p      int
+	// renew, when set by the factory, hands Reset a fresh fail-cache
+	// view (and with it a fresh block ID), so a reused instance is
+	// indistinguishable from one the factory just built.
+	renew func() failcache.View
+	p     int
 
 	slope      int
 	complement bool  // true: pointers list the NOT-inverted groups
@@ -34,6 +38,11 @@ type RWP struct {
 
 	phys, errs, maskBuf *bitvec.Vector
 	excluded            []bool
+	wrong               []bool
+	faults              []failcache.Fault // merged cached + locally discovered, per pass
+	local               []failcache.Fault
+	errPos              []int
+	wGroups, rGroups    []int // distinct W/R group scratch for planSlope
 
 	ops scheme.OpStats
 	tr  scheme.Tracer
@@ -92,6 +101,21 @@ func (a *RWP) trace(e scheme.TraceEvent) {
 	}
 }
 
+// Reset implements scheme.Resettable.  When the factory installed a
+// renew hook the instance also acquires a fresh fail-cache view, so a
+// finite cache sees a new block ID exactly as it would for a freshly
+// constructed instance.
+func (a *RWP) Reset() {
+	if a.renew != nil {
+		a.view = a.renew()
+	}
+	a.slope = 0
+	a.complement = false
+	a.pointers = a.pointers[:0]
+	a.ops = scheme.OpStats{}
+	a.tr = nil
+}
+
 // planSlope finds, starting from the current slope, a slope that (a)
 // separates W from R faults and (b) fits the pointer budget: the groups
 // holding W faults number ≤ P, or the groups holding R faults number
@@ -119,7 +143,7 @@ func (a *RWP) planSlope(faults []failcache.Fault, wrong []bool) (k int, pointers
 			continue
 		}
 		// Count distinct W-groups and R-groups under slope k.
-		var wGroups, rGroups []int
+		wGroups, rGroups := a.wGroups[:0], a.rGroups[:0]
 		for i, f := range faults {
 			g := a.layout.Group(f.Pos, k)
 			if wrong[i] {
@@ -130,6 +154,7 @@ func (a *RWP) planSlope(faults []failcache.Fault, wrong []bool) (k int, pointers
 				rGroups = append(rGroups, g)
 			}
 		}
+		a.wGroups, a.rGroups = wGroups, rGroups
 		if len(wGroups) <= a.p {
 			return k, wGroups, false, true
 		}
@@ -155,7 +180,7 @@ func (a *RWP) invertedMask(k int, pointers []int, complement bool) *bitvec.Vecto
 	mask := a.maskBuf
 	mask.Fill(complement)
 	for _, g := range pointers {
-		mask.Xor(mask, a.layout.GroupMask(g, k))
+		mask.XorInto(a.layout.GroupMask(g, k))
 	}
 	return mask
 }
@@ -166,14 +191,18 @@ func (a *RWP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		panic(fmt.Sprintf("aegisrw: write of %d bits into %s scheme", data.Len(), a.layout))
 	}
 	a.ops.Requests++
-	wrong := make([]bool, 0, 32)
-	var local []failcache.Fault
+	a.local = a.local[:0]
 	for iter := 0; iter <= a.layout.N; iter++ {
-		faults := mergeFaults(a.view.Known(blk), local)
-		wrong = wrong[:0]
+		a.faults = a.view.AppendKnown(blk, a.faults[:0])
+		for _, f := range a.local {
+			a.faults = appendFault(a.faults, f)
+		}
+		faults := a.faults
+		wrong := a.wrong[:0]
 		for _, f := range faults {
 			wrong = append(wrong, f.Val != data.Get(f.Pos))
 		}
+		a.wrong = wrong
 		k, pointers, complement, ok := a.planSlope(faults, wrong)
 		if !ok {
 			// planSlope fails only when every W/R-separating slope
@@ -206,13 +235,14 @@ func (a *RWP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 			return nil
 		}
-		for _, p := range a.errs.OnesIndices() {
+		a.errPos = a.errs.AppendOnes(a.errPos[:0])
+		for _, p := range a.errPos {
 			f := failcache.Fault{Pos: p, Val: !a.phys.Get(p)}
 			a.view.Record(f)
-			local = appendFault(local, f)
+			a.local = appendFault(a.local, f)
 		}
 	}
-	a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
+	a.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(a.local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 
@@ -268,8 +298,9 @@ func (f *RWPFactory) OverheadBits() int {
 
 // New implements scheme.Factory.
 func (f *RWPFactory) New() scheme.Scheme {
-	id := f.nextID.Add(1) - 1
-	return NewRWP(f.L, f.Cache.View(id), f.P)
+	s := NewRWP(f.L, f.Cache.View(f.nextID.Add(1)-1), f.P)
+	s.renew = func() failcache.View { return f.Cache.View(f.nextID.Add(1) - 1) }
+	return s
 }
 
 var _ scheme.Factory = (*RWPFactory)(nil)

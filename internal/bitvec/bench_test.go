@@ -1,0 +1,97 @@
+// Micro-benchmarks for the bit-vector primitives the simulation hot
+// path leans on.  Figure-level regressions (bench_test.go at the repo
+// root) localize here when a primitive slows down or starts allocating:
+//
+//	go test -bench . -benchmem ./internal/bitvec/
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVectors(b *testing.B, n int) (*Vector, *Vector) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return Random(n, rng), Random(n, rng)
+}
+
+func BenchmarkSet512(b *testing.B) {
+	v := New(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Set(i&511, i&1 == 0)
+	}
+}
+
+func BenchmarkGet512(b *testing.B) {
+	v, _ := benchVectors(b, 512)
+	b.ReportAllocs()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = v.Get(i & 511)
+	}
+	_ = sink
+}
+
+func BenchmarkXorInto512(b *testing.B) {
+	v, m := benchVectors(b, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.XorInto(m)
+	}
+}
+
+func BenchmarkAndInto512(b *testing.B) {
+	v, m := benchVectors(b, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.AndInto(m)
+	}
+}
+
+func BenchmarkPopcountAnd512(b *testing.B) {
+	v, m := benchVectors(b, 512)
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += v.PopcountAnd(m)
+	}
+	_ = sink
+}
+
+func BenchmarkAnyAnd512(b *testing.B) {
+	v := New(512)
+	m := New(512)
+	m.Set(511, true) // worst case: scan every word
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.AnyAnd(m)
+	}
+}
+
+func BenchmarkAppendOnes512(b *testing.B) {
+	v, _ := benchVectors(b, 512)
+	buf := make([]int, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = v.AppendOnes(buf[:0])
+	}
+}
+
+func BenchmarkOnesWithin512(b *testing.B) {
+	v, m := benchVectors(b, 512)
+	buf := make([]int, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = v.OnesWithin(m, buf[:0])
+	}
+}
+
+func BenchmarkCopyFrom512(b *testing.B) {
+	v, m := benchVectors(b, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.CopyFrom(m)
+	}
+}

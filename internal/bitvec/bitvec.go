@@ -48,6 +48,16 @@ func Random(n int, rng *rand.Rand) *Vector {
 	return v
 }
 
+// RandomInto refills v with uniformly random bits drawn from rng, word
+// by word in the same order as Random.  It is the allocation-free form
+// of Random for hot loops that reuse a data vector across trials.
+func RandomInto(v *Vector, rng *rand.Rand) {
+	for i := range v.words {
+		v.words[i] = rng.Uint64()
+	}
+	v.maskTail()
+}
+
 // maskTail clears the unused bits of the final word so that PopCount,
 // Equal, and Words stay canonical.
 func (v *Vector) maskTail() {
@@ -183,6 +193,62 @@ func (v *Vector) mustMatch(o *Vector) {
 	}
 }
 
+// XorInto accumulates v ^= m in place.  It is the two-operand form of
+// Xor for hot paths that fold masks into an existing vector.
+func (v *Vector) XorInto(m *Vector) {
+	v.mustMatch(m)
+	for i, w := range m.words {
+		v.words[i] ^= w
+	}
+}
+
+// AndInto accumulates v &= m in place.
+func (v *Vector) AndInto(m *Vector) {
+	v.mustMatch(m)
+	for i, w := range m.words {
+		v.words[i] &= w
+	}
+}
+
+// OrInto accumulates v |= m in place.
+func (v *Vector) OrInto(m *Vector) {
+	v.mustMatch(m)
+	for i, w := range m.words {
+		v.words[i] |= w
+	}
+}
+
+// AndNotInto accumulates v &^= m in place.
+func (v *Vector) AndNotInto(m *Vector) {
+	v.mustMatch(m)
+	for i, w := range m.words {
+		v.words[i] &^= w
+	}
+}
+
+// PopcountAnd returns the number of positions set in both v and m,
+// without materializing the intersection.
+func (v *Vector) PopcountAnd(m *Vector) int {
+	v.mustMatch(m)
+	c := 0
+	for i, w := range m.words {
+		c += bits.OnesCount64(v.words[i] & w)
+	}
+	return c
+}
+
+// AnyAnd reports whether v and m share at least one set position,
+// without materializing the intersection.
+func (v *Vector) AnyAnd(m *Vector) bool {
+	v.mustMatch(m)
+	for i, w := range m.words {
+		if v.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Equal reports whether v and o hold identical bits.
 func (v *Vector) Equal(o *Vector) bool {
 	if v.n != o.n {
@@ -216,16 +282,41 @@ func (v *Vector) Any() bool {
 }
 
 // OnesIndices returns the indices of all set bits in ascending order.
+// It allocates; hot paths should use AppendOnes with a reused buffer.
 func (v *Vector) OnesIndices() []int {
-	out := make([]int, 0, v.PopCount())
+	return v.AppendOnes(make([]int, 0, v.PopCount()))
+}
+
+// AppendOnes appends the indices of all set bits, in ascending order, to
+// buf and returns the extended slice.  Passing a scratch buffer sliced
+// to [:0] makes the scan allocation-free once the buffer has grown to
+// the working popcount.
+func (v *Vector) AppendOnes(buf []int) []int {
 	for wi, w := range v.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi*64+b)
+			buf = append(buf, wi*64+b)
 			w &= w - 1
 		}
 	}
-	return out
+	return buf
+}
+
+// OnesWithin appends the indices of bits set in both v and mask, in
+// ascending order, to buf and returns the extended slice.  It is the
+// scratch-buffer form of AppendOnes restricted to a mask, used by group
+// scans that only care about one group's members.
+func (v *Vector) OnesWithin(mask *Vector, buf []int) []int {
+	v.mustMatch(mask)
+	for wi, w := range v.words {
+		w &= mask.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			buf = append(buf, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return buf
 }
 
 // HammingDistance returns the number of positions where v and o differ.

@@ -1,0 +1,136 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInPlaceOpsMatchThreeOperand pins every *Into accumulator against
+// its three-operand counterpart on random vectors.
+func TestInPlaceOpsMatchThreeOperand(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 61, 64, 127, 512, 513} {
+		for trial := 0; trial < 25; trial++ {
+			a := Random(n, rng)
+			m := Random(n, rng)
+
+			want := New(n)
+			got := a.Clone()
+			want.Xor(a, m)
+			got.XorInto(m)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d XorInto mismatch", n)
+			}
+
+			got = a.Clone()
+			want.And(a, m)
+			got.AndInto(m)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d AndInto mismatch", n)
+			}
+
+			got = a.Clone()
+			want.Or(a, m)
+			got.OrInto(m)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d OrInto mismatch", n)
+			}
+
+			got = a.Clone()
+			want.AndNot(a, m)
+			got.AndNotInto(m)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d AndNotInto mismatch", n)
+			}
+		}
+	}
+}
+
+func TestPopcountAndAnyAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 64, 100, 512} {
+		for trial := 0; trial < 25; trial++ {
+			a := Random(n, rng)
+			m := Random(n, rng)
+			inter := New(n)
+			inter.And(a, m)
+			if got, want := a.PopcountAnd(m), inter.PopCount(); got != want {
+				t.Fatalf("n=%d PopcountAnd = %d, want %d", n, got, want)
+			}
+			if got, want := a.AnyAnd(m), inter.Any(); got != want {
+				t.Fatalf("n=%d AnyAnd = %v, want %v", n, got, want)
+			}
+		}
+	}
+	zero := New(512)
+	if zero.AnyAnd(zero) {
+		t.Fatal("AnyAnd of zero vectors reported true")
+	}
+}
+
+func TestAppendOnesMatchesOnesIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	buf := make([]int, 0, 64)
+	for trial := 0; trial < 50; trial++ {
+		v := Random(257, rng)
+		want := v.OnesIndices()
+		buf = v.AppendOnes(buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("AppendOnes returned %d indices, want %d", len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("AppendOnes[%d] = %d, want %d", i, buf[i], want[i])
+			}
+		}
+	}
+	// The scratch buffer's prefix survives: AppendOnes appends.
+	pre := []int{-1}
+	got := New(8).AppendOnes(pre)
+	if len(got) != 1 || got[0] != -1 {
+		t.Fatalf("AppendOnes clobbered the buffer prefix: %v", got)
+	}
+}
+
+func TestOnesWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var buf []int
+	for trial := 0; trial < 50; trial++ {
+		v := Random(300, rng)
+		mask := Random(300, rng)
+		inter := New(300)
+		inter.And(v, mask)
+		want := inter.OnesIndices()
+		buf = v.OnesWithin(mask, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("OnesWithin returned %d indices, want %d", len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("OnesWithin[%d] = %d, want %d", i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInPlaceOpsLengthMismatchPanics(t *testing.T) {
+	a, b := New(64), New(65)
+	for name, f := range map[string]func(){
+		"XorInto":     func() { a.XorInto(b) },
+		"AndInto":     func() { a.AndInto(b) },
+		"OrInto":      func() { a.OrInto(b) },
+		"AndNotInto":  func() { a.AndNotInto(b) },
+		"PopcountAnd": func() { a.PopcountAnd(b) },
+		"AnyAnd":      func() { a.AnyAnd(b) },
+		"OnesWithin":  func() { a.OnesWithin(b, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on mismatched lengths did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -36,6 +36,7 @@ type Aegis struct {
 	phys, errs *bitvec.Vector
 	faultPos   []int
 	faultVal   []bool
+	errPos     []int
 
 	ops scheme.OpStats
 	tr  scheme.Tracer
@@ -82,13 +83,21 @@ func (a *Aegis) trace(e scheme.TraceEvent) {
 	}
 }
 
+// Reset implements scheme.Resettable: slope 0, empty inversion vector,
+// zeroed counters, no tracer — the state New returns.  Scratch buffers
+// keep their capacity; they carry no information between writes.
+func (a *Aegis) Reset() {
+	a.slope = 0
+	a.inv.Zero()
+	a.ops = scheme.OpStats{}
+	a.tr = nil
+}
+
 // buildPhysical computes the physical image of data under the current
 // slope and inversion vector into a.phys.
 func (a *Aegis) buildPhysical(data *bitvec.Vector) {
 	a.phys.CopyFrom(data)
-	for _, y := range a.inv.OnesIndices() {
-		a.phys.Xor(a.phys, a.layout.GroupMask(y, a.slope))
-	}
+	a.layout.XorGroups(a.phys, a.inv, a.slope)
 }
 
 // Write implements scheme.Scheme.
@@ -128,7 +137,8 @@ func (a *Aegis) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		// physical image; its read-back (stuck) value is the
 		// complement of what we tried to store.
 		grew := false
-		for _, p := range a.errs.OnesIndices() {
+		a.errPos = a.errs.AppendOnes(a.errPos[:0])
+		for _, p := range a.errPos {
 			if a.knownFault(p) {
 				continue
 			}
@@ -186,9 +196,7 @@ func (a *Aegis) knownFault(p int) bool {
 // with the inverted groups flipped back.
 func (a *Aegis) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
 	dst = blk.Read(dst)
-	for _, y := range a.inv.OnesIndices() {
-		dst.Xor(dst, a.layout.GroupMask(y, a.slope))
-	}
+	a.layout.XorGroups(dst, a.inv, a.slope)
 	return dst
 }
 

@@ -77,6 +77,9 @@ func (a *AegisP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 // SetTracer implements scheme.Traceable.
 func (a *AegisP) SetTracer(t scheme.Tracer) { a.inner.SetTracer(t) }
 
+// Reset implements scheme.Resettable.
+func (a *AegisP) Reset() { a.inner.Reset() }
+
 // Read implements scheme.Scheme.
 func (a *AegisP) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
 	return a.inner.Read(blk, dst)

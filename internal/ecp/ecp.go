@@ -32,9 +32,10 @@ type ECP struct {
 	ptrs []int          // failed-cell positions, one per used entry
 	repl *bitvec.Vector // replacement bit per entry (indexed like ptrs)
 
-	errs *bitvec.Vector
-	ops  scheme.OpStats
-	tr   scheme.Tracer
+	errs   *bitvec.Vector
+	errPos []int
+	ops    scheme.OpStats
+	tr     scheme.Tracer
 }
 
 var _ scheme.Scheme = (*ECP)(nil)
@@ -85,6 +86,15 @@ func (e *ECP) OpStats() scheme.OpStats { return e.ops }
 // SetTracer implements scheme.Traceable.
 func (e *ECP) SetTracer(t scheme.Tracer) { e.tr = t }
 
+// Reset implements scheme.Resettable: no entries assigned, zeroed
+// counters, no tracer — the state New returns.
+func (e *ECP) Reset() {
+	e.ptrs = e.ptrs[:0]
+	e.repl.Zero()
+	e.ops = scheme.OpStats{}
+	e.tr = nil
+}
+
 // trace reports a decision event when a tracer is attached.
 func (e *ECP) trace(ev scheme.TraceEvent) {
 	if e.tr != nil {
@@ -114,7 +124,8 @@ func (e *ECP) Write(blk *pcm.Block, data *bitvec.Vector) error {
 	e.ops.RawWrites++
 	blk.Verify(data, e.errs)
 	e.ops.VerifyReads++
-	for _, p := range e.errs.OnesIndices() {
+	e.errPos = e.errs.AppendOnes(e.errPos[:0])
+	for _, p := range e.errPos {
 		if e.entryFor(p) >= 0 {
 			continue
 		}

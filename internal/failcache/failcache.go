@@ -15,19 +15,21 @@ import (
 	"aegis/internal/pcm"
 )
 
-// Fault is one known stuck-at cell.
-type Fault struct {
-	// Pos is the bit offset within the data block.
-	Pos int
-	// Val is the stuck value.
-	Val bool
-}
+// Fault is one known stuck-at cell.  It is an alias of pcm.CellFault so
+// pcm.(*Block).AppendFaults can fill fail-cache scratch buffers without
+// conversion.
+type Fault = pcm.CellFault
 
 // View is a block's window into a fail cache.
 type View interface {
 	// Known returns the faults of blk the cache knows about, in
 	// ascending position order.
 	Known(blk *pcm.Block) []Fault
+	// AppendKnown appends the faults of blk the cache knows about to
+	// buf in ascending position order and returns the extended slice.
+	// It is the allocation-free form of Known for hot paths: callers
+	// pass buf[:0] of a reused scratch slice.
+	AppendKnown(blk *pcm.Block, buf []Fault) []Fault
 	// Record tells the cache about a fault discovered by a
 	// verification read.
 	Record(f Fault)
@@ -56,12 +58,12 @@ type perfectView struct{}
 // Known reads the ground truth from the block itself — the definition of
 // a cache that never misses.
 func (perfectView) Known(blk *pcm.Block) []Fault {
-	positions := blk.Faults()
-	out := make([]Fault, len(positions))
-	for i, p := range positions {
-		out[i] = Fault{Pos: p, Val: blk.StuckValue(p)}
-	}
-	return out
+	return blk.AppendFaults(nil)
+}
+
+// AppendKnown implements View without allocating.
+func (perfectView) AppendKnown(blk *pcm.Block, buf []Fault) []Fault {
+	return blk.AppendFaults(buf)
 }
 
 // Record is a no-op: a perfect cache already knows.
@@ -116,20 +118,27 @@ func (c *DirectMapped) index(blockID uint64, pos int) int {
 type dmView struct {
 	cache   *DirectMapped
 	blockID uint64
+	scratch []Fault // reused ground-truth buffer for AppendKnown
 }
 
 // Known returns the subset of blk's faults currently resident in the
 // cache.  Misses are possible: a fault evicted by another block's insert
 // is unknown until rediscovered.
 func (v *dmView) Known(blk *pcm.Block) []Fault {
-	var out []Fault
-	for _, p := range blk.Faults() {
-		e := v.cache.entries[v.cache.index(v.blockID, p)]
-		if e.valid && e.blockID == v.blockID && e.fault.Pos == p {
-			out = append(out, e.fault)
+	return v.AppendKnown(blk, nil)
+}
+
+// AppendKnown implements View without allocating in steady state (the
+// view-owned ground-truth scratch grows once, then is reused).
+func (v *dmView) AppendKnown(blk *pcm.Block, buf []Fault) []Fault {
+	v.scratch = blk.AppendFaults(v.scratch[:0])
+	for _, f := range v.scratch {
+		e := v.cache.entries[v.cache.index(v.blockID, f.Pos)]
+		if e.valid && e.blockID == v.blockID && e.fault.Pos == f.Pos {
+			buf = append(buf, e.fault)
 		}
 	}
-	return out
+	return buf
 }
 
 // Record inserts the fault, evicting whatever shared its slot.

@@ -51,8 +51,40 @@ type Block struct {
 	// BeginRequest and EndRequest, programming happens logically but
 	// wear is charged once per cell whose final value differs from its
 	// value at request start, and wear-out deaths materialize at
-	// EndRequest.  baseline == nil means immediate (per-pulse) wear.
-	baseline *bitvec.Vector
+	// EndRequest.  The baseline buffer is lazily allocated once and
+	// reused for every request; inRequest tracks whether a request is
+	// open (per-pulse wear otherwise).
+	baseline  *bitvec.Vector
+	inRequest bool
+	// allPositive records that every sampled lifetime was ≥ 1, which is
+	// the common case for endurance distributions.  It licenses the wear
+	// fast path: no cell is immortal (< 0) and no cell can sit at 0
+	// without being stuck, so a decrement hitting 0 is exactly a death.
+	allPositive bool
+
+	// Batched wear (the Monte-Carlo hot path).  Charging pulses one
+	// int32 decrement at a time costs ~4 cycles per pulse; instead,
+	// pulses for each full 64-cell word accumulate into eight uint64
+	// byte-lane counters (wearAcc[wi*8+k] lane j covers cell
+	// wi*64 + 8k + 7-j) and are folded into life lazily.  wearGuard[wi]
+	// bounds how many more wear calls the word can absorb before a cell
+	// could die or a byte lane could overflow: it starts at
+	// min(255, min remaining life) and decrements per call, so while it
+	// stays above 1 no death is possible and the call reduces to eight
+	// multiply-spread adds.  At 1 the word is flushed and that call is
+	// processed exactly, preserving bit-identical death timing.
+	wearAcc   []uint64
+	wearGuard []int32
+}
+
+// CellFault is one stuck cell: its position within the block and the
+// value it is stuck at.  It is the currency of the fail-cache model
+// (failcache.Fault is an alias of this type).
+type CellFault struct {
+	// Pos is the bit offset within the data block.
+	Pos int
+	// Val is the stuck value.
+	Val bool
 }
 
 // NewBlock creates an n-bit block with per-cell lifetimes drawn from d
@@ -61,24 +93,60 @@ func NewBlock(n int, d dist.Lifetime, rng *rand.Rand) *Block {
 	if n <= 0 {
 		panic(fmt.Sprintf("pcm: block size %d must be positive", n))
 	}
+	full := n / 64
 	b := &Block{
-		n:      n,
-		stored: bitvec.New(n),
-		stuck:  bitvec.New(n),
-		life:   make([]int32, n),
+		n:         n,
+		stored:    bitvec.New(n),
+		stuck:     bitvec.New(n),
+		life:      make([]int32, n),
+		wearAcc:   make([]uint64, full*8),
+		wearGuard: make([]int32, full),
 	}
+	b.sampleLifetimes(d, rng)
+	return b
+}
+
+// sampleLifetimes draws one lifetime per cell in ascending cell order.
+// NewBlock and Reset share it so a reset block consumes the RNG stream
+// exactly as a freshly constructed one would.
+func (b *Block) sampleLifetimes(d dist.Lifetime, rng *rand.Rand) {
+	b.allPositive = true
 	for i := range b.life {
 		v := d.Sample(rng)
 		switch {
 		case v < 0:
 			b.life[i] = -1
+			b.allPositive = false
 		case v > 1<<31-1:
 			b.life[i] = 1<<31 - 1
 		default:
 			b.life[i] = int32(v)
+			if b.life[i] == 0 {
+				b.allPositive = false
+			}
 		}
 	}
-	return b
+	for i := range b.wearAcc {
+		b.wearAcc[i] = 0
+	}
+	for wi := range b.wearGuard {
+		b.recomputeGuard(wi)
+	}
+}
+
+// Reset returns the block to the state NewBlock(b.Size(), d, rng) would
+// produce — all cells storing 0, no stuck cells, zeroed counters, and
+// fresh lifetimes drawn from d in the same per-cell order as NewBlock —
+// without allocating.  Simulation workers reuse one block per goroutine
+// across Monte-Carlo trials.  Resetting inside an open request panics.
+func (b *Block) Reset(d dist.Lifetime, rng *rand.Rand) {
+	if b.inRequest {
+		panic("pcm: Reset inside an open request")
+	}
+	b.stored.Zero()
+	b.stuck.Zero()
+	b.stats = Stats{}
+	b.sampleLifetimes(d, rng)
 }
 
 // NewImmortalBlock creates a block whose cells never wear out; faults can
@@ -123,7 +191,7 @@ func (b *Block) WriteRaw(data *bitvec.Vector) int {
 	sw := b.stored.Words()
 	kw := b.stuck.Words()
 	dw := data.Words()
-	deferred := b.baseline != nil
+	deferred := b.inRequest
 	for wi := range sw {
 		// Cells that differ and are not stuck get written.
 		writable := (sw[wi] ^ dw[wi]) &^ kw[wi]
@@ -136,30 +204,126 @@ func (b *Block) WriteRaw(data *bitvec.Vector) int {
 		if deferred {
 			continue // wear settles at EndRequest
 		}
-		// Wear each written cell.
-		w := writable
-		for w != 0 {
-			bit := bits.TrailingZeros64(w)
-			w &= w - 1
-			b.wearCell(wi, bit)
-		}
+		kw[wi] |= b.wearWord(wi, writable)
 	}
 	b.stats.BitWrites += int64(pulses)
 	return pulses
 }
 
-// wearCell charges one programming pulse to cell (wi*64 + bit), marking
-// it stuck at its current stored value when the budget runs out.
-func (b *Block) wearCell(wi, bit int) {
-	idx := wi*64 + bit
-	if b.life[idx] < 0 {
-		return // immortal
+// spread8 distributes the low 8 bits of c across the byte lanes of a
+// uint64: lane k holds bit 7-k of c.  The multiply places bit j of c at
+// bit 63-8j (the partial products 2^(9i+j) never collide for distinct
+// j, so no carries occur), the shift and mask isolate the lane LSBs.
+func spread8(c uint64) uint64 {
+	return (c & 0xff) * 0x8040201008040201 >> 7 & 0x0101010101010101
+}
+
+// wearWord charges one programming pulse to every cell set in w (the
+// word at index wi), returning the mask of cells whose budget ran out.
+// The caller ORs the result into the stuck word.  This is the hot path
+// of every Monte-Carlo figure; see the wearAcc/wearGuard comment on
+// Block for the batching scheme.  Partial tail words and blocks with
+// immortal or zero-lifetime cells take the exact per-cell path.
+func (b *Block) wearWord(wi int, w uint64) uint64 {
+	base := wi * 64
+	if b.allPositive && base+64 <= len(b.life) {
+		if g := b.wearGuard[wi]; g > 1 {
+			// No cell in this word can die for another g-1 calls and
+			// no byte lane can overflow, so the pulses just accumulate.
+			b.wearGuard[wi] = g - 1
+			acc := b.wearAcc[wi*8 : wi*8+8 : wi*8+8]
+			acc[0] += spread8(w)
+			acc[1] += spread8(w >> 8)
+			acc[2] += spread8(w >> 16)
+			acc[3] += spread8(w >> 24)
+			acc[4] += spread8(w >> 32)
+			acc[5] += spread8(w >> 40)
+			acc[6] += spread8(w >> 48)
+			acc[7] += spread8(w >> 56)
+			return 0
+		}
+		b.flushWearWord(wi)
+		life := b.life[base : base+64 : base+64]
+		var died uint64
+		for w != 0 {
+			bit := bits.TrailingZeros64(w) & 63
+			w &= w - 1
+			l := life[bit] - 1
+			life[bit] = l
+			if l == 0 {
+				died |= 1 << uint(bit)
+			}
+		}
+		b.recomputeGuard(wi)
+		if died != 0 {
+			b.stats.NewFaults += int64(bits.OnesCount64(died))
+		}
+		return died
 	}
-	b.life[idx]--
-	if b.life[idx] == 0 {
-		b.stuck.Words()[wi] |= 1 << uint(bit)
-		b.stats.NewFaults++
+	life := b.life
+	var died uint64
+	for w != 0 {
+		bit := bits.TrailingZeros64(w)
+		w &= w - 1
+		l := life[base+bit]
+		if l < 0 {
+			continue // immortal
+		}
+		l--
+		life[base+bit] = l
+		if l == 0 {
+			died |= 1 << uint(bit)
+		}
 	}
+	if died != 0 {
+		b.stats.NewFaults += int64(bits.OnesCount64(died))
+	}
+	return died
+}
+
+// flushWearWord folds word wi's accumulated pulse counts into the
+// per-cell lifetimes.  The guard invariant guarantees none of the
+// flushed pulses could have killed a cell.
+func (b *Block) flushWearWord(wi int) {
+	acc := b.wearAcc[wi*8 : wi*8+8 : wi*8+8]
+	life := b.life[wi*64 : wi*64+64 : wi*64+64]
+	for bi, a := range acc {
+		if a == 0 {
+			continue
+		}
+		acc[bi] = 0
+		base := bi * 8
+		for k := 7; a != 0; k-- {
+			if d := int32(a & 0xff); d != 0 {
+				life[base+k] -= d
+			}
+			a >>= 8
+		}
+	}
+}
+
+// flushWear settles every pending batched pulse so that b.life holds
+// exact values.  Accessors that expose lifetimes call it first.
+func (b *Block) flushWear() {
+	for wi := range b.wearGuard {
+		b.flushWearWord(wi)
+	}
+}
+
+// recomputeGuard re-arms word wi's wear guard from its current
+// lifetimes: the number of calls the word can absorb before the
+// shortest-lived healthy cell could die, capped at the byte-lane
+// capacity.  Cells at 0 are dead (stuck masks keep them out of future
+// wear words), negative cells cannot occur on the allPositive path.
+func (b *Block) recomputeGuard(wi int) {
+	life := b.life[wi*64 : wi*64+64 : wi*64+64]
+	g := int32(255)
+	for _, l := range life {
+		if l > 0 && l < g {
+			g = l
+		}
+	}
+	b.wearGuard[wi] = g
 }
 
 // BeginRequest switches the block into request-scoped wear until the
@@ -171,10 +335,15 @@ func (b *Block) wearCell(wi, bit int) {
 // scheme's internal verify-and-rewrite iterations count as part of one
 // write request.  Nested BeginRequest calls panic.
 func (b *Block) BeginRequest() {
-	if b.baseline != nil {
+	if b.inRequest {
 		panic("pcm: nested BeginRequest")
 	}
-	b.baseline = b.stored.Clone()
+	b.inRequest = true
+	if b.baseline == nil {
+		b.baseline = b.stored.Clone()
+	} else {
+		b.baseline.CopyFrom(b.stored)
+	}
 }
 
 // EndRequest settles a request-scoped write: every non-stuck cell whose
@@ -183,7 +352,7 @@ func (b *Block) BeginRequest() {
 // block returns to immediate wear.  It returns the number of pulses
 // charged.
 func (b *Block) EndRequest() int {
-	if b.baseline == nil {
+	if !b.inRequest {
 		panic("pcm: EndRequest without BeginRequest")
 	}
 	sw := b.stored.Words()
@@ -196,19 +365,14 @@ func (b *Block) EndRequest() int {
 			continue
 		}
 		pulses += bits.OnesCount64(changed)
-		w := changed
-		for w != 0 {
-			bit := bits.TrailingZeros64(w)
-			w &= w - 1
-			b.wearCell(wi, bit)
-		}
+		kw[wi] |= b.wearWord(wi, changed)
 	}
-	b.baseline = nil
+	b.inRequest = false
 	return pulses
 }
 
 // InRequest reports whether a request-scoped write is open.
-func (b *Block) InRequest() bool { return b.baseline != nil }
+func (b *Block) InRequest() bool { return b.inRequest }
 
 // Verify compares the block contents against intended and returns the
 // mask of mismatching cells (allocating when dst is nil).  After a
@@ -240,6 +404,25 @@ func (b *Block) FaultCount() int { return b.stuck.PopCount() }
 // Faults returns the positions of all stuck cells in ascending order.
 func (b *Block) Faults() []int { return b.stuck.OnesIndices() }
 
+// AppendFaults appends every stuck cell (position and stuck value) to
+// buf in ascending position order and returns the extended slice.  It
+// is the allocation-free form of Faults+StuckValue for hot paths:
+// callers pass buf[:0] of a reused scratch slice.
+func (b *Block) AppendFaults(buf []CellFault) []CellFault {
+	sw := b.stored.Words()
+	for wi, w := range b.stuck.Words() {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &= w - 1
+			buf = append(buf, CellFault{
+				Pos: wi*64 + bit,
+				Val: sw[wi]&(1<<uint(bit)) != 0,
+			})
+		}
+	}
+	return buf
+}
+
 // StuckMask returns a copy of the stuck-cell mask.
 func (b *Block) StuckMask(dst *bitvec.Vector) *bitvec.Vector {
 	if dst == nil {
@@ -255,6 +438,7 @@ func (b *Block) InjectFault(i int, v bool) {
 	if i < 0 || i >= b.n {
 		panic(fmt.Sprintf("pcm: InjectFault index %d out of range", i))
 	}
+	b.flushWear()
 	if !b.stuck.Get(i) {
 		b.stats.NewFaults++
 	}
@@ -265,12 +449,16 @@ func (b *Block) InjectFault(i int, v bool) {
 
 // RemainingLife returns cell i's remaining endurance budget (-1 when the
 // cell is immortal).  Exposed for tests and wear analyses.
-func (b *Block) RemainingLife(i int) int32 { return b.life[i] }
+func (b *Block) RemainingLife(i int) int32 {
+	b.flushWear()
+	return b.life[i]
+}
 
 // MinRemainingLife returns the smallest remaining endurance across healthy
 // cells, or -1 if every cell is stuck or immortal.  Device simulations use
 // it to fast-forward over write intervals in which no new fault can occur.
 func (b *Block) MinRemainingLife() int32 {
+	b.flushWear()
 	min := int32(-1)
 	for i, l := range b.life {
 		if l <= 0 || b.stuck.Get(i) {

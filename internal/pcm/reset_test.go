@@ -1,0 +1,142 @@
+package pcm
+
+import (
+	"math/rand"
+	"testing"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/dist"
+)
+
+// TestResetMatchesNewBlock drives a reused block and a fresh block
+// through identical trial sequences and requires bit-identical state:
+// same lifetimes, same stored contents, same stuck cells, same stats.
+// This is the contract that lets simulation workers reuse one block
+// across Monte-Carlo trials.
+func TestResetMatchesNewBlock(t *testing.T) {
+	const n = 256
+	d := dist.Normal{MeanLife: 40, CoV: 0.25}
+	reused := NewBlock(n, d, rand.New(rand.NewSource(99)))
+
+	data := bitvec.New(n)
+	for trial := 0; trial < 8; trial++ {
+		seed := int64(1000 + trial)
+		fresh := NewBlock(n, d, rand.New(rand.NewSource(seed)))
+		if trial > 0 {
+			reused.Reset(d, rand.New(rand.NewSource(seed)))
+		} else {
+			reused = NewBlock(n, d, rand.New(rand.NewSource(seed)))
+		}
+
+		wrng := rand.New(rand.NewSource(seed * 7))
+		for w := 0; w < 200; w++ {
+			bitvec.RandomInto(data, wrng)
+			useReq := w%3 == 0
+			if useReq {
+				fresh.BeginRequest()
+				reused.BeginRequest()
+			}
+			pf := fresh.WriteRaw(data)
+			pr := reused.WriteRaw(data)
+			if pf != pr {
+				t.Fatalf("trial %d write %d: pulses fresh=%d reused=%d", trial, w, pf, pr)
+			}
+			if useReq {
+				if ef, er := fresh.EndRequest(), reused.EndRequest(); ef != er {
+					t.Fatalf("trial %d write %d: EndRequest fresh=%d reused=%d", trial, w, ef, er)
+				}
+			}
+		}
+
+		if fresh.Stats() != reused.Stats() {
+			t.Fatalf("trial %d: stats diverged: fresh=%+v reused=%+v", trial, fresh.Stats(), reused.Stats())
+		}
+		if !fresh.Read(nil).Equal(reused.Read(nil)) {
+			t.Fatalf("trial %d: stored contents diverged", trial)
+		}
+		if !fresh.StuckMask(nil).Equal(reused.StuckMask(nil)) {
+			t.Fatalf("trial %d: stuck masks diverged", trial)
+		}
+		for i := 0; i < n; i++ {
+			if fresh.RemainingLife(i) != reused.RemainingLife(i) {
+				t.Fatalf("trial %d: cell %d life fresh=%d reused=%d",
+					trial, i, fresh.RemainingLife(i), reused.RemainingLife(i))
+			}
+		}
+	}
+}
+
+// TestResetConsumesSameRNGStream pins that Reset draws from the RNG in
+// the exact order NewBlock does, so a shared RNG stays in sync whichever
+// path a worker takes.
+func TestResetConsumesSameRNGStream(t *testing.T) {
+	d := dist.Normal{MeanLife: 1e6, CoV: 0.1}
+	a := rand.New(rand.NewSource(5))
+	b := rand.New(rand.NewSource(5))
+
+	_ = NewBlock(128, d, a)
+	blk := NewImmortalBlock(128)
+	blk.Reset(d, b)
+
+	if ga, gb := a.Int63(), b.Int63(); ga != gb {
+		t.Fatalf("RNG streams diverged after NewBlock vs Reset: %d != %d", ga, gb)
+	}
+}
+
+func TestResetInsideRequestPanics(t *testing.T) {
+	blk := NewImmortalBlock(64)
+	blk.BeginRequest()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset inside an open request did not panic")
+		}
+	}()
+	blk.Reset(dist.Immortal{}, nil)
+}
+
+func TestBeginRequestReusesBaseline(t *testing.T) {
+	blk := NewImmortalBlock(64)
+	data := bitvec.New(64)
+	for r := 0; r < 3; r++ {
+		blk.BeginRequest()
+		data.Set(r, true)
+		blk.WriteRaw(data)
+		if got := blk.EndRequest(); got != 1 {
+			t.Fatalf("request %d: charged %d pulses, want 1", r, got)
+		}
+		if blk.InRequest() {
+			t.Fatalf("request %d: still in request after EndRequest", r)
+		}
+	}
+}
+
+func TestAppendFaults(t *testing.T) {
+	blk := NewImmortalBlock(130)
+	blk.InjectFault(3, true)
+	blk.InjectFault(64, false)
+	blk.InjectFault(129, true)
+
+	var buf [8]CellFault
+	got := blk.AppendFaults(buf[:0])
+	want := []CellFault{{Pos: 3, Val: true}, {Pos: 64, Val: false}, {Pos: 129, Val: true}}
+	if len(got) != len(want) {
+		t.Fatalf("AppendFaults returned %d faults, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendFaults[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Appends after an existing prefix, matching Faults+StuckValue.
+	pre := blk.AppendFaults([]CellFault{{Pos: -1}})
+	if len(pre) != 4 || pre[0].Pos != -1 {
+		t.Fatalf("AppendFaults clobbered the buffer prefix: %+v", pre)
+	}
+	positions := blk.Faults()
+	for i, f := range pre[1:] {
+		if f.Pos != positions[i] || f.Val != blk.StuckValue(f.Pos) {
+			t.Fatalf("AppendFaults disagrees with Faults/StuckValue at %d: %+v", i, f)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks for the partition-plane lookups on the write hot
+// path: bit→group arithmetic, group-mask ROM reads, and the word-level
+// inversion-vector fold.  Figure-level regressions localize here when a
+// lookup slows down or starts allocating:
+//
+//	go test -bench . -benchmem ./internal/plane/
+package plane
+
+import (
+	"math/rand"
+	"testing"
+
+	"aegis/internal/bitvec"
+)
+
+func BenchmarkGroup9x61(b *testing.B) {
+	l := MustLayout(512, 61)
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += l.Group(i&511, i%61)
+	}
+	_ = sink
+}
+
+func BenchmarkGroupMask9x61(b *testing.B) {
+	l := MustLayout(512, 61)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.GroupMask(i%61, (i+7)%61)
+	}
+}
+
+func BenchmarkXorGroups9x61(b *testing.B) {
+	l := MustLayout(512, 61)
+	rng := rand.New(rand.NewSource(1))
+	dst := bitvec.Random(512, rng)
+	groups := bitvec.New(61)
+	for g := 0; g < 61; g += 7 {
+		groups.Set(g, true)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.XorGroups(dst, groups, i%61)
+	}
+}
+
+func BenchmarkFindCollisionFree9x61(b *testing.B) {
+	l := MustLayout(512, 61)
+	rng := rand.New(rand.NewSource(2))
+	faults := rng.Perm(512)[:6]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := l.FindCollisionFree(faults, i%61); !ok {
+			b.Fatal("no collision-free slope for 6 faults in 9x61")
+		}
+	}
+}
+
+func BenchmarkCollidingSlope9x61(b *testing.B) {
+	l := MustLayout(512, 61)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.CollidingSlope(i&511, (i+61)&511)
+	}
+}
+
+func TestXorGroupsMatchesMaskLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, cfg := range []struct{ n, b int }{{512, 61}, {512, 31}, {256, 23}, {40, 7}} {
+		l := MustLayout(cfg.n, cfg.b)
+		for trial := 0; trial < 20; trial++ {
+			groups := bitvec.Random(l.B, rng)
+			k := rng.Intn(l.B)
+			data := bitvec.Random(l.N, rng)
+
+			want := data.Clone()
+			for _, y := range groups.OnesIndices() {
+				want.Xor(want, l.GroupMask(y, k))
+			}
+			got := data.Clone()
+			l.XorGroups(got, groups, k)
+			if !got.Equal(want) {
+				t.Fatalf("%s slope %d: XorGroups disagrees with per-group loop", l, k)
+			}
+		}
+	}
+}
+
+func TestNewLayoutCached(t *testing.T) {
+	a := MustLayout(512, 61)
+	b := MustLayout(512, 61)
+	if a != b {
+		t.Fatal("NewLayout(512, 61) returned distinct instances; expected the shared cached layout")
+	}
+	if c := MustLayout(256, 23); c == a {
+		t.Fatal("distinct configurations share a layout instance")
+	}
+}

@@ -27,6 +27,8 @@ package plane
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/prime"
@@ -49,9 +51,21 @@ type Layout struct {
 	groupMasks [][]*bitvec.Vector
 }
 
-// NewLayout constructs the A×B layout protecting an n-bit block, with
+// layoutCache shares constructed layouts across calls: the ROM tables
+// are immutable after construction (the hardware analogy is literal —
+// they are mask ROMs), so every factory protecting the same (n, B)
+// configuration can use one copy.  Before this cache each experiment
+// run rebuilt B² masks per roster entry, which dominated one-time
+// allocation in steady-state heap profiles.
+var layoutCache sync.Map // layoutKey -> *Layout
+
+type layoutKey struct{ n, b int }
+
+// NewLayout returns the A×B layout protecting an n-bit block, with
 // A = ⌈n/B⌉.  It returns an error unless B is prime, A ≤ B, and the
 // rectangle is large enough ((A−1)·B < n ≤ A·B holds by construction).
+// Layouts are immutable and cached: repeated calls with the same (n, B)
+// return the same shared instance.
 func NewLayout(n, b int) (*Layout, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("plane: block size %d must be positive", n)
@@ -62,6 +76,9 @@ func NewLayout(n, b int) (*Layout, error) {
 	a := (n + b - 1) / b
 	if a > b {
 		return nil, fmt.Errorf("plane: A = ⌈%d/%d⌉ = %d exceeds B = %d (Theorem 2 requires A ≤ B)", n, b, a, b)
+	}
+	if cached, ok := layoutCache.Load(layoutKey{n, b}); ok {
+		return cached.(*Layout), nil
 	}
 	l := &Layout{N: n, A: a, B: b}
 	l.groupMasks = make([][]*bitvec.Vector, b)
@@ -75,7 +92,10 @@ func NewLayout(n, b int) (*Layout, error) {
 			l.groupMasks[k][y] = m
 		}
 	}
-	return l, nil
+	// A racing constructor may have stored first; keep whichever won so
+	// all callers share one instance.
+	actual, _ := layoutCache.LoadOrStore(layoutKey{n, b}, l)
+	return actual.(*Layout), nil
 }
 
 // MustLayout is NewLayout that panics on error, for configurations that
@@ -181,6 +201,26 @@ func (l *Layout) GroupMask(y, k int) *bitvec.Vector {
 		panic(fmt.Sprintf("plane: group %d out of range [0,%d)", y, l.B))
 	}
 	return l.groupMasks[k][y]
+}
+
+// XorGroups folds the member masks of every group whose bit is set in
+// groups (a B-bit vector) into dst under slope k: dst ^= ⊕ mask(y, k).
+// This is the word-level form of the per-group GroupMask loop the
+// schemes' write paths used to run — one call applies a whole inversion
+// vector without allocating or materializing index slices.
+func (l *Layout) XorGroups(dst *bitvec.Vector, groups *bitvec.Vector, k int) {
+	l.checkSlope(k)
+	if groups.Len() != l.B {
+		panic(fmt.Sprintf("plane: group vector of %d bits, want B = %d", groups.Len(), l.B))
+	}
+	masks := l.groupMasks[k]
+	for wi, w := range groups.Words() {
+		for w != 0 {
+			y := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			dst.XorInto(masks[y])
+		}
+	}
 }
 
 // CollidingSlope returns the unique slope under which distinct bits x1 and

@@ -39,9 +39,20 @@ import (
 type RDIS struct {
 	n, rows, cols, depth int
 	view                 failcache.View
+	// renew, when set by the factory, hands Reset a fresh fail-cache
+	// view (and with it a fresh block ID), so a reused instance is
+	// indistinguishable from one the factory just built.
+	renew func() failcache.View
 
 	parity     *bitvec.Vector // inversion mask of the last successful write
 	phys, errs *bitvec.Vector
+
+	// Row/column membership scratch for computeParity's level recursion.
+	prevRow, curRow []bool
+	prevCol, curCol []bool
+	faults          []failcache.Fault // merged cached + locally discovered, per pass
+	local           []failcache.Fault
+	errPos          []int
 
 	ops scheme.OpStats
 	tr  scheme.Tracer
@@ -60,10 +71,14 @@ func New(n, rows, cols, depth int, view failcache.View) (*RDIS, error) {
 	}
 	return &RDIS{
 		n: n, rows: rows, cols: cols, depth: depth,
-		view:   view,
-		parity: bitvec.New(n),
-		phys:   bitvec.New(n),
-		errs:   bitvec.New(n),
+		view:    view,
+		parity:  bitvec.New(n),
+		phys:    bitvec.New(n),
+		errs:    bitvec.New(n),
+		prevRow: make([]bool, rows),
+		curRow:  make([]bool, rows),
+		prevCol: make([]bool, cols),
+		curCol:  make([]bool, cols),
 	}, nil
 }
 
@@ -81,6 +96,19 @@ func (r *RDIS) OpStats() scheme.OpStats { return r.ops }
 
 // SetTracer implements scheme.Traceable.
 func (r *RDIS) SetTracer(t scheme.Tracer) { r.tr = t }
+
+// Reset implements scheme.Resettable.  When the factory installed a
+// renew hook the instance also acquires a fresh fail-cache view, so a
+// finite cache sees a new block ID exactly as it would for a freshly
+// constructed instance.
+func (r *RDIS) Reset() {
+	if r.renew != nil {
+		r.view = r.renew()
+	}
+	r.parity.Zero()
+	r.ops = scheme.OpStats{}
+	r.tr = nil
+}
 
 // trace reports a decision event when a tracer is attached.
 func (r *RDIS) trace(e scheme.TraceEvent) {
@@ -101,17 +129,16 @@ func (r *RDIS) computeParity(faults []failcache.Fault, data *bitvec.Vector, pari
 		return true
 	}
 	// The level-i set is a product Rᵢ×Cᵢ with Rᵢ ⊆ Rᵢ₋₁, Cᵢ ⊆ Cᵢ₋₁, so
-	// membership of the previous level reduces to two boolean slices.
-	prevRow := make([]bool, r.rows)
-	prevCol := make([]bool, r.cols)
+	// membership of the previous level reduces to two boolean slices
+	// (instance-owned scratch, reused across writes).
+	prevRow, prevCol := r.prevRow, r.prevCol
+	curRow, curCol := r.curRow, r.curCol
 	for i := range prevRow {
 		prevRow[i] = true
 	}
 	for i := range prevCol {
 		prevCol[i] = true
 	}
-	curRow := make([]bool, r.rows)
-	curCol := make([]bool, r.cols)
 
 	for level := 1; level <= r.depth; level++ {
 		// A fault is wrong at this level if it is inside the previous
@@ -141,17 +168,7 @@ func (r *RDIS) computeParity(faults []failcache.Fault, data *bitvec.Vector, pari
 		if !any {
 			return true // all stuck cells agree; parity is final
 		}
-		// Flip the parity of every cell in curRow×curCol.
-		for row := 0; row < r.rows; row++ {
-			if !curRow[row] {
-				continue
-			}
-			for col := 0; col < r.cols; col++ {
-				if curCol[col] {
-					parity.Flip(r.cellOf(row, col))
-				}
-			}
-		}
+		r.flipSet(parity, curRow, curCol)
 		copy(prevRow, curRow)
 		copy(prevCol, curCol)
 	}
@@ -164,15 +181,57 @@ func (r *RDIS) computeParity(faults []failcache.Fault, data *bitvec.Vector, pari
 	return true
 }
 
+// flipSet flips the parity of every cell in curRow×curCol.  Rows are
+// contiguous in the row-major layout, so when a row fits in a word the
+// selected columns collapse to one bit pattern spliced into the parity
+// words per selected row; wider rows fall back to per-cell flips.
+func (r *RDIS) flipSet(parity *bitvec.Vector, curRow, curCol []bool) {
+	if r.cols > 64 {
+		for row := 0; row < r.rows; row++ {
+			if !curRow[row] {
+				continue
+			}
+			for col := 0; col < r.cols; col++ {
+				if curCol[col] {
+					parity.Flip(r.cellOf(row, col))
+				}
+			}
+		}
+		return
+	}
+	var pattern uint64
+	for col, on := range curCol {
+		if on {
+			pattern |= 1 << uint(col)
+		}
+	}
+	words := parity.Words()
+	for row := 0; row < r.rows; row++ {
+		if !curRow[row] {
+			continue
+		}
+		off := row * r.cols
+		wi, sh := off/64, uint(off%64)
+		words[wi] ^= pattern << sh
+		if int(sh)+r.cols > 64 {
+			words[wi+1] ^= pattern >> (64 - sh)
+		}
+	}
+}
+
 // Write implements scheme.Scheme.
 func (r *RDIS) Write(blk *pcm.Block, data *bitvec.Vector) error {
 	if data.Len() != r.n {
 		panic(fmt.Sprintf("rdis: write of %d bits into %d-bit scheme", data.Len(), r.n))
 	}
 	r.ops.Requests++
-	var local []failcache.Fault
+	r.local = r.local[:0]
 	for iter := 0; iter <= r.n; iter++ {
-		faults := mergeFaults(r.view.Known(blk), local)
+		r.faults = r.view.AppendKnown(blk, r.faults[:0])
+		for _, f := range r.local {
+			r.faults = appendFault(r.faults, f)
+		}
+		faults := r.faults
 		if !r.computeParity(faults, data, r.parity) {
 			r.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(faults), Cause: scheme.CauseDepthExhausted})
 			return scheme.ErrUnrecoverable
@@ -196,13 +255,14 @@ func (r *RDIS) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 			return nil
 		}
-		for _, p := range r.errs.OnesIndices() {
+		r.errPos = r.errs.AppendOnes(r.errPos[:0])
+		for _, p := range r.errPos {
 			f := failcache.Fault{Pos: p, Val: !r.phys.Get(p)}
 			r.view.Record(f)
-			local = appendFault(local, f)
+			r.local = appendFault(r.local, f)
 		}
 	}
-	r.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
+	r.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(r.local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 
@@ -213,17 +273,9 @@ func (r *RDIS) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
 	return dst
 }
 
-func mergeFaults(cached, local []failcache.Fault) []failcache.Fault {
-	if len(local) == 0 {
-		return cached
-	}
-	out := append([]failcache.Fault(nil), cached...)
-	for _, f := range local {
-		out = appendFault(out, f)
-	}
-	return out
-}
-
+// appendFault adds f unless a fault at the same position is present
+// (cached entries win on duplicates; the values agree anyway — stuck
+// values never change).
 func appendFault(s []failcache.Fault, f failcache.Fault) []failcache.Fault {
 	for _, g := range s {
 		if g.Pos == f.Pos {
@@ -280,11 +332,11 @@ func (f *Factory) OverheadBits() int { return OverheadBits(f.Rows, f.Cols) }
 
 // New implements scheme.Factory.
 func (f *Factory) New() scheme.Scheme {
-	id := f.nextID.Add(1) - 1
-	r, err := New(f.N, f.Rows, f.Cols, f.Depth, f.Cache.View(id))
+	r, err := New(f.N, f.Rows, f.Cols, f.Depth, f.Cache.View(f.nextID.Add(1)-1))
 	if err != nil {
 		panic(err)
 	}
+	r.renew = func() failcache.View { return f.Cache.View(f.nextID.Add(1) - 1) }
 	return r
 }
 

@@ -26,13 +26,23 @@ type Cached struct {
 	addrBits int
 	m        int
 	view     failcache.View
+	// renew, when set by the factory, hands Reset a fresh fail-cache
+	// view (and with it a fresh block ID), so a reused instance is
+	// indistinguishable from one the factory just built.
+	renew func() failcache.View
 
-	fields []int
-	inv    *bitvec.Vector
-	masks  []*bitvec.Vector
+	fields     []int
+	inv        *bitvec.Vector
+	masks      []*bitvec.Vector // allocated once, refilled per field change
+	masksBuilt bool             // false until masks match the current fields
 
 	phys, errs *bitvec.Vector
 	subset     []int
+	wrong      []bool
+	faults     []failcache.Fault // merged cached + locally discovered, per pass
+	local      []failcache.Fault
+	errPos     []int
+	invGroups  []int
 
 	ops scheme.OpStats
 	tr  scheme.Tracer
@@ -76,6 +86,21 @@ func (c *Cached) OpStats() scheme.OpStats { return c.ops }
 
 // SetTracer implements scheme.Traceable.
 func (c *Cached) SetTracer(t scheme.Tracer) { c.tr = t }
+
+// Reset implements scheme.Resettable.  When the factory installed a
+// renew hook the instance also acquires a fresh fail-cache view, so a
+// finite cache sees a new block ID exactly as it would for a freshly
+// constructed instance.
+func (c *Cached) Reset() {
+	if c.renew != nil {
+		c.view = c.renew()
+	}
+	c.fields = c.fields[:0]
+	c.inv.Zero()
+	c.masksBuilt = false
+	c.ops = scheme.OpStats{}
+	c.tr = nil
+}
 
 // trace reports a decision event when a tracer is attached.
 func (c *Cached) trace(e scheme.TraceEvent) {
@@ -164,12 +189,13 @@ func (c *Cached) rebuildMasks() {
 			c.masks[g] = bitvec.New(c.n)
 		}
 	}
-	for _, m := range c.masks {
+	// Fewer selected fields than the budget leave the tail groups empty.
+	populated := 1 << uint(len(c.fields))
+	buildGroupMasks(c.masks[:populated], c.fields, c.n)
+	for _, m := range c.masks[populated:] {
 		m.Zero()
 	}
-	for x := 0; x < c.n; x++ {
-		c.masks[c.group(x, c.fields)].Set(x, true)
-	}
+	c.masksBuilt = true
 }
 
 // Write implements scheme.Scheme.
@@ -178,14 +204,18 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 		panic(fmt.Sprintf("safer: write of %d bits into %d-bit scheme", data.Len(), c.n))
 	}
 	c.ops.Requests++
-	var local []failcache.Fault
-	wrong := make([]bool, 0, 32)
+	c.local = c.local[:0]
 	for iter := 0; iter <= c.n; iter++ {
-		faults := mergeFaults(c.view.Known(blk), local)
-		wrong = wrong[:0]
+		c.faults = c.view.AppendKnown(blk, c.faults[:0])
+		for _, f := range c.local {
+			c.faults = appendFault(c.faults, f)
+		}
+		faults := c.faults
+		wrong := c.wrong[:0]
 		for _, f := range faults {
 			wrong = append(wrong, f.Val != data.Get(f.Pos))
 		}
+		c.wrong = wrong
 		fields, ok := c.selectFields(faults, wrong)
 		if !ok {
 			c.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(faults), Cause: scheme.CauseNoFieldSet})
@@ -202,7 +232,7 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 			c.fields = append(c.fields[:0], fields...)
 			c.rebuildMasks()
-		} else if c.masks == nil {
+		} else if !c.masksBuilt {
 			c.rebuildMasks()
 		}
 		c.inv.Zero()
@@ -218,8 +248,9 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 				c.trace(scheme.TraceEvent{Kind: scheme.TraceInversion, Groups: c.inv.PopCount(), Faults: len(faults)})
 			}
 		}
-		for _, g := range c.inv.OnesIndices() {
-			c.phys.Xor(c.phys, c.masks[g])
+		c.invGroups = c.inv.AppendOnes(c.invGroups[:0])
+		for _, g := range c.invGroups {
+			c.phys.XorInto(c.masks[g])
 		}
 		blk.WriteRaw(c.phys)
 		c.ops.RawWrites++
@@ -232,13 +263,14 @@ func (c *Cached) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			}
 			return nil
 		}
-		for _, p := range c.errs.OnesIndices() {
+		c.errPos = c.errs.AppendOnes(c.errPos[:0])
+		for _, p := range c.errPos {
 			f := failcache.Fault{Pos: p, Val: !c.phys.Get(p)}
 			c.view.Record(f)
-			local = appendFault(local, f)
+			c.local = appendFault(c.local, f)
 		}
 	}
-	c.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(local), Cause: scheme.CauseIterationLimit})
+	c.trace(scheme.TraceEvent{Kind: scheme.TraceDeath, Faults: len(c.local), Cause: scheme.CauseIterationLimit})
 	return scheme.ErrUnrecoverable
 }
 
@@ -248,11 +280,12 @@ func (c *Cached) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
 	if !c.inv.Any() {
 		return dst
 	}
-	if c.masks == nil {
+	if !c.masksBuilt {
 		c.rebuildMasks()
 	}
-	for _, g := range c.inv.OnesIndices() {
-		dst.Xor(dst, c.masks[g])
+	c.invGroups = c.inv.AppendOnes(c.invGroups[:0])
+	for _, g := range c.invGroups {
+		dst.XorInto(c.masks[g])
 	}
 	return dst
 }
@@ -269,17 +302,9 @@ func equalInts(a, b []int) bool {
 	return true
 }
 
-func mergeFaults(cached, local []failcache.Fault) []failcache.Fault {
-	if len(local) == 0 {
-		return cached
-	}
-	out := append([]failcache.Fault(nil), cached...)
-	for _, f := range local {
-		out = appendFault(out, f)
-	}
-	return out
-}
-
+// appendFault adds f unless a fault at the same position is present
+// (cached entries win on duplicates; the values agree anyway — stuck
+// values never change).
 func appendFault(s []failcache.Fault, f failcache.Fault) []failcache.Fault {
 	for _, g := range s {
 		if g.Pos == f.Pos {
@@ -326,11 +351,11 @@ func (f *CachedFactory) OverheadBits() int { return OverheadBits(f.N, f.Groups) 
 
 // New implements scheme.Factory.
 func (f *CachedFactory) New() scheme.Scheme {
-	id := f.nextID.Add(1) - 1
-	c, err := NewCached(f.N, f.Groups, f.Cache.View(id))
+	c, err := NewCached(f.N, f.Groups, f.Cache.View(f.nextID.Add(1)-1))
 	if err != nil {
 		panic(err)
 	}
+	c.renew = func() failcache.View { return f.Cache.View(f.nextID.Add(1) - 1) }
 	return c
 }
 

@@ -23,6 +23,7 @@ package safer
 
 import (
 	"fmt"
+	"sync"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/pcm"
@@ -30,18 +31,68 @@ import (
 	"aegis/internal/scheme"
 )
 
+// addrMaskCache shares, per block size, the address-bit pattern masks:
+// addrBitMasks(n)[p] is the mask of cells whose in-block address has
+// bit p set.  Group masks are intersections of these patterns (and
+// their complements), which turns per-cell projection loops into a few
+// word-level ANDs.  The vectors are immutable once published.
+var addrMaskCache sync.Map // block bits -> []*bitvec.Vector
+
+func addrBitMasks(n int) []*bitvec.Vector {
+	if v, ok := addrMaskCache.Load(n); ok {
+		return v.([]*bitvec.Vector)
+	}
+	masks := make([]*bitvec.Vector, log2(n))
+	for p := range masks {
+		m := bitvec.New(n)
+		for x := 0; x < n; x++ {
+			if x>>uint(p)&1 == 1 {
+				m.Set(x, true)
+			}
+		}
+		masks[p] = m
+	}
+	v, _ := addrMaskCache.LoadOrStore(n, masks)
+	return v.([]*bitvec.Vector)
+}
+
+// buildGroupMasks fills masks[g] with the member mask of group g under
+// the given partition vector: the cells whose address projects onto g.
+// masks must hold 1<<len(fields) vectors of n bits each.
+func buildGroupMasks(masks []*bitvec.Vector, fields []int, n int) {
+	addr := addrBitMasks(n)
+	for g, m := range masks {
+		m.Fill(true)
+		for i, pos := range fields {
+			if g>>uint(i)&1 == 1 {
+				m.AndInto(addr[pos])
+			} else {
+				m.AndNotInto(addr[pos])
+			}
+		}
+	}
+}
+
 // SAFER is the per-block state of the cache-less SAFER-N scheme.
 type SAFER struct {
 	n        int // block bits (power of two)
 	addrBits int // log2 n
 	m        int // maximum partition-vector size (N = 2^m groups)
 
-	fields []int            // selected address bit positions, in selection order
-	inv    *bitvec.Vector   // inversion bits, one per group (2^m)
-	masks  []*bitvec.Vector // group member masks for the current fields; nil after a field change
+	fields []int          // selected address bit positions, in selection order
+	inv    *bitvec.Vector // inversion bits, one per group (2^m)
+
+	// Group member masks for the current fields.  masks is a prefix of
+	// maskStore (the persistent allocation, grown on demand and reused
+	// across rebuilds); masksBuilt is false after a field change.
+	masks      []*bitvec.Vector
+	maskStore  []*bitvec.Vector
+	masksBuilt bool
 
 	faultPos   []int
 	faultVal   []bool
+	errPos     []int
+	invGroups  []int
 	phys, errs *bitvec.Vector
 
 	ops scheme.OpStats
@@ -102,6 +153,17 @@ func (s *SAFER) OpStats() scheme.OpStats { return s.ops }
 // SetTracer implements scheme.Traceable.
 func (s *SAFER) SetTracer(t scheme.Tracer) { s.tr = t }
 
+// Reset implements scheme.Resettable: empty partition vector, cleared
+// inversion bits, zeroed counters, no tracer — the state New returns.
+// The mask store keeps its allocation; masks are rebuilt on demand.
+func (s *SAFER) Reset() {
+	s.fields = s.fields[:0]
+	s.inv.Zero()
+	s.masksBuilt = false
+	s.ops = scheme.OpStats{}
+	s.tr = nil
+}
+
 // trace reports a decision event when a tracer is attached.
 func (s *SAFER) trace(e scheme.TraceEvent) {
 	if s.tr != nil {
@@ -157,7 +219,7 @@ func (s *SAFER) addFieldFor(x1, x2 int) bool {
 		return false
 	}
 	s.fields = append(s.fields, best)
-	s.masks = nil
+	s.masksBuilt = false
 	s.ops.Repartitions++
 	// From/To report the partition-vector size: SAFER re-partitions by
 	// growing the selected-position set, never by swapping a slope.
@@ -206,16 +268,16 @@ func (s *SAFER) separateKnownFaults() bool {
 // groupMasks returns the member masks of the current partition,
 // rebuilding them after a field change.
 func (s *SAFER) groupMasks() []*bitvec.Vector {
-	if s.masks != nil {
+	if s.masksBuilt {
 		return s.masks
 	}
-	s.masks = make([]*bitvec.Vector, 1<<uint(len(s.fields)))
-	for g := range s.masks {
-		s.masks[g] = bitvec.New(s.n)
+	want := 1 << uint(len(s.fields))
+	for len(s.maskStore) < want {
+		s.maskStore = append(s.maskStore, bitvec.New(s.n))
 	}
-	for x := 0; x < s.n; x++ {
-		s.masks[s.group(x)].Set(x, true)
-	}
+	s.masks = s.maskStore[:want]
+	buildGroupMasks(s.masks, s.fields, s.n)
+	s.masksBuilt = true
 	return s.masks
 }
 
@@ -227,9 +289,10 @@ func (s *SAFER) buildPhysical(data *bitvec.Vector) {
 		return
 	}
 	masks := s.groupMasks()
-	for _, g := range s.inv.OnesIndices() {
+	s.invGroups = s.inv.AppendOnes(s.invGroups[:0])
+	for _, g := range s.invGroups {
 		if g < len(masks) {
-			s.phys.Xor(s.phys, masks[g])
+			s.phys.XorInto(masks[g])
 		}
 	}
 }
@@ -264,7 +327,8 @@ func (s *SAFER) Write(blk *pcm.Block, data *bitvec.Vector) error {
 			return nil
 		}
 		grew := false
-		for _, p := range s.errs.OnesIndices() {
+		s.errPos = s.errs.AppendOnes(s.errPos[:0])
+		for _, p := range s.errPos {
 			if s.known(p) {
 				continue
 			}
@@ -307,9 +371,10 @@ func (s *SAFER) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
 		return dst
 	}
 	masks := s.groupMasks()
-	for _, g := range s.inv.OnesIndices() {
+	s.invGroups = s.inv.AppendOnes(s.invGroups[:0])
+	for _, g := range s.invGroups {
 		if g < len(masks) {
-			dst.Xor(dst, masks[g])
+			dst.XorInto(masks[g])
 		}
 	}
 	return dst

@@ -35,6 +35,20 @@ type Scheme interface {
 	Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector
 }
 
+// Resettable is implemented by schemes whose per-block state can be
+// returned to the freshly constructed state without reallocating.  The
+// contract is strict: after Reset, the instance must behave bit-for-bit
+// identically to Factory.New() — same decisions, same counters, same
+// RNG-free determinism — so simulation workers can reuse one instance
+// per goroutine across Monte-Carlo trials instead of allocating one per
+// trial.  Every scheme in this repository implements it; the interface
+// exists so the simulator can fall back to per-trial construction for
+// external schemes that do not.
+type Resettable interface {
+	// Reset returns the scheme to its post-construction state.
+	Reset()
+}
+
 // Factory creates per-block Scheme instances of one configuration.
 type Factory interface {
 	// Name identifies the configuration.
@@ -79,6 +93,10 @@ func (s *None) Write(blk *pcm.Block, data *bitvec.Vector) error {
 func (s *None) Read(blk *pcm.Block, dst *bitvec.Vector) *bitvec.Vector {
 	return blk.Read(dst)
 }
+
+// Reset implements Resettable.  None keeps no per-block state beyond its
+// verify scratch, which carries no information between writes.
+func (s *None) Reset() {}
 
 // NoneFactory builds unprotected baselines.
 type NoneFactory struct{ Bits int }

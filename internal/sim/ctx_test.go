@@ -80,8 +80,14 @@ func (c *countingFactory) New() scheme.Scheme {
 	if c.onNew != nil {
 		c.onNew(c.n)
 	}
-	return c.inner.New()
+	// Hide the scheme's Reset method: the simulator then constructs one
+	// instance per trial, so the hook keeps firing at trial boundaries.
+	return nonResettable{c.inner.New()}
 }
+
+// nonResettable embeds only the scheme.Scheme interface, so the wrapper
+// never satisfies scheme.Resettable whatever the inner type implements.
+type nonResettable struct{ scheme.Scheme }
 
 // TestMidRunCancelStopsEarly: cancelling from inside the run stops it
 // within the in-flight trial; trials completed before the cancellation

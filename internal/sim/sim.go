@@ -120,18 +120,75 @@ func (c Config) cancelled() bool {
 	return c.Ctx != nil && c.Ctx.Err() != nil
 }
 
+// trialScratch is one worker goroutine's reusable arena: scheme
+// instances, PCM blocks, and the data vector survive across the
+// worker's trials, so steady-state trials allocate nothing.  Trial
+// results are unaffected: blocks re-sample their lifetimes from the
+// per-trial RNG in construction order, and schemes are Reset to their
+// post-construction state (falling back to Factory.New for schemes
+// that are not Resettable).
+type trialScratch struct {
+	schemes []scheme.Scheme
+	blocks  []*pcm.Block
+	data    *bitvec.Vector
+}
+
+// scheme returns the worker's reusable scheme instance for block slot i
+// of the current trial, resetting the previous trial's instance when
+// the scheme supports it and constructing a fresh one otherwise.
+func (ts *trialScratch) scheme(f scheme.Factory, i int) scheme.Scheme {
+	for len(ts.schemes) <= i {
+		ts.schemes = append(ts.schemes, nil)
+	}
+	if s := ts.schemes[i]; s != nil {
+		if r, ok := s.(scheme.Resettable); ok {
+			r.Reset()
+			return s
+		}
+	}
+	s := f.New()
+	ts.schemes[i] = s
+	return s
+}
+
+// block returns the worker's reusable n-bit block for slot i, reset
+// with lifetimes drawn from d using rng exactly as pcm.NewBlock draws
+// them.
+func (ts *trialScratch) block(n int, d dist.Lifetime, rng *rand.Rand, i int) *pcm.Block {
+	for len(ts.blocks) <= i {
+		ts.blocks = append(ts.blocks, nil)
+	}
+	if b := ts.blocks[i]; b != nil && b.Size() == n {
+		b.Reset(d, rng)
+		return b
+	}
+	b := pcm.NewBlock(n, d, rng)
+	ts.blocks[i] = b
+	return b
+}
+
+// dataVec returns the worker's reusable n-bit data vector.
+func (ts *trialScratch) dataVec(n int) *bitvec.Vector {
+	if ts.data == nil || ts.data.Len() != n {
+		ts.data = bitvec.New(n)
+	}
+	return ts.data
+}
+
 // forEachTrial fans cfg.Trials trials out over a worker pool, reporting
 // the study's trial count and per-trial completion to cfg.Progress.
-// The body receives the run-local trial index; its RNG is derived from
-// the global index cfg.TrialOffset+trial.  When cfg.Ctx is cancelled,
-// trials not yet started are skipped and the loop returns early.
-func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
+// The body receives the run-local trial index and its worker's scratch
+// arena; its RNG is derived from the global index cfg.TrialOffset+trial,
+// so results are independent of worker count and scheduling.  When
+// cfg.Ctx is cancelled, trials not yet started are skipped and the loop
+// returns early.
+func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand, ts *trialScratch)) {
 	cfg.Progress.AddTotal(cfg.Trials)
-	run := func(t int) {
+	run := func(t int, ts *trialScratch) {
 		if cfg.cancelled() {
 			return
 		}
-		body(t, trialRNG(cfg.Seed, cfg.TrialOffset+t))
+		body(t, trialRNG(cfg.Seed, cfg.TrialOffset+t), ts)
 		cfg.Progress.Done(1)
 	}
 	workers := cfg.workers()
@@ -139,11 +196,12 @@ func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 		workers = cfg.Trials
 	}
 	if workers <= 1 {
+		ts := &trialScratch{}
 		for t := 0; t < cfg.Trials; t++ {
 			if cfg.cancelled() {
 				return
 			}
-			run(t)
+			run(t, ts)
 		}
 		return
 	}
@@ -153,8 +211,9 @@ func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ts := &trialScratch{}
 			for t := range next {
-				run(t)
+				run(t, ts)
 			}
 		}()
 	}
@@ -284,11 +343,12 @@ func Blocks(f scheme.Factory, cfg Config) []BlockResult {
 	sc := cfg.counters(f)
 	h := cfg.histograms(f)
 	name := f.Name()
-	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
-		blk := pcm.NewBlock(cfg.BlockBits, cfg.lifetime(), rng)
-		s := f.New()
+	life := cfg.lifetime()
+	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
+		blk := ts.block(cfg.BlockBits, life, rng, 0)
+		s := ts.scheme(f, 0)
 		cfg.attachTracer(s, name, trial, h)
-		data := bitvec.New(cfg.BlockBits)
+		data := ts.dataVec(cfg.BlockBits)
 		var writes int64
 		died := false
 		for cfg.MaxWrites == 0 || writes < cfg.MaxWrites {
@@ -339,16 +399,16 @@ func Pages(f scheme.Factory, cfg Config) []PageResult {
 	sc := cfg.counters(f)
 	h := cfg.histograms(f)
 	name := f.Name()
-	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
+	life := cfg.lifetime()
+	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
 		nBlocks := cfg.BlocksPerPage()
-		blocks := make([]*pcm.Block, nBlocks)
-		schemes := make([]scheme.Scheme, nBlocks)
-		for i := range blocks {
-			blocks[i] = pcm.NewBlock(cfg.BlockBits, cfg.lifetime(), rng)
-			schemes[i] = f.New()
-			cfg.attachTracer(schemes[i], name, trial, h)
+		for i := 0; i < nBlocks; i++ {
+			ts.block(cfg.BlockBits, life, rng, i)
+			cfg.attachTracer(ts.scheme(f, i), name, trial, h)
 		}
-		data := bitvec.New(cfg.BlockBits)
+		blocks := ts.blocks[:nBlocks]
+		schemes := ts.schemes[:nBlocks]
+		data := ts.dataVec(cfg.BlockBits)
 		var writes int64
 		alive := true
 		for alive && (cfg.MaxWrites == 0 || writes < cfg.MaxWrites) {
@@ -449,11 +509,11 @@ func FailureCounts(f scheme.Factory, cfg Config, maxFaults, writesPerStep int, b
 	sc := cfg.counters(f)
 	h := cfg.histograms(f)
 	name := f.Name()
-	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
-		blk := pcm.NewImmortalBlock(cfg.BlockBits)
-		s := f.New()
+	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
+		blk := ts.block(cfg.BlockBits, dist.Immortal{}, nil, 0)
+		s := ts.scheme(f, 0)
 		cfg.attachTracer(s, name, trial, h)
-		data := bitvec.New(cfg.BlockBits)
+		data := ts.dataVec(cfg.BlockBits)
 		positions := rng.Perm(cfg.BlockBits)
 		diedAt := maxFaults + 1
 		for nf := 1; nf <= maxFaults && nf <= len(positions); nf++ {

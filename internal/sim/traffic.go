@@ -4,8 +4,7 @@ import (
 	"math/rand"
 	"sync"
 
-	"aegis/internal/bitvec"
-	"aegis/internal/pcm"
+	"aegis/internal/dist"
 	"aegis/internal/scheme"
 )
 
@@ -36,14 +35,14 @@ func TrafficCurve(f scheme.Factory, cfg Config, maxFaults, writesPerStep int) []
 	}
 	sums := make([]acc, maxFaults+1)
 	var mu sync.Mutex
-	forEachTrial(cfg, func(trial int, rng *rand.Rand) {
-		blk := pcm.NewImmortalBlock(cfg.BlockBits)
-		s := f.New()
+	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
+		blk := ts.block(cfg.BlockBits, dist.Immortal{}, nil, 0)
+		s := ts.scheme(f, 0)
 		rep, ok := s.(scheme.OpReporter)
 		if !ok {
 			return
 		}
-		data := bitvec.New(cfg.BlockBits)
+		data := ts.dataVec(cfg.BlockBits)
 		positions := rng.Perm(cfg.BlockBits)
 		local := make([]acc, 0, maxFaults)
 		for nf := 1; nf <= maxFaults && nf <= len(positions); nf++ {
