@@ -19,7 +19,8 @@ test-short:
 # workers, the shard engine, the serving daemon) plus the
 # concurrency-adjacent cores.
 test-race:
-	$(GO) test -race -short ./internal/sim/ ./internal/core/ ./internal/aegisrw/ \
+	$(GO) test -race -short ./internal/sim/ ./internal/pcm/ ./internal/core/ \
+		./internal/ecp/ ./internal/aegisrw/ \
 		./internal/experiments/ ./internal/device/ ./internal/obs/ \
 		./internal/engine/ ./internal/plane/ ./internal/bitvec/ \
 		./internal/serve/ ./cmd/aegisd/

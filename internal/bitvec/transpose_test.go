@@ -1,0 +1,86 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveTranspose64 is the 4096-bit-move reference implementation.
+func naiveTranspose64(a *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			if a[r]&(1<<uint(c)) != 0 {
+				out[c] |= 1 << uint(r)
+			}
+		}
+	}
+	return out
+}
+
+// TestTranspose64MatchesNaive pins Transpose64 against the bit-by-bit
+// reference on random matrices.
+func TestTranspose64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var a [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		want := naiveTranspose64(&a)
+		got := a
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: Transpose64 disagrees with naive reference", trial)
+		}
+	}
+}
+
+// TestTranspose64Orientation pins the lane/position convention the
+// sliced engine depends on: bit r of a[c] after equals bit c of a[r]
+// before, i.e. transposing a single set bit (row r, column c) moves it
+// to (row c, column r).
+func TestTranspose64Orientation(t *testing.T) {
+	for _, rc := range [][2]int{{0, 0}, {0, 63}, {63, 0}, {5, 17}, {40, 3}, {63, 63}} {
+		r, c := rc[0], rc[1]
+		var a [64]uint64
+		a[r] = 1 << uint(c)
+		Transpose64(&a)
+		for i, w := range a {
+			want := uint64(0)
+			if i == c {
+				want = 1 << uint(r)
+			}
+			if w != want {
+				t.Fatalf("bit (%d,%d): row %d = %#x, want %#x", r, c, i, w, want)
+			}
+		}
+	}
+}
+
+// TestTranspose64Involution: transposing twice is the identity.
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+	}
+	b := a
+	Transpose64(&b)
+	Transpose64(&b)
+	if a != b {
+		t.Fatal("Transpose64 applied twice is not the identity")
+	}
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var a [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transpose64(&a)
+	}
+}

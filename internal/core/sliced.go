@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/bits"
+
+	"aegis/internal/bitvec"
+	"aegis/internal/pcm"
+	"aegis/internal/plane"
+	"aegis/internal/scheme"
+)
+
+// SlicedAegis is the bit-sliced base Aegis scheme: up to 64 independent
+// trial lanes share one instance and advance in lockstep against a
+// pcm.LaneBlock.  The broadcast part of the write path — building the
+// physical image and the verify scan — costs one word op per cell
+// position for all lanes together; the per-fault bookkeeping (slope
+// search, inversion rebuild) stays scalar per lane, which is cheap
+// because verification failures are rare until a block nears death.
+//
+// Lane l's decisions are bit-identical to a scalar Aegis instance
+// driven through the trial with the same global index: the per-lane
+// slope counters, inversion vectors and fault-discovery order follow
+// exactly the scalar Write (see aegis.go), and the per-lane OpStats
+// match counter for counter.  The transposed inversion image M (M[j]
+// bit l = lane l's inversion mask at cell j) caches the per-lane
+// XorGroups images so each iteration's physical image is a single XOR
+// sweep; it is diff-updated only for lanes whose inversion vector
+// changed.
+type SlicedAegis struct {
+	layout *plane.Layout
+
+	slope  [64]int
+	inv    [64]*bitvec.Vector // inversion vector per lane (B bits)
+	invAny [64]bool
+	imgs   [64]*bitvec.Vector // current XorGroups image per lane (N bits)
+	m      []uint64           // transposed inversion image: m[j] bit l = imgs[l] bit j
+
+	// Scratch reused across writes.
+	phys     []uint64 // transposed physical image
+	img      *bitvec.Vector
+	errs     []pcm.LaneErr
+	errPos   [64][]int
+	faultPos [64][]int
+	faultVal [64][]bool
+
+	ops     [64]scheme.OpStats
+	salvage func(lane, passes int)
+}
+
+var (
+	_ scheme.SlicedScheme      = (*SlicedAegis)(nil)
+	_ scheme.LaneOpReporter    = (*SlicedAegis)(nil)
+	_ scheme.SalvageObservable = (*SlicedAegis)(nil)
+)
+
+// NewSliced implements scheme.SlicedFactory.
+func (f *Factory) NewSliced() scheme.SlicedScheme { return NewSlicedAegis(f.L) }
+
+// NewSlicedAegis returns a sliced Aegis instance over layout l.
+func NewSlicedAegis(l *plane.Layout) *SlicedAegis {
+	a := &SlicedAegis{
+		layout: l,
+		m:      make([]uint64, l.N),
+		phys:   make([]uint64, l.N),
+		img:    bitvec.New(l.N),
+	}
+	for i := range a.inv {
+		a.inv[i] = bitvec.New(l.B)
+		a.imgs[i] = bitvec.New(l.N)
+	}
+	return a
+}
+
+// ResetSliced implements scheme.SlicedScheme: every lane back to slope
+// 0, empty inversion vector, zeroed counters, no observer — the state
+// NewSlicedAegis returns.
+func (a *SlicedAegis) ResetSliced() {
+	for l := range a.inv {
+		a.slope[l] = 0
+		a.inv[l].Zero()
+		a.invAny[l] = false
+		a.imgs[l].Zero()
+	}
+	for j := range a.m {
+		a.m[j] = 0
+	}
+	a.ops = [64]scheme.OpStats{}
+	a.salvage = nil
+}
+
+// LaneOpStats implements scheme.LaneOpReporter.
+func (a *SlicedAegis) LaneOpStats(lane int) scheme.OpStats { return a.ops[lane] }
+
+// SetSalvageObserver implements scheme.SalvageObservable.
+func (a *SlicedAegis) SetSalvageObserver(fn func(lane, passes int)) { a.salvage = fn }
+
+// WriteSliced implements scheme.SlicedScheme; it is the lane-parallel
+// transcription of Aegis.Write.  Each iteration broadcasts the pending
+// lanes' physical images, scans for stuck-at-Wrong cells, and lets each
+// failing lane re-partition and rebuild its inversion vector exactly as
+// the scalar path would.  Lanes leave the pending set on a clean verify
+// (success) or by dying (no collision-free slope, or a verify mismatch
+// with no new fault).
+func (a *SlicedAegis) WriteSliced(blk *pcm.LaneBlock, data []uint64, active uint64) uint64 {
+	n := a.layout.N
+	for w := active; w != 0; {
+		l := bits.TrailingZeros64(w)
+		w &= w - 1
+		a.ops[l].Requests++
+		a.faultPos[l] = a.faultPos[l][:0]
+		a.faultVal[l] = a.faultVal[l][:0]
+	}
+	pending := active
+	var died uint64
+	// Per lane, each iteration either succeeds or discovers at least one
+	// new fault, so N+1 iterations bound every lane.
+	for iter := 0; iter <= n && pending != 0; iter++ {
+		for j := 0; j < n; j++ {
+			a.phys[j] = data[j] ^ a.m[j]
+		}
+		for w := pending; w != 0; {
+			l := bits.TrailingZeros64(w)
+			w &= w - 1
+			if a.invAny[l] {
+				a.ops[l].Inversions++
+			}
+			a.ops[l].RawWrites++
+			a.ops[l].VerifyReads++
+			a.errPos[l] = a.errPos[l][:0]
+		}
+		blk.WriteRaw(a.phys, pending)
+		a.errs = blk.VerifyErrors(a.phys, pending, a.errs[:0])
+		var failed uint64
+		for _, e := range a.errs {
+			failed |= e.Lanes
+			for w := e.Lanes; w != 0; {
+				l := bits.TrailingZeros64(w)
+				w &= w - 1
+				a.errPos[l] = append(a.errPos[l], e.Pos)
+			}
+		}
+		if clean := pending &^ failed; iter > 0 {
+			for w := clean; w != 0; {
+				l := bits.TrailingZeros64(w)
+				w &= w - 1
+				a.ops[l].Salvages++
+				if a.salvage != nil {
+					a.salvage(l, iter+1)
+				}
+			}
+		}
+		pending = failed
+		for w := failed; w != 0; {
+			l := bits.TrailingZeros64(w)
+			w &= w - 1
+			if !a.laneRecover(l, data) {
+				died |= 1 << uint(l)
+				pending &^= 1 << uint(l)
+			}
+		}
+	}
+	// Lanes still pending hit the iteration cap (unreachable with a
+	// collision-free slope, like the scalar path's final return).
+	died |= pending
+	return died
+}
+
+// laneRecover is the per-lane tail of one write iteration: record the
+// newly revealed faults, re-partition if two known faults collide, and
+// rebuild the lane's inversion vector.  It returns false when the lane
+// is unrecoverable, mirroring the scalar Write's two death paths
+// (stuck verify without new faults, no collision-free slope).
+func (a *SlicedAegis) laneRecover(l int, data []uint64) bool {
+	bit := uint64(1) << uint(l)
+	grew := false
+	for _, p := range a.errPos[l] {
+		if a.laneKnownFault(l, p) {
+			continue
+		}
+		a.faultPos[l] = append(a.faultPos[l], p)
+		// The read-back (stuck) value is the complement of the intended
+		// physical bit.
+		a.faultVal[l] = append(a.faultVal[l], a.phys[p]&bit == 0)
+		grew = true
+	}
+	if !grew {
+		return false
+	}
+	k, ok := a.layout.FindCollisionFree(a.faultPos[l], a.slope[l])
+	if !ok {
+		return false
+	}
+	if k != a.slope[l] {
+		a.ops[l].Repartitions++
+	}
+	a.slope[l] = k
+	inv := a.inv[l]
+	inv.Zero()
+	for i, p := range a.faultPos[l] {
+		if (data[p]&bit != 0) != a.faultVal[l][i] {
+			inv.Set(a.layout.Group(p, k), true)
+		}
+	}
+	a.invAny[l] = inv.Any()
+	a.laneUpdateImage(l)
+	return true
+}
+
+func (a *SlicedAegis) laneKnownFault(l, p int) bool {
+	for _, q := range a.faultPos[l] {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// laneUpdateImage recomputes lane l's XorGroups image and folds the
+// difference into the transposed image m, flipping only the positions
+// that changed.
+func (a *SlicedAegis) laneUpdateImage(l int) {
+	a.img.Zero()
+	a.layout.XorGroups(a.img, a.inv[l], a.slope[l])
+	bit := uint64(1) << uint(l)
+	newW := a.img.Words()
+	oldW := a.imgs[l].Words()
+	for wi := range newW {
+		d := newW[wi] ^ oldW[wi]
+		for d != 0 {
+			j := wi*64 + bits.TrailingZeros64(d)
+			d &= d - 1
+			a.m[j] ^= bit
+		}
+	}
+	a.imgs[l].CopyFrom(a.img)
+}

@@ -1,0 +1,138 @@
+package ecp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"aegis/internal/pcm"
+	"aegis/internal/scheme"
+)
+
+// SlicedECP is the bit-sliced ECP-n baseline: up to 64 trial lanes
+// share one instance against a pcm.LaneBlock.  The raw write and the
+// fault scan are broadcast; pointer assignment is scalar per revealed
+// fault, which is cheap because faults are rare until a block nears
+// death.  Lane l's entry assignment order, death timing and OpStats are
+// bit-identical to a scalar ECP instance driven through the trial with
+// the same global index: positions arrive in the same ascending order
+// the scalar AppendOnes scan produces, and a lane dies the moment a
+// fault needs an entry none is left for — without salvage credit or
+// replacement updates for that write, exactly like the scalar early
+// return.
+type SlicedECP struct {
+	n       int
+	entries int
+
+	ptrs [64][]int  // failed-cell positions per lane, ascending
+	repl [64]uint64 // replacement bit per entry (bit i = entry i), sim-inert but kept for fidelity
+
+	errs    []pcm.LaneErr
+	ops     [64]scheme.OpStats
+	salvage func(lane, passes int)
+}
+
+var (
+	_ scheme.SlicedScheme      = (*SlicedECP)(nil)
+	_ scheme.LaneOpReporter    = (*SlicedECP)(nil)
+	_ scheme.SalvageObservable = (*SlicedECP)(nil)
+)
+
+// NewSliced implements scheme.SlicedFactory.  Sliced replacement bits
+// live in one word per lane, which covers every realistic entry count
+// (the paper's ECP6 and this repo's rosters use ≤ 8).
+func (f *Factory) NewSliced() scheme.SlicedScheme {
+	if f.Entries > 64 {
+		panic(fmt.Sprintf("ecp: sliced path supports at most 64 entries, got %d", f.Entries))
+	}
+	return &SlicedECP{n: f.N, entries: f.Entries}
+}
+
+// ResetSliced implements scheme.SlicedScheme.
+func (e *SlicedECP) ResetSliced() {
+	for l := range e.ptrs {
+		e.ptrs[l] = e.ptrs[l][:0]
+		e.repl[l] = 0
+	}
+	e.ops = [64]scheme.OpStats{}
+	e.salvage = nil
+}
+
+// LaneOpStats implements scheme.LaneOpReporter.
+func (e *SlicedECP) LaneOpStats(lane int) scheme.OpStats { return e.ops[lane] }
+
+// SetSalvageObserver implements scheme.SalvageObservable.
+func (e *SlicedECP) SetSalvageObserver(fn func(lane, passes int)) { e.salvage = fn }
+
+// WriteSliced implements scheme.SlicedScheme; it is the lane-parallel
+// transcription of ECP.Write.
+func (e *SlicedECP) WriteSliced(blk *pcm.LaneBlock, data []uint64, active uint64) uint64 {
+	for w := active; w != 0; {
+		l := bits.TrailingZeros64(w)
+		w &= w - 1
+		e.ops[l].Requests++
+		e.ops[l].RawWrites++
+		e.ops[l].VerifyReads++
+	}
+	blk.WriteRaw(data, active)
+	e.errs = blk.VerifyErrors(data, active, e.errs[:0])
+	var died, erred uint64
+	for _, ev := range e.errs {
+		erred |= ev.Lanes
+		for w := ev.Lanes &^ died; w != 0; {
+			l := bits.TrailingZeros64(w)
+			w &= w - 1
+			if e.laneEntryFor(l, ev.Pos) >= 0 {
+				continue
+			}
+			if len(e.ptrs[l]) >= e.entries {
+				// Entries exhausted mid-scan: the lane dies here, with
+				// the entries assigned so far kept, like the scalar
+				// early return.
+				died |= 1 << uint(l)
+				continue
+			}
+			// Keep pointers ascending, matching the scalar insert.
+			ptrs := e.ptrs[l]
+			at := len(ptrs)
+			for at > 0 && ptrs[at-1] > ev.Pos {
+				at--
+			}
+			ptrs = append(ptrs, 0)
+			copy(ptrs[at+1:], ptrs[at:])
+			ptrs[at] = ev.Pos
+			e.ptrs[l] = ptrs
+		}
+	}
+	for w := erred &^ died; w != 0; {
+		l := bits.TrailingZeros64(w)
+		w &= w - 1
+		e.ops[l].Salvages++
+		if e.salvage != nil {
+			e.salvage(l, 1)
+		}
+	}
+	// Refresh every surviving lane's replacement bits to the new data,
+	// as the scalar path does on every write.
+	for w := active &^ died; w != 0; {
+		l := bits.TrailingZeros64(w)
+		w &= w - 1
+		bit := uint64(1) << uint(l)
+		var repl uint64
+		for i, p := range e.ptrs[l] {
+			if data[p]&bit != 0 {
+				repl |= 1 << uint(i)
+			}
+		}
+		e.repl[l] = repl
+	}
+	return died
+}
+
+func (e *SlicedECP) laneEntryFor(l, p int) int {
+	for i, q := range e.ptrs[l] {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}

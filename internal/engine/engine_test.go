@@ -86,6 +86,7 @@ func TestShardKeyStableAndDistinct(t *testing.T) {
 	cfg3.Trials = 99
 	cfg3.TrialOffset = 7
 	cfg3.Workers = 16
+	cfg3.Lanes = 64 // bit-sliced width is execution shape: cached scalar shards serve sliced runs
 	cfg3.Ctx = context.Background()
 	cfg3.Obs = obs.NewRegistry()
 	cfg3.Progress = obs.NewProgress()

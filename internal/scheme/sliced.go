@@ -1,0 +1,81 @@
+package scheme
+
+import "aegis/internal/pcm"
+
+// SlicedScheme is the bit-sliced counterpart of Scheme: one instance
+// drives up to 64 independent trial lanes of the same block
+// configuration in lockstep against a pcm.LaneBlock.  Implementations
+// must be lane-exact: lane l of a sliced run reproduces, bit for bit,
+// what a scalar Scheme instance would do in the trial with the same
+// global index — same write outcomes, same per-lane operation counters,
+// same fault-discovery order.  The differential tests in internal/sim
+// enforce this contract for every implementation.
+//
+// Lanes retire independently: a lane whose trial has ended is simply
+// dropped from the active mask by the caller and never appears in a
+// later broadcast op.  Per-lane bookkeeping (slopes, inversion vectors,
+// pointers) for retired lanes goes stale harmlessly.
+type SlicedScheme interface {
+	// ResetSliced returns every lane's bookkeeping to the
+	// post-construction state, like Resettable.Reset does for the scalar
+	// path.  The simulator calls it once per lane group per block slot.
+	ResetSliced()
+	// WriteSliced stores the transposed data image (data[j] bit l = lane
+	// l's bit j) into every lane in active, performing per lane whatever
+	// verification reads, re-partitions and inversion rewrites the scalar
+	// Write would.  It returns the mask of lanes for which the write was
+	// unrecoverable (the lane-wise equivalent of ErrUnrecoverable); the
+	// caller retires those lanes.
+	WriteSliced(blk *pcm.LaneBlock, data []uint64, active uint64) (died uint64)
+}
+
+// SlicedFactory is implemented by scheme factories that can stamp out
+// bit-sliced instances.  Factories without it (SAFER, RDIS, FreeP,
+// PAYG, …) automatically fall back to the scalar path behind the same
+// simulator interface.
+type SlicedFactory interface {
+	Factory
+	// NewSliced returns a fresh sliced instance covering all 64 lanes.
+	NewSliced() SlicedScheme
+}
+
+// LaneOpReporter is the sliced analogue of OpReporter: per-lane
+// operation counters, drained once per lane when its trial ends.
+type LaneOpReporter interface {
+	LaneOpStats(lane int) OpStats
+}
+
+// SalvageObservable lets the simulator observe per-request salvage
+// depths from sliced schemes.  The scalar path recovers salvage depth
+// from trace events (scheme.TraceSalvage); sliced schemes report it
+// directly so histogram-observed runs need not fall back to scalar.
+// fn may be nil to disable observation.
+type SalvageObservable interface {
+	SetSalvageObserver(fn func(lane, passes int))
+}
+
+// slicedNone is the bit-sliced unprotected baseline: a lane dies as
+// soon as any cell reads back wrong.  Like the scalar None it keeps no
+// operation counters (None is not an OpReporter).
+type slicedNone struct {
+	errs []pcm.LaneErr
+}
+
+// NewSliced implements SlicedFactory.
+func (f NoneFactory) NewSliced() SlicedScheme { return &slicedNone{} }
+
+// ResetSliced implements SlicedScheme.
+func (s *slicedNone) ResetSliced() {}
+
+// WriteSliced implements SlicedScheme.
+func (s *slicedNone) WriteSliced(blk *pcm.LaneBlock, data []uint64, active uint64) uint64 {
+	blk.WriteRaw(data, active)
+	var died uint64
+	s.errs = blk.VerifyErrors(data, active, s.errs[:0])
+	for _, e := range s.errs {
+		died |= e.Lanes
+	}
+	return died
+}
+
+var _ SlicedFactory = NoneFactory{}

@@ -71,6 +71,9 @@ type JobRequest struct {
 	// Shards overrides the daemon's per-job shard count (0 = daemon
 	// default).
 	Shards int `json:"shards,omitempty"`
+	// Lanes selects the bit-sliced trial width (0 = auto, 1 = scalar,
+	// 2..64 explicit; results are identical at any lane width).
+	Lanes int `json:"lanes,omitempty"`
 	// TimeoutSeconds bounds the job's run time (0 = daemon default).
 	// An expired job fails with a deadline error; its completed shards
 	// stay cached.
@@ -192,6 +195,9 @@ func (r *JobRequest) normalize() (scheme.Factory, error) {
 	if r.Shards < 0 {
 		return nil, reqErr("shards", "must be non-negative, got %d", r.Shards)
 	}
+	if r.Lanes < 0 || r.Lanes > 64 {
+		return nil, reqErr("lanes", "must be between 0 and 64, got %d", r.Lanes)
+	}
 	if r.TimeoutSeconds < 0 {
 		return nil, reqErr("timeout_seconds", "must be non-negative, got %v", r.TimeoutSeconds)
 	}
@@ -209,6 +215,7 @@ func (r *JobRequest) config() sim.Config {
 		CoV:       p.CoV,
 		Trials:    r.Trials,
 		Seed:      r.Seed,
+		Lanes:     r.Lanes,
 	}
 }
 

@@ -360,6 +360,7 @@ func (s *Server) runJob(job *Job) {
 		ShardSchema: engine.ShardSchema,
 		Shards:      shards,
 		Workers:     s.opts.EngineWorkers,
+		Lanes:       req.Lanes,
 		CacheDir:    s.opts.CacheDir,
 		Resume:      s.opts.CacheDir != "",
 		CacheHits:   st.CacheHits,

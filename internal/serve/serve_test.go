@@ -168,6 +168,35 @@ func TestServedMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestServedLanesMatchesScalar submits the same job bit-sliced and
+// scalar; results must be byte-identical and the manifest must record
+// the requested lane width.
+func TestServedLanesMatchesScalar(t *testing.T) {
+	_, base := testServer(t, serve.Options{Workers: 1, Shards: 2})
+	slicedJob := `{"kind":"blocks","scheme":"aegis:11","block_bits":64,"trials":70,"seed":5,"lanes":64}`
+	scalarJob := `{"kind":"blocks","scheme":"aegis:11","block_bits":64,"trials":70,"seed":5,"lanes":1}`
+	run := func(body string) serve.JobResult {
+		code, submitted := postJob(t, base, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d", code)
+		}
+		st := waitDone(t, base, submitted["id"].(string))
+		var res serve.JobResult
+		getJSON(t, base+st.ResultURL, &res)
+		return res
+	}
+	sliced, scalar := run(slicedJob), run(scalarJob)
+	if !reflect.DeepEqual(sliced.Blocks, scalar.Blocks) {
+		t.Fatalf("sliced served results diverge from scalar\nsliced: %+v\nscalar: %+v", sliced.Blocks, scalar.Blocks)
+	}
+	if !reflect.DeepEqual(sliced.Counters, scalar.Counters) {
+		t.Fatalf("sliced served counters diverge from scalar\nsliced: %+v\nscalar: %+v", sliced.Counters, scalar.Counters)
+	}
+	if sliced.Sharding.Lanes != 64 || scalar.Sharding.Lanes != 1 {
+		t.Fatalf("sharding block lanes = %d / %d, want 64 / 1", sliced.Sharding.Lanes, scalar.Sharding.Lanes)
+	}
+}
+
 // TestInvalidPayloads: every malformed request must produce a 400 with
 // a structured error naming the offending field.
 func TestInvalidPayloads(t *testing.T) {
@@ -190,6 +219,8 @@ func TestInvalidPayloads(t *testing.T) {
 		{"curve params on blocks", `{"kind":"blocks","scheme":"aegis:61","max_faults":10}`, "max_faults"},
 		{"bias out of range", `{"kind":"curve","scheme":"aegis:61","bias":1.5}`, "bias"},
 		{"negative shards", `{"kind":"blocks","scheme":"aegis:61","shards":-1}`, "shards"},
+		{"negative lanes", `{"kind":"blocks","scheme":"aegis:61","lanes":-1}`, "lanes"},
+		{"lanes beyond word", `{"kind":"blocks","scheme":"aegis:61","lanes":65}`, "lanes"},
 		{"negative timeout", `{"kind":"blocks","scheme":"aegis:61","timeout_seconds":-2}`, "timeout_seconds"},
 		{"unknown field", `{"kind":"blocks","scheme":"aegis:61","cheese":1}`, ""},
 		{"malformed json", `{"kind":`, ""},

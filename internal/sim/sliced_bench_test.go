@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/scheme"
+)
+
+func benchLanesConfig(lanes int) Config {
+	return Config{
+		BlockBits: 512,
+		PageBytes: 4096,
+		MeanLife:  300,
+		CoV:       0.25,
+		Trials:    64,
+		Seed:      7,
+		Workers:   1,
+		Lanes:     lanes,
+	}
+}
+
+func benchmarkBlocksLanes(b *testing.B, f func() scheme.Factory, lanes int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchLanesConfig(lanes)
+		cfg.Seed = int64(i + 1)
+		if rs := Blocks(f(), cfg); len(rs) != cfg.Trials {
+			b.Fatal("bad result count")
+		}
+	}
+}
+
+func BenchmarkBlocksAegisSliced(b *testing.B) {
+	benchmarkBlocksLanes(b, func() scheme.Factory { return core.MustFactory(512, 23) }, 64)
+}
+
+func BenchmarkBlocksAegisScalar(b *testing.B) {
+	benchmarkBlocksLanes(b, func() scheme.Factory { return core.MustFactory(512, 23) }, 1)
+}
+
+func BenchmarkBlocksNoneSliced(b *testing.B) {
+	benchmarkBlocksLanes(b, func() scheme.Factory { return scheme.NoneFactory{Bits: 512} }, 64)
+}
+
+func BenchmarkBlocksNoneScalar(b *testing.B) {
+	benchmarkBlocksLanes(b, func() scheme.Factory { return scheme.NoneFactory{Bits: 512} }, 1)
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"aegis/internal/core"
+	"aegis/internal/ecp"
+	"aegis/internal/obs"
+	"aegis/internal/scheme"
+)
+
+// slicedRoster is every scheme family with a sliced implementation,
+// each built fresh per arm of a differential run.
+func slicedRoster() []struct {
+	name string
+	make func() scheme.Factory
+} {
+	return []struct {
+		name string
+		make func() scheme.Factory
+	}{
+		{"none", func() scheme.Factory { return scheme.NoneFactory{Bits: 64} }},
+		{"aegis", func() scheme.Factory { return core.MustFactory(64, 11) }},
+		{"ecp", func() scheme.Factory { return ecp.MustFactory(64, 4) }},
+	}
+}
+
+// laneSweep is the lane widths the differential tests pin against the
+// scalar path.  7 and 63 leave remainders at 70 trials (the
+// lanes-don't-divide-trials path); 64 leaves a 6-trial remainder; 0 is
+// the auto policy (full groups sliced, remainder scalar).
+var laneSweep = []int{0, 7, 63, 64}
+
+func slicedConfig(trials, lanes, workers int) Config {
+	return Config{
+		BlockBits: 64,
+		PageBytes: 64, // 8 blocks per page
+		MeanLife:  60,
+		CoV:       0.25,
+		Trials:    trials,
+		Seed:      4321,
+		Workers:   workers,
+		Lanes:     lanes,
+	}
+}
+
+// TestSlicedMatchesScalarBlocks pins the tentpole invariant at block
+// granularity: for every sliced scheme and every lane width, results,
+// operation counters and histograms are byte-identical to the scalar
+// path (Lanes=1).
+func TestSlicedMatchesScalarBlocks(t *testing.T) {
+	const trials = 70
+	for _, entry := range slicedRoster() {
+		t.Run(entry.name, func(t *testing.T) {
+			cfgS := slicedConfig(trials, 1, 1)
+			obsS := obs.NewRegistry()
+			cfgS.Obs = obsS
+			want := Blocks(entry.make(), cfgS)
+			for _, lanes := range laneSweep {
+				t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+					cfg := slicedConfig(trials, lanes, 3)
+					reg := obs.NewRegistry()
+					cfg.Obs = reg
+					got := Blocks(entry.make(), cfg)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("sliced block results diverge from scalar:\nsliced: %+v\nscalar: %+v", got, want)
+					}
+					if a, b := reg.Snapshot(), obsS.Snapshot(); !reflect.DeepEqual(a, b) {
+						t.Fatalf("sliced counters diverge from scalar:\nsliced: %+v\nscalar: %+v", a, b)
+					}
+					if a, b := reg.HistSnapshot(), obsS.HistSnapshot(); !reflect.DeepEqual(a, b) {
+						t.Fatalf("sliced histograms diverge from scalar:\nsliced: %+v\nscalar: %+v", a, b)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSlicedMatchesScalarPages pins the same invariant at page
+// granularity, where lanes retire mid-round and many block slots share
+// the lockstep group.
+func TestSlicedMatchesScalarPages(t *testing.T) {
+	const trials = 70
+	for _, entry := range slicedRoster() {
+		t.Run(entry.name, func(t *testing.T) {
+			cfgS := slicedConfig(trials, 1, 1)
+			obsS := obs.NewRegistry()
+			cfgS.Obs = obsS
+			want := Pages(entry.make(), cfgS)
+			for _, lanes := range laneSweep {
+				t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+					cfg := slicedConfig(trials, lanes, 3)
+					reg := obs.NewRegistry()
+					cfg.Obs = reg
+					got := Pages(entry.make(), cfg)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("sliced page results diverge from scalar:\nsliced: %+v\nscalar: %+v", got, want)
+					}
+					if a, b := reg.Snapshot(), obsS.Snapshot(); !reflect.DeepEqual(a, b) {
+						t.Fatalf("sliced counters diverge from scalar:\nsliced: %+v\nscalar: %+v", a, b)
+					}
+					if a, b := reg.HistSnapshot(), obsS.HistSnapshot(); !reflect.DeepEqual(a, b) {
+						t.Fatalf("sliced histograms diverge from scalar:\nsliced: %+v\nscalar: %+v", a, b)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSlicedMaxWrites pins the MaxWrites safety valve on the sliced
+// path: capped lanes report the capped lifetime without a death.
+func TestSlicedMaxWrites(t *testing.T) {
+	for _, entry := range slicedRoster() {
+		cfgS := slicedConfig(66, 1, 1)
+		cfgS.MaxWrites = 7
+		want := Blocks(entry.make(), cfgS)
+		cfg := slicedConfig(66, 64, 1)
+		cfg.MaxWrites = 7
+		got := Blocks(entry.make(), cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: MaxWrites-capped sliced results diverge:\nsliced: %+v\nscalar: %+v", entry.name, got, want)
+		}
+	}
+}
+
+// TestSlicedTrialOffset pins shard composability: a run split at an
+// arbitrary boundary, each part sliced with TrialOffset (as the shard
+// engine does), concatenates to the unsharded scalar run.
+func TestSlicedTrialOffset(t *testing.T) {
+	const trials, cut = 70, 23
+	for _, entry := range slicedRoster() {
+		cfgS := slicedConfig(trials, 1, 1)
+		want := Blocks(entry.make(), cfgS)
+		lo := slicedConfig(cut, 64, 1)
+		hi := slicedConfig(trials-cut, 64, 1)
+		hi.TrialOffset = cut
+		got := append(Blocks(entry.make(), lo), Blocks(entry.make(), hi)...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: sharded sliced concatenation diverges from scalar run", entry.name)
+		}
+	}
+}
+
+// TestLaneGroups is the direct unit test of the splitTrials-style
+// clamp: a group never spans more trials than remain, so a shard tail
+// with fewer trials than Lanes yields one small group and no trial
+// changes its lane assignment.
+func TestLaneGroups(t *testing.T) {
+	cases := []struct {
+		n, lanes int
+		want     [][2]int
+	}{
+		{0, 64, nil},
+		{-3, 64, nil},
+		{5, 64, [][2]int{{0, 5}}}, // Lanes > remaining trials in a shard tail
+		{64, 64, [][2]int{{0, 64}}},
+		{70, 64, [][2]int{{0, 64}, {64, 70}}},
+		{130, 64, [][2]int{{0, 64}, {64, 128}, {128, 130}}},
+		{10, 7, [][2]int{{0, 7}, {7, 10}}},
+		{14, 7, [][2]int{{0, 7}, {7, 14}}},
+	}
+	for _, tc := range cases {
+		got := laneGroups(tc.n, tc.lanes)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("laneGroups(%d, %d) = %v, want %v", tc.n, tc.lanes, got, tc.want)
+		}
+	}
+}
+
+// TestSlicePlan pins the dispatch policy: auto slices only full 64-lane
+// groups, explicit widths slice everything (clamped at 64), and scalar
+// fallbacks (unsliced scheme, Lanes=1, pulse wear, tracing) disable the
+// plan.
+func TestSlicePlan(t *testing.T) {
+	sliceable := scheme.NoneFactory{Bits: 64}
+	cfg := slicedConfig(70, 0, 1)
+	if _, plan := cfg.slicePlan(sliceable); plan == nil || plan.sliced != 64 || len(plan.groups) != 1 {
+		t.Fatalf("auto plan for 70 trials = %+v, want one full group and a 6-trial scalar tail", plan)
+	}
+	cfg.Trials = 63
+	if _, plan := cfg.slicePlan(sliceable); plan != nil {
+		t.Fatalf("auto plan for 63 trials should be scalar, got %+v", plan)
+	}
+	cfg.Trials = 70
+	cfg.Lanes = 7
+	if _, plan := cfg.slicePlan(sliceable); plan == nil || plan.sliced != 70 || len(plan.groups) != 10 {
+		t.Fatalf("explicit lanes=7 plan = %+v, want 10 sliced groups", plan)
+	}
+	cfg.Lanes = 1000
+	if _, plan := cfg.slicePlan(sliceable); plan == nil || len(plan.groups) != 2 {
+		t.Fatalf("lanes>64 should clamp to 64, got %+v", plan)
+	}
+	cfg.Lanes = 1
+	if _, plan := cfg.slicePlan(sliceable); plan != nil {
+		t.Fatal("Lanes=1 must force the scalar path")
+	}
+	cfg.Lanes = 64
+	cfg.PulseWear = true
+	if _, plan := cfg.slicePlan(sliceable); plan != nil {
+		t.Fatal("PulseWear must force the scalar path")
+	}
+	cfg.PulseWear = false
+	cfg.Trace = &obs.EventWriter{}
+	if _, plan := cfg.slicePlan(sliceable); plan != nil {
+		t.Fatal("event tracing must force the scalar path")
+	}
+	cfg.Trace = nil
+	if _, plan := cfg.slicePlan(freshFactory{sliceable}); plan != nil {
+		t.Fatal("schemes without a sliced implementation must fall back to scalar")
+	}
+}
