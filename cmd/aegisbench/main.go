@@ -38,10 +38,12 @@
 // <path>.warmup; diff the final profile against it
 // (go tool pprof -diff_base <path>.warmup <path>) to see the measured
 // run's steady-state allocations instead of one-time cache and layout
-// construction.  -http
-// serves expvar ("aegis.counters"), live run progress as JSON
-// (/debug/aegis/progress) and net/http/pprof for inspection of long
-// runs.  A progress line (trials done, rate, ETA) renders on stderr
+// construction.  -http serves the same operational surface as aegisd:
+// GET /metrics (Prometheus text exposition, including the run's live
+// trial progress and per-scheme counters), expvar ("aegis.counters")
+// at /debug/vars, live run progress as JSON (/debug/aegis/progress)
+// and net/http/pprof for inspection of long runs.  A progress line
+// (trials done, rate, ETA) renders on stderr
 // when it is a terminal; -progress overrides the interval.
 package main
 

@@ -2,6 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -351,5 +354,78 @@ func TestMarkdownFormat(t *testing.T) {
 	}
 	if _, err := capture(t, []string{"-exp", "table1", "-format", "html"}); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestDebugMux: the -http surface is the same operational mux aegisd
+// mounts — /metrics with bridged scheme counters and bench progress
+// gauges, expvar at /debug/vars, pprof, plus the per-binary progress
+// JSON.
+func TestDebugMux(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := reg.Scheme("Aegis 6x11")
+	sc.Writes.Add(7)
+	sc.BitWrites.Add(41)
+	prog := obs.NewProgress()
+	prog.SetExperiment("table1")
+	prog.AddTotal(10)
+	prog.Done(4)
+
+	srv := httptest.NewServer(newDebugMux(reg, prog))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		`aegis_scheme_writes_total{scheme="Aegis 6x11"} 7`,
+		`aegis_scheme_bit_writes_total{scheme="Aegis 6x11"} 41`,
+		"aegis_bench_trials_done 4",
+		"aegis_bench_trials_total 10",
+		"aegis_build_info{",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get("/debug/aegis/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/aegis/progress: %d", code)
+	}
+	var snap obs.ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("progress JSON: %v\n%s", err, body)
+	}
+	if snap.Experiment != "table1" || snap.TrialsDone != 4 || snap.TrialsTotal != 10 {
+		t.Fatalf("progress snapshot: %+v", snap)
+	}
+
+	code, body, _ = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "aegis.counters") {
+		t.Fatalf("/debug/vars: %d, aegis.counters present: %v", code, strings.Contains(body, "aegis.counters"))
+	}
+
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
 	}
 }

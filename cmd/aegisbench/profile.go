@@ -12,11 +12,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	// Opt-in diagnostics endpoint: importing net/http/pprof and expvar
-	// registers /debug/pprof/* and /debug/vars on the default mux; the
-	// server only starts when -http is given.
-	_ "net/http/pprof"
-
 	"aegis/internal/obs"
 )
 
@@ -98,51 +93,73 @@ func writeHeapProfile(path string) error {
 	return cerr
 }
 
-// publishCountersOnce exposes the run's scheme counters as the expvar
+// debugRegistry and debugProgress hold the observables the -http
+// endpoint serves.  Pointer swaps (rather than capturing one run's
+// registry or tracker in a handler closure) keep repeated in-process
+// runs serving the current run's state.
+var (
+	debugRegistry atomic.Pointer[obs.Registry]
+	debugProgress atomic.Pointer[obs.Progress]
+	publishOnce   sync.Once
+)
+
+// publishCounters exposes the run's scheme counters as the expvar
 // variable "aegis.counters" (visible under /debug/vars).  expvar.Publish
 // panics on duplicate names, so guard against repeated runs in-process.
-var publishOnce sync.Once
-
 func publishCounters(reg *obs.Registry) {
+	debugRegistry.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("aegis.counters", expvar.Func(func() any {
-			return reg.Snapshot()
+			return debugRegistry.Load().Snapshot()
 		}))
 	})
 }
 
-// debugProgress holds the progress tracker the /debug/aegis/progress
-// handler reads.  A pointer swap (rather than capturing one tracker in
-// the handler closure) keeps repeated in-process runs serving the
-// current run's progress — handlers on the default mux cannot be
-// re-registered.
-var (
-	debugProgress    atomic.Pointer[obs.Progress]
-	progressHTTPOnce sync.Once
-)
-
-func publishProgress(p *obs.Progress) {
-	debugProgress.Store(p)
-	progressHTTPOnce.Do(func() {
-		http.HandleFunc("/debug/aegis/progress", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(debugProgress.Load().Snapshot())
-		})
+// progressHandler serves the JSON form of the live progress line.
+func progressHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(debugProgress.Load().Snapshot())
 	})
 }
 
-// serveDebug starts the opt-in expvar/pprof HTTP endpoint.  Next to
-// /debug/vars and /debug/pprof/* it serves /debug/aegis/progress, the
-// JSON form of the live progress line.  Profiling long runs:
-// `aegisbench -exp all -preset full -http localhost:6060`, then
-// `go tool pprof http://localhost:6060/debug/pprof/profile`.
-func serveDebug(addr string, reg *obs.Registry, prog *obs.Progress) {
+// newDebugMetrics builds the harness's explicit metric families: the
+// run's live progress as scrape-time gauges, served next to the bridged
+// per-scheme and shard-cache families of the registry.
+func newDebugMetrics() *obs.Metrics {
+	m := obs.NewMetrics()
+	m.GaugeFunc("aegis_bench_trials_done", "Monte Carlo trials the current run has completed.",
+		func() float64 { return float64(debugProgress.Load().Snapshot().TrialsDone) })
+	m.GaugeFunc("aegis_bench_trials_total", "Monte Carlo trials the current run has registered.",
+		func() float64 { return float64(debugProgress.Load().Snapshot().TrialsTotal) })
+	m.GaugeFunc("aegis_bench_trials_per_second", "Average trial completion rate of the current run.",
+		func() float64 { return debugProgress.Load().Snapshot().TrialsPerSec })
+	return m
+}
+
+// newDebugMux builds the -http surface: the shared operational endpoints
+// of obs.RegisterDebug — GET /metrics (Prometheus text exposition),
+// /debug/pprof/* and /debug/vars, the identical surface aegisd mounts —
+// plus the per-binary /debug/aegis/progress.
+func newDebugMux(reg *obs.Registry, prog *obs.Progress) *http.ServeMux {
 	publishCounters(reg)
-	publishProgress(prog)
+	debugProgress.Store(prog)
+	mux := http.NewServeMux()
+	obs.RegisterDebug(mux, newDebugMetrics(), func() *obs.Registry { return debugRegistry.Load() }, nil)
+	mux.Handle("GET /debug/aegis/progress", progressHandler())
+	return mux
+}
+
+// serveDebug starts the opt-in diagnostics endpoint.  Profiling long
+// runs: `aegisbench -exp all -preset full -http localhost:6060`, then
+// `go tool pprof http://localhost:6060/debug/pprof/profile`; scrape
+// progress with `curl localhost:6060/metrics`.
+func serveDebug(addr string, reg *obs.Registry, prog *obs.Progress) {
+	mux := newDebugMux(reg, prog)
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := http.ListenAndServe(addr, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "aegisbench: -http:", err)
 		}
 	}()

@@ -7,15 +7,23 @@
 //
 //	aegisd -addr :8080 -cache-dir /var/cache/aegis
 //	aegisd -addr 127.0.0.1:0 -addr-file /tmp/aegisd.addr   # pick a free port
+//	aegisd -version                                        # build + schema report
 //
-// API (see DESIGN.md §11 for the full contract):
+// API (see DESIGN.md §11 and §14, and README "Operating aegisd"):
 //
 //	POST /v1/jobs             submit a job       → 202 + status
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        job status, queue position, live progress
 //	GET  /v1/jobs/{id}/result merged results     (schema aegis.job/v1)
+//	GET  /v1/jobs/{id}/events live progress stream (Server-Sent Events)
+//	GET  /v1/version          build identity + wire-format schemas
 //	GET  /v1/healthz          liveness + queue/worker gauges
-//	GET  /debug/aegis/progress, /debug/pprof/*
+//	GET  /metrics             Prometheus text exposition
+//	GET  /debug/aegis/progress, /debug/pprof/*, /debug/vars
+//
+// Logs are structured (log/slog, -log text|json) and correlated:
+// every record a job produces carries the submitting request's ID, the
+// job ID and its spec hash, and engine shard records add the shard key.
 //
 // On SIGINT/SIGTERM the daemon drains: no new jobs are accepted,
 // running jobs stop at their next shard boundary, and every completed
@@ -25,8 +33,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,26 +49,56 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "aegisd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// newLogger builds the daemon logger: text or JSON records at the
+// requested level, written to w.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("-log %q: want text or json", format)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aegisd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts wrapping port 0)")
-		workers  = fs.Int("workers", 2, "jobs run concurrently")
-		queue    = fs.Int("queue", 16, "max queued jobs before submissions get 429")
-		cacheDir = fs.String("cache-dir", "", "shard cache directory (persist + resume; empty = in-memory only)")
-		shards   = fs.Int("shards", 8, "default shards per job")
-		engineW  = fs.Int("engine-workers", 0, "shards computed concurrently per job (0 = NumCPU)")
-		jobTO    = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
-		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight shards on shutdown")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile  = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts wrapping port 0)")
+		workers   = fs.Int("workers", 2, "jobs run concurrently")
+		queue     = fs.Int("queue", 16, "max queued jobs before submissions get 429")
+		cacheDir  = fs.String("cache-dir", "", "shard cache directory (persist + resume; empty = in-memory only)")
+		shards    = fs.Int("shards", 8, "default shards per job")
+		engineW   = fs.Int("engine-workers", 0, "shards computed concurrently per job (0 = NumCPU)")
+		jobTO     = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight shards on shutdown")
+		logFormat = fs.String("log", "text", "log record format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version   = fs.Bool("version", false, "print build identity and schema versions as JSON, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(serve.Version())
+	}
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 
@@ -68,6 +109,7 @@ func run(args []string) error {
 		Shards:        *shards,
 		EngineWorkers: *engineW,
 		JobTimeout:    *jobTO,
+		Logger:        logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -84,8 +126,15 @@ func run(args []string) error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	srv.Start()
-	fmt.Fprintf(os.Stderr, "aegisd: listening on %s (workers=%d queue=%d shards=%d cache=%q)\n",
-		bound, *workers, *queue, *shards, *cacheDir)
+	v := serve.Version()
+	logger.Info("listening",
+		slog.String("addr", bound),
+		slog.Int("workers", *workers),
+		slog.Int("queue", *queue),
+		slog.Int("shards", *shards),
+		slog.String("cache_dir", *cacheDir),
+		slog.String("git_sha", v.GitSHA),
+		slog.String("go_version", v.GoVersion))
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -96,7 +145,7 @@ func run(args []string) error {
 	case err := <-errCh:
 		return err
 	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "aegisd: %v: draining (in-flight shards finish and persist)\n", got)
+		logger.Info("draining", slog.String("signal", got.String()))
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
@@ -104,12 +153,12 @@ func run(args []string) error {
 	drainErr := srv.Drain(ctx)
 	if drainErr != nil {
 		// Shard-boundary drain overran the budget: hard-cancel.
-		fmt.Fprintf(os.Stderr, "aegisd: %v; cancelling running jobs\n", drainErr)
+		logger.Warn("drain overran; cancelling running jobs", slog.String("error", drainErr.Error()))
 		srv.Close()
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		httpSrv.Close()
 	}
-	fmt.Fprintln(os.Stderr, "aegisd: stopped")
+	logger.Info("stopped")
 	return nil
 }

@@ -3,21 +3,74 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
 
+// syncBuffer is a concurrency-safe log sink: the daemon's slog handler
+// writes from HTTP handler goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // TestRunBadAddr: an unbindable address must surface as an error, not a
 // hang.
 func TestRunBadAddr(t *testing.T) {
-	if err := run([]string{"-addr", "256.256.256.256:0"}); err == nil {
+	if err := run([]string{"-addr", "256.256.256.256:0"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("expected listen error")
+	}
+}
+
+// TestVersionFlag: -version prints the build/schema report and exits
+// cleanly without binding a port.
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		Service string            `json:"service"`
+		GitSHA  string            `json:"git_sha"`
+		Schemas map[string]string `json:"schemas"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &v); err != nil {
+		t.Fatalf("unparseable -version output %q: %v", out.String(), err)
+	}
+	if v.Service != "aegisd" || v.GitSHA == "" {
+		t.Fatalf("incomplete version report: %+v", v)
+	}
+	if v.Schemas["job"] != "aegis.job/v1" || v.Schemas["shard"] != "aegis.shard/v1" {
+		t.Fatalf("schema report: %+v", v.Schemas)
+	}
+}
+
+// TestBadLogFlags: malformed -log / -log-level surface as flag errors.
+func TestBadLogFlags(t *testing.T) {
+	if err := run([]string{"-log", "yaml"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("expected error for -log yaml")
+	}
+	if err := run([]string{"-log-level", "loud"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("expected error for -log-level loud")
 	}
 }
 
@@ -27,6 +80,7 @@ func TestRunBadAddr(t *testing.T) {
 func TestDaemonEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	addrFile := filepath.Join(dir, "addr")
+	var logBuf syncBuffer
 	done := make(chan error, 1)
 	go func() {
 		done <- run([]string{
@@ -36,7 +90,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 			"-shards", "4",
 			"-cache-dir", filepath.Join(dir, "cache"),
 			"-drain-timeout", "10s",
-		})
+			"-log", "json",
+		}, io.Discard, &logBuf)
 	}()
 
 	var base string
@@ -117,6 +172,30 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("got %d block results, want 4", len(result.Blocks))
 	}
 
+	// The operational surface is mounted on the same mux.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"aegis_http_requests_total", "aegis_scheme_writes_total", "aegis_build_info"} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("daemon /metrics missing %q", want)
+		}
+	}
+	resp, err = http.Get(base + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("version: %d", resp.StatusCode)
+	}
+
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
@@ -128,5 +207,12 @@ func TestDaemonEndToEnd(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not drain after SIGTERM")
 	}
-	fmt.Fprintln(os.Stderr) // keep -v output tidy after the daemon's stderr lines
+
+	// The structured log shows the full lifecycle.
+	logs := logBuf.String()
+	for _, want := range []string{`"msg":"listening"`, `"msg":"job accepted"`, `"msg":"job done"`, `"msg":"draining"`, `"msg":"stopped"`} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("daemon log missing %s:\n%s", want, logs)
+		}
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -61,6 +62,14 @@ type Engine struct {
 	// with sim.Config.Ctx, which is the hard stop: a cancelled context
 	// aborts mid-shard and the aborted shard is discarded unpersisted.
 	Drain <-chan struct{}
+	// Logger, when non-nil, receives one structured record per shard
+	// (cache hit or computed) with the shard's identity — scheme, kind,
+	// trial range, short cache key — and compute duration.  The serving
+	// daemon passes a logger already carrying request and job IDs, which
+	// completes the correlation chain request → job → shard.  Records
+	// are emitted from shard workers, so the handler must be safe for
+	// concurrent use (slog's built-ins are).
+	Logger *slog.Logger
 
 	// afterShard, when set, runs after each shard completes (computed
 	// or loaded).  Calls are serialized.  Returning an error aborts
@@ -366,6 +375,7 @@ func (e *Engine) oneShard(cfg sim.Config, compute func(sim.Config, *Shard), hash
 			if cfg.Obs != nil {
 				cfg.Obs.Shards().CacheHits.Inc()
 			}
+			e.logShard("shard cache hit", s, 0)
 			return s, e.shardDone(s)
 		case errors.Is(err, fs.ErrNotExist), errors.Is(err, ErrCorruptShard):
 			// Absent or unreadable: an ordinary miss, recompute.
@@ -396,7 +406,9 @@ func (e *Engine) oneShard(cfg sim.Config, compute func(sim.Config, *Shard), hash
 		CodeVersion: code,
 		CreatedAt:   time.Now().UTC(),
 	}
+	start := time.Now()
 	compute(shardCfg, s)
+	elapsed := time.Since(start)
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 		// The hard stop fired mid-shard: the payload is partial, so it
 		// must never be persisted or merged.
@@ -412,7 +424,36 @@ func (e *Engine) oneShard(cfg sim.Config, compute func(sim.Config, *Shard), hash
 			cfg.Obs.Shards().Persisted.Inc()
 		}
 	}
+	e.logShard("shard computed", s, elapsed)
 	return s, e.shardDone(s)
+}
+
+// logShard emits one structured record for a finished shard.  The key
+// is truncated to its first 12 hex digits — enough to find the cache
+// file, short enough to read.
+func (e *Engine) logShard(msg string, s *Shard, elapsed time.Duration) {
+	if e == nil || e.Logger == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("scheme", s.Scheme),
+		slog.String("kind", s.Kind),
+		slog.Int("trial_lo", s.TrialLo),
+		slog.Int("trial_hi", s.TrialHi),
+		slog.String("shard_key", shortKey(s.Key)),
+	}
+	if elapsed > 0 {
+		attrs = append(attrs, slog.Duration("elapsed", elapsed))
+	}
+	e.Logger.Info(msg, attrs...)
+}
+
+// shortKey abbreviates a content-address to its first 12 hex digits.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // shardDone invokes the test hook, if any; calls are serialized so the

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"aegis/internal/core"
@@ -444,4 +447,85 @@ func TestWriteLoadRoundTrip(t *testing.T) {
 	if _, err := LoadShard(filepath.Join(dir, "absent.json"), "k", "h", "A", KindCurve, 0, 5); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("missing file error = %v", err)
 	}
+}
+
+// TestShardLogging runs a sharded study twice against a capturing slog
+// handler: the first run logs every shard as computed, the resumed run
+// logs every shard as a cache hit, and each record carries the full
+// shard identity (scheme, kind, trial range, short key).
+func TestShardLogging(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil))
+	f := testFactory()
+	cfg := testConfig(6)
+
+	run := func(resume bool) {
+		e := &Engine{Shards: 3, CacheDir: dir, Resume: resume, Workers: 2, Logger: logger}
+		if _, err := e.Blocks(f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parse := func() []map[string]any {
+		mu.Lock()
+		defer mu.Unlock()
+		var recs []map[string]any
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("unparseable log line %q: %v", line, err)
+			}
+			recs = append(recs, rec)
+		}
+		buf.Reset()
+		return recs
+	}
+
+	run(false)
+	recs := parse()
+	if len(recs) != 3 {
+		t.Fatalf("cold run logged %d records, want 3 shards", len(recs))
+	}
+	for _, rec := range recs {
+		if rec["msg"] != "shard computed" {
+			t.Fatalf("cold run logged %v, want \"shard computed\"", rec["msg"])
+		}
+		if rec["scheme"] != f.Name() || rec["kind"] != KindBlocks {
+			t.Fatalf("record missing shard identity: %v", rec)
+		}
+		if key, _ := rec["shard_key"].(string); len(key) != 12 {
+			t.Fatalf("shard_key = %v, want 12 hex digits", rec["shard_key"])
+		}
+		if _, ok := rec["elapsed"]; !ok {
+			t.Fatalf("computed shard logged no duration: %v", rec)
+		}
+	}
+
+	run(true)
+	recs = parse()
+	if len(recs) != 3 {
+		t.Fatalf("resumed run logged %d records, want 3 shards", len(recs))
+	}
+	for _, rec := range recs {
+		if rec["msg"] != "shard cache hit" {
+			t.Fatalf("resumed run logged %v, want \"shard cache hit\"", rec["msg"])
+		}
+	}
+}
+
+// lockedWriter serializes writes from concurrent shard workers; slog
+// handlers may interleave Write calls otherwise.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

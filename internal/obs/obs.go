@@ -59,6 +59,10 @@ type SchemeCounters struct {
 	// after at least one failed verification pass — requests the scheme
 	// actively recovered.
 	Salvages Counter
+	// BitWrites is the number of cell programming pulses the simulated
+	// blocks absorbed, inversion rewrites included — the raw wear the
+	// substrate saw, one level below RawWrites.
+	BitWrites Counter
 	// BlockDeaths is the number of simulated blocks that became
 	// unrecoverable.
 	BlockDeaths Counter
@@ -76,6 +80,7 @@ type Totals struct {
 	Inversions   int64 `json:"inversions"`
 	Repartitions int64 `json:"repartitions"`
 	Salvages     int64 `json:"salvages"`
+	BitWrites    int64 `json:"bit_writes"`
 	BlockDeaths  int64 `json:"block_deaths"`
 	PageDeaths   int64 `json:"page_deaths"`
 }
@@ -89,6 +94,7 @@ func (c *SchemeCounters) Totals() Totals {
 		Inversions:   c.Inversions.Load(),
 		Repartitions: c.Repartitions.Load(),
 		Salvages:     c.Salvages.Load(),
+		BitWrites:    c.BitWrites.Load(),
 		BlockDeaths:  c.BlockDeaths.Load(),
 		PageDeaths:   c.PageDeaths.Load(),
 	}
@@ -103,6 +109,7 @@ func (t Totals) Plus(u Totals) Totals {
 		Inversions:   t.Inversions + u.Inversions,
 		Repartitions: t.Repartitions + u.Repartitions,
 		Salvages:     t.Salvages + u.Salvages,
+		BitWrites:    t.BitWrites + u.BitWrites,
 		BlockDeaths:  t.BlockDeaths + u.BlockDeaths,
 		PageDeaths:   t.PageDeaths + u.PageDeaths,
 	}
@@ -200,6 +207,7 @@ func (r *Registry) AddTotals(name string, t Totals) {
 	sc.Inversions.Add(t.Inversions)
 	sc.Repartitions.Add(t.Repartitions)
 	sc.Salvages.Add(t.Salvages)
+	sc.BitWrites.Add(t.BitWrites)
 	sc.BlockDeaths.Add(t.BlockDeaths)
 	sc.PageDeaths.Add(t.PageDeaths)
 }
@@ -209,6 +217,15 @@ func (r *Registry) AddTotals(name string, t Totals) {
 // SchemeHistograms.Merge).
 func (r *Registry) AddHist(name string, s HistSnapshot) {
 	r.Histograms(name).Merge(s)
+}
+
+// AddShardTotals folds a shard-counter snapshot into the run-global
+// shard counters.  The serving daemon uses this to accumulate every
+// job's cache traffic into one service-lifetime registry for /metrics.
+func (r *Registry) AddShardTotals(t ShardTotals) {
+	r.shards.CacheHits.Add(t.CacheHits)
+	r.shards.CacheMisses.Add(t.CacheMisses)
+	r.shards.Persisted.Add(t.Persisted)
 }
 
 // Names returns the registered scheme names in sorted order.

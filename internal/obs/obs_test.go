@@ -50,6 +50,7 @@ func TestConcurrentIncrements(t *testing.T) {
 				sc.Inversions.Inc()
 				sc.Repartitions.Inc()
 				sc.Salvages.Inc()
+				sc.BitWrites.Add(3)
 				sc.BlockDeaths.Inc()
 				sc.PageDeaths.Inc()
 			}
@@ -64,6 +65,7 @@ func TestConcurrentIncrements(t *testing.T) {
 		Inversions:   workers * perWorker,
 		Repartitions: workers * perWorker,
 		Salvages:     workers * perWorker,
+		BitWrites:    3 * workers * perWorker,
 		BlockDeaths:  workers * perWorker,
 		PageDeaths:   workers * perWorker,
 	}
@@ -73,9 +75,9 @@ func TestConcurrentIncrements(t *testing.T) {
 }
 
 func TestTotalsPlus(t *testing.T) {
-	a := Totals{Writes: 1, RawWrites: 2, VerifyReads: 3, Inversions: 4, Repartitions: 5, Salvages: 6, BlockDeaths: 7, PageDeaths: 8}
-	b := Totals{Writes: 10, RawWrites: 20, VerifyReads: 30, Inversions: 40, Repartitions: 50, Salvages: 60, BlockDeaths: 70, PageDeaths: 80}
-	want := Totals{Writes: 11, RawWrites: 22, VerifyReads: 33, Inversions: 44, Repartitions: 55, Salvages: 66, BlockDeaths: 77, PageDeaths: 88}
+	a := Totals{Writes: 1, RawWrites: 2, VerifyReads: 3, Inversions: 4, Repartitions: 5, Salvages: 6, BitWrites: 9, BlockDeaths: 7, PageDeaths: 8}
+	b := Totals{Writes: 10, RawWrites: 20, VerifyReads: 30, Inversions: 40, Repartitions: 50, Salvages: 60, BitWrites: 90, BlockDeaths: 70, PageDeaths: 80}
+	want := Totals{Writes: 11, RawWrites: 22, VerifyReads: 33, Inversions: 44, Repartitions: 55, Salvages: 66, BitWrites: 99, BlockDeaths: 77, PageDeaths: 88}
 	if got := a.Plus(b); got != want {
 		t.Fatalf("Plus = %+v, want %+v", got, want)
 	}

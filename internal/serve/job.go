@@ -80,11 +80,14 @@ type JobRequest struct {
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
-// RequestError is the structured validation failure handleSubmit
-// returns as the 400 body: the offending field plus a human message.
+// RequestError is the structured error body of every non-2xx JSON
+// response: the offending field (validation failures), a human message,
+// and the request ID the instrumentation assigned — quote it to
+// correlate a client-side failure with the daemon's logs.
 type RequestError struct {
-	Field   string `json:"field,omitempty"`
-	Message string `json:"error"`
+	Field     string `json:"field,omitempty"`
+	Message   string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (e *RequestError) Error() string {
@@ -243,6 +246,9 @@ type Job struct {
 	spec    string
 	request JobRequest
 	factory scheme.Factory
+	// reqID is the request ID of the submission that created the job —
+	// the head of the correlation chain request → job → shard.
+	reqID string
 
 	progress *obs.Progress
 

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"time"
+
+	"aegis/internal/obs"
+)
+
+// Request instrumentation and the daemon's metric surface: every API
+// and debug route is wrapped in instrument(), which assigns (or adopts)
+// a request ID, counts the request per route/method/status, times it
+// into a latency histogram, and tracks the in-flight gauge.  Metric
+// names follow DESIGN.md §14.
+
+// serverMetrics owns the daemon's explicit metric families.  The
+// per-scheme and shard-cache families come from the obs.Registry bridge
+// (obs.WriteRegistry) and are not duplicated here.
+type serverMetrics struct {
+	m        *obs.Metrics
+	inflight *obs.Gauge
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	m := obs.NewMetrics()
+	sm := &serverMetrics{
+		m:        m,
+		inflight: m.Gauge("aegis_http_inflight_requests", "HTTP requests currently being served."),
+	}
+	// Pool occupancy and queue depth evaluate at scrape time so they
+	// can't drift from the server's own accounting.
+	m.GaugeFunc("aegis_jobs_queued", "Jobs accepted but not yet started.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.queued)
+	})
+	m.GaugeFunc("aegis_jobs_running", "Jobs currently executing on the worker pool.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.running)
+	})
+	m.GaugeFunc("aegis_workers", "Size of the job worker pool.", func() float64 {
+		return float64(s.opts.Workers)
+	})
+	m.GaugeFunc("aegis_queue_capacity", "Maximum number of queued jobs before 429.", func() float64 {
+		return float64(s.opts.QueueDepth)
+	})
+	m.GaugeFunc("aegis_event_streams", "Open SSE job-event streams.", func() float64 {
+		return float64(s.streams.Load())
+	})
+	return sm
+}
+
+// jobFinished counts one job reaching a terminal state.
+func (sm *serverMetrics) jobFinished(state string) {
+	sm.m.Counter("aegis_jobs_total", "Jobs finished, by terminal state.", obs.L("state", state)).Inc()
+}
+
+// requestIDKey carries the request ID through the handler context.
+type requestIDKey struct{}
+
+// requestID returns the ID instrument() assigned to this request, or ""
+// for un-instrumented requests (direct handler tests).
+func requestID(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID mints a 12-hex-digit request ID.  IDs only need to be
+// unique within a log-retention window, so 48 random bits suffice.
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-unavailable"
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status for the request counter and
+// preserves the wrapped writer's optional interfaces via Unwrap, which
+// http.ResponseController uses — the SSE handler flushes through this
+// same wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps one route's handler in the daemon's request
+// instrumentation.  The route label is the registration pattern, not
+// the raw URL, so the label cardinality is fixed no matter what clients
+// request.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 64 {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		s.metrics.inflight.Inc()
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.inflight.Dec()
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.metrics.m.Counter("aegis_http_requests_total", "HTTP requests served, by route, method and status.",
+			obs.L("route", route), obs.L("method", r.Method), obs.L("code", strconv.Itoa(sw.status))).Inc()
+		s.metrics.m.Histogram("aegis_http_request_duration_seconds", "HTTP request latency, by route.",
+			1e-6, obs.L("route", route)).Observe(elapsed.Microseconds())
+	})
+}

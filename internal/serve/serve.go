@@ -21,10 +21,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aegis/internal/engine"
@@ -53,6 +54,19 @@ type Options struct {
 	// JobTimeout is the default per-job deadline (0 = none).  Requests
 	// may set a shorter one via timeout_seconds.
 	JobTimeout time.Duration
+	// Logger receives the daemon's structured log records (nil = log
+	// nothing).  Records carry the correlation chain: request ID → job
+	// ID and spec hash → shard key.
+	Logger *slog.Logger
+	// StreamInterval is the period between SSE progress frames on
+	// GET /v1/jobs/{id}/events (default 1s).
+	StreamInterval time.Duration
+	// StreamHeartbeat is the period between SSE keepalive comments
+	// (default 15s).
+	StreamHeartbeat time.Duration
+	// MaxStreams bounds concurrently open SSE streams; subscribers
+	// beyond it get 503 with Retry-After (default 64).
+	MaxStreams int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,8 +82,29 @@ func (o Options) withDefaults() Options {
 	if o.EngineWorkers <= 0 {
 		o.EngineWorkers = runtime.NumCPU()
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(noopHandler{})
+	}
+	if o.StreamInterval <= 0 {
+		o.StreamInterval = time.Second
+	}
+	if o.StreamHeartbeat <= 0 {
+		o.StreamHeartbeat = 15 * time.Second
+	}
+	if o.MaxStreams <= 0 {
+		o.MaxStreams = 64
+	}
 	return o
 }
+
+// noopHandler drops every record; it stands in for a nil Options.Logger
+// so the daemon never nil-checks its logger.
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }
 
 // Server is the aegisd job service.  Create with New, mount Handler on
 // an http.Server, call Start to launch the worker pool, and Drain (or
@@ -77,6 +112,15 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts Options
 	mux  *http.ServeMux
+	log  *slog.Logger
+
+	// metrics is the daemon's explicit metric surface; obsReg is the
+	// service-lifetime registry every finished job's counters fold into.
+	// Together they back GET /metrics (obs.MetricsHandler).
+	metrics *serverMetrics
+	obsReg  *obs.Registry
+	// streams counts open SSE subscriptions against Options.MaxStreams.
+	streams atomic.Int64
 
 	// drainCh is shared by every job's engine as Engine.Drain.
 	drainCh   chan struct{}
@@ -104,27 +148,37 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:    opts,
+		log:     opts.Logger,
+		obsReg:  obs.NewRegistry(),
 		drainCh: make(chan struct{}),
 		queueCh: make(chan *Job, opts.QueueDepth),
 		jobs:    make(map[string]*Job),
 		active:  make(map[string]*Job),
 		cancels: make(map[string]context.CancelFunc),
 	}
+	s.metrics = newServerMetrics(s)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /debug/aegis/progress", s.handleProgress)
-	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	api := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(route, h))
+	}
+	api("POST /v1/jobs", "/v1/jobs", s.handleSubmit)
+	api("GET /v1/jobs", "/v1/jobs", s.handleList)
+	api("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleStatus)
+	api("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", s.handleResult)
+	api("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleEvents)
+	api("GET /v1/version", "/v1/version", s.handleVersion)
+	api("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	api("GET /debug/aegis/progress", "/debug/aegis/progress", s.handleProgress)
+	// The shared debug surface: GET /metrics, /debug/pprof/*,
+	// /debug/vars — the same mux aegisbench -http serves.
+	obs.RegisterDebug(mux, s.metrics.m, func() *obs.Registry { return s.obsReg }, s.instrument)
 	s.mux = mux
 	return s
 }
+
+// Metrics exposes the daemon's metric registry; cmd/aegisd uses it for
+// process-level gauges.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics.m }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -190,7 +244,9 @@ func (s *Server) Close() error {
 // submit validates, deduplicates and enqueues a request.  It returns
 // the job (new or, for a duplicate, the existing active one), whether
 // the job was newly created, and the HTTP status to answer with.
-func (s *Server) submit(req JobRequest) (*Job, bool, int, error) {
+// reqID is the submitting request's correlation ID; it is recorded on
+// the job and appears in every log record the job produces.
+func (s *Server) submit(req JobRequest, reqID string) (*Job, bool, int, error) {
 	f, err := req.normalize()
 	if err != nil {
 		return nil, false, http.StatusBadRequest, err
@@ -218,6 +274,7 @@ func (s *Server) submit(req JobRequest) (*Job, bool, int, error) {
 		spec:     spec,
 		request:  req,
 		factory:  f,
+		reqID:    reqID,
 		progress: obs.NewProgress(),
 		state:    StateQueued,
 		created:  time.Now().UTC(),
@@ -246,6 +303,8 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 		if draining {
 			job.setState(StateAborted, ErrJobAborted)
+			s.metrics.jobFinished(StateAborted)
+			s.jobLogger(job).Info("job aborted before start", slog.String("reason", "daemon draining"))
 			s.retire(job)
 			continue
 		}
@@ -310,12 +369,14 @@ func (s *Server) runJob(job *Job) {
 	if shards == 0 {
 		shards = s.opts.Shards
 	}
+	logger := s.jobLogger(job)
 	eng := &engine.Engine{
 		Shards:   shards,
 		CacheDir: s.opts.CacheDir,
 		Resume:   s.opts.CacheDir != "",
 		Workers:  s.opts.EngineWorkers,
 		Drain:    s.drainCh,
+		Logger:   logger,
 	}
 	reg := obs.NewRegistry()
 	cfg := req.config()
@@ -325,6 +386,11 @@ func (s *Server) runJob(job *Job) {
 	cfg.Progress = job.progress
 
 	job.setState(StateRunning, nil)
+	logger.Info("job started",
+		slog.String("kind", req.Kind),
+		slog.String("scheme", job.factory.Name()),
+		slog.Int("trials", req.Trials),
+		slog.Int("shards", shards))
 	start := time.Now()
 	result := &JobResult{
 		Schema:  JobSchema,
@@ -344,12 +410,29 @@ func (s *Server) runJob(job *Job) {
 	default:
 		err = fmt.Errorf("serve: unreachable kind %q", req.Kind) // normalize rejects it
 	}
-	if err != nil {
-		if errors.Is(err, engine.ErrDraining) {
-			job.setState(StateAborted, err)
-		} else {
-			job.setState(StateFailed, err)
+	// Fold the job's private registry into the service-lifetime one so
+	// /metrics shows cumulative per-scheme and shard-cache totals across
+	// every job, whatever this job's outcome (cache traffic accrues even
+	// on aborted runs; scheme counters exist only on success).
+	defer func() {
+		for name, tot := range reg.Snapshot() {
+			s.obsReg.AddTotals(name, tot)
 		}
+		for name, h := range reg.HistSnapshot() {
+			s.obsReg.AddHist(name, h)
+		}
+		s.obsReg.AddShardTotals(reg.Shards().Totals())
+	}()
+	if err != nil {
+		state := StateFailed
+		if errors.Is(err, engine.ErrDraining) {
+			state = StateAborted
+		}
+		job.setState(state, err)
+		s.metrics.jobFinished(state)
+		logger.Warn("job "+state,
+			slog.String("error", err.Error()),
+			slog.Duration("elapsed", time.Since(start)))
 		return
 	}
 	result.ElapsedSeconds = time.Since(start).Seconds()
@@ -371,6 +454,21 @@ func (s *Server) runJob(job *Job) {
 	job.result = result
 	job.mu.Unlock()
 	job.setState(StateDone, nil)
+	s.metrics.jobFinished(StateDone)
+	logger.Info("job done",
+		slog.Duration("elapsed", time.Since(start)),
+		slog.Int64("cache_hits", st.CacheHits),
+		slog.Int64("cache_misses", st.CacheMisses))
+}
+
+// jobLogger returns the daemon logger scoped to one job: every record
+// carries the job ID, its spec hash (abbreviated, enough to find the
+// shard cache entries) and the submitting request's ID.
+func (s *Server) jobLogger(job *Job) *slog.Logger {
+	return s.log.With(
+		slog.String("job", job.id),
+		slog.String("spec", job.spec[:12]),
+		slog.String("request_id", job.reqID))
 }
 
 // stateLocked reads the job state; callers must not hold j.mu.
@@ -441,15 +539,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
 }
 
+// setRetryAfter advises backpressured clients when to come back: a 429
+// clears when a job finishes (seconds), a 503 when the daemon restarts.
+func setRetryAfter(w http.ResponseWriter, status int) {
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "5")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "10")
+	}
+}
+
+// writeError answers with a JSON RequestError body stamped with the
+// request's correlation ID, plus Retry-After on backpressure statuses.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, re *RequestError) {
+	re.RequestID = requestID(r)
+	setRetryAfter(w, status)
+	writeJSON(w, status, re)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, &RequestError{Message: "invalid JSON body: " + err.Error()})
+		s.writeError(w, r, http.StatusBadRequest, &RequestError{Message: "invalid JSON body: " + err.Error()})
 		return
 	}
-	job, created, status, err := s.submit(req)
+	job, created, status, err := s.submit(req, rid)
 	if err != nil {
 		resp := struct {
 			*RequestError
@@ -461,13 +579,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp.RequestError = &RequestError{Message: err.Error()}
 		}
+		resp.RequestError.RequestID = rid
 		if job != nil { // duplicate submission: point at the live job
 			resp.ID = job.id
 		}
+		setRetryAfter(w, status)
 		writeJSON(w, status, resp)
 		return
 	}
 	_ = created
+	s.log.Info("job accepted",
+		slog.String("request_id", rid),
+		slog.String("job", job.id),
+		slog.String("spec", job.spec[:12]),
+		slog.String("kind", req.Kind),
+		slog.String("scheme", req.Scheme))
 	w.Header().Set("Location", "/v1/jobs/"+job.id)
 	writeJSON(w, status, s.status(job))
 }
@@ -475,7 +601,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, &RequestError{Message: "unknown job " + r.PathValue("id")})
+		s.writeError(w, r, http.StatusNotFound, &RequestError{Message: "unknown job " + r.PathValue("id")})
 		return
 	}
 	writeJSON(w, http.StatusOK, s.status(job))
@@ -484,7 +610,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, &RequestError{Message: "unknown job " + r.PathValue("id")})
+		s.writeError(w, r, http.StatusNotFound, &RequestError{Message: "unknown job " + r.PathValue("id")})
 		return
 	}
 	state, err, result, _, _, _ := job.snapshot()
@@ -493,7 +619,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			re.Message += ": " + err.Error()
 		}
-		writeJSON(w, http.StatusConflict, re)
+		s.writeError(w, r, http.StatusConflict, re)
 		return
 	}
 	writeJSON(w, http.StatusOK, result)

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// GET /v1/jobs/{id}/events streams a job's progress as Server-Sent
+// Events (DESIGN.md §14): one "progress" event per interval carrying
+// the job's state and live progress snapshot, comment-line heartbeats
+// to keep idle proxies from dropping the connection, and a final "done"
+// event carrying the job's full status once it reaches a terminal
+// state.  The stream ends after "done"; a job that is already terminal
+// yields one "progress" frame and the "done" frame immediately.
+//
+// The fan-out is bounded (Options.MaxStreams); excess subscribers get
+// 503 with Retry-After rather than an unbounded goroutine pile-up, and
+// a client that disconnects mid-stream is detected via its request
+// context on the next frame.
+
+// streamFrame is the data payload of a "progress" event.
+type streamFrame struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Progress any    `json:"progress"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, &RequestError{Message: "unknown job " + r.PathValue("id")})
+		return
+	}
+	if n := s.streams.Add(1); int(n) > s.opts.MaxStreams {
+		s.streams.Add(-1)
+		s.writeError(w, r, http.StatusServiceUnavailable,
+			&RequestError{Message: fmt.Sprintf("too many open event streams (limit %d); retry shortly", s.opts.MaxStreams)})
+		return
+	}
+	defer s.streams.Add(-1)
+
+	rc := http.NewResponseController(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+
+	seq := 0
+	send := func(event string, payload any) error {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+		seq++
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, event, data); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+	frame := func() (string, error) {
+		state := job.stateLocked()
+		return state, send("progress", streamFrame{ID: job.id, State: state, Progress: job.progress.Snapshot()})
+	}
+	done := func() {
+		// The terminal frame carries the full status (error, timestamps,
+		// result URL), so a subscriber needs no follow-up poll.
+		send("done", s.status(job)) //nolint:errcheck // stream is ending either way
+	}
+
+	state, err := frame()
+	if err != nil {
+		return
+	}
+	if isTerminal(state) {
+		done()
+		return
+	}
+
+	ticker := time.NewTicker(s.opts.StreamInterval)
+	defer ticker.Stop()
+	heartbeat := time.NewTicker(s.opts.StreamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			// A comment line per the SSE grammar: ignored by clients,
+			// keeps the connection visibly alive to intermediaries.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case <-ticker.C:
+			state, err := frame()
+			if err != nil {
+				return
+			}
+			if isTerminal(state) {
+				done()
+				return
+			}
+		}
+	}
+}
+
+// isTerminal reports whether a job state can no longer change.
+func isTerminal(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateAborted:
+		return true
+	}
+	return false
+}

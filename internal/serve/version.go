@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"net/http"
+
+	"aegis/internal/engine"
+	"aegis/internal/obs"
+)
+
+// VersionInfo is the GET /v1/version response and the aegisd -version
+// report: the build identity plus the schema version of every wire and
+// file format the daemon speaks.  Clients use the schema map to decide
+// compatibility before submitting work.
+type VersionInfo struct {
+	Service   string `json:"service"`
+	GitSHA    string `json:"git_sha"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// Schemas maps format name → identifier for every versioned format:
+	// job (the result payload), shard (the cache files), manifest (CLI
+	// run manifests) and events (decision traces).
+	Schemas map[string]string `json:"schemas"`
+}
+
+// Version reports the running build's identity.  The GitSHA lookup is
+// cached process-wide (obs.GitSHA), so calling this per request is
+// cheap.
+func Version() VersionInfo {
+	return VersionInfo{
+		Service:   "aegisd",
+		GitSHA:    obs.GitSHA(),
+		GoVersion: obs.GoVersion(),
+		OS:        obs.GOOS(),
+		Arch:      obs.GOARCH(),
+		Schemas: map[string]string{
+			"job":      JobSchema,
+			"shard":    engine.ShardSchema,
+			"manifest": obs.ManifestSchema,
+			"events":   obs.EventSchema,
+		},
+	}
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Version())
+}

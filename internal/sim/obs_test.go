@@ -49,6 +49,16 @@ func TestBlocksDrainCounters(t *testing.T) {
 	if tot.PageDeaths != 0 {
 		t.Fatalf("block study recorded page deaths: %+v", tot)
 	}
+	var wantBits int64
+	for _, r := range rs {
+		wantBits += r.BitWrites
+	}
+	if tot.BitWrites != wantBits {
+		t.Fatalf("BitWrites = %d, want sum of per-trial results = %d", tot.BitWrites, wantBits)
+	}
+	if tot.BitWrites == 0 {
+		t.Fatal("blocks written to death recorded no cell programming pulses")
+	}
 }
 
 // TestPagesDrainCounters checks page-death accounting and that a nil
@@ -69,6 +79,9 @@ func TestPagesDrainCounters(t *testing.T) {
 	tot := reg.Snapshot()[f.Name()]
 	if tot.PageDeaths != int64(cfg.Trials) {
 		t.Fatalf("PageDeaths = %d, want %d", tot.PageDeaths, cfg.Trials)
+	}
+	if tot.BitWrites == 0 {
+		t.Fatal("page study drained no cell programming pulses")
 	}
 	if tot.BlockDeaths != int64(cfg.Trials) {
 		t.Fatalf("BlockDeaths = %d, want %d (one killer block per page)", tot.BlockDeaths, cfg.Trials)

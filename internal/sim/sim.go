@@ -393,6 +393,7 @@ func blocksScalar(f scheme.Factory, cfg Config, results []BlockResult) {
 		}
 		if sc != nil {
 			drainOps(sc, s)
+			sc.BitWrites.Add(st.BitWrites)
 			if died {
 				sc.BlockDeaths.Inc()
 			}
@@ -471,6 +472,9 @@ func pagesScalar(f scheme.Factory, cfg Config, results []PageResult) {
 		if sc != nil {
 			for i := range schemes {
 				drainOps(sc, schemes[i])
+			}
+			for i := range blocks {
+				sc.BitWrites.Add(blocks[i].Stats().BitWrites)
 			}
 			if !alive {
 				// The page died with its first unrecoverable block.
@@ -572,6 +576,7 @@ func FailureCounts(f scheme.Factory, cfg Config, maxFaults, writesPerStep int, b
 		}
 		if sc != nil {
 			drainOps(sc, s)
+			sc.BitWrites.Add(blk.Stats().BitWrites)
 			if diedAt <= maxFaults {
 				sc.BlockDeaths.Inc()
 			}

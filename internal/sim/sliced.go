@@ -326,6 +326,7 @@ func blocksSliced(f scheme.SlicedFactory, cfg Config, plan *slicePlan, results [
 				if rep != nil {
 					drainLaneOps(sc, rep, l)
 				}
+				sc.BitWrites.Add(st.BitWrites)
 				if died {
 					sc.BlockDeaths.Inc()
 				}
@@ -400,6 +401,9 @@ func pagesSliced(f scheme.SlicedFactory, cfg Config, plan *slicePlan, results []
 					if reps[i] != nil {
 						drainLaneOps(sc, reps[i], l)
 					}
+				}
+				for i := range blocks {
+					sc.BitWrites.Add(blocks[i].Stats(l).BitWrites)
 				}
 				if died {
 					// The page died with its first unrecoverable block.

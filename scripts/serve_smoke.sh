@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Smoke-test the aegisd daemon end to end: boot it on a random port,
-# submit one job over HTTP, poll it to completion, save the result
-# manifest (schema aegis.job/v1), and shut the daemon down with SIGTERM.
-# CI uploads the saved JSON as a build artifact.
+# check its version report and Prometheus exposition, submit one job
+# over HTTP, poll it to completion, save the result manifest (schema
+# aegis.job/v1), rescrape /metrics to confirm the job's traffic showed
+# up, and shut the daemon down with SIGTERM.  CI uploads the saved
+# JSON and the exposition as build artifacts.
 #
 # Usage: scripts/serve_smoke.sh [outdir]   (default: out/serve-smoke)
 set -eu
@@ -32,6 +34,11 @@ echo "serve-smoke: daemon at $BASE"
 
 curl -fsS "$BASE/v1/healthz" >"$OUT/healthz.json"
 
+curl -fsS "$BASE/v1/version" >"$OUT/version.json"
+jq -e '.service == "aegisd" and .git_sha != "" and .schemas.job == "aegis.job/v1"' \
+    "$OUT/version.json" >/dev/null
+echo "serve-smoke: version $(jq -r .git_sha "$OUT/version.json")"
+
 JOB='{"kind":"blocks","scheme":"aegis:61","trials":8,"seed":1}'
 ID=$(curl -fsS -X POST -d "$JOB" "$BASE/v1/jobs" | jq -r .id)
 echo "serve-smoke: submitted $ID"
@@ -58,6 +65,17 @@ done
 curl -fsS "$BASE/v1/jobs/$ID/result" >"$OUT/job-result.json"
 jq -e '.schema == "aegis.job/v1" and (.blocks | length) == 8' \
     "$OUT/job-result.json" >/dev/null
+
+# The exposition must reflect the traffic this script just generated:
+# instrumented HTTP requests, the job's per-scheme simulation counters
+# and its shard-cache activity (a cold cache means misses, not hits).
+curl -fsS "$BASE/metrics" >"$OUT/metrics.prom"
+grep -q '^aegis_http_requests_total{route="/v1/jobs",method="POST",code="202"}' "$OUT/metrics.prom"
+grep -q '^aegis_scheme_writes_total{scheme=' "$OUT/metrics.prom"
+grep -Eq '^aegis_shard_cache_(hits|misses)_total [1-9]' "$OUT/metrics.prom"
+grep -q '^aegis_http_request_duration_seconds_bucket' "$OUT/metrics.prom"
+grep -q '^aegis_build_info{' "$OUT/metrics.prom"
+echo "serve-smoke: metrics OK ($(wc -l <"$OUT/metrics.prom") exposition lines)"
 
 kill -TERM "$DAEMON"
 wait "$DAEMON"
