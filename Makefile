@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short test-race vet bench bench-json bench-baseline bench-gate trace-sample repro repro-quick resume-demo serve-smoke extensions examples fuzz golden clean
+.PHONY: all test test-short test-race vet bench bench-json bench-baseline bench-gate trace-sample repro repro-quick resume-demo serve-smoke load-gate extensions examples fuzz golden clean
 
 all: test
 
@@ -81,6 +81,13 @@ resume-demo:
 serve-smoke:
 	sh scripts/serve_smoke.sh out/serve-smoke
 
+# Load + leak gate: boot aegisd with a journal, drive it with aegisload
+# (multi-tenant, duplicate and fresh specs), and fail on latency or
+# goroutine/FD-leak threshold breaches.  The aegis.load/v1 report lands
+# in out/load-gate/ (see DESIGN.md §15).
+load-gate:
+	sh scripts/load_gate.sh out/load-gate
+
 # All extension experiments (ablations + substrate studies).
 extensions:
 	$(GO) run ./cmd/aegisbench -exp extensions -preset default
@@ -101,6 +108,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzWriteRead -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzBitvec -fuzztime=10s ./internal/bitvec/
 	$(GO) test -fuzz=FuzzMetadata -fuzztime=10s ./internal/aegisrw/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/serve/
 
 # Regenerate the fixed-seed golden regression file after an intentional
 # behaviour change.

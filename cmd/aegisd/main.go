@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	aegisd -addr :8080 -cache-dir /var/cache/aegis
+//	aegisd -addr :8080 -cache-dir /var/cache/aegis -journal /var/cache/aegis/journal
 //	aegisd -addr 127.0.0.1:0 -addr-file /tmp/aegisd.addr   # pick a free port
 //	aegisd -version                                        # build + schema report
+//
+// With -journal the daemon is restart-survivable (even across kill -9):
+// completed jobs come back with their original byte-identical results
+// and interrupted jobs are re-enqueued, resuming from the shard cache.
+// Multi-tenant quotas and fair scheduling key off the X-Aegis-Tenant
+// request header (-tenant-queue, -tenant-inflight, -tenant-weights).
 //
 // API (see DESIGN.md §11 and §14, and README "Operating aegisd"):
 //
@@ -42,6 +48,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +80,27 @@ func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
 	return nil, fmt.Errorf("-log %q: want text or json", format)
 }
 
+// parseTenantWeights parses the -tenant-weights flag: comma-separated
+// name=weight pairs, e.g. "batch=1,interactive=4".
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-weights: want name=weight, got %q", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenant-weights: weight for %q must be a positive integer, got %q", name, val)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("aegisd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -81,9 +110,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers   = fs.Int("workers", 2, "jobs run concurrently")
 		queue     = fs.Int("queue", 16, "max queued jobs before submissions get 429")
 		cacheDir  = fs.String("cache-dir", "", "shard cache directory (persist + resume; empty = in-memory only)")
+		journal   = fs.String("journal", "", "job journal file (schema aegis.journal/v1; empty = jobs die with the process)")
 		shards    = fs.Int("shards", 8, "default shards per job")
 		engineW   = fs.Int("engine-workers", 0, "shards computed concurrently per job (0 = NumCPU)")
 		jobTO     = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+		tenantQ   = fs.Int("tenant-queue", 0, "max queued jobs per tenant before 429 (0 = the full queue)")
+		tenantIF  = fs.Int("tenant-inflight", 0, "max queued+running jobs per tenant before 429 (0 = unbounded)")
+		tenantW   = fs.String("tenant-weights", "", "weighted round-robin shares, comma-separated name=weight pairs")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight shards on shutdown")
 		logFormat = fs.String("log", "text", "log record format: text or json")
 		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -102,15 +135,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	srv := serve.New(serve.Options{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheDir:      *cacheDir,
-		Shards:        *shards,
-		EngineWorkers: *engineW,
-		JobTimeout:    *jobTO,
-		Logger:        logger,
+	weights, err := parseTenantWeights(*tenantW)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Options{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheDir:          *cacheDir,
+		JournalPath:       *journal,
+		Shards:            *shards,
+		EngineWorkers:     *engineW,
+		JobTimeout:        *jobTO,
+		TenantQueueSlots:  *tenantQ,
+		TenantMaxInFlight: *tenantIF,
+		TenantWeights:     weights,
+		Logger:            logger,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -133,6 +177,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		slog.Int("queue", *queue),
 		slog.Int("shards", *shards),
 		slog.String("cache_dir", *cacheDir),
+		slog.String("journal", *journal),
 		slog.String("git_sha", v.GitSHA),
 		slog.String("go_version", v.GoVersion))
 

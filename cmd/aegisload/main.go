@@ -1,0 +1,391 @@
+// Command aegisload is the load generator and leak gate for aegisd.
+// It drives a running daemon with a configurable mix of concurrent
+// submissions — several tenants, duplicate and fresh specs — waits for
+// every job to finish, and emits a machine-readable report (schema
+// aegis.load/v1): throughput, submit and completion latency
+// percentiles, an error-class breakdown, and the daemon's goroutine and
+// file-descriptor deltas scraped from /metrics before and after the
+// run.
+//
+// With gate thresholds set it exits non-zero when the run breaches
+// them, which is how CI uses it (make load-gate):
+//
+//	aegisload -addr http://127.0.0.1:8080 \
+//	    -jobs 120 -concurrency 8 -tenants 3 \
+//	    -max-p99 30 -max-goroutine-delta 8 -max-fd-delta 8 \
+//	    -report load-report.json
+//
+// A leak shows up as a delta: every served connection, SSE stream and
+// job the daemon handles must release its goroutines and descriptors
+// once the load stops, so after an idle settle the gauges must return
+// to within the threshold of their pre-load values.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aegis/pkg/client"
+)
+
+// LoadSchema identifies the report format; bump on incompatible change.
+const LoadSchema = "aegis.load/v1"
+
+// Report is the aegis.load/v1 document.
+type Report struct {
+	Schema  string         `json:"schema"`
+	Target  string         `json:"target"`
+	Config  RunConfig      `json:"config"`
+	Elapsed float64        `json:"elapsed_seconds"`
+	Jobs    JobCounts      `json:"jobs"`
+	Errors  map[string]int `json:"errors"`
+	// ThroughputJobsPerSec counts completed jobs over the load phase.
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	Submit               Latency `json:"submit_latency"`
+	Complete             Latency `json:"complete_latency"`
+	Daemon               Deltas  `json:"daemon"`
+	Gate                 Gate    `json:"gate"`
+}
+
+type RunConfig struct {
+	Jobs        int `json:"jobs"`
+	Concurrency int `json:"concurrency"`
+	Tenants     int `json:"tenants"`
+	SpecVariety int `json:"spec_variety"`
+	Trials      int `json:"trials"`
+}
+
+type JobCounts struct {
+	Submitted int `json:"submitted"`
+	// Deduplicated counts submissions answered 409: the client waited
+	// on the already-live identical job.
+	Deduplicated int `json:"deduplicated"`
+	Done         int `json:"done"`
+	Failed       int `json:"failed"`
+	Aborted      int `json:"aborted"`
+}
+
+// Latency summarizes a latency distribution in seconds.
+type Latency struct {
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
+	P99 float64 `json:"p99_seconds"`
+	Max float64 `json:"max_seconds"`
+}
+
+// Deltas is the daemon-side leak check: gauges scraped from /metrics
+// before the load and after an idle settle.
+type Deltas struct {
+	GoroutinesBefore float64 `json:"goroutines_before"`
+	GoroutinesAfter  float64 `json:"goroutines_after"`
+	GoroutineDelta   float64 `json:"goroutine_delta"`
+	OpenFDsBefore    float64 `json:"open_fds_before"`
+	OpenFDsAfter     float64 `json:"open_fds_after"`
+	FDDelta          float64 `json:"fd_delta"`
+}
+
+// Gate records the thresholds the run was held to and the verdict.
+type Gate struct {
+	MaxP99Seconds     float64  `json:"max_p99_seconds,omitempty"`
+	MaxGoroutineDelta int      `json:"max_goroutine_delta,omitempty"`
+	MaxFDDelta        int      `json:"max_fd_delta,omitempty"`
+	Violations        []string `json:"violations,omitempty"`
+	Pass              bool     `json:"pass"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "aegisload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("aegisload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "", "aegisd base URL, e.g. http://127.0.0.1:8080 (required)")
+		jobs    = fs.Int("jobs", 60, "total submissions to issue")
+		conc    = fs.Int("concurrency", 8, "concurrent submitters")
+		tenants = fs.Int("tenants", 2, "distinct tenants (load-0..load-N-1) to spread submissions over")
+		variety = fs.Int("spec-variety", 0, "distinct job specs (0 = jobs/2, so specs repeat and exercise dedup + cache)")
+		trials  = fs.Int("trials", 2, "Monte Carlo trials per job (small: load tests the service, not the simulator)")
+		timeout = fs.Duration("timeout", 5*time.Minute, "overall run deadline")
+		settle  = fs.Duration("settle", 10*time.Second, "max wait for daemon gauges to return to baseline")
+		maxP99  = fs.Float64("max-p99", 0, "gate: fail if completion p99 exceeds this many seconds (0 = no gate)")
+		maxG    = fs.Int("max-goroutine-delta", -1, "gate: fail if daemon goroutines grew by more (negative = no gate)")
+		maxFD   = fs.Int("max-fd-delta", -1, "gate: fail if daemon open FDs grew by more (negative = no gate)")
+		outPath = fs.String("report", "-", "write the aegis.load/v1 report here (- = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *jobs < 1 || *conc < 1 || *tenants < 1 {
+		return fmt.Errorf("-jobs, -concurrency and -tenants must be positive")
+	}
+	if *variety <= 0 {
+		*variety = (*jobs + 1) / 2
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// A dedicated transport so the load's keep-alive connections can be
+	// closed before the leak check — otherwise idle pool connections
+	// hold daemon goroutines and read as leaks.
+	transport := &http.Transport{MaxIdleConnsPerHost: *conc}
+	httpc := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	clients := make([]*client.Client, *tenants)
+	for i := range clients {
+		c, err := client.New(*addr, client.Options{
+			Tenant:       fmt.Sprintf("load-%d", i),
+			HTTPClient:   httpc,
+			PollInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		clients[i] = c
+	}
+	if _, err := clients[0].Version(ctx); err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+
+	before, err := scrapeGauges(ctx, httpc, *addr)
+	if err != nil {
+		return fmt.Errorf("baseline metrics scrape: %w", err)
+	}
+
+	rep := &Report{
+		Schema: LoadSchema,
+		Target: *addr,
+		Config: RunConfig{Jobs: *jobs, Concurrency: *conc, Tenants: *tenants, SpecVariety: *variety, Trials: *trials},
+		Errors: map[string]int{},
+	}
+	var (
+		mu         sync.Mutex
+		submitLats []float64
+		finishLats []float64
+	)
+	record := func(f func()) { mu.Lock(); defer mu.Unlock(); f() }
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				cl := clients[idx%*tenants]
+				spec := client.JobSpec{
+					Kind:      "blocks",
+					Scheme:    "aegis:11",
+					BlockBits: 64,
+					Trials:    *trials,
+					// Seeds repeat across the variety window: repeated
+					// specs within a tenant dedup, across tenants they
+					// are distinct jobs sharing cached shards.
+					Seed: int64(1000 + idx%*variety),
+				}
+				t0 := time.Now()
+				st, err := cl.Submit(ctx, spec)
+				id := ""
+				if err != nil {
+					if apiErr, ok := errAs(err); ok && apiErr.IsDuplicate() {
+						id = apiErr.JobID
+						record(func() { rep.Jobs.Deduplicated++ })
+					} else {
+						record(func() { rep.Errors[errClass(err)]++ })
+						continue
+					}
+				} else {
+					id = st.ID
+				}
+				record(func() {
+					rep.Jobs.Submitted++
+					submitLats = append(submitLats, time.Since(t0).Seconds())
+				})
+				final, err := cl.Wait(ctx, id)
+				if err != nil {
+					record(func() { rep.Errors[errClass(err)]++ })
+					continue
+				}
+				record(func() {
+					finishLats = append(finishLats, time.Since(t0).Seconds())
+					switch final.State {
+					case client.StateDone:
+						rep.Jobs.Done++
+					case client.StateFailed:
+						rep.Jobs.Failed++
+					case client.StateAborted:
+						rep.Jobs.Aborted++
+					}
+				})
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	rep.Elapsed = time.Since(start).Seconds()
+	if rep.Elapsed > 0 {
+		rep.ThroughputJobsPerSec = float64(rep.Jobs.Done) / rep.Elapsed
+	}
+	rep.Submit = summarize(submitLats)
+	rep.Complete = summarize(finishLats)
+
+	// Leak check: drop our idle connections, then give the daemon until
+	// -settle for its per-connection goroutines and FDs to unwind.
+	transport.CloseIdleConnections()
+	after := settleGauges(ctx, httpc, *addr, before, *settle, *maxG, *maxFD)
+	rep.Daemon = Deltas{
+		GoroutinesBefore: before["go_goroutines"],
+		GoroutinesAfter:  after["go_goroutines"],
+		GoroutineDelta:   after["go_goroutines"] - before["go_goroutines"],
+		OpenFDsBefore:    before["aegis_open_fds"],
+		OpenFDsAfter:     after["aegis_open_fds"],
+		FDDelta:          after["aegis_open_fds"] - before["aegis_open_fds"],
+	}
+
+	rep.Gate = Gate{MaxP99Seconds: *maxP99, MaxGoroutineDelta: *maxG, MaxFDDelta: *maxFD, Pass: true}
+	fail := func(format string, args ...any) {
+		rep.Gate.Violations = append(rep.Gate.Violations, fmt.Sprintf(format, args...))
+		rep.Gate.Pass = false
+	}
+	if *maxP99 > 0 && rep.Complete.P99 > *maxP99 {
+		fail("completion p99 %.3fs exceeds %.3fs", rep.Complete.P99, *maxP99)
+	}
+	if *maxG >= 0 && rep.Daemon.GoroutineDelta > float64(*maxG) {
+		fail("goroutine delta %+.0f exceeds %d", rep.Daemon.GoroutineDelta, *maxG)
+	}
+	if *maxFD >= 0 && rep.Daemon.FDDelta > float64(*maxFD) {
+		fail("fd delta %+.0f exceeds %d", rep.Daemon.FDDelta, *maxFD)
+	}
+	if rep.Jobs.Done == 0 {
+		fail("no job completed (submitted %d, errors %v)", rep.Jobs.Submitted, rep.Errors)
+	}
+
+	out := stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Gate.Pass {
+		return fmt.Errorf("gate failed: %s", strings.Join(rep.Gate.Violations, "; "))
+	}
+	return nil
+}
+
+func errAs(err error) (*client.APIError, bool) {
+	var apiErr *client.APIError
+	ok := errors.As(err, &apiErr)
+	return apiErr, ok
+}
+
+// errClass buckets an error for the report: the HTTP status for API
+// errors, "transport" for everything else.
+func errClass(err error) string {
+	if apiErr, ok := errAs(err); ok {
+		return strconv.Itoa(apiErr.StatusCode)
+	}
+	return "transport"
+}
+
+// summarize computes latency percentiles (nearest-rank) in seconds.
+func summarize(lats []float64) Latency {
+	if len(lats) == 0 {
+		return Latency{}
+	}
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return Latency{P50: q(0.50), P95: q(0.95), P99: q(0.99), Max: lats[len(lats)-1]}
+}
+
+// scrapeGauges fetches /metrics and extracts the leak-check gauges.
+func scrapeGauges(ctx context.Context, httpc *http.Client, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %d", resp.StatusCode)
+	}
+	gauges := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, name := range []string{"go_goroutines", "aegis_open_fds"} {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+					gauges[name] = v
+				}
+			}
+		}
+	}
+	return gauges, sc.Err()
+}
+
+// settleGauges polls /metrics until the gauges are back within the gate
+// thresholds of the baseline or the settle budget runs out, returning
+// the last scrape.  Leaked resources never unwind, so waiting longer
+// than the settle period cannot mask a real leak — it only filters the
+// transient teardown of the load's own connections.
+func settleGauges(ctx context.Context, httpc *http.Client, base string, before map[string]float64, budget time.Duration, maxG, maxFD int) map[string]float64 {
+	deadline := time.Now().Add(budget)
+	var last map[string]float64
+	for {
+		gauges, err := scrapeGauges(ctx, httpc, base)
+		if err == nil {
+			last = gauges
+			okG := maxG < 0 || gauges["go_goroutines"]-before["go_goroutines"] <= float64(maxG)
+			okFD := maxFD < 0 || gauges["aegis_open_fds"]-before["aegis_open_fds"] <= float64(maxFD)
+			if okG && okFD {
+				return last
+			}
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return last
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

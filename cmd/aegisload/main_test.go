@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aegis/internal/serve"
+)
+
+// daemon boots a real in-process aegisd for the generator to hit.
+func daemon(t *testing.T) string {
+	t.Helper()
+	s, err := serve.New(serve.Options{Workers: 2, QueueDepth: 64, CacheDir: t.TempDir(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			s.Close()
+		}
+	})
+	return ts.URL
+}
+
+// TestLoadRunAndGate: a small load run completes every job, produces a
+// well-formed aegis.load/v1 report, and passes the leak gate.
+func TestLoadRunAndGate(t *testing.T) {
+	base := daemon(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-jobs", "16", "-concurrency", "4", "-tenants", "2", "-spec-variety", "4",
+		"-max-p99", "60", "-max-goroutine-delta", "16", "-max-fd-delta", "16",
+		"-settle", "5s",
+		"-report", reportPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != LoadSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if rep.Jobs.Submitted != 16 {
+		t.Fatalf("submitted %d of 16 (errors %v)", rep.Jobs.Submitted, rep.Errors)
+	}
+	// 16 jobs over 4 seeds and 2 tenants: 8 distinct (tenant, spec)
+	// pairs; every repeat is either a dedup hit or a fresh run of an
+	// already-finished spec, and all must finish done.
+	if rep.Jobs.Done+rep.Jobs.Deduplicated < 16 || rep.Jobs.Failed != 0 || rep.Jobs.Aborted != 0 {
+		t.Fatalf("jobs: %+v", rep.Jobs)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("error classes: %v", rep.Errors)
+	}
+	if rep.ThroughputJobsPerSec <= 0 || rep.Complete.P99 <= 0 || rep.Complete.Max < rep.Complete.P50 {
+		t.Fatalf("latency summary implausible: %+v throughput %v", rep.Complete, rep.ThroughputJobsPerSec)
+	}
+	if !rep.Gate.Pass || len(rep.Gate.Violations) != 0 {
+		t.Fatalf("gate: %+v", rep.Gate)
+	}
+	if rep.Daemon.GoroutinesBefore <= 0 {
+		t.Fatalf("no baseline goroutine gauge: %+v", rep.Daemon)
+	}
+}
+
+// TestLoadGateFails: an unreachable threshold trips the gate — run
+// errors and the report says why.
+func TestLoadGateFails(t *testing.T) {
+	base := daemon(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-jobs", "2", "-concurrency", "2",
+		"-max-p99", "0.000000001",
+		"-settle", "1s",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "gate failed") {
+		t.Fatalf("gate breach not surfaced: %v", err)
+	}
+	var rep Report
+	if jsonErr := json.Unmarshal(stdout.Bytes(), &rep); jsonErr != nil {
+		t.Fatalf("no report on gate failure: %v\n%s", jsonErr, stdout.String())
+	}
+	if rep.Gate.Pass || len(rep.Gate.Violations) == 0 {
+		t.Fatalf("gate: %+v", rep.Gate)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{}, &stdout, &stderr); err == nil {
+		t.Fatal("missing -addr accepted")
+	}
+	if err := run([]string{"-addr", "http://x", "-jobs", "0"}, &stdout, &stderr); err == nil {
+		t.Fatal("-jobs 0 accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if got := summarize(nil); got != (Latency{}) {
+		t.Fatalf("empty summary: %+v", got)
+	}
+	lats := make([]float64, 100)
+	for i := range lats {
+		lats[i] = float64(i + 1) // 1..100
+	}
+	got := summarize(lats)
+	if got.P50 != 51 || got.P99 != 100 || got.Max != 100 {
+		t.Fatalf("percentiles: %+v", got)
+	}
+}

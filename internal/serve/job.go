@@ -244,6 +244,7 @@ type Job struct {
 	id      string
 	seq     int64
 	spec    string
+	tenant  string
 	request JobRequest
 	factory scheme.Factory
 	// reqID is the request ID of the submission that created the job —
@@ -284,8 +285,11 @@ func (j *Job) snapshot() (state string, err error, result *JobResult, created, s
 
 // JobStatus is the GET /v1/jobs/{id} response.
 type JobStatus struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
+	ID string `json:"id"`
+	// Tenant is the X-Aegis-Tenant value the job was submitted under
+	// ("default" when the header was absent).
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
 	// QueuePosition is the number of jobs ahead in the queue; 0 for
 	// the next job to start, -1 once the job left the queue.
 	QueuePosition int                  `json:"queue_position"`

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// journal unit, property and fuzz tests (white box).  The service-level
+// restart behaviour is covered in restart_test.go; these pin the file
+// format itself: CRC framing, torn-tail truncation, corruption
+// tolerance, and the replay-equals-model invariant.
+
+func testSubmitted(id string, seq int64, tenant string) journalRecord {
+	req := JobRequest{Kind: KindBlocks, Scheme: "aegis:11", BlockBits: 64, Trials: 4, Seed: seq}
+	return journalRecord{
+		Schema:    JournalSchema,
+		Type:      recSubmitted,
+		Time:      time.Unix(1700000000+seq, 0).UTC(),
+		ID:        id,
+		Seq:       seq,
+		Tenant:    tenant,
+		Spec:      fmt.Sprintf("spec-%s", id),
+		RequestID: "r-test",
+		Request:   &req,
+	}
+}
+
+func appendAll(t *testing.T, path string, recs ...journalRecord) {
+	t.Helper()
+	j, err := openJournal(path, fileLen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.append(rec, rec.Type == recTerminal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileLen(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestJournalRoundTrip: append a full lifecycle, replay it, and check
+// the folded per-job state.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	result := json.RawMessage(`{"schema":"aegis.job/v1","id":"j1"}`)
+	appendAll(t, path,
+		testSubmitted("j1", 1, "acme"),
+		testSubmitted("j2", 2, "other"),
+		journalRecord{Type: recRunning, Time: time.Now().UTC(), ID: "j1"},
+		journalRecord{Type: recTerminal, Time: time.Now().UTC(), ID: "j1", State: StateDone, Result: result},
+	)
+
+	rep, err := replayJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 2 || rep.MaxSeq != 2 || rep.Skipped != 0 {
+		t.Fatalf("replay: %d jobs, maxseq %d, skipped %d", len(rep.Jobs), rep.MaxSeq, rep.Skipped)
+	}
+	if rep.ValidLen != fileLen(t, path) {
+		t.Fatalf("valid length %d, file is %d", rep.ValidLen, fileLen(t, path))
+	}
+	j1, j2 := rep.Jobs[0], rep.Jobs[1]
+	if j1.State != StateDone || !j1.Terminal() || !bytes.Equal(j1.Result, result) {
+		t.Fatalf("j1 replayed as %q with result %s", j1.State, j1.Result)
+	}
+	if j1.Submitted.Tenant != "acme" || j1.Submitted.Request.Seed != 1 {
+		t.Fatalf("j1 submitted record mangled: %+v", j1.Submitted)
+	}
+	if j2.State != StateQueued || j2.Terminal() {
+		t.Fatalf("j2 (never dispatched) replayed as %q", j2.State)
+	}
+}
+
+// TestJournalTornTail: a partial final line — the kill -9 signature —
+// is excluded from ValidLen, and openJournal truncates it so the next
+// append starts on a clean frame.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	appendAll(t, path, testSubmitted("j1", 1, "t"))
+	intact := fileLen(t, path)
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a frame, no newline: torn mid-append.
+	if _, err := f.WriteString(`deadbeef {"type":"sub`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep, err := replayJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 1 || rep.ValidLen != intact {
+		t.Fatalf("torn tail: %d jobs, valid %d want %d", len(rep.Jobs), rep.ValidLen, intact)
+	}
+
+	// Reopening truncates the tail; a fresh append then replays cleanly.
+	j, err := openJournal(path, rep.ValidLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(testSubmitted("j2", 2, "t"), false); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	rep, err = replayJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 2 || rep.Skipped != 0 {
+		t.Fatalf("after truncate+append: %d jobs, %d skipped", len(rep.Jobs), rep.Skipped)
+	}
+}
+
+// TestJournalCorruptInterior: a bit flip in a middle record costs that
+// record only; every intact fully-framed record around it is recovered.
+func TestJournalCorruptInterior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	appendAll(t, path,
+		testSubmitted("j1", 1, "t"),
+		testSubmitted("j2", 2, "t"),
+		testSubmitted("j3", 3, "t"),
+	)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	mid := len(lines[0]) + len(lines[1])/2
+	data[mid] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := replayJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 2 || rep.Skipped != 1 {
+		t.Fatalf("corrupt interior: %d jobs, %d skipped, want 2 and 1", len(rep.Jobs), rep.Skipped)
+	}
+	if rep.Jobs[0].Submitted.ID != "j1" || rep.Jobs[1].Submitted.ID != "j3" {
+		t.Fatalf("recovered %q and %q, want j1 and j3", rep.Jobs[0].Submitted.ID, rep.Jobs[1].Submitted.ID)
+	}
+	// ValidLen spans the whole file: corruption is skipped, not treated
+	// as a tail, so appends continue after it without losing framing.
+	if rep.ValidLen != int64(len(data)) {
+		t.Fatalf("valid length %d, want %d", rep.ValidLen, len(data))
+	}
+}
+
+// journalModel mirrors what a correct replay must reconstruct: the last
+// journaled state, error and result per job.
+type journalModel struct {
+	state  string
+	errMsg string
+	result string
+}
+
+// TestJournalReplayModel is the model-based property test: for any
+// interleaving of submit/run/finish operations and crash points, replay
+// of the journal file equals the in-memory model of everything appended
+// so far.  Every append is flushed before it returns, so a process
+// crash (the kill -9 the restart suite inflicts for real) loses nothing
+// that was appended; "crash" here means replaying the file as-is,
+// optionally with a torn tail spliced on.
+func TestJournalReplayModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 40; iter++ {
+		path := filepath.Join(t.TempDir(), "journal")
+		j, err := openJournal(path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[string]*journalModel{}
+		var order []string
+		nextSeq := int64(0)
+
+		ops := 3 + rng.Intn(40)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(3) {
+			case 0: // submit a new job
+				nextSeq++
+				id := fmt.Sprintf("j%d", nextSeq)
+				if err := j.append(testSubmitted(id, nextSeq, "t"), false); err != nil {
+					t.Fatal(err)
+				}
+				model[id] = &journalModel{state: StateQueued}
+				order = append(order, id)
+			case 1: // dispatch a random queued job
+				if id := pickInState(rng, order, model, StateQueued); id != "" {
+					if err := j.append(journalRecord{Type: recRunning, Time: time.Now(), ID: id}, false); err != nil {
+						t.Fatal(err)
+					}
+					model[id].state = StateRunning
+				}
+			case 2: // finish a random running job
+				if id := pickInState(rng, order, model, StateRunning); id != "" {
+					rec := journalRecord{Type: recTerminal, Time: time.Now(), ID: id}
+					if rng.Intn(2) == 0 {
+						rec.State, rec.Result = StateDone, json.RawMessage(fmt.Sprintf(`{"id":%q}`, id))
+					} else {
+						rec.State, rec.Error = StateFailed, "boom"
+					}
+					if err := j.append(rec, true); err != nil {
+						t.Fatal(err)
+					}
+					m := model[id]
+					m.state, m.errMsg, m.result = rec.State, rec.Error, string(rec.Result)
+				}
+			}
+		}
+		// Crash: abandon the open journal (no close, no final flush
+		// needed — append already flushed) and optionally tear the tail.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			torn := append(append([]byte{}, data...), []byte("ffffffff {\"to")...)
+			if err := os.WriteFile(path, torn, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.close()
+
+		rep, err := replayJournalFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Jobs) != len(order) {
+			t.Fatalf("iter %d: replayed %d jobs, model has %d", iter, len(rep.Jobs), len(order))
+		}
+		for i, rj := range rep.Jobs {
+			id := order[i]
+			m := model[id]
+			got := &journalModel{state: rj.State, errMsg: rj.Error, result: string(rj.Result)}
+			if rj.Submitted.ID != id || !reflect.DeepEqual(got, m) {
+				t.Fatalf("iter %d job %s: replayed %+v, model %+v", iter, id, got, m)
+			}
+		}
+		if rep.MaxSeq != nextSeq {
+			t.Fatalf("iter %d: maxseq %d, want %d", iter, rep.MaxSeq, nextSeq)
+		}
+	}
+}
+
+func pickInState(rng *rand.Rand, order []string, model map[string]*journalModel, state string) string {
+	var candidates []string
+	for _, id := range order {
+		if model[id].state == state {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return ""
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// FuzzJournalReplay: replay must never panic on arbitrary bytes —
+// including truncated and bit-flipped variants of valid journals — and
+// must be self-consistent: replaying the bytes it judged valid yields
+// the same jobs and the same valid length (fully-framed records are
+// never dropped by a second pass).
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a journal at all\n"))
+	// A valid two-record journal as a seed, plus truncated and flipped
+	// variants for the mutator to start from.
+	var valid bytes.Buffer
+	for i, rec := range []journalRecord{
+		testSubmittedFuzz("j1", 1),
+		{Type: recTerminal, Time: time.Unix(1700000099, 0), ID: "j1", State: StateDone, Result: json.RawMessage(`{"ok":1}`)},
+	} {
+		line, err := frameRecord(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid.Write(line)
+		_ = i
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-3])
+	flipped := append([]byte{}, valid.Bytes()...)
+	flipped[valid.Len()/2] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := replayJournal(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("replay of in-memory bytes cannot fail: %v", err)
+		}
+		if rep.ValidLen > int64(len(data)) {
+			t.Fatalf("valid length %d exceeds input %d", rep.ValidLen, len(data))
+		}
+		again, err := replayJournal(bytes.NewReader(data[:rep.ValidLen]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.ValidLen != rep.ValidLen || len(again.Jobs) != len(rep.Jobs) || again.Skipped != rep.Skipped {
+			t.Fatalf("replay not idempotent on its own valid prefix: %d/%d jobs, %d/%d bytes, %d/%d skipped",
+				len(again.Jobs), len(rep.Jobs), again.ValidLen, rep.ValidLen, again.Skipped, rep.Skipped)
+		}
+		for i := range rep.Jobs {
+			if again.Jobs[i].Submitted.ID != rep.Jobs[i].Submitted.ID || again.Jobs[i].State != rep.Jobs[i].State {
+				t.Fatalf("job %d diverges between passes", i)
+			}
+		}
+	})
+}
+
+func testSubmittedFuzz(id string, seq int64) journalRecord {
+	req := JobRequest{Kind: KindBlocks, Scheme: "aegis:11", BlockBits: 64, Trials: 4, Seed: seq}
+	return journalRecord{
+		Schema: JournalSchema, Type: recSubmitted,
+		Time: time.Unix(1700000000, 0).UTC(), ID: id, Seq: seq,
+		Tenant: "t", Spec: "spec", Request: &req,
+	}
+}

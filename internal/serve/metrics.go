@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -52,12 +53,59 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.GaugeFunc("aegis_event_streams", "Open SSE job-event streams.", func() float64 {
 		return float64(s.streams.Load())
 	})
+	m.GaugeFunc("aegis_tenants", "Tenants that have submitted at least one job.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.tenants))
+	})
+	// The leak-gate pair: cmd/aegisload scrapes both before and after a
+	// load run and fails on a delta (go_goroutines comes from the shared
+	// runtime section of the exposition).
+	m.GaugeFunc("aegis_open_fds", "Open file descriptors of the daemon process (-1 where /proc is unavailable).", func() float64 {
+		return float64(openFDs())
+	})
 	return sm
 }
 
-// jobFinished counts one job reaching a terminal state.
-func (sm *serverMetrics) jobFinished(state string) {
+// openFDs counts the process's open file descriptors via /proc; on
+// platforms without procfs it returns -1 rather than guessing.
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir handle itself is one of the entries; don't count it.
+	return len(ents) - 1
+}
+
+// jobFinished counts one job reaching a terminal state, globally and
+// per tenant.
+func (sm *serverMetrics) jobFinished(tenant, state string) {
 	sm.m.Counter("aegis_jobs_total", "Jobs finished, by terminal state.", obs.L("state", state)).Inc()
+	sm.m.Counter("aegis_tenant_jobs_total", "Jobs finished, by tenant and terminal state.",
+		obs.L("tenant", tenant), obs.L("state", state)).Inc()
+}
+
+// tenantSubmitted counts one accepted submission for a tenant.
+func (sm *serverMetrics) tenantSubmitted(tenant string) {
+	sm.m.Counter("aegis_tenant_jobs_submitted_total", "Jobs accepted, by tenant.",
+		obs.L("tenant", tenant)).Inc()
+}
+
+// tenantRejected counts one quota rejection (HTTP 429) for a tenant.
+func (sm *serverMetrics) tenantRejected(tenant, reason string) {
+	sm.m.Counter("aegis_tenant_rejections_total", "Submissions rejected with 429, by tenant and quota.",
+		obs.L("tenant", tenant), obs.L("reason", reason)).Inc()
+}
+
+// tenantQueueDepth tracks a tenant's FIFO depth.
+func (sm *serverMetrics) tenantQueueDepth(tenant string, depth int) {
+	sm.m.Gauge("aegis_tenant_queued", "Jobs queued, by tenant.", obs.L("tenant", tenant)).Set(int64(depth))
+}
+
+// tenantRunning tracks a tenant's running-job count.
+func (sm *serverMetrics) tenantRunning(tenant string, running int) {
+	sm.m.Gauge("aegis_tenant_running", "Jobs running, by tenant.", obs.L("tenant", tenant)).Set(int64(running))
 }
 
 // requestIDKey carries the request ID through the handler context.

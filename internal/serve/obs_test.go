@@ -234,7 +234,7 @@ func TestSSEStream(t *testing.T) {
 
 	// Started manually after the stream is open, so the queued phase is
 	// arbitrarily long and frame counts are deterministic.
-	s := serve.New(serve.Options{
+	s := newServer(t, serve.Options{
 		Workers: 1, Shards: 2, CacheDir: t.TempDir(),
 		StreamInterval: 10 * time.Millisecond,
 	})
@@ -368,7 +368,7 @@ func TestSSETerminalJob(t *testing.T) {
 // TestSSEStreamCap: subscribers beyond MaxStreams get 503 with
 // Retry-After and a correlated error body.
 func TestSSEStreamCap(t *testing.T) {
-	s := serve.New(serve.Options{
+	s := newServer(t, serve.Options{
 		Workers: 1, MaxStreams: 1,
 		StreamInterval: 10 * time.Millisecond,
 	})
@@ -411,7 +411,7 @@ func TestSSEStreamCap(t *testing.T) {
 // Retry-After and a request_id-stamped body, and every response echoes
 // X-Request-Id.
 func TestBackpressureHeaders(t *testing.T) {
-	s := serve.New(serve.Options{Workers: 1, QueueDepth: 1})
+	s := newServer(t, serve.Options{Workers: 1, QueueDepth: 1})
 	base, _ := rawServer(t, s) // never started: the queue stays full
 
 	code, _ := postJob(t, base, smallJob)

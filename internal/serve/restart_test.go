@@ -1,0 +1,131 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"aegis/internal/serve"
+)
+
+// Restart tests: a Server abandoned without Drain/Close stands in for a
+// crashed daemon — the journal never sees a clean shutdown, only the
+// records that were flushed as they happened.  (The kill -9 suite in
+// cmd/aegisd exercises the same path against the real binary.)
+
+func getBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestRestartServesCompletedJob: a job that finished before the crash
+// is served by the restarted daemon under its original ID with the
+// byte-identical result payload.
+func TestRestartServesCompletedJob(t *testing.T) {
+	dir := t.TempDir()
+	opts := serve.Options{
+		Workers:     1,
+		Shards:      2,
+		CacheDir:    filepath.Join(dir, "cache"),
+		JournalPath: filepath.Join(dir, "journal"),
+	}
+	s1 := newServer(t, opts)
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	code, submitted := postJob(t, ts1.URL, smallJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, submitted)
+	}
+	id := submitted["id"].(string)
+	waitDone(t, ts1.URL, id)
+	before := getBytes(t, ts1.URL+"/v1/jobs/"+id+"/result")
+	ts1.Close()
+	// Crash: abandon s1.  The terminal record was fsynced before the
+	// job reported done, so the journal is complete without a close.
+
+	_, base2 := testServer(t, opts)
+	var st serve.JobStatus
+	if code := getJSON(t, base2+"/v1/jobs/"+id, &st); code != http.StatusOK {
+		t.Fatalf("replayed job status: %d", code)
+	}
+	if st.State != serve.StateDone || st.Tenant != "default" {
+		t.Fatalf("replayed as state %q tenant %q", st.State, st.Tenant)
+	}
+	after := getBytes(t, base2+"/v1/jobs/"+id+"/result")
+	if !bytes.Equal(before, after) {
+		t.Fatalf("replayed result differs from the original:\n before: %s\n after:  %s", before, after)
+	}
+}
+
+// TestRestartResumesInterruptedJob: a job accepted but not finished
+// before the crash is re-enqueued by the restarted daemon under its
+// original ID — still holding its tenant and its duplicate-submission
+// slot — and runs to completion.
+func TestRestartResumesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	opts := serve.Options{
+		Workers:     1,
+		Shards:      2,
+		CacheDir:    filepath.Join(dir, "cache"),
+		JournalPath: filepath.Join(dir, "journal"),
+	}
+	// Never Started: the job stays queued, like a daemon killed before
+	// dispatching it.
+	s1 := newServer(t, opts)
+	ts1 := httptest.NewServer(s1.Handler())
+	code, submitted, _ := postJobAs(t, ts1.URL, "acme", smallJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, submitted)
+	}
+	id := submitted["id"].(string)
+	ts1.Close()
+	// Crash s1.
+
+	s2 := newServer(t, opts)
+	base2, _ := rawServer(t, s2)
+
+	var st serve.JobStatus
+	if code := getJSON(t, base2+"/v1/jobs/"+id, &st); code != http.StatusOK {
+		t.Fatalf("replayed job status: %d", code)
+	}
+	if st.State != serve.StateQueued || st.Tenant != "acme" {
+		t.Fatalf("replayed as state %q tenant %q, want queued/acme", st.State, st.Tenant)
+	}
+
+	// The replayed job still guards against duplicate submissions.
+	dupCode, dup, _ := postJobAs(t, base2, "acme", smallJob)
+	if dupCode != http.StatusConflict || dup["id"] != id {
+		t.Fatalf("duplicate of replayed job: %d %v, want 409 pointing at %s", dupCode, dup, id)
+	}
+
+	s2.Start()
+	st = waitDone(t, base2, id)
+	if st.State != serve.StateDone {
+		t.Fatalf("resumed job ended %q: %s", st.State, st.Error)
+	}
+	if st.Progress.TrialsDone != 6 {
+		t.Fatalf("resumed job reports %d/6 trials", st.Progress.TrialsDone)
+	}
+	var res serve.JobResult
+	if code := getJSON(t, base2+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+		t.Fatalf("resumed job result: %d", code)
+	}
+	if res.Schema != serve.JobSchema || res.ID != id {
+		t.Fatalf("resumed result schema %q id %q", res.Schema, res.ID)
+	}
+}

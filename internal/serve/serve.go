@@ -14,6 +14,14 @@
 // daemon finishes those jobs from the cache.  Per-job deadlines use
 // context cancellation, the hard stop: an expired job aborts mid-shard
 // and the aborted shard is discarded.
+//
+// With Options.JournalPath set the daemon survives even kill -9: every
+// lifecycle transition is journaled (schema aegis.journal/v1), so a
+// restarted daemon serves completed results byte-identically under
+// their original job IDs and re-enqueues interrupted jobs, which resume
+// from the shard cache.  Multi-tenancy (Options.Tenant*) adds
+// per-tenant quotas and weighted round-robin dispatch keyed by the
+// X-Aegis-Tenant header.  See DESIGN.md §15.
 package serve
 
 import (
@@ -43,6 +51,11 @@ type Options struct {
 	// CacheDir, when set, persists shards under it and resumes from
 	// them, exactly like aegisbench -cache-dir -resume.
 	CacheDir string
+	// JournalPath, when set, makes the daemon restart-survivable: every
+	// job transition is appended to a crash-safe journal (schema
+	// aegis.journal/v1) which New replays, restoring finished jobs with
+	// their original results and re-enqueueing interrupted ones.
+	JournalPath string
 	// Shards is the per-job shard count (default 8).  Requests may
 	// override it per job.
 	Shards int
@@ -54,6 +67,17 @@ type Options struct {
 	// JobTimeout is the default per-job deadline (0 = none).  Requests
 	// may set a shorter one via timeout_seconds.
 	JobTimeout time.Duration
+	// TenantQueueSlots bounds each tenant's queued jobs; submissions
+	// beyond it get 429 with Retry-After (default: QueueDepth, i.e. a
+	// lone tenant may fill the whole queue).
+	TenantQueueSlots int
+	// TenantMaxInFlight bounds each tenant's queued + running jobs
+	// (default: QueueDepth + Workers, i.e. no bound beyond the global
+	// ones).
+	TenantMaxInFlight int
+	// TenantWeights assigns weighted-round-robin dispatch shares by
+	// tenant name; unlisted tenants (and values < 1) weigh 1.
+	TenantWeights map[string]int
 	// Logger receives the daemon's structured log records (nil = log
 	// nothing).  Records carry the correlation chain: request ID → job
 	// ID and spec hash → shard key.
@@ -81,6 +105,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.EngineWorkers <= 0 {
 		o.EngineWorkers = runtime.NumCPU()
+	}
+	if o.TenantQueueSlots <= 0 {
+		o.TenantQueueSlots = o.QueueDepth
+	}
+	if o.TenantMaxInFlight <= 0 {
+		o.TenantMaxInFlight = o.QueueDepth + o.Workers
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(noopHandler{})
@@ -122,41 +152,79 @@ type Server struct {
 	// streams counts open SSE subscriptions against Options.MaxStreams.
 	streams atomic.Int64
 
+	// journal records every job transition when Options.JournalPath is
+	// set; nil otherwise.
+	journal *journal
+
 	// drainCh is shared by every job's engine as Engine.Drain.
 	drainCh   chan struct{}
 	drainOnce sync.Once
 
-	queueCh chan *Job
-	wg      sync.WaitGroup
+	// slots carries one token per queued job; workers block on it and
+	// then pick the actual job via the weighted-round-robin scheduler.
+	// Its capacity covers QueueDepth plus every job replayed from the
+	// journal, so enqueues never block.
+	slots chan struct{}
+	wg    sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job // all jobs ever submitted, by ID
-	active   map[string]*Job // queued or running jobs, by spec hash
-	queue    []*Job          // submission order of queued jobs
-	cancels  map[string]context.CancelFunc
-	nextSeq  int64
-	queued   int
-	running  int
-	draining bool
-	started  bool
+	mu          sync.Mutex
+	jobs        map[string]*Job // all jobs ever submitted, by ID
+	active      map[string]*Job // queued or running jobs, by tenant+spec
+	queue       []*Job          // submission order of queued jobs
+	tenants     map[string]*tenant
+	tenantOrder []string // round-robin order (first-seen order)
+	rrPos       int
+	cancels     map[string]context.CancelFunc
+	nextSeq     int64
+	queued      int
+	running     int
+	draining    bool
+	started     bool
 }
 
-// New builds a Server with its routes.  The worker pool does not run
-// until Start; jobs submitted before Start queue up (tests use this to
-// make queue states deterministic).
-func New(opts Options) *Server {
+// New builds a Server with its routes, replaying the job journal when
+// Options.JournalPath is set.  The worker pool does not run until
+// Start; jobs submitted (or replayed) before Start queue up (tests use
+// this to make queue states deterministic).
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:    opts,
 		log:     opts.Logger,
 		obsReg:  obs.NewRegistry(),
 		drainCh: make(chan struct{}),
-		queueCh: make(chan *Job, opts.QueueDepth),
 		jobs:    make(map[string]*Job),
 		active:  make(map[string]*Job),
+		tenants: make(map[string]*tenant),
 		cancels: make(map[string]context.CancelFunc),
 	}
 	s.metrics = newServerMetrics(s)
+
+	var rep *journalReplay
+	if opts.JournalPath != "" {
+		var err error
+		rep, err = replayJournalFile(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal, err = openJournal(opts.JournalPath, rep.ValidLen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resumable := 0
+	if rep != nil {
+		for _, rj := range rep.Jobs {
+			if !rj.Terminal() {
+				resumable++
+			}
+		}
+	}
+	s.slots = make(chan struct{}, opts.QueueDepth+resumable)
+	if rep != nil {
+		s.restoreReplay(rep)
+	}
+
 	mux := http.NewServeMux()
 	api := func(pattern, route string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(route, h))
@@ -173,7 +241,94 @@ func New(opts Options) *Server {
 	// /debug/vars — the same mux aegisbench -http serves.
 	obs.RegisterDebug(mux, s.metrics.m, func() *obs.Registry { return s.obsReg }, s.instrument)
 	s.mux = mux
-	return s
+	return s, nil
+}
+
+// restoreReplay rebuilds the job table from a journal replay: terminal
+// jobs come back with their original state (and, for done jobs, their
+// original result bytes); interrupted jobs are re-enqueued and will
+// resume from the shard cache.
+func (s *Server) restoreReplay(rep *journalReplay) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeq = rep.MaxSeq
+	restored, resumed := 0, 0
+	for _, rj := range rep.Jobs {
+		sub := rj.Submitted
+		job := &Job{
+			id:       sub.ID,
+			seq:      sub.Seq,
+			spec:     sub.Spec,
+			tenant:   sub.Tenant,
+			request:  *sub.Request,
+			reqID:    sub.RequestID,
+			progress: obs.NewProgress(),
+			state:    StateQueued,
+			created:  sub.Time,
+		}
+		if job.tenant == "" {
+			job.tenant = DefaultTenant
+		}
+		job.progress.SetExperiment(job.id)
+		job.progress.AddTotal(job.request.Trials)
+		if rj.Terminal() {
+			job.state = rj.State
+			job.finished = rj.FinishedAt
+			if rj.Error != "" {
+				job.err = errors.New(rj.Error)
+			}
+			if rj.State == StateDone && len(rj.Result) > 0 {
+				var res JobResult
+				if err := json.Unmarshal(rj.Result, &res); err == nil {
+					job.result = &res
+					job.progress.Done(job.request.Trials)
+				} else {
+					// A done record without a usable result degrades to
+					// failed; the spec can be resubmitted and served
+					// from the shard cache.
+					job.state = StateFailed
+					job.err = fmt.Errorf("journal: replayed result unusable: %w", err)
+				}
+			}
+			s.jobs[job.id] = job
+			restored++
+			continue
+		}
+		// Interrupted (submitted or running at crash time): re-validate
+		// the request — it was normalized before journaling, so failure
+		// here means the journal outlived a format change — and requeue.
+		f, err := job.request.normalize()
+		if err != nil {
+			job.state = StateFailed
+			job.err = fmt.Errorf("journal: replayed request no longer valid: %w", err)
+			s.jobs[job.id] = job
+			restored++
+			continue
+		}
+		job.factory = f
+		s.jobs[job.id] = job
+		s.active[activeKey(job.tenant, job.spec)] = job
+		s.enqueueLocked(job)
+		resumed++
+	}
+	if restored+resumed > 0 {
+		s.log.Info("journal replayed",
+			slog.String("path", s.opts.JournalPath),
+			slog.Int("terminal_jobs", restored),
+			slog.Int("resumed_jobs", resumed),
+			slog.Int("skipped_records", rep.Skipped))
+	}
+}
+
+// enqueueLocked places a job on its tenant's FIFO and hands the worker
+// pool a slot token.  Callers hold s.mu and have verified capacity.
+func (s *Server) enqueueLocked(job *Job) {
+	tn := s.tenantLocked(job.tenant)
+	tn.fifo = append(tn.fifo, job)
+	s.queue = append(s.queue, job)
+	s.queued++
+	s.metrics.tenantQueueDepth(job.tenant, len(tn.fifo))
+	s.slots <- struct{}{} // cannot block: capacity covers every admit path
 }
 
 // Metrics exposes the daemon's metric registry; cmd/aegisd uses it for
@@ -206,7 +361,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	s.drainOnce.Do(func() {
 		close(s.drainCh)
-		close(s.queueCh) // safe: submissions check draining under mu
+		close(s.slots) // safe: submissions check draining under mu
 	})
 	s.mu.Unlock()
 
@@ -217,7 +372,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.closeJournal()
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
@@ -231,14 +386,21 @@ func (s *Server) Close() error {
 	s.draining = true
 	s.drainOnce.Do(func() {
 		close(s.drainCh)
-		close(s.queueCh)
+		close(s.slots)
 	})
 	for _, cancel := range s.cancels {
 		cancel()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return s.closeJournal()
+}
+
+func (s *Server) closeJournal() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.close()
 }
 
 // submit validates, deduplicates and enqueues a request.  It returns
@@ -246,7 +408,7 @@ func (s *Server) Close() error {
 // the job was newly created, and the HTTP status to answer with.
 // reqID is the submitting request's correlation ID; it is recorded on
 // the job and appears in every log record the job produces.
-func (s *Server) submit(req JobRequest, reqID string) (*Job, bool, int, error) {
+func (s *Server) submit(req JobRequest, reqID, tenantName string) (*Job, bool, int, error) {
 	f, err := req.normalize()
 	if err != nil {
 		return nil, false, http.StatusBadRequest, err
@@ -259,19 +421,34 @@ func (s *Server) submit(req JobRequest, reqID string) (*Job, bool, int, error) {
 		return nil, false, http.StatusServiceUnavailable,
 			&RequestError{Message: "server is draining; resubmit to the restarted daemon (cached shards are kept)"}
 	}
-	if dup, ok := s.active[spec]; ok {
+	if dup, ok := s.active[activeKey(tenantName, spec)]; ok {
 		return dup, false, http.StatusConflict,
 			&RequestError{Message: "an identical job is already " + dup.stateLocked() + " as " + dup.id}
 	}
 	if s.queued >= s.opts.QueueDepth {
+		s.metrics.tenantRejected(tenantName, "queue_full")
 		return nil, false, http.StatusTooManyRequests,
 			&RequestError{Message: fmt.Sprintf("queue full (%d jobs waiting); retry after a job finishes", s.queued)}
 	}
-	s.nextSeq++
+	tn := s.tenantLocked(tenantName)
+	if len(tn.fifo) >= s.opts.TenantQueueSlots {
+		s.metrics.tenantRejected(tenantName, "tenant_queue_full")
+		return nil, false, http.StatusTooManyRequests,
+			&RequestError{Message: fmt.Sprintf("tenant %q queue full (%d of %d slots); retry after a job finishes",
+				tenantName, len(tn.fifo), s.opts.TenantQueueSlots)}
+	}
+	if len(tn.fifo)+tn.running >= s.opts.TenantMaxInFlight {
+		s.metrics.tenantRejected(tenantName, "tenant_inflight")
+		return nil, false, http.StatusTooManyRequests,
+			&RequestError{Message: fmt.Sprintf("tenant %q has %d jobs in flight (limit %d); retry after one finishes",
+				tenantName, len(tn.fifo)+tn.running, s.opts.TenantMaxInFlight)}
+	}
+	seq := s.nextSeq + 1
 	job := &Job{
-		id:       fmt.Sprintf("j%06d-%s", s.nextSeq, spec[:12]),
-		seq:      s.nextSeq,
+		id:       fmt.Sprintf("j%06d-%s", seq, spec[:12]),
+		seq:      seq,
 		spec:     spec,
+		tenant:   tenantName,
 		request:  req,
 		factory:  f,
 		reqID:    reqID,
@@ -279,38 +456,76 @@ func (s *Server) submit(req JobRequest, reqID string) (*Job, bool, int, error) {
 		state:    StateQueued,
 		created:  time.Now().UTC(),
 	}
+	// Journal the admission before publishing the job: an accepted job
+	// is a promise the restarted daemon must be able to keep.  The
+	// record is flushed (not fsynced — that is reserved for terminal
+	// records), so kill -9 after this point cannot lose the submission.
+	if s.journal != nil {
+		err := s.journal.append(journalRecord{
+			Schema:    JournalSchema,
+			Type:      recSubmitted,
+			Time:      job.created,
+			ID:        job.id,
+			Seq:       seq,
+			Tenant:    tenantName,
+			Spec:      spec,
+			RequestID: reqID,
+			Request:   &job.request,
+		}, false)
+		if err != nil {
+			s.log.Error("journal append failed", slog.String("error", err.Error()))
+			return nil, false, http.StatusInternalServerError,
+				&RequestError{Message: "job journal unavailable; submission not accepted"}
+		}
+	}
+	s.nextSeq = seq
 	job.progress.SetExperiment(job.id)
 	job.progress.AddTotal(req.Trials)
 	s.jobs[job.id] = job
-	s.active[spec] = job
-	s.queue = append(s.queue, job)
-	s.queued++
-	s.queueCh <- job // cannot block: queued ≤ QueueDepth = cap
+	s.active[activeKey(tenantName, spec)] = job
+	s.enqueueLocked(job)
+	s.metrics.tenantSubmitted(tenantName)
 	return job, true, http.StatusAccepted, nil
 }
 
-// worker consumes jobs until the queue channel closes (Drain/Close).
+// worker consumes queue slots until the slot channel closes
+// (Drain/Close), picking the next job by weighted round robin.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queueCh {
+	for range s.slots {
 		s.mu.Lock()
+		job := s.nextJobLocked()
+		if job == nil {
+			// Token without a queued job: cannot happen (one token per
+			// enqueue), but never deadlock on it.
+			s.mu.Unlock()
+			continue
+		}
 		s.queued--
 		s.dequeueLocked(job)
+		tn := s.tenantLocked(job.tenant)
+		s.metrics.tenantQueueDepth(job.tenant, len(tn.fifo))
 		draining := s.draining
 		if !draining {
 			s.running++
+			tn.running++
+			s.metrics.tenantRunning(job.tenant, tn.running)
 		}
 		s.mu.Unlock()
 		if draining {
 			job.setState(StateAborted, ErrJobAborted)
-			s.metrics.jobFinished(StateAborted)
+			s.journalTerminal(job, nil)
+			s.metrics.jobFinished(job.tenant, StateAborted)
 			s.jobLogger(job).Info("job aborted before start", slog.String("reason", "daemon draining"))
 			s.retire(job)
 			continue
 		}
+		s.journalRunning(job)
 		s.runJob(job)
 		s.mu.Lock()
 		s.running--
+		tn.running--
+		s.metrics.tenantRunning(job.tenant, tn.running)
 		s.mu.Unlock()
 		s.retire(job)
 	}
@@ -336,8 +551,56 @@ func (s *Server) dequeueLocked(job *Job) {
 func (s *Server) retire(job *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.active[job.spec] == job {
-		delete(s.active, job.spec)
+	key := activeKey(job.tenant, job.spec)
+	if s.active[key] == job {
+		delete(s.active, key)
+	}
+}
+
+// journalRunning records a job's dispatch.  Journal errors here must
+// not kill the job — the submission record already guarantees replay —
+// so they are logged and dropped.
+func (s *Server) journalRunning(job *Job) {
+	if s.journal == nil {
+		return
+	}
+	err := s.journal.append(journalRecord{
+		Type: recRunning,
+		Time: time.Now().UTC(),
+		ID:   job.id,
+	}, false)
+	if err != nil {
+		s.jobLogger(job).Error("journal append failed", slog.String("error", err.Error()))
+	}
+}
+
+// journalTerminal records a job's outcome, with the marshaled result
+// for done jobs, and fsyncs: once a client can observe a terminal
+// state, no crash may un-happen it.
+func (s *Server) journalTerminal(job *Job, result *JobResult) {
+	if s.journal == nil {
+		return
+	}
+	state, jerr, _, _, _, _ := job.snapshot()
+	rec := journalRecord{
+		Type:  recTerminal,
+		Time:  time.Now().UTC(),
+		ID:    job.id,
+		State: state,
+	}
+	if jerr != nil {
+		rec.Error = jerr.Error()
+	}
+	if result != nil {
+		data, err := json.Marshal(result)
+		if err == nil {
+			rec.Result = data
+		} else {
+			s.jobLogger(job).Error("journal result marshal failed", slog.String("error", err.Error()))
+		}
+	}
+	if err := s.journal.append(rec, true); err != nil {
+		s.jobLogger(job).Error("journal append failed", slog.String("error", err.Error()))
 	}
 }
 
@@ -388,6 +651,7 @@ func (s *Server) runJob(job *Job) {
 	job.setState(StateRunning, nil)
 	logger.Info("job started",
 		slog.String("kind", req.Kind),
+		slog.String("tenant", job.tenant),
 		slog.String("scheme", job.factory.Name()),
 		slog.Int("trials", req.Trials),
 		slog.Int("shards", shards))
@@ -429,7 +693,8 @@ func (s *Server) runJob(job *Job) {
 			state = StateAborted
 		}
 		job.setState(state, err)
-		s.metrics.jobFinished(state)
+		s.journalTerminal(job, nil)
+		s.metrics.jobFinished(job.tenant, state)
 		logger.Warn("job "+state,
 			slog.String("error", err.Error()),
 			slog.Duration("elapsed", time.Since(start)))
@@ -454,7 +719,8 @@ func (s *Server) runJob(job *Job) {
 	job.result = result
 	job.mu.Unlock()
 	job.setState(StateDone, nil)
-	s.metrics.jobFinished(StateDone)
+	s.journalTerminal(job, result)
+	s.metrics.jobFinished(job.tenant, StateDone)
 	logger.Info("job done",
 		slog.Duration("elapsed", time.Since(start)),
 		slog.Int64("cache_hits", st.CacheHits),
@@ -463,11 +729,12 @@ func (s *Server) runJob(job *Job) {
 
 // jobLogger returns the daemon logger scoped to one job: every record
 // carries the job ID, its spec hash (abbreviated, enough to find the
-// shard cache entries) and the submitting request's ID.
+// shard cache entries), its tenant and the submitting request's ID.
 func (s *Server) jobLogger(job *Job) *slog.Logger {
 	return s.log.With(
 		slog.String("job", job.id),
 		slog.String("spec", job.spec[:12]),
+		slog.String("tenant", job.tenant),
 		slog.String("request_id", job.reqID))
 }
 
@@ -504,6 +771,7 @@ func (s *Server) status(job *Job) JobStatus {
 	state, err, result, created, started, finished := job.snapshot()
 	st := JobStatus{
 		ID:            job.id,
+		Tenant:        job.tenant,
 		State:         state,
 		QueuePosition: s.queuePosition(job),
 		Progress:      job.progress.Snapshot(),
@@ -560,6 +828,11 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
+	tenantName, terr := tenantFromRequest(r)
+	if terr != nil {
+		s.writeError(w, r, http.StatusBadRequest, terr)
+		return
+	}
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -567,7 +840,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, &RequestError{Message: "invalid JSON body: " + err.Error()})
 		return
 	}
-	job, created, status, err := s.submit(req, rid)
+	job, created, status, err := s.submit(req, rid, tenantName)
 	if err != nil {
 		resp := struct {
 			*RequestError
@@ -592,6 +865,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		slog.String("request_id", rid),
 		slog.String("job", job.id),
 		slog.String("spec", job.spec[:12]),
+		slog.String("tenant", tenantName),
 		slog.String("kind", req.Kind),
 		slog.String("scheme", req.Scheme))
 	w.Header().Set("Location", "/v1/jobs/"+job.id)
@@ -653,7 +927,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":   s.queued,
 		"running":  s.running,
 		"jobs":     len(s.jobs),
+		"tenants":  len(s.tenants),
 		"workers":  s.opts.Workers,
+		"journal":  s.journal != nil,
 	}
 	if s.draining {
 		resp["status"] = "draining"

@@ -19,11 +19,22 @@ import (
 	"aegis/internal/sim"
 )
 
+// newServer builds a Server, failing the test on a construction error
+// (only possible with a journal path).
+func newServer(t *testing.T, opts serve.Options) *serve.Server {
+	t.Helper()
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // testServer boots a started Server behind httptest and tears both down
 // with the test.
 func testServer(t *testing.T, opts serve.Options) (*serve.Server, string) {
 	t.Helper()
-	s := serve.New(opts)
+	s := newServer(t, opts)
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -260,7 +271,7 @@ func TestUnknownJob404(t *testing.T) {
 // TestResultBeforeCompletion: asking for a queued job's result is a 409,
 // not a 404 (the job exists) and not an empty 200.
 func TestResultBeforeCompletion(t *testing.T) {
-	s := serve.New(serve.Options{Workers: 1})
+	s := newServer(t, serve.Options{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -282,7 +293,7 @@ func TestResultBeforeCompletion(t *testing.T) {
 // refused with a pointer to that job, so clients poll instead of
 // double-computing.
 func TestDuplicateActive409(t *testing.T) {
-	s := serve.New(serve.Options{Workers: 1})
+	s := newServer(t, serve.Options{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -312,7 +323,7 @@ func TestDuplicateActive409(t *testing.T) {
 // TestQueuePositionsAndBackpressure: positions are exact on an
 // unstarted server, and the bounded queue answers 429 past its depth.
 func TestQueuePositionsAndBackpressure(t *testing.T) {
-	s := serve.New(serve.Options{Workers: 1, QueueDepth: 3})
+	s := newServer(t, serve.Options{Workers: 1, QueueDepth: 3})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -347,7 +358,7 @@ func TestRerunServedFromCache(t *testing.T) {
 	opts := serve.Options{Workers: 1, Shards: 4, CacheDir: cacheDir}
 
 	runOnce := func() serve.JobResult {
-		s := serve.New(opts)
+		s := newServer(t, opts)
 		s.Start()
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
@@ -471,7 +482,7 @@ func TestHealthzAndProgress(t *testing.T) {
 // TestDrainRejectsSubmissions: a draining server answers 503 and points
 // the client at the cache-backed retry story.
 func TestDrainRejectsSubmissions(t *testing.T) {
-	s := serve.New(serve.Options{Workers: 1})
+	s := newServer(t, serve.Options{Workers: 1})
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

@@ -31,7 +31,7 @@ func TestStressNoDuplicateShardWork(t *testing.T) {
 		rounds     = 3
 		shards     = 4
 	)
-	s := serve.New(serve.Options{
+	s := newServer(t, serve.Options{
 		Workers:    2,
 		QueueDepth: 64,
 		Shards:     shards,
@@ -125,7 +125,7 @@ func TestStressNoDuplicateShardWork(t *testing.T) {
 // positions.  Unstarted means no worker races the count.
 func TestStressBurst429(t *testing.T) {
 	const depth, burst = 2, 8
-	s := serve.New(serve.Options{Workers: 1, QueueDepth: depth})
+	s := newServer(t, serve.Options{Workers: 1, QueueDepth: depth})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -174,7 +174,7 @@ func TestStressDrainUnderLoad(t *testing.T) {
 	// Reference: an undisturbed daemon run of each spec.
 	want := map[int64][]byte{}
 	{
-		s := serve.New(opts)
+		s := newServer(t, opts)
 		s.Start()
 		ts := httptest.NewServer(s.Handler())
 		for sp := 0; sp < specs; sp++ {
@@ -199,7 +199,7 @@ func TestStressDrainUnderLoad(t *testing.T) {
 	// First daemon: submit everything, then drain immediately.  Jobs
 	// end done (finished before the drain) or aborted (stopped at a
 	// shard boundary); either way no partial shard is cached.
-	s1 := serve.New(opts)
+	s1 := newServer(t, opts)
 	s1.Start()
 	ts1 := httptest.NewServer(s1.Handler())
 	for sp := 0; sp < specs; sp++ {
@@ -225,7 +225,7 @@ func TestStressDrainUnderLoad(t *testing.T) {
 
 	// Second daemon, same cache: everything completes, reusing
 	// whatever shards daemon one persisted before the drain.
-	s2 := serve.New(opts)
+	s2 := newServer(t, opts)
 	s2.Start()
 	ts2 := httptest.NewServer(s2.Handler())
 	defer ts2.Close()

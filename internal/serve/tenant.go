@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"net/http"
+)
+
+// Multi-tenancy (DESIGN.md §15): every request carries a tenant — the
+// X-Aegis-Tenant header, defaulting to "default" — and the daemon
+// isolates tenants two ways.  Quotas bound how much of the daemon one
+// tenant can occupy (queue slots and total in-flight jobs; breaches get
+// 429 with Retry-After).  Dispatch is weighted round-robin over
+// per-tenant FIFO queues, so a tenant flooding its queue delays another
+// tenant's next job by at most one WRR turn per competing tenant, never
+// by its own backlog.
+
+// TenantHeader names the HTTP header that selects a tenant.
+const TenantHeader = "X-Aegis-Tenant"
+
+// DefaultTenant is the tenant of requests that send no header.
+const DefaultTenant = "default"
+
+// maxTenantName bounds tenant-name length; tenant names label metrics,
+// so they must stay short and printable.
+const maxTenantName = 64
+
+// tenant is one tenant's scheduling state.  All fields are guarded by
+// the Server mutex.
+type tenant struct {
+	name string
+	// fifo holds this tenant's queued jobs in submission order.
+	fifo []*Job
+	// running counts this tenant's jobs currently executing.
+	running int
+	// weight is the tenant's WRR share: how many jobs it may dispatch
+	// per turn before the cursor moves on (≥ 1).
+	weight int
+	// turn counts dispatches in the current WRR turn.
+	turn int
+}
+
+// validTenantName reports whether a tenant header value is usable as a
+// tenant: short, and limited to letters, digits, '.', '_' and '-' so it
+// is safe as a metric label and a log field.
+func validTenantName(name string) bool {
+	if name == "" || len(name) > maxTenantName {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tenantFromRequest resolves the request's tenant.  An absent header is
+// the default tenant; a malformed one is a client error.
+func tenantFromRequest(r *http.Request) (string, *RequestError) {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		return DefaultTenant, nil
+	}
+	if !validTenantName(name) {
+		return "", &RequestError{
+			Field:   TenantHeader,
+			Message: "tenant must be 1-64 characters of [A-Za-z0-9._-]",
+		}
+	}
+	return name, nil
+}
+
+// tenantLocked returns the tenant's scheduling state, creating it on
+// first use.  Callers hold s.mu.
+func (s *Server) tenantLocked(name string) *tenant {
+	if tn, ok := s.tenants[name]; ok {
+		return tn
+	}
+	w := s.opts.TenantWeights[name]
+	if w < 1 {
+		w = 1
+	}
+	tn := &tenant{name: name, weight: w}
+	s.tenants[name] = tn
+	s.tenantOrder = append(s.tenantOrder, name)
+	return tn
+}
+
+// nextJobLocked pops the next job to dispatch under weighted round
+// robin: the cursor tenant dispatches up to weight jobs per turn, then
+// the cursor advances to the next tenant with queued work.  Callers
+// hold s.mu; returns nil only when every FIFO is empty.
+func (s *Server) nextJobLocked() *Job {
+	n := len(s.tenantOrder)
+	if n == 0 {
+		return nil
+	}
+	// At most one full lap: each iteration either dispatches or retires
+	// the cursor tenant's turn and advances.
+	for i := 0; i <= n; i++ {
+		tn := s.tenants[s.tenantOrder[s.rrPos%n]]
+		if len(tn.fifo) > 0 && tn.turn < tn.weight {
+			job := tn.fifo[0]
+			tn.fifo = tn.fifo[1:]
+			tn.turn++
+			return job
+		}
+		tn.turn = 0
+		s.rrPos = (s.rrPos + 1) % n
+	}
+	return nil
+}
+
+// activeKey scopes the duplicate-submission guard per tenant: two
+// tenants may run the identical spec as separate jobs (the shard cache
+// still ensures the simulation itself is computed once).
+func activeKey(tenant, spec string) string { return tenant + "\x00" + spec }

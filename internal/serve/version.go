@@ -35,6 +35,7 @@ func Version() VersionInfo {
 		Arch:      obs.GOARCH(),
 		Schemas: map[string]string{
 			"job":      JobSchema,
+			"journal":  JournalSchema,
 			"shard":    engine.ShardSchema,
 			"manifest": obs.ManifestSchema,
 			"events":   obs.EventSchema,

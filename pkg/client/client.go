@@ -1,0 +1,286 @@
+// Package client is a dependency-free Go client for aegisd, the Aegis
+// simulation daemon.  It covers the full v1 API: submit, status,
+// result, blocking wait, the live SSE event stream, and version
+// discovery.
+//
+// The client retries 429 and 503 answers with jittered exponential
+// backoff, honouring the daemon's Retry-After hint when one is sent,
+// and plumbs a correlation request ID (X-Request-Id) through every
+// call so client-side failures can be matched to daemon log records.
+// All methods take a context and abort promptly when it ends.
+//
+//	c, _ := client.New("http://127.0.0.1:8080", client.Options{Tenant: "ci"})
+//	st, err := c.Submit(ctx, client.JobSpec{Kind: "blocks", Scheme: "aegis:61"})
+//	...
+//	st, err = c.Wait(ctx, st.ID)
+//	raw, err := c.Result(ctx, st.ID)
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Options configures a Client.  The zero value is usable.
+type Options struct {
+	// Tenant is sent as X-Aegis-Tenant on every request (empty = the
+	// daemon's default tenant).
+	Tenant string
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// RetryMax bounds retries after the first attempt on 429/503
+	// (default 4; negative disables retries).
+	RetryMax int
+	// RetryBase is the first backoff step; later steps double, with
+	// ±50% jitter (default 100ms).  A Retry-After hint from the daemon
+	// overrides the computed delay.
+	RetryBase time.Duration
+	// PollInterval is Wait's status-poll period (default 100ms).
+	PollInterval time.Duration
+	// RequestID mints correlation IDs (default: random 8-byte hex).
+	RequestID func() string
+}
+
+// Client talks to one aegisd instance.  It is safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+}
+
+// New builds a client for the daemon at baseURL (scheme + host, e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q: want scheme://host[:port]", baseURL)
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.RetryMax == 0 {
+		opts.RetryMax = 4
+	}
+	if opts.RetryMax < 0 {
+		opts.RetryMax = 0
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 100 * time.Millisecond
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 100 * time.Millisecond
+	}
+	if opts.RequestID == nil {
+		opts.RequestID = randomID
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), opts: opts}, nil
+}
+
+func randomID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "client-unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit posts a job.  A 202 returns the new job's status; a 409
+// (identical job already live) returns an *APIError whose JobID names
+// it — callers typically Wait on that ID instead of failing:
+//
+//	st, err := c.Submit(ctx, spec)
+//	var apiErr *client.APIError
+//	if errors.As(err, &apiErr) && apiErr.IsDuplicate() {
+//	    st, err = c.Wait(ctx, apiErr.JobID)
+//	}
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode spec: %w", err)
+	}
+	var st JobStatus
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a finished job's result document (schema aegis.job/v1)
+// as raw JSON — raw so byte-level comparisons against other runs of the
+// same spec are possible.
+func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read result: %w", err)
+	}
+	return raw, nil
+}
+
+// Version fetches the daemon's build identity and schema versions.
+func (c *Client) Version(ctx context.Context) (*VersionInfo, error) {
+	var v VersionInfo
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/version", nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Wait polls a job until it reaches a terminal state (or ctx ends) and
+// returns the final status.  A failed or aborted job is not a transport
+// error: err is nil and the status says what happened.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	ticker := time.NewTicker(c.opts.PollInterval)
+	defer ticker.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// doJSON runs a request and decodes a 2xx JSON body into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	resp, err := c.do(ctx, method, path, body, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// do runs one request with retry on 429/503.  Any other non-2xx answer
+// becomes an *APIError.  The caller owns the returned body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, header http.Header) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bodyReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("client: build request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.opts.Tenant != "" {
+			req.Header.Set(TenantHeader, c.opts.Tenant)
+		}
+		req.Header.Set(RequestIDHeader, c.opts.RequestID())
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			// Transport errors are not retried: the daemon never saw
+			// the request, and for POSTs a blind resend could double-
+			// submit across a half-open connection.
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if resp.StatusCode/100 == 2 {
+			return resp, nil
+		}
+		apiErr := decodeAPIError(resp)
+		resp.Body.Close()
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.opts.RetryMax {
+			return nil, apiErr
+		}
+		lastErr = apiErr
+		delay := c.backoff(attempt, apiErr.RetryAfter)
+		select {
+		case <-ctx.Done():
+			return nil, errors.Join(ctx.Err(), lastErr)
+		case <-time.After(delay):
+		}
+	}
+}
+
+func bodyReader(body []byte) io.Reader {
+	if body == nil {
+		return nil
+	}
+	return bytes.NewReader(body)
+}
+
+// backoff picks the next retry delay: the daemon's Retry-After hint
+// when present, else RetryBase·2^attempt with ±50% deterministic-free
+// jitter (derived from the monotonic clock, so the package needs no
+// random source and concurrent clients still decorrelate).
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		return hint
+	}
+	d := float64(c.opts.RetryBase) * math.Pow(2, float64(attempt))
+	// 0.5–1.5× jitter from the clock's sub-millisecond noise.
+	frac := float64(time.Now().UnixNano()%1000) / 1000
+	d *= 0.5 + frac
+	if max := float64(10 * time.Second); d > max {
+		d = max
+	}
+	return time.Duration(d)
+}
+
+// decodeAPIError folds a non-2xx response into an *APIError.
+func decodeAPIError(resp *http.Response) *APIError {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var body struct {
+		Field     string `json:"field"`
+		Message   string `json:"error"`
+		RequestID string `json:"request_id"`
+		ID        string `json:"id"`
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err == nil && json.Unmarshal(raw, &body) == nil && body.Message != "" {
+		apiErr.Field = body.Field
+		apiErr.Message = body.Message
+		apiErr.RequestID = body.RequestID
+		apiErr.JobID = body.ID
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	if apiErr.RequestID == "" {
+		apiErr.RequestID = resp.Header.Get(RequestIDHeader)
+	}
+	return apiErr
+}

@@ -1,0 +1,356 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aegis/internal/serve"
+	"aegis/pkg/client"
+)
+
+// Tests run against a real in-process aegisd (internal/serve) where the
+// behaviour under test is the daemon's, and against httptest stubs
+// where it is the client's (retry, disconnect handling).
+
+var smallSpec = client.JobSpec{Kind: "blocks", Scheme: "aegis:11", BlockBits: 64, Trials: 6, Seed: 5}
+
+func daemon(t *testing.T, opts serve.Options) string {
+	t.Helper()
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			s.Close()
+		}
+	})
+	return ts.URL
+}
+
+func newClient(t *testing.T, base string, opts client.Options) *client.Client {
+	t.Helper()
+	c, err := client.New(base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSubmitWaitResult(t *testing.T) {
+	base := daemon(t, serve.Options{Workers: 1, Shards: 2, CacheDir: t.TempDir()})
+	c := newClient(t, base, client.Options{Tenant: "ci", PollInterval: 10 * time.Millisecond})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Tenant != "ci" {
+		t.Fatalf("submitted as %q tenant %q", st.ID, st.Tenant)
+	}
+
+	st, err = c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateDone {
+		t.Fatalf("job ended %q: %s", st.State, st.Error)
+	}
+
+	raw, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Schema string `json:"schema"`
+		ID     string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != "aegis.job/v1" || res.ID != st.ID {
+		t.Fatalf("result schema %q id %q", res.Schema, res.ID)
+	}
+
+	// Resubmitting the identical spec while done jobs have left the
+	// dedup window runs again; resubmitting a queued/running one yields
+	// the duplicate answer — covered in TestSubmitDuplicate.
+	v, err := c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Service != "aegisd" || v.Schemas["job"] == "" {
+		t.Fatalf("version: %+v", v)
+	}
+}
+
+func TestSubmitDuplicate(t *testing.T) {
+	// Unstarted daemon: the first submission stays queued, so the
+	// second is a guaranteed duplicate.
+	s, err := serve.New(serve.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	c := newClient(t, ts.URL, client.Options{})
+
+	st, err := c.Submit(context.Background(), smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(context.Background(), smallSpec)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || !apiErr.IsDuplicate() || apiErr.JobID != st.ID {
+		t.Fatalf("duplicate submit: %v, want 409 pointing at %s", err, st.ID)
+	}
+}
+
+func TestValidationError(t *testing.T) {
+	base := daemon(t, serve.Options{Workers: 1})
+	c := newClient(t, base, client.Options{})
+	_, err := c.Submit(context.Background(), client.JobSpec{Kind: "nonsense"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest || apiErr.Field != "kind" {
+		t.Fatalf("bad spec: %v", err)
+	}
+	if apiErr.RequestID == "" {
+		t.Fatal("error carries no request ID")
+	}
+}
+
+// TestRetryHonorsRetryAfter: 429 answers are retried after the daemon's
+// hint, and the eventual success is returned.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"j1","tenant":"default","state":"queued"}`)
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts.URL, client.Options{RetryBase: time.Millisecond})
+	st, err := c.Submit(context.Background(), smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" || calls.Load() != 3 {
+		t.Fatalf("job %q after %d calls, want j1 after 3", st.ID, calls.Load())
+	}
+}
+
+// TestRetryExhausted: a daemon that never relents surfaces the last 429
+// after RetryMax+1 attempts.
+func TestRetryExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts.URL, client.Options{RetryMax: 2, RetryBase: time.Millisecond})
+	_, err := c.Submit(context.Background(), smallSpec)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted retries: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + RetryMax)", calls.Load())
+	}
+}
+
+// TestRetryRespectsContext: cancellation during backoff aborts the
+// retry loop promptly with the context error.
+func TestRetryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full"}`)
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts.URL, client.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, smallSpec)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled retry: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — the 30s Retry-After was not interruptible", elapsed)
+	}
+}
+
+// TestEventsToCompletion: the stream yields progress frames and a final
+// done event, then io.EOF.
+func TestEventsToCompletion(t *testing.T) {
+	base := daemon(t, serve.Options{Workers: 1, Shards: 2, CacheDir: t.TempDir(),
+		StreamInterval: 10 * time.Millisecond})
+	c := newClient(t, base, client.Options{})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.Events(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	sawProgress, sawDone := false, false
+	for {
+		ev, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Name {
+		case "progress":
+			sawProgress = true
+		case "done":
+			sawDone = true
+			final, err := ev.Status()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final.ID != st.ID || !final.Terminal() {
+				t.Fatalf("done event: id %q state %q", final.ID, final.State)
+			}
+		}
+	}
+	if !sawProgress || !sawDone {
+		t.Fatalf("stream: progress %v done %v, want both", sawProgress, sawDone)
+	}
+	// After EOF the stream stays EOF.
+	if _, err := stream.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+// TestEventsMidStreamDisconnect: the server dropping the connection
+// before the done event surfaces io.ErrUnexpectedEOF, not a silent end.
+func TestEventsMidStreamDisconnect(t *testing.T) {
+	frames := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "id: 1\nevent: progress\ndata: {\"state\":\"running\"}\n\n")
+		w.(http.Flusher).Flush()
+		<-frames // hold the stream open until the test cuts it
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts.URL, client.Options{})
+	stream, err := c.Events(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	ev, err := stream.Next()
+	if err != nil || ev.Name != "progress" {
+		t.Fatalf("first event: %v %v", ev, err)
+	}
+	// Cut every open connection mid-stream, as a crashing daemon would.
+	ts.CloseClientConnections()
+	close(frames)
+	if _, err := stream.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("after disconnect: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestEventsStreamCap: an over-subscribed daemon answers 503 with
+// Retry-After; with retries disabled the client surfaces it as an
+// APIError carrying the hint.
+func TestEventsStreamCap(t *testing.T) {
+	base := daemon(t, serve.Options{Workers: 1, MaxStreams: 1,
+		StreamInterval: 10 * time.Millisecond, StreamHeartbeat: 10 * time.Millisecond})
+	c := newClient(t, base, client.Options{RetryMax: -1})
+	ctx := context.Background()
+
+	// A slow job holds the one stream slot open.
+	st, err := c.Submit(ctx, client.JobSpec{Kind: "blocks", Scheme: "aegis:11", BlockBits: 64, Trials: 5000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Events(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := first.Next(); err != nil {
+		t.Fatal(err) // slot is confirmed held
+	}
+
+	_, err = c.Events(ctx, st.ID)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second stream: %v, want 503", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("503 carries no Retry-After hint: %+v", apiErr)
+	}
+
+	// Releasing the slot admits the next subscriber.
+	first.Close()
+	var second *client.EventStream
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		second, err = c.Events(ctx, st.ID)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	second.Close()
+}
+
+// TestRequestIDPlumbing: the client's generated ID reaches the server;
+// the server's echo lands on API errors.
+func TestRequestIDPlumbing(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(client.RequestIDHeader))
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"id":"j1"}`)
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts.URL, client.Options{RequestID: func() string { return "fixed-rid" }, Tenant: "acme"})
+	if _, err := c.Status(context.Background(), "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "fixed-rid" {
+		t.Fatalf("server saw request ID %q", got.Load())
+	}
+}

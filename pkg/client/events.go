@@ -1,0 +1,121 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Event is one Server-Sent Event from a job's live stream.
+type Event struct {
+	// ID is the stream sequence number the daemon assigned.
+	ID string
+	// Name is the event type: "progress" while the job runs, "done"
+	// exactly once as the final event.
+	Name string
+	// Data is the event's JSON payload: a progress frame, or the full
+	// final JobStatus on the "done" event.
+	Data json.RawMessage
+}
+
+// Status decodes the event payload as a JobStatus — the shape of the
+// "done" event.
+func (e *Event) Status() (*JobStatus, error) {
+	var st JobStatus
+	if err := json.Unmarshal(e.Data, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// EventStream iterates a job's SSE stream (GET /v1/jobs/{id}/events).
+// Close it when done; Next closes it automatically at end of stream.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+	done bool
+}
+
+// Events opens the live event stream of a job.  The daemon sends a
+// "progress" event per interval and a final "done" event; Next returns
+// io.EOF after "done" and io.ErrUnexpectedEOF if the connection drops
+// before the stream completed — callers distinguish a finished job from
+// a lost daemon by which sentinel they get.
+//
+// An over-subscribed daemon answers 503 (surfaced as *APIError with its
+// Retry-After hint) — this call retries it like any other request.
+// Cancelling ctx tears the stream down and surfaces the cancellation
+// from the pending or next Next call.
+func (c *Client) Events(ctx context.Context, id string) (*EventStream, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/events", nil,
+		http.Header{"Accept": []string{"text/event-stream"}})
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next blocks for the next event.  It returns io.EOF once the stream
+// ended cleanly (after the "done" event) and io.ErrUnexpectedEOF if the
+// server went away mid-stream.  Heartbeat comments are skipped.
+func (s *EventStream) Next() (*Event, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	ev := &Event{}
+	sawField := false
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		switch {
+		case len(line) == 0: // blank line: dispatch if a field was seen
+			if sawField {
+				if ev.Name == "done" {
+					s.done = true
+					s.Close()
+				}
+				return ev, nil
+			}
+		case line[0] == ':': // comment (heartbeat): skip
+		default:
+			field, value, _ := bytes.Cut(line, []byte(":"))
+			value = bytes.TrimPrefix(value, []byte(" "))
+			switch string(field) {
+			case "id":
+				ev.ID = string(value)
+				sawField = true
+			case "event":
+				ev.Name = string(value)
+				sawField = true
+			case "data":
+				// Per the SSE grammar multiple data lines concatenate
+				// with a newline; the daemon sends one per event.
+				if len(ev.Data) > 0 {
+					ev.Data = append(ev.Data, '\n')
+				}
+				ev.Data = append(ev.Data, value...)
+				sawField = true
+			}
+		}
+	}
+	// The scanner stopped without a dispatched event: the stream ended
+	// before "done" — a scan error, a mid-frame cut, or a clean close
+	// all mean the subscriber cannot know the job's fate.  Context
+	// cancellation keeps its sentinel so callers can errors.Is it.
+	s.Close()
+	if err := s.sc.Err(); errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}
+
+// Close tears the stream down.  Safe to call more than once.
+func (s *EventStream) Close() error {
+	return s.body.Close()
+}

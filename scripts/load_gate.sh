@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Load-gate the aegisd daemon: boot it with a journal, drive it with
+# aegisload (concurrent multi-tenant submissions, duplicate and fresh
+# specs), and hold the run to latency and leak thresholds.  The
+# aegis.load/v1 report lands in the out directory for CI to upload; a
+# breached gate makes aegisload — and this script — exit non-zero.
+#
+# Usage: scripts/load_gate.sh [outdir]   (default: out/load-gate)
+set -eu
+
+OUT=${1:-out/load-gate}
+mkdir -p "$OUT"
+ADDR_FILE="$OUT/aegisd.addr"
+rm -f "$ADDR_FILE"
+
+go build -o "$OUT/aegisd" ./cmd/aegisd
+go build -o "$OUT/aegisload" ./cmd/aegisload
+
+"$OUT/aegisd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+    -workers 2 -queue 64 -shards 4 \
+    -cache-dir "$OUT/shards" -journal "$OUT/journal" &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s "$ADDR_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$DAEMON" 2>/dev/null; then
+        echo "load-gate: daemon never came up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+BASE="http://$(cat "$ADDR_FILE")"
+echo "load-gate: daemon at $BASE"
+
+# Thresholds: p99 generous (shared CI runners), goroutine/FD deltas
+# tight — a leak grows with load and never settles back, so after the
+# idle settle the daemon must be within a hair of its baseline.
+"$OUT/aegisload" -addr "$BASE" \
+    -jobs 80 -concurrency 8 -tenants 3 -spec-variety 20 \
+    -max-p99 60 -max-goroutine-delta 8 -max-fd-delta 8 \
+    -report "$OUT/load-report.json"
+
+kill -TERM "$DAEMON"
+if ! wait "$DAEMON"; then
+    echo "load-gate: daemon exited non-zero after SIGTERM" >&2
+    exit 1
+fi
+trap - EXIT
+echo "load-gate: OK — report at $OUT/load-report.json"

@@ -3,8 +3,11 @@
 # check its version report and Prometheus exposition, submit one job
 # over HTTP, poll it to completion, save the result manifest (schema
 # aegis.job/v1), rescrape /metrics to confirm the job's traffic showed
-# up, and shut the daemon down with SIGTERM.  CI uploads the saved
-# JSON and the exposition as build artifacts.
+# up, and shut the daemon down with SIGTERM.  The daemon runs with a
+# job journal; after the clean drain the script restarts it on the same
+# journal and asserts the pre-restart job is still served, byte for
+# byte.  CI uploads the saved JSON, the exposition and the journal as
+# build artifacts.
 #
 # Usage: scripts/serve_smoke.sh [outdir]   (default: out/serve-smoke)
 set -eu
@@ -12,24 +15,32 @@ set -eu
 OUT=${1:-out/serve-smoke}
 mkdir -p "$OUT"
 ADDR_FILE="$OUT/aegisd.addr"
-rm -f "$ADDR_FILE"
+JOURNAL="$OUT/journal"
+rm -f "$ADDR_FILE" "$JOURNAL"
 
 go build -o "$OUT/aegisd" ./cmd/aegisd
-"$OUT/aegisd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
-    -workers 1 -shards 4 -cache-dir "$OUT/shards" &
-DAEMON=$!
-trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
 
-i=0
-while [ ! -s "$ADDR_FILE" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ] || ! kill -0 "$DAEMON" 2>/dev/null; then
-        echo "serve-smoke: daemon never came up" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-BASE="http://$(cat "$ADDR_FILE")"
+# start_daemon: boot aegisd against the shared cache + journal and wait
+# for its bound address to land in $ADDR_FILE.
+start_daemon() {
+    rm -f "$ADDR_FILE"
+    "$OUT/aegisd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+        -workers 1 -shards 4 -cache-dir "$OUT/shards" -journal "$JOURNAL" &
+    DAEMON=$!
+    i=0
+    while [ ! -s "$ADDR_FILE" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ] || ! kill -0 "$DAEMON" 2>/dev/null; then
+            echo "serve-smoke: daemon never came up" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    BASE="http://$(cat "$ADDR_FILE")"
+}
+
+start_daemon
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
 echo "serve-smoke: daemon at $BASE"
 
 curl -fsS "$BASE/v1/healthz" >"$OUT/healthz.json"
@@ -76,6 +87,36 @@ grep -Eq '^aegis_shard_cache_(hits|misses)_total [1-9]' "$OUT/metrics.prom"
 grep -q '^aegis_http_request_duration_seconds_bucket' "$OUT/metrics.prom"
 grep -q '^aegis_build_info{' "$OUT/metrics.prom"
 echo "serve-smoke: metrics OK ($(wc -l <"$OUT/metrics.prom") exposition lines)"
+
+# Clean drain: SIGTERM must exit 0, and the journal it leaves behind
+# must be non-empty (the job's submitted/running/terminal records).
+kill -TERM "$DAEMON"
+if ! wait "$DAEMON"; then
+    echo "serve-smoke: daemon exited non-zero after SIGTERM" >&2
+    exit 1
+fi
+if [ ! -s "$JOURNAL" ]; then
+    echo "serve-smoke: journal is empty after a served job" >&2
+    exit 1
+fi
+echo "serve-smoke: clean SIGTERM exit, journal has $(wc -l <"$JOURNAL") records"
+
+# Restart on the same journal: the pre-restart job must still answer
+# under its original ID, with the byte-identical result document.
+start_daemon
+echo "serve-smoke: restarted daemon at $BASE"
+STATE=$(curl -fsS "$BASE/v1/jobs/$ID" | jq -r .state)
+if [ "$STATE" != "done" ]; then
+    echo "serve-smoke: replayed job is $STATE, want done" >&2
+    exit 1
+fi
+curl -fsS "$BASE/v1/jobs/$ID/result" >"$OUT/job-result-replayed.json"
+if ! cmp -s "$OUT/job-result.json" "$OUT/job-result-replayed.json"; then
+    echo "serve-smoke: replayed result differs from the original" >&2
+    diff "$OUT/job-result.json" "$OUT/job-result-replayed.json" >&2 || true
+    exit 1
+fi
+echo "serve-smoke: replayed result is byte-identical"
 
 kill -TERM "$DAEMON"
 wait "$DAEMON"
