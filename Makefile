@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short test-race vet bench bench-json bench-baseline bench-gate trace-sample repro repro-quick resume-demo serve-smoke load-gate extensions examples fuzz golden clean
+.PHONY: all test test-short test-race vet bench bench-json bench-baseline bench-gate trace-sample repro repro-quick resume-demo serve-smoke load-gate cluster-gate extensions examples fuzz golden clean
 
 all: test
 
@@ -23,7 +23,7 @@ test-race:
 		./internal/ecp/ ./internal/aegisrw/ \
 		./internal/experiments/ ./internal/device/ ./internal/obs/ \
 		./internal/engine/ ./internal/plane/ ./internal/bitvec/ \
-		./internal/serve/ ./cmd/aegisd/
+		./internal/serve/ ./internal/cluster/ ./cmd/aegisd/
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +88,13 @@ serve-smoke:
 load-gate:
 	sh scripts/load_gate.sh out/load-gate
 
+# Cluster gate: aegisload spawns a coordinator + 2-worker fleet of the
+# freshly built aegisd (-cluster 2 -aegisd-bin) and drives the load-gate
+# spec mix through leased shard fan-out (see DESIGN.md §16).  The
+# aegis.load/v1 report lands in out/cluster-gate/.
+cluster-gate:
+	sh scripts/cluster_gate.sh out/cluster-gate
+
 # All extension experiments (ablations + substrate studies).
 extensions:
 	$(GO) run ./cmd/aegisbench -exp extensions -preset default
@@ -109,6 +116,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBitvec -fuzztime=10s ./internal/bitvec/
 	$(GO) test -fuzz=FuzzMetadata -fuzztime=10s ./internal/aegisrw/
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/serve/
+	$(GO) test -fuzz=FuzzLeaseWire -fuzztime=10s ./internal/cluster/
 
 # Regenerate the fixed-seed golden regression file after an intentional
 # behaviour change.

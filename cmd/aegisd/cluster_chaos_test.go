@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aegis/pkg/client"
+)
+
+// Cluster chaos suite: run the real aegisd binary as a coordinator plus
+// a worker fleet, kill -9 a worker while it holds a lease, and prove
+// the coordinator steals the lease, completes the job, and answers with
+// the same bytes a standalone daemon produces for the same spec.
+
+// startCoordinator launches a coordinator-role daemon sized so a fleet
+// of three workers all hold leases at once (fan-out 3, 4 chunky
+// shards): killing any worker mid-job is then guaranteed to interrupt
+// an in-flight lease.
+func startCoordinator(t *testing.T, dir string) *daemonProc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	logs, err := os.CreateTemp(t.TempDir(), "coordinator-*.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(binary(t),
+		"-role", "coordinator",
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-workers", "1",
+		"-engine-workers", "3",
+		"-shards", "4",
+		"-cache-dir", filepath.Join(dir, "cache"),
+		"-heartbeat-ttl", "5s",
+		"-worker-wait", "30s",
+		"-log", "json",
+	)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &daemonProc{cmd: cmd, logs: logs}
+	t.Cleanup(func() { p.kill(); logs.Close() })
+	awaitAddr(t, p, addrFile)
+	return p
+}
+
+// startWorkerProc launches a worker-role daemon registered at the
+// coordinator.
+func startWorkerProc(t *testing.T, coordURL, name, dir string) *daemonProc {
+	t.Helper()
+	logs, err := os.CreateTemp(t.TempDir(), name+"-*.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(binary(t),
+		"-role", "worker",
+		"-coordinator", coordURL,
+		"-addr", "127.0.0.1:0",
+		"-worker-name", name,
+		"-cache-dir", filepath.Join(dir, "cache-"+name),
+		"-log", "json",
+	)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &daemonProc{cmd: cmd, logs: logs}
+	t.Cleanup(func() { p.kill(); logs.Close() })
+	return p
+}
+
+func awaitAddr(t *testing.T, p *daemonProc, addrFile string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for p.base == "" {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			p.base = "http://" + strings.TrimSpace(string(b))
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote -addr-file; logs:\n%s", p.tail())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// awaitFleet polls the coordinator's worker listing until n workers are
+// registered.
+func awaitFleet(t *testing.T, coordURL string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(coordURL + "/v1/workers")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Count(string(body), `"name"`) >= n {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet incomplete: %d workers not registered in 30s", n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// awaitLogLine polls a daemon's log file until one line contains every
+// given substring.
+func awaitLogLine(t *testing.T, p *daemonProc, subs ...string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		data, _ := os.ReadFile(p.logs.Name())
+		for _, line := range strings.Split(string(data), "\n") {
+			ok := true
+			for _, sub := range subs {
+				if !strings.Contains(line, sub) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log line %v never appeared; logs:\n%s", subs, p.tail())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// scrapeMetric reads one un-labeled counter from GET /metrics.
+func scrapeMetric(t *testing.T, baseURL, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// canonicalResult strips the two fields that legitimately differ
+// between daemons — wall-clock time and the cache directory path — for
+// byte comparison.
+func canonicalResult(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["elapsed_seconds"] = 0.0
+	if sh, ok := doc["sharding"].(map[string]any); ok {
+		delete(sh, "cache_dir")
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterChaosWorkerKill is the cluster satellite's end-to-end
+// kill -9 test:
+//
+//  1. a coordinator and three worker processes form a fleet; a job of
+//     4 chunky shards is submitted with fan-out 3, so all three workers
+//     hold in-flight leases while work remains
+//  2. once the first shard lands in the coordinator's cache, one worker
+//     is killed with SIGKILL — by construction it holds a lease
+//  3. the coordinator steals the dead worker's lease
+//     (aegis_cluster_leases_stolen_total >= 1), the job completes, and
+//     its result is byte-identical to a standalone daemon's answer for
+//     the same spec
+func TestClusterChaosWorkerKill(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	coord := startCoordinator(t, dir)
+	var workers []*daemonProc
+	for i := 0; i < 3; i++ {
+		workers = append(workers, startWorkerProc(t, coord.base, fmt.Sprintf("chaos-w%d", i), dir))
+	}
+	awaitFleet(t, coord.base, 3)
+
+	cc, err := client.New(coord.base, client.Options{PollInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := client.JobSpec{Kind: "blocks", Scheme: "aegis:11", BlockBits: 64, Trials: 24000, Seed: 6}
+	st, err := cc.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until chaos-w1 is issued a lease — the coordinator logs
+	// issuance before the compute round trip starts, and each shard
+	// runs for seconds, so the kill is guaranteed to land on an
+	// in-flight lease.
+	awaitLogLine(t, coord, `"msg":"lease issued"`, `"worker":"chaos-w1"`)
+
+	workers[1].kill() // SIGKILL: no goodbye, no deregistration, lease in flight
+
+	final, err := cc.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait after worker kill: %v\ncoordinator logs:\n%s", err, coord.tail())
+	}
+	if final.State != client.StateDone {
+		t.Fatalf("job ended %q: %s\ncoordinator logs:\n%s", final.State, final.Error, coord.tail())
+	}
+	clusterRaw, err := cc.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := scrapeMetric(t, coord.base, "aegis_cluster_leases_stolen_total"); n < 1 {
+		t.Errorf("aegis_cluster_leases_stolen_total = %v, want >= 1\ncoordinator logs:\n%s", n, coord.tail())
+	}
+	if n := scrapeMetric(t, coord.base, "aegis_cluster_workers_lost_total"); n < 1 {
+		t.Errorf("aegis_cluster_workers_lost_total = %v, want >= 1", n)
+	}
+
+	// Standalone daemon, fresh state, same spec and sizing: the answer
+	// must match the cluster's byte for byte.
+	standalone := startStandalone(t, t.TempDir())
+	sc, err := client.New(standalone.base, client.Options{PollInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sst, err := sc.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst, err = sc.Wait(ctx, sst.ID); err != nil || sst.State != client.StateDone {
+		t.Fatalf("standalone run: %v state %v\n%s", err, sst, standalone.tail())
+	}
+	standaloneRaw, err := sc.Result(ctx, sst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cw, cg := canonicalResult(t, standaloneRaw), canonicalResult(t, clusterRaw)
+	if !bytes.Equal(cw, cg) {
+		t.Errorf("cluster result diverges from standalone\nstandalone: %s\ncluster:    %s", cw, cg)
+	}
+}
+
+// startStandalone launches a default-role daemon sized identically to
+// startCoordinator so the result documents are comparable.
+func startStandalone(t *testing.T, dir string) *daemonProc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	logs, err := os.CreateTemp(t.TempDir(), "standalone-*.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(binary(t),
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-workers", "1",
+		"-engine-workers", "3",
+		"-shards", "4",
+		"-cache-dir", filepath.Join(dir, "cache"),
+		"-log", "json",
+	)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &daemonProc{cmd: cmd, logs: logs}
+	t.Cleanup(func() { p.kill(); logs.Close() })
+	awaitAddr(t, p, addrFile)
+	return p
+}

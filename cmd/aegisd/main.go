@@ -35,6 +35,13 @@
 // running jobs stop at their next shard boundary, and every completed
 // shard is already persisted — restarting aegisd with the same
 // -cache-dir finishes interrupted jobs from the cache.
+//
+// Cluster mode (-role, see DESIGN.md §16 and README "Running a
+// cluster"): "-role coordinator" serves the same job API but leases
+// each job's shards out to registered workers instead of computing
+// locally; "-role worker -coordinator http://host:port" computes leased
+// shards and keeps its registration alive with heartbeats.  The default
+// role, standalone, is the single-process daemon described above.
 package main
 
 import (
@@ -53,6 +60,8 @@ import (
 	"syscall"
 	"time"
 
+	"aegis/internal/cluster"
+	"aegis/internal/obs"
 	"aegis/internal/serve"
 )
 
@@ -111,6 +120,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		queue     = fs.Int("queue", 16, "max queued jobs before submissions get 429")
 		cacheDir  = fs.String("cache-dir", "", "shard cache directory (persist + resume; empty = in-memory only)")
 		journal   = fs.String("journal", "", "job journal file (schema aegis.journal/v1; empty = jobs die with the process)")
+		journalMB = fs.Int64("journal-max-bytes", 0, "journal size bound; exceeding appends trigger compaction (0 = unbounded)")
 		shards    = fs.Int("shards", 8, "default shards per job")
 		engineW   = fs.Int("engine-workers", 0, "shards computed concurrently per job (0 = NumCPU)")
 		jobTO     = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
@@ -121,6 +131,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		logFormat = fs.String("log", "text", "log record format: text or json")
 		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version   = fs.Bool("version", false, "print build identity and schema versions as JSON, then exit")
+
+		role       = fs.String("role", "standalone", "daemon role: standalone, coordinator or worker")
+		coordURL   = fs.String("coordinator", "", "coordinator base URL (worker role; e.g. http://127.0.0.1:8080)")
+		workerName = fs.String("worker-name", "", "worker fleet identity (worker role; default worker-<bound-addr>)")
+		advertise  = fs.String("advertise", "", "URL the coordinator reaches this worker at (worker role; default http://<bound-addr>)")
+		hbTTL      = fs.Duration("heartbeat-ttl", 10*time.Second, "worker registration TTL (coordinator role)")
+		leaseTO    = fs.Duration("lease-timeout", 2*time.Minute, "per-lease compute deadline before re-issue (coordinator role)")
+		leaseTries = fs.Int("lease-attempts", 4, "workers a shard lease is offered to before the job fails (coordinator role)")
+		workerWait = fs.Duration("worker-wait", 30*time.Second, "how long a lease waits for a live worker before failing (coordinator role)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +154,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *role == "worker" {
+		return runWorker(workerConfig{
+			addr:        *addr,
+			addrFile:    *addrFile,
+			cacheDir:    *cacheDir,
+			coordinator: *coordURL,
+			name:        *workerName,
+			advertise:   *advertise,
+			drainTO:     *drainTO,
+		}, logger)
+	}
+	if *role != "standalone" && *role != "coordinator" {
+		return fmt.Errorf("-role %q: want standalone, coordinator or worker", *role)
+	}
+
 	weights, err := parseTenantWeights(*tenantW)
 	if err != nil {
 		return err
@@ -144,6 +178,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		QueueDepth:        *queue,
 		CacheDir:          *cacheDir,
 		JournalPath:       *journal,
+		JournalMaxBytes:   *journalMB,
 		Shards:            *shards,
 		EngineWorkers:     *engineW,
 		JobTimeout:        *jobTO,
@@ -154,6 +189,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *role == "coordinator" {
+		coord := cluster.NewCoordinator(cluster.Options{
+			CacheDir:     *cacheDir,
+			FanOut:       *engineW,
+			HeartbeatTTL: *hbTTL,
+			LeaseTimeout: *leaseTO,
+			MaxAttempts:  *leaseTries,
+			WorkerWait:   *workerWait,
+			Metrics:      srv.Metrics(),
+			Logger:       logger,
+		})
+		coord.Mount(srv)
+		srv.SetRunner(coord)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -173,6 +222,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	v := serve.Version()
 	logger.Info("listening",
 		slog.String("addr", bound),
+		slog.String("role", *role),
 		slog.Int("workers", *workers),
 		slog.Int("queue", *queue),
 		slog.Int("shards", *shards),
@@ -202,6 +252,84 @@ func run(args []string, stdout, stderr io.Writer) error {
 		srv.Close()
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	logger.Info("stopped")
+	return nil
+}
+
+// workerConfig carries the worker role's flag subset.
+type workerConfig struct {
+	addr, addrFile, cacheDir string
+	coordinator              string
+	name, advertise          string
+	drainTO                  time.Duration
+}
+
+// runWorker runs the worker role: serve the lease compute endpoint
+// (plus /metrics and the debug surface), register with the coordinator,
+// and heartbeat until signalled.
+func runWorker(cfg workerConfig, logger *slog.Logger) error {
+	if cfg.coordinator == "" {
+		return fmt.Errorf("-role worker requires -coordinator")
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+	if cfg.name == "" {
+		cfg.name = "worker-" + bound
+	}
+	if cfg.advertise == "" {
+		cfg.advertise = "http://" + bound
+	}
+
+	metrics := obs.NewMetrics()
+	w := cluster.NewWorker(cluster.WorkerOptions{
+		Name:     cfg.name,
+		CacheDir: cfg.cacheDir,
+		Metrics:  metrics,
+		Logger:   logger.With(slog.String("worker", cfg.name)),
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", w.Handler())
+	obs.RegisterDebug(mux, metrics, nil, nil)
+	httpSrv := &http.Server{Handler: mux}
+
+	v := serve.Version()
+	logger.Info("worker listening",
+		slog.String("addr", bound),
+		slog.String("name", cfg.name),
+		slog.String("coordinator", cfg.coordinator),
+		slog.String("advertise", cfg.advertise),
+		slog.String("cache_dir", cfg.cacheDir),
+		slog.String("git_sha", v.GitSHA))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 2)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	go func() { errCh <- w.Run(ctx, cfg.coordinator, cfg.advertise) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		logger.Info("worker stopping", slog.String("signal", got.String()))
+	}
+	cancel()
+	sctx, scancel := context.WithTimeout(context.Background(), cfg.drainTO)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
 		httpSrv.Close()
 	}
 	logger.Info("stopped")

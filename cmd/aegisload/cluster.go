@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Cluster topology mode (-cluster N -aegisd-bin ./aegisd): instead of
+// targeting a daemon the caller started, aegisload launches its own
+// fleet — one coordinator plus N worker processes of the given aegisd
+// binary, each on a free port with its own cache directory — drives the
+// load at the coordinator, and tears the fleet down afterwards.  This
+// is what make cluster-gate runs in CI: the same duplicate/fresh spec
+// mix as the single-daemon gate, but answered by leased shard fan-out.
+
+// fleet is a spawned coordinator + workers topology.
+type fleet struct {
+	coordURL string
+	procs    []*exec.Cmd
+	stderr   io.Writer
+}
+
+// launchFleet starts a coordinator and n workers and waits until every
+// worker is registered.  The caller owns dir (addr files + caches).
+func launchFleet(ctx context.Context, bin, dir string, n int, stderr io.Writer) (*fleet, error) {
+	f := &fleet{stderr: stderr}
+	start := func(name string, args ...string) error {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start %s: %w", name, err)
+		}
+		f.procs = append(f.procs, cmd)
+		return nil
+	}
+
+	coordAddrFile := filepath.Join(dir, "coordinator.addr")
+	if err := start("coordinator",
+		"-role", "coordinator",
+		"-addr", "127.0.0.1:0",
+		"-addr-file", coordAddrFile,
+		"-cache-dir", filepath.Join(dir, "cache-coordinator"),
+		"-heartbeat-ttl", "2s",
+		"-worker-wait", "30s",
+		"-log-level", "warn",
+	); err != nil {
+		f.stop()
+		return nil, err
+	}
+	coordAddr, err := awaitAddrFile(ctx, coordAddrFile)
+	if err != nil {
+		f.stop()
+		return nil, fmt.Errorf("coordinator did not come up: %w", err)
+	}
+	f.coordURL = "http://" + coordAddr
+
+	for i := 0; i < n; i++ {
+		if err := start(fmt.Sprintf("worker-%d", i),
+			"-role", "worker",
+			"-coordinator", f.coordURL,
+			"-addr", "127.0.0.1:0",
+			"-worker-name", fmt.Sprintf("load-worker-%d", i),
+			"-cache-dir", filepath.Join(dir, fmt.Sprintf("cache-worker-%d", i)),
+			"-log-level", "warn",
+		); err != nil {
+			f.stop()
+			return nil, err
+		}
+	}
+	if err := f.awaitWorkers(ctx, n); err != nil {
+		f.stop()
+		return nil, err
+	}
+	return f, nil
+}
+
+// awaitAddrFile polls for the -addr-file a spawned daemon writes once
+// it is listening.
+func awaitAddrFile(ctx context.Context, path string) (string, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if data, err := os.ReadFile(path); err == nil {
+			if addr := strings.TrimSpace(string(data)); addr != "" {
+				return addr, nil
+			}
+		}
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("no address in %s after 15s", path)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// awaitWorkers polls the coordinator's fleet listing until n workers
+// are registered.
+func (f *fleet) awaitWorkers(ctx context.Context, n int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.coordURL+"/v1/workers", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && strings.Count(string(body), `"name"`) >= n {
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet incomplete: %d workers not registered within 30s", n)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// stop tears the fleet down: SIGTERM everyone, wait briefly, SIGKILL
+// stragglers.  Workers first so the coordinator does not log a storm of
+// lost-worker warnings during its own shutdown.
+func (f *fleet) stop() {
+	for i := len(f.procs) - 1; i >= 0; i-- {
+		if p := f.procs[i].Process; p != nil {
+			p.Signal(syscall.SIGTERM) //nolint:errcheck
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, cmd := range f.procs {
+			cmd.Wait() //nolint:errcheck
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		for _, cmd := range f.procs {
+			if p := cmd.Process; p != nil {
+				p.Kill() //nolint:errcheck
+			}
+		}
+		<-done
+	}
+}

@@ -65,6 +65,9 @@ type RunConfig struct {
 	Tenants     int `json:"tenants"`
 	SpecVariety int `json:"spec_variety"`
 	Trials      int `json:"trials"`
+	// ClusterWorkers is the size of the spawned worker fleet when the
+	// run drove a -cluster topology (0 = single daemon).
+	ClusterWorkers int `json:"cluster_workers,omitempty"`
 }
 
 type JobCounts struct {
@@ -128,12 +131,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxG    = fs.Int("max-goroutine-delta", -1, "gate: fail if daemon goroutines grew by more (negative = no gate)")
 		maxFD   = fs.Int("max-fd-delta", -1, "gate: fail if daemon open FDs grew by more (negative = no gate)")
 		outPath = fs.String("report", "-", "write the aegis.load/v1 report here (- = stdout)")
+		nWork   = fs.Int("cluster", 0, "spawn a coordinator + N worker fleet to drive instead of -addr (requires -aegisd-bin)")
+		binPath = fs.String("aegisd-bin", "", "aegisd binary for -cluster topologies")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *addr == "" {
-		return fmt.Errorf("-addr is required")
+	if *nWork < 0 {
+		return fmt.Errorf("-cluster must be non-negative")
+	}
+	if *nWork == 0 && *addr == "" {
+		return fmt.Errorf("-addr is required (or -cluster N -aegisd-bin ./aegisd to spawn a fleet)")
+	}
+	if *nWork > 0 && *addr != "" {
+		return fmt.Errorf("-addr and -cluster are mutually exclusive: the fleet's coordinator is the target")
+	}
+	if *nWork > 0 && *binPath == "" {
+		return fmt.Errorf("-cluster requires -aegisd-bin")
 	}
 	if *jobs < 1 || *conc < 1 || *tenants < 1 {
 		return fmt.Errorf("-jobs, -concurrency and -tenants must be positive")
@@ -144,6 +158,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if *nWork > 0 {
+		dir, err := os.MkdirTemp("", "aegisload-cluster-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fmt.Fprintf(stderr, "aegisload: launching fleet: coordinator + %d workers\n", *nWork)
+		fl, err := launchFleet(ctx, *binPath, dir, *nWork, stderr)
+		if err != nil {
+			return fmt.Errorf("launch fleet: %w", err)
+		}
+		defer fl.stop()
+		*addr = fl.coordURL
+		fmt.Fprintf(stderr, "aegisload: fleet ready at %s\n", fl.coordURL)
+	}
 
 	// A dedicated transport so the load's keep-alive connections can be
 	// closed before the leak check — otherwise idle pool connections
@@ -176,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rep := &Report{
 		Schema: LoadSchema,
 		Target: *addr,
-		Config: RunConfig{Jobs: *jobs, Concurrency: *conc, Tenants: *tenants, SpecVariety: *variety, Trials: *trials},
+		Config: RunConfig{Jobs: *jobs, Concurrency: *conc, Tenants: *tenants, SpecVariety: *variety, Trials: *trials, ClusterWorkers: *nWork},
 		Errors: map[string]int{},
 	}
 	var (

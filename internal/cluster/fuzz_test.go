@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aegis/internal/engine"
+	"aegis/internal/obs"
+	"aegis/internal/serve"
+)
+
+// seedLease builds a small lease this binary's worker will accept: the
+// config hash and shard key are derived exactly as the worker re-derives
+// them, so the happy path stays reachable from the corpus.
+func seedLease(tb testing.TB) Lease {
+	tb.Helper()
+	spec := serve.JobRequest{Kind: serve.KindBlocks, Scheme: "aegis:11", BlockBits: 64, Trials: 8, Seed: 3}
+	f, err := spec.Normalize()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := spec.SimConfig()
+	hash := engine.ConfigHash(cfg, spec.Kind, engine.CurveParams{})
+	return Lease{
+		Schema:     LeaseSchema,
+		LeaseID:    "fuzz-a0",
+		JobID:      "j000000-fuzzfuzzfuzz",
+		Spec:       spec,
+		SchemeName: f.Name(),
+		Kind:       spec.Kind,
+		ConfigHash: hash,
+		ShardKey:   engine.ShardKey(hash, f.Name(), 0, spec.Trials, obs.GitSHA()),
+		TrialLo:    0,
+		TrialHi:    spec.Trials,
+	}
+}
+
+func postCompute(h http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, ComputePath, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+// FuzzLeaseWire pins the cluster wire contract on both ends:
+//
+//   - Worker side: any bytes POSTed to /v1/cluster/compute — corrupt,
+//     truncated, version-skewed, range-mangled — are answered with an
+//     error status, never a panic, and a 200 always carries a shard
+//     self-addressed to the key the worker derived.
+//   - Coordinator side: any completion payload fed to decodeLeaseResult
+//     — including one replayed from a different lease — either errors
+//     or yields a shard addressed to exactly the leased key, so a
+//     misdirected or duplicated completion can never merge at the
+//     wrong address.
+//
+// Oversized or compute-heavy mutants are structurally impossible: any
+// change to a result-affecting spec field changes the re-derived
+// config hash (SHA-256), so the worker 409s before computing anything.
+func FuzzLeaseWire(f *testing.F) {
+	lease := seedLease(f)
+	leaseJSON, err := json.Marshal(lease)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w := NewWorker(WorkerOptions{Name: "fuzz-worker"})
+	h := w.Handler()
+
+	// Seed the valid round trip and its principal corruptions.
+	rr := postCompute(h, leaseJSON)
+	if rr.Code != http.StatusOK {
+		f.Fatalf("seed lease refused: %d %s", rr.Code, rr.Body.String())
+	}
+	validResult := rr.Body.Bytes()
+	f.Add(append([]byte(nil), leaseJSON...))
+	f.Add(append([]byte(nil), validResult...))
+	f.Add(leaseJSON[:len(leaseJSON)/2])     // truncated lease
+	f.Add(validResult[:len(validResult)/2]) // truncated completion
+	f.Add(bytes.Replace(leaseJSON, []byte(`"trial_hi":8`), []byte(`"trial_hi":0`), 1))
+	f.Add(bytes.Replace(leaseJSON, []byte(LeaseSchema), []byte("aegis.lease/v999"), 1))
+	replayed := bytes.Replace(validResult, []byte(lease.ShardKey), []byte(seedLeaseOther(f).ShardKey), 1)
+	f.Add(replayed) // completion replayed from another lease
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"schema":"aegis.lease/v1","unknown_field":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Coordinator side: decode arbitrary bytes as a completion of
+		// the known lease.
+		s, err := decodeLeaseResult(data, &lease, "fuzz")
+		if err == nil {
+			if s == nil {
+				t.Fatal("decodeLeaseResult: nil shard without error")
+			}
+			if s.Key != lease.ShardKey {
+				t.Fatalf("decodeLeaseResult accepted shard %s for lease %s", s.Key, lease.ShardKey)
+			}
+		}
+
+		// Worker side: serve arbitrary bytes as a lease.
+		rr := postCompute(h, data)
+		if rr.Code == http.StatusOK {
+			var res LeaseResult
+			if err := json.Unmarshal(rr.Body.Bytes(), &res); err != nil {
+				t.Fatalf("200 response is not a LeaseResult: %v", err)
+			}
+			if res.Schema != LeaseSchema || res.Shard == nil {
+				t.Fatalf("200 response malformed: schema=%q shard=%v", res.Schema, res.Shard != nil)
+			}
+			if res.Shard.Key != res.ShardKey {
+				t.Fatalf("worker returned shard %s labeled %s", res.Shard.Key, res.ShardKey)
+			}
+		}
+	})
+}
+
+// seedLeaseOther is a second valid lease (different range) whose key
+// seeds the replayed-completion corpus entry.
+func seedLeaseOther(tb testing.TB) Lease {
+	l := seedLease(tb)
+	l.TrialLo, l.TrialHi = 8, 16
+	l.ShardKey = engine.ShardKey(l.ConfigHash, l.SchemeName, 8, 16, obs.GitSHA())
+	return l
+}
+
+// TestDuplicateCompletionIdempotent pins the work-stealing safety
+// property: the same lease computed twice (a stolen lease whose
+// original worker was merely slow, not dead) produces identical shard
+// documents up to the creation timestamp — which never reaches the
+// aegis.job/v1 result — so whichever completion the coordinator takes,
+// or both, merges to the same bytes.
+func TestDuplicateCompletionIdempotent(t *testing.T) {
+	lease := seedLease(t)
+	body, _ := json.Marshal(lease)
+	w := NewWorker(WorkerOptions{Name: "dup-worker"})
+	h := w.Handler()
+
+	first := postCompute(h, body)
+	second := postCompute(h, body)
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("compute status %d / %d", first.Code, second.Code)
+	}
+	sA, err := decodeLeaseResult(first.Body.Bytes(), &lease, "dup-worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := decodeLeaseResult(second.Body.Bytes(), &lease, "dup-worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA.CreatedAt, sB.CreatedAt = time.Time{}, time.Time{}
+	a, _ := json.Marshal(sA)
+	b, _ := json.Marshal(sB)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("duplicate completions diverge:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// member is one registered worker.
+type member struct {
+	name        string
+	baseURL     string
+	codeVersion string
+	expires     time.Time
+	leasesDone  int64
+}
+
+// registry tracks the worker fleet: registrations with heartbeat TTLs,
+// expired-member pruning, and round-robin lease placement.  All methods
+// are safe for concurrent use.
+type registry struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	members map[string]*member
+	order   []string // registration order; round-robin walks it
+	rr      int
+	// now is the clock (injectable for TTL tests).
+	now func() time.Time
+	// onLost observes each member dropped for a missed heartbeat or a
+	// dispatch failure; the coordinator counts these.
+	onLost func(name, reason string)
+}
+
+func newRegistry(ttl time.Duration, onLost func(name, reason string)) *registry {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	if onLost == nil {
+		onLost = func(string, string) {}
+	}
+	return &registry{
+		ttl:     ttl,
+		members: make(map[string]*member),
+		now:     time.Now,
+		onLost:  onLost,
+	}
+}
+
+// upsert registers or refreshes a worker and returns the TTL it must
+// heartbeat within.  Re-registering an existing name refreshes its
+// deadline and may move it to a new URL (worker restart).
+func (r *registry) upsert(name, baseURL, codeVersion string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[name]
+	if !ok {
+		m = &member{name: name}
+		r.members[name] = m
+		r.order = append(r.order, name)
+	}
+	m.baseURL = baseURL
+	if codeVersion != "" {
+		m.codeVersion = codeVersion
+	}
+	m.expires = r.now().Add(r.ttl)
+	return r.ttl
+}
+
+// heartbeat refreshes a worker's deadline.  False means the worker is
+// unknown (expired or never registered) and must re-register.
+func (r *registry) heartbeat(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	m, ok := r.members[name]
+	if !ok {
+		return false
+	}
+	m.expires = r.now().Add(r.ttl)
+	return true
+}
+
+// drop removes a worker immediately — the coordinator calls this when a
+// dispatch to it fails, so a crashed worker stops receiving leases
+// before its heartbeat TTL runs out.
+func (r *registry) drop(name, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; !ok {
+		return
+	}
+	r.removeLocked(name)
+	r.onLost(name, reason)
+}
+
+// pick returns a live worker by round robin, skipping names in exclude
+// (workers that already failed this lease).  ok is false when no
+// eligible worker is live.
+func (r *registry) pick(exclude map[string]bool) (name, baseURL string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	n := len(r.order)
+	for i := 0; i < n; i++ {
+		r.rr = (r.rr + 1) % len(r.order)
+		m := r.members[r.order[r.rr]]
+		if exclude[m.name] {
+			continue
+		}
+		return m.name, m.baseURL, true
+	}
+	return "", "", false
+}
+
+// leaseDone credits a successful completion to a worker.
+func (r *registry) leaseDone(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[name]; ok {
+		m.leasesDone++
+	}
+}
+
+// live returns the number of live workers after pruning.
+func (r *registry) live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	return len(r.members)
+}
+
+// snapshot lists the live fleet in registration order.
+func (r *registry) snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	out := make([]WorkerInfo, 0, len(r.order))
+	for _, name := range r.order {
+		m := r.members[name]
+		out = append(out, WorkerInfo{
+			Name:        m.name,
+			BaseURL:     m.baseURL,
+			CodeVersion: m.codeVersion,
+			ExpiresAt:   m.expires.UTC(),
+			LeasesDone:  m.leasesDone,
+		})
+	}
+	return out
+}
+
+// pruneLocked drops every member whose heartbeat deadline passed.
+// Callers hold r.mu.
+func (r *registry) pruneLocked() {
+	now := r.now()
+	for _, name := range append([]string(nil), r.order...) {
+		if m := r.members[name]; m != nil && now.After(m.expires) {
+			r.removeLocked(name)
+			r.onLost(name, "heartbeat expired")
+		}
+	}
+}
+
+// removeLocked deletes a member and keeps the round-robin cursor
+// stable.  Callers hold r.mu.
+func (r *registry) removeLocked(name string) {
+	delete(r.members, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			if r.rr >= i && r.rr > 0 {
+				r.rr--
+			}
+			break
+		}
+	}
+}

@@ -113,11 +113,11 @@ func (e *Engine) workerCount(n int) int {
 	return w
 }
 
-// splitTrials slices [0, n) into k contiguous ranges whose sizes differ
+// SplitTrials slices [0, n) into k contiguous ranges whose sizes differ
 // by at most one, earlier shards taking the extra trial.  Degenerate
 // requests are clamped rather than producing empty shards: k > n yields
 // n single-trial ranges, k < 1 yields one range, and n ≤ 0 yields none.
-func splitTrials(n, k int) [][2]int {
+func SplitTrials(n, k int) [][2]int {
 	if n <= 0 {
 		return nil
 	}
@@ -169,7 +169,7 @@ func (e *Engine) Blocks(f scheme.Factory, cfg sim.Config) ([]sim.BlockResult, er
 		}
 		return res, nil
 	}
-	merged, err := e.run(f, cfg, KindBlocks, curveParams{}, func(shardCfg sim.Config, s *Shard) {
+	merged, err := e.run(f, cfg, KindBlocks, CurveParams{}, func(shardCfg sim.Config, s *Shard) {
 		s.Blocks = sim.Blocks(f, shardCfg)
 	})
 	if err != nil {
@@ -187,7 +187,7 @@ func (e *Engine) Pages(f scheme.Factory, cfg sim.Config) ([]sim.PageResult, erro
 		}
 		return res, nil
 	}
-	merged, err := e.run(f, cfg, KindPages, curveParams{}, func(shardCfg sim.Config, s *Shard) {
+	merged, err := e.run(f, cfg, KindPages, CurveParams{}, func(shardCfg sim.Config, s *Shard) {
 		s.Pages = sim.Pages(f, shardCfg)
 	})
 	if err != nil {
@@ -213,7 +213,7 @@ func (e *Engine) FailureCurveBias(f scheme.Factory, cfg sim.Config, maxFaults, w
 		}
 		return res, nil
 	}
-	cp := curveParams{MaxFaults: maxFaults, WritesPerStep: writesPerStep, Bias: bias}
+	cp := CurveParams{MaxFaults: maxFaults, WritesPerStep: writesPerStep, Bias: bias}
 	merged, err := e.run(f, cfg, KindCurve, cp, func(shardCfg sim.Config, s *Shard) {
 		s.Dead = sim.FailureCounts(f, shardCfg, maxFaults, writesPerStep, bias)
 	})
@@ -225,6 +225,43 @@ func (e *Engine) FailureCurveBias(f scheme.Factory, cfg sim.Config, maxFaults, w
 		curve[nf] = float64(merged.Dead[nf]) / float64(cfg.Trials)
 	}
 	return curve, nil
+}
+
+// computeFunc builds the per-shard simulation closure for one kind of
+// run — the same closures Blocks/Pages/FailureCurveBias install.
+func computeFunc(f scheme.Factory, kind string, cp CurveParams) (func(sim.Config, *Shard), error) {
+	switch kind {
+	case KindBlocks:
+		return func(shardCfg sim.Config, s *Shard) { s.Blocks = sim.Blocks(f, shardCfg) }, nil
+	case KindPages:
+		return func(shardCfg sim.Config, s *Shard) { s.Pages = sim.Pages(f, shardCfg) }, nil
+	case KindCurve:
+		return func(shardCfg sim.Config, s *Shard) {
+			s.Dead = sim.FailureCounts(f, shardCfg, cp.MaxFaults, cp.WritesPerStep, cp.Bias)
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown shard kind %q", kind)
+}
+
+// ComputeShard loads or computes the single shard covering global
+// trials [lo, hi) of the run (cfg, kind, cp) — the cluster worker's
+// entry point.  cfg.Trials and cfg.TrialOffset are ignored; the range
+// is authoritative.  The shard consults this engine's cache first,
+// simulates against a private registry on a miss, and persists under
+// its content-addressed key, exactly like one slice of a full run —
+// which is what makes a fleet of workers byte-identical to a single
+// node: the shard a worker returns is the shard a local run would have
+// produced at the same address.
+func (e *Engine) ComputeShard(f scheme.Factory, cfg sim.Config, kind string, cp CurveParams, lo, hi int) (*Shard, error) {
+	if hi <= lo {
+		return nil, fmt.Errorf("engine: empty shard range [%d,%d)", lo, hi)
+	}
+	compute, err := computeFunc(f, kind, cp)
+	if err != nil {
+		return nil, err
+	}
+	hash := ConfigHash(cfg, kind, cp)
+	return e.oneShard(cfg, compute, hash, f.Name(), kind, obs.GitSHA(), lo, hi)
 }
 
 // run is the shared shard loop: derive keys, load what the cache has,
@@ -242,12 +279,12 @@ func (e *Engine) FailureCurveBias(f scheme.Factory, cfg sim.Config, maxFaults, w
 // Drain channel stops issue with ErrDraining after in-flight shards
 // persist; a cancelled cfg.Ctx aborts in-flight shards mid-trial and
 // discards them unpersisted.
-func (e *Engine) run(f scheme.Factory, cfg sim.Config, kind string, cp curveParams, compute func(sim.Config, *Shard)) (*Shard, error) {
+func (e *Engine) run(f scheme.Factory, cfg sim.Config, kind string, cp CurveParams, compute func(sim.Config, *Shard)) (*Shard, error) {
 	schemeName := f.Name()
 	hash := ConfigHash(cfg, kind, cp)
 	code := obs.GitSHA()
 
-	ranges := splitTrials(cfg.Trials, e.shardCount(cfg.Trials))
+	ranges := SplitTrials(cfg.Trials, e.shardCount(cfg.Trials))
 	shards := make([]*Shard, len(ranges))
 
 	var (

@@ -56,31 +56,31 @@ func TestSplitTrials(t *testing.T) {
 		{-1, 3, nil},
 	}
 	for _, c := range cases {
-		got := splitTrials(c.n, c.k)
+		got := SplitTrials(c.n, c.k)
 		if !reflect.DeepEqual(got, c.want) {
-			t.Errorf("splitTrials(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
+			t.Errorf("SplitTrials(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
 		}
 	}
 }
 
 func TestShardKeyStableAndDistinct(t *testing.T) {
 	cfg := testConfig(10)
-	h1 := ConfigHash(cfg, KindBlocks, curveParams{})
-	h2 := ConfigHash(cfg, KindBlocks, curveParams{})
+	h1 := ConfigHash(cfg, KindBlocks, CurveParams{})
+	h2 := ConfigHash(cfg, KindBlocks, CurveParams{})
 	if h1 != h2 {
 		t.Fatal("ConfigHash not deterministic")
 	}
 	// Result-affecting fields move the hash…
 	cfg2 := cfg
 	cfg2.Seed++
-	if ConfigHash(cfg2, KindBlocks, curveParams{}) == h1 {
+	if ConfigHash(cfg2, KindBlocks, CurveParams{}) == h1 {
 		t.Fatal("seed change did not move the config hash")
 	}
-	if ConfigHash(cfg, KindPages, curveParams{}) == h1 {
+	if ConfigHash(cfg, KindPages, CurveParams{}) == h1 {
 		t.Fatal("kind change did not move the config hash")
 	}
-	if ConfigHash(cfg, KindCurve, curveParams{MaxFaults: 5, WritesPerStep: 8, Bias: 0.5}) ==
-		ConfigHash(cfg, KindCurve, curveParams{MaxFaults: 5, WritesPerStep: 8, Bias: 1.0}) {
+	if ConfigHash(cfg, KindCurve, CurveParams{MaxFaults: 5, WritesPerStep: 8, Bias: 0.5}) ==
+		ConfigHash(cfg, KindCurve, CurveParams{MaxFaults: 5, WritesPerStep: 8, Bias: 1.0}) {
 		t.Fatal("curve bias did not move the config hash")
 	}
 	// …while execution-shape fields must not: the same results come out
@@ -93,7 +93,7 @@ func TestShardKeyStableAndDistinct(t *testing.T) {
 	cfg3.Ctx = context.Background()
 	cfg3.Obs = obs.NewRegistry()
 	cfg3.Progress = obs.NewProgress()
-	if ConfigHash(cfg3, KindBlocks, curveParams{}) != h1 {
+	if ConfigHash(cfg3, KindBlocks, CurveParams{}) != h1 {
 		t.Fatal("execution-shape fields moved the config hash")
 	}
 
@@ -106,7 +106,7 @@ func TestShardKeyStableAndDistinct(t *testing.T) {
 		ShardKey(h1, "Aegis", 1, 10, "abc"),
 		ShardKey(h1, "SAFER", 0, 10, "abc"),
 		ShardKey(h1, "Aegis", 0, 10, "def"),
-		ShardKey(ConfigHash(cfg2, KindBlocks, curveParams{}), "Aegis", 0, 10, "abc"),
+		ShardKey(ConfigHash(cfg2, KindBlocks, CurveParams{}), "Aegis", 0, 10, "abc"),
 	} {
 		if other == k1 {
 			t.Fatal("distinct shard identities collided")

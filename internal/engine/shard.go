@@ -94,19 +94,20 @@ type keyConfig struct {
 	Bias          float64 `json:"bias,omitempty"`
 }
 
-// curveParams carries the failure-curve probe parameters through the
-// engine; zero for block and page runs.
-type curveParams struct {
-	MaxFaults     int
-	WritesPerStep int
-	Bias          float64
+// CurveParams carries the failure-curve probe parameters through the
+// engine (and across the cluster wire, where a lease must name the
+// exact probe its shard covers); zero for block and page runs.
+type CurveParams struct {
+	MaxFaults     int     `json:"max_faults,omitempty"`
+	WritesPerStep int     `json:"writes_per_step,omitempty"`
+	Bias          float64 `json:"bias,omitempty"`
 }
 
 // ConfigHash derives the canonical hash of the result-affecting
 // simulation parameters for one kind of run.  Two runs with equal
 // hashes, equal scheme names and equal code versions produce identical
 // trial streams.
-func ConfigHash(cfg sim.Config, kind string, cp curveParams) string {
+func ConfigHash(cfg sim.Config, kind string, cp CurveParams) string {
 	kc := keyConfig{
 		BlockBits: cfg.BlockBits,
 		PageBytes: cfg.PageBytes,
@@ -147,6 +148,12 @@ func ShardKey(configHash, scheme string, lo, hi int, codeVersion string) string 
 func shardPath(cacheDir, key string) string {
 	return filepath.Join(cacheDir, key+".json")
 }
+
+// ShardPath maps a content-address key into a cache directory — the
+// exported form of the engine's own cache layout, so the cluster
+// coordinator consults and populates the same cache files a local run
+// would.
+func ShardPath(cacheDir, key string) string { return shardPath(cacheDir, key) }
 
 // WriteShard persists a shard to dir under its content-addressed name.
 // The write goes through a temp file and rename, so an interrupted run
@@ -192,24 +199,38 @@ func LoadShard(path string, wantKey, wantHash, scheme, kind string, lo, hi int) 
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("%w %s: %v", ErrCorruptShard, path, err)
 	}
+	if err := ValidateShard(&s, path, wantKey, wantHash, scheme, kind, lo, hi); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ValidateShard checks a parsed shard against what the caller expects
+// at that address: schema, content key, config hash, identity and
+// payload shape.  source names where the shard came from in error
+// messages — a cache file path, or "worker <name>" for shards arriving
+// over the cluster wire; any disagreement is refused with an error
+// naming both sides, exactly like the cache loader (the coordinator
+// must never merge a shard a worker mislabeled).
+func ValidateShard(s *Shard, source, wantKey, wantHash, scheme, kind string, lo, hi int) error {
 	if s.Schema != ShardSchema {
-		return nil, obs.SchemaMismatch(path, s.Schema, "this engine", ShardSchema,
+		return obs.SchemaMismatch(source, s.Schema, "this engine", ShardSchema,
 			"delete the stale cache entry (or point -cache-dir elsewhere) and rerun to regenerate it")
 	}
 	if s.Key != wantKey {
-		return nil, fmt.Errorf("engine: shard %s declares key %.12s… but its address derives key %.12s… — the file was corrupted or renamed; delete it and rerun", path, s.Key, wantKey)
+		return fmt.Errorf("engine: shard %s declares key %.12s… but its address derives key %.12s… — the file was corrupted or renamed; delete it and rerun", source, s.Key, wantKey)
 	}
 	if s.ConfigHash != wantHash {
-		return nil, fmt.Errorf("engine: shard %s was produced under config %.12s… but this run's config hashes to %.12s… — delete the stale cache entry (or point -cache-dir elsewhere) and rerun", path, s.ConfigHash, wantHash)
+		return fmt.Errorf("engine: shard %s was produced under config %.12s… but this run's config hashes to %.12s… — delete the stale cache entry (or point -cache-dir elsewhere) and rerun", source, s.ConfigHash, wantHash)
 	}
 	if s.Scheme != scheme || s.Kind != kind || s.TrialLo != lo || s.TrialHi != hi {
-		return nil, fmt.Errorf("engine: shard %s covers %s/%s trials [%d,%d), want %s/%s [%d,%d)",
-			path, s.Scheme, s.Kind, s.TrialLo, s.TrialHi, scheme, kind, lo, hi)
+		return fmt.Errorf("engine: shard %s covers %s/%s trials [%d,%d), want %s/%s [%d,%d)",
+			source, s.Scheme, s.Kind, s.TrialLo, s.TrialHi, scheme, kind, lo, hi)
 	}
 	if err := s.checkPayload(); err != nil {
-		return nil, fmt.Errorf("engine: shard %s: %w", path, err)
+		return fmt.Errorf("engine: shard %s: %w", source, err)
 	}
-	return &s, nil
+	return nil
 }
 
 // checkPayload verifies the payload matches the declared kind and range.

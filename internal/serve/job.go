@@ -207,6 +207,18 @@ func (r *JobRequest) normalize() (scheme.Factory, error) {
 	return f, nil
 }
 
+// Normalize validates the request, fills every defaulted field in
+// place, and resolves the scheme factory — the exported entry point the
+// cluster worker uses to reconstruct a lease's simulation from the spec
+// that crossed the wire (internal/cluster).
+func (r *JobRequest) Normalize() (scheme.Factory, error) { return r.normalize() }
+
+// SimConfig builds the sim.Config a normalized request describes; call
+// Normalize first.  The cluster worker derives its shard configuration
+// from this, so a leased shard keys and computes exactly like a local
+// one.
+func (r *JobRequest) SimConfig() sim.Config { return r.config() }
+
 // config builds the sim.Config a normalized request describes.  The
 // preset supplies the lifetime scale (see DESIGN.md §3).
 func (r *JobRequest) config() sim.Config {

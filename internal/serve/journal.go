@@ -115,12 +115,22 @@ type journal struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
+	// size is the journal's current byte length; maxBytes > 0 bounds it
+	// via compaction (compactLocked) before an append that would exceed
+	// the bound.
+	size     int64
+	maxBytes int64
+	// onCompact, when set, observes each compaction (bytes before and
+	// after, terminal jobs evicted) — the Server hangs metrics and a log
+	// record off it.
+	onCompact func(before, after int64, evicted int)
 }
 
 // openJournal opens (creating if absent) the journal at path for
 // appending, truncating a torn tail left by a crash so new records
-// always start on a clean frame boundary.
-func openJournal(path string, validLen int64) (*journal, error) {
+// always start on a clean frame boundary.  maxBytes > 0 enables the
+// size bound (see compactLocked); 0 means unbounded.
+func openJournal(path string, validLen, maxBytes int64) (*journal, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("journal: %w", err)
@@ -138,12 +148,15 @@ func openJournal(path string, validLen int64) (*journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &journal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+	return &journal{path: path, f: f, w: bufio.NewWriter(f), size: validLen, maxBytes: maxBytes}, nil
 }
 
 // append writes one framed record.  Every record is flushed to the OS
 // before append returns; sync additionally fsyncs — pass true for
 // terminal records so a completed result survives machine failure.
+// With a size bound configured, an append that would push the journal
+// past it triggers a compaction first; the record is then written
+// regardless — the bound sheds history, never promises.
 func (j *journal) append(rec journalRecord, sync bool) error {
 	line, err := frameRecord(rec)
 	if err != nil {
@@ -154,16 +167,154 @@ func (j *journal) append(rec journalRecord, sync bool) error {
 	if j.f == nil {
 		return fmt.Errorf("journal: closed")
 	}
+	if j.maxBytes > 0 && j.size > 0 && j.size+int64(len(line)) > j.maxBytes {
+		if err := j.compactLocked(); err != nil {
+			// A failed compaction must not lose the record: log path is
+			// the caller's; keep appending to the uncompacted file.
+			_ = err
+		}
+	}
 	if _, err := j.w.Write(line); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("journal: flush: %w", err)
 	}
+	j.size += int64(len(line))
 	if sync {
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
+	}
+	return nil
+}
+
+// Size reports the journal's current byte length.
+func (j *journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// compactLocked rewrites the journal to the minimal record set that
+// replays to the same state: per job, its original submitted record,
+// a running record if it was dispatched, and its terminal record (with
+// the result bytes for done jobs) — dropping every superseded or
+// corrupted line accumulated along the way.  If the live state alone
+// still exceeds the bound, the oldest terminal jobs are evicted (their
+// shard-cache entries survive, so resubmitting the spec is cheap);
+// in-flight jobs are never evicted — an accepted job stays a promise.
+//
+// The rewrite goes through a temp file, fsync and rename, so a crash at
+// any point leaves either the old journal or the complete new one —
+// never a torn hybrid.  Callers hold j.mu.
+func (j *journal) compactLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: compact flush: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: compact seek: %w", err)
+	}
+	rep, err := replayJournal(j.f)
+	if err != nil {
+		// Reposition for appends whatever happened.
+		j.f.Seek(0, io.SeekEnd) //nolint:errcheck
+		return fmt.Errorf("journal: compact replay: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("journal: compact seek: %w", err)
+	}
+
+	// Render each job's minimal record set.
+	type jobLines struct {
+		lines    []byte
+		terminal bool
+	}
+	rendered := make([]jobLines, 0, len(rep.Jobs))
+	var total int64
+	for _, rj := range rep.Jobs {
+		var buf bytes.Buffer
+		sub, err := frameRecord(rj.Submitted)
+		if err != nil {
+			return err
+		}
+		buf.Write(sub)
+		switch {
+		case rj.Terminal():
+			term, err := frameRecord(journalRecord{
+				Type:   recTerminal,
+				Time:   rj.FinishedAt,
+				ID:     rj.Submitted.ID,
+				State:  rj.State,
+				Error:  rj.Error,
+				Result: rj.Result,
+			})
+			if err != nil {
+				return err
+			}
+			buf.Write(term)
+		case rj.State == StateRunning:
+			run, err := frameRecord(journalRecord{Type: recRunning, Time: rj.Submitted.Time, ID: rj.Submitted.ID})
+			if err != nil {
+				return err
+			}
+			buf.Write(run)
+		}
+		rendered = append(rendered, jobLines{lines: buf.Bytes(), terminal: rj.Terminal()})
+		total += int64(buf.Len())
+	}
+
+	// Evict oldest terminal jobs while the live state alone overflows
+	// the bound.  In-flight jobs always survive.
+	evicted := 0
+	for i := 0; total > j.maxBytes && i < len(rendered); i++ {
+		if !rendered[i].terminal {
+			continue
+		}
+		total -= int64(len(rendered[i].lines))
+		rendered[i].lines = nil
+		evicted++
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), filepath.Base(j.path)+".compact*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	for _, jl := range rendered {
+		if _, err := tmp.Write(jl.lines); err != nil {
+			cleanup()
+			return fmt.Errorf("journal: compact write: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: compact fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	// Swap the open handle onto the new file.
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("journal: compact reopen seek: %w", err)
+	}
+	j.f.Close() //nolint:errcheck // old inode is unlinked; nothing left to lose
+	before := j.size
+	j.f = nf
+	j.w = bufio.NewWriter(nf)
+	j.size = total
+	if j.onCompact != nil {
+		j.onCompact(before, total, evicted)
 	}
 	return nil
 }

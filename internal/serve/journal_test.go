@@ -34,7 +34,7 @@ func testSubmitted(id string, seq int64, tenant string) journalRecord {
 
 func appendAll(t *testing.T, path string, recs ...journalRecord) {
 	t.Helper()
-	j, err := openJournal(path, fileLen(t, path))
+	j, err := openJournal(path, fileLen(t, path), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestJournalTornTail(t *testing.T) {
 	}
 
 	// Reopening truncates the tail; a fresh append then replays cleanly.
-	j, err := openJournal(path, rep.ValidLen)
+	j, err := openJournal(path, rep.ValidLen, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestJournalReplayModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for iter := 0; iter < 40; iter++ {
 		path := filepath.Join(t.TempDir(), "journal")
-		j, err := openJournal(path, 0)
+		j, err := openJournal(path, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -38,6 +38,7 @@ import (
 
 	"aegis/internal/engine"
 	"aegis/internal/obs"
+	"aegis/internal/sim"
 )
 
 // Options configures a Server.  The zero value is usable: every field
@@ -56,6 +57,19 @@ type Options struct {
 	// aegis.journal/v1) which New replays, restoring finished jobs with
 	// their original results and re-enqueueing interrupted ones.
 	JournalPath string
+	// JournalMaxBytes bounds the journal file: when an append would grow
+	// it past this size the journal is compacted in place — rewritten to
+	// the minimal record set that replays to the same state (one
+	// submitted record per job plus its latest lifecycle record), with
+	// the oldest terminal jobs evicted if the live state alone still
+	// exceeds the bound.  0 = unbounded (the pre-bound behaviour).
+	JournalMaxBytes int64
+	// Runner, when non-nil, replaces the local shard engine as the
+	// job execution strategy — the cluster coordinator installs itself
+	// here (internal/cluster).  The aegis.job/v1 result is built from
+	// the Runner's merged shard through the same code path as local
+	// runs, which is what the cluster-parity test pins.
+	Runner Runner
 	// Shards is the per-job shard count (default 8).  Requests may
 	// override it per job.
 	Shards int
@@ -207,9 +221,22 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.journal, err = openJournal(opts.JournalPath, rep.ValidLen)
+		s.journal, err = openJournal(opts.JournalPath, rep.ValidLen, opts.JournalMaxBytes)
 		if err != nil {
 			return nil, err
+		}
+		s.journal.onCompact = func(before, after int64, evicted int) {
+			s.metrics.m.Counter("aegis_journal_compactions_total",
+				"Journal compactions triggered by the -journal-max-bytes bound.").Inc()
+			if evicted > 0 {
+				s.metrics.m.Counter("aegis_journal_evicted_jobs_total",
+					"Terminal jobs evicted from the journal to honour the size bound.").Add(int64(evicted))
+			}
+			s.log.Info("journal compacted",
+				slog.String("path", opts.JournalPath),
+				slog.Int64("bytes_before", before),
+				slog.Int64("bytes_after", after),
+				slog.Int("evicted_jobs", evicted))
 		}
 	}
 	resumable := 0
@@ -337,6 +364,22 @@ func (s *Server) Metrics() *obs.Metrics { return s.metrics.m }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetRunner installs the job execution strategy after construction —
+// the cluster coordinator needs the server's metric registry (Metrics)
+// to exist before it can be built, so cmd/aegisd creates the server
+// first, the coordinator second, and wires it here.  Call before Start;
+// the field is read by job workers without locking.
+func (s *Server) SetRunner(r Runner) { s.opts.Runner = r }
+
+// Mount registers an additional route on the daemon's mux, wrapped in
+// the standard request instrumentation (request IDs, per-route counters
+// and latency histograms).  The coordinator daemon mounts the cluster
+// registration endpoints this way.  Call before the handler serves
+// traffic; ServeMux registration is not concurrency-safe.
+func (s *Server) Mount(pattern, route string, h http.Handler) {
+	s.mux.Handle(pattern, s.instrument(route, h))
+}
 
 // Start launches the worker pool.  Idempotent; a no-op after Drain.
 func (s *Server) Start() {
@@ -664,15 +707,19 @@ func (s *Server) runJob(job *Job) {
 		Kind:    req.Kind,
 	}
 	var err error
-	switch req.Kind {
-	case KindBlocks:
-		result.Blocks, err = eng.Blocks(job.factory, cfg)
-	case KindPages:
-		result.Pages, err = eng.Pages(job.factory, cfg)
-	case KindCurve:
-		result.Curve, err = eng.FailureCurveBias(job.factory, cfg, req.MaxFaults, req.WritesPerStep, *req.Bias)
-	default:
-		err = fmt.Errorf("serve: unreachable kind %q", req.Kind) // normalize rejects it
+	if s.opts.Runner != nil {
+		err = s.runViaRunner(ctx, job, cfg, shards, result)
+	} else {
+		switch req.Kind {
+		case KindBlocks:
+			result.Blocks, err = eng.Blocks(job.factory, cfg)
+		case KindPages:
+			result.Pages, err = eng.Pages(job.factory, cfg)
+		case KindCurve:
+			result.Curve, err = eng.FailureCurveBias(job.factory, cfg, req.MaxFaults, req.WritesPerStep, *req.Bias)
+		default:
+			err = fmt.Errorf("serve: unreachable kind %q", req.Kind) // normalize rejects it
+		}
 	}
 	// Fold the job's private registry into the service-lifetime one so
 	// /metrics shows cumulative per-scheme and shard-cache totals across
@@ -725,6 +772,52 @@ func (s *Server) runJob(job *Job) {
 		slog.Duration("elapsed", time.Since(start)),
 		slog.Int64("cache_hits", st.CacheHits),
 		slog.Int64("cache_misses", st.CacheMisses))
+}
+
+// runViaRunner executes one job through the pluggable Runner (the
+// cluster coordinator) and translates its merged shard into the result
+// payload, mirroring field for field what the local engine path
+// produces — the cluster-parity test compares the two documents byte
+// for byte.
+func (s *Server) runViaRunner(ctx context.Context, job *Job, cfg sim.Config, shards int, result *JobResult) error {
+	req := job.request
+	cp := engine.CurveParams{}
+	if req.Kind == KindCurve {
+		cp = engine.CurveParams{MaxFaults: req.MaxFaults, WritesPerStep: req.WritesPerStep, Bias: *req.Bias}
+	}
+	merged, err := s.opts.Runner.RunJob(ctx, RunnerJob{
+		JobID:   job.id,
+		Request: req,
+		Factory: job.factory,
+		Config:  cfg,
+		Kind:    req.Kind,
+		Shards:  shards,
+		Curve:   cp,
+		Drain:   s.drainCh,
+		Logger:  s.jobLogger(job),
+	})
+	if err != nil {
+		return err
+	}
+	// Fold the merged deltas into the job's registry under the factory's
+	// name, exactly as engine.run does after a local merge.
+	if cfg.Obs != nil {
+		cfg.Obs.AddTotals(job.factory.Name(), merged.Counters)
+		cfg.Obs.AddHist(job.factory.Name(), merged.Histograms)
+	}
+	switch req.Kind {
+	case KindBlocks:
+		result.Blocks = merged.Blocks
+	case KindPages:
+		result.Pages = merged.Pages
+	case KindCurve:
+		curve := make([]float64, req.MaxFaults+1)
+		for nf := 1; nf <= req.MaxFaults && nf < len(merged.Dead); nf++ {
+			curve[nf] = float64(merged.Dead[nf]) / float64(cfg.Trials)
+		}
+		result.Curve = curve
+	}
+	return nil
 }
 
 // jobLogger returns the daemon logger scoped to one job: every record

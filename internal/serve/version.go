@@ -7,6 +7,12 @@ import (
 	"aegis/internal/obs"
 )
 
+// LeaseSchema identifies the cluster lease wire format.  The protocol
+// lives in internal/cluster (which imports this package for the job
+// request type, so the constant is declared here to appear in the
+// version report without an import cycle).
+const LeaseSchema = "aegis.lease/v1"
+
 // VersionInfo is the GET /v1/version response and the aegisd -version
 // report: the build identity plus the schema version of every wire and
 // file format the daemon speaks.  Clients use the schema map to decide
@@ -39,6 +45,7 @@ func Version() VersionInfo {
 			"shard":    engine.ShardSchema,
 			"manifest": obs.ManifestSchema,
 			"events":   obs.EventSchema,
+			"lease":    LeaseSchema,
 		},
 	}
 }

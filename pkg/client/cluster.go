@@ -1,0 +1,61 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Cluster transport: the raw lease and registration calls the aegisd
+// cluster role uses (see DESIGN.md §16).  Payloads stay json.RawMessage
+// so the package remains dependency-free — the schemas (aegis.lease/v1)
+// are owned by the daemon's internal/cluster package, and this client
+// just moves their bytes with the same retry, correlation-ID and error
+// discipline as the job API.
+
+// ComputeShard posts a lease document to a worker's compute endpoint
+// and returns the raw LeaseResult.  Coordinators call this with retries
+// disabled (Options.RetryMax < 0): a failed call must surface at once
+// so the lease can be re-issued to another worker.
+func (c *Client) ComputeShard(ctx context.Context, lease json.RawMessage) (json.RawMessage, error) {
+	return c.doRaw(ctx, http.MethodPost, "/v1/cluster/compute", lease)
+}
+
+// RegisterWorker posts a worker registration to a coordinator
+// (POST /v1/workers) and returns the raw acknowledgement, which carries
+// the heartbeat TTL.  Re-posting the same name refreshes the
+// registration.
+func (c *Client) RegisterWorker(ctx context.Context, registration json.RawMessage) (json.RawMessage, error) {
+	return c.doRaw(ctx, http.MethodPost, "/v1/workers", registration)
+}
+
+// WorkerHeartbeat refreshes a worker's registration lease.  A 404 means
+// the coordinator no longer knows the worker (it expired, or the
+// coordinator restarted) — re-register.
+func (c *Client) WorkerHeartbeat(ctx context.Context, name string) error {
+	_, err := c.doRaw(ctx, http.MethodPost, "/v1/workers/"+url.PathEscape(name)+"/heartbeat", nil)
+	return err
+}
+
+// Workers fetches the coordinator's live fleet listing (GET /v1/workers)
+// as raw JSON.
+func (c *Client) Workers(ctx context.Context) (json.RawMessage, error) {
+	return c.doRaw(ctx, http.MethodGet, "/v1/workers", nil)
+}
+
+// doRaw runs one request and returns the 2xx body verbatim.
+func (c *Client) doRaw(ctx context.Context, method, path string, body []byte) (json.RawMessage, error) {
+	resp, err := c.do(ctx, method, path, body, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read %s %s response: %w", method, path, err)
+	}
+	return raw, nil
+}

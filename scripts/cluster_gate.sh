@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Cluster-gate the aegisd fleet: aegisload spawns a coordinator plus two
+# worker processes of the freshly built binary (-cluster 2), drives the
+# same duplicate-and-fresh multi-tenant spec mix as the single-daemon
+# load gate at the coordinator, and holds the run to latency and leak
+# thresholds.  Every job is answered by leased shard fan-out over the
+# fleet, so a breached gate here means the cluster path — registration,
+# lease dispatch, merge — regressed.  The aegis.load/v1 report lands in
+# the out directory for CI to upload.
+#
+# Usage: scripts/cluster_gate.sh [outdir]   (default: out/cluster-gate)
+set -eu
+
+OUT=${1:-out/cluster-gate}
+mkdir -p "$OUT"
+
+go build -o "$OUT/aegisd" ./cmd/aegisd
+go build -o "$OUT/aegisload" ./cmd/aegisload
+
+# Thresholds: p99 looser than the single-daemon gate (every shard adds
+# an HTTP round trip), leak deltas just as tight — the fleet is torn
+# down by aegisload itself, so leaks would show on the coordinator.
+"$OUT/aegisload" -cluster 2 -aegisd-bin "$OUT/aegisd" \
+    -jobs 60 -concurrency 6 -tenants 3 -spec-variety 15 \
+    -max-p99 90 -max-goroutine-delta 16 -max-fd-delta 16 \
+    -report "$OUT/cluster-report.json"
+
+echo "cluster-gate: OK — report at $OUT/cluster-report.json"
