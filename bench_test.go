@@ -7,6 +7,7 @@
 package aegis_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"aegis/internal/core"
@@ -14,6 +15,7 @@ import (
 	"aegis/internal/experiments"
 	"aegis/internal/scheme"
 	"aegis/internal/sim"
+	"aegis/internal/xrand"
 )
 
 // benchParams shrinks the quick preset so a full -bench=. sweep stays in
@@ -90,6 +92,68 @@ func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
 func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+
+// rngTrials is the per-op workload of the RNG substrate micro-pair:
+// one "trial" = seed a generator, draw one word — the exact shape of
+// the simulator's per-trial RNG setup.  The std arm pays one
+// rand.New(rand.NewSource) heap construction per trial; the xrand arm
+// re-seeds a single caller-owned state array in place (DESIGN.md §17).
+const rngTrials = 256
+
+var benchSink uint64
+
+func BenchmarkTrialRNGSeed(b *testing.B) {
+	b.Run("std", func(b *testing.B) {
+		b.ReportAllocs()
+		var s uint64
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < rngTrials; t++ {
+				rng := rand.New(rand.NewSource(int64(t + 1)))
+				s += rng.Uint64()
+			}
+		}
+		benchSink = s
+	})
+	b.Run("xrand", func(b *testing.B) {
+		b.ReportAllocs()
+		var rng xrand.Rand
+		var s uint64
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < rngTrials; t++ {
+				rng.Seed(int64(t + 1))
+				s += rng.Uint64()
+			}
+		}
+		benchSink = s
+	})
+}
+
+// BenchmarkRandFill compares bulk random-word generation: the std arm
+// is the per-word interface-call loop bitvec.Random used before the
+// substrate; the xrand arm is the devirtualized Fill that replaced it.
+// Both produce the identical word stream (pinned by internal/xrand's
+// differential suite), so the pair isolates call overhead.
+func BenchmarkRandFill(b *testing.B) {
+	buf := make([]uint64, 1024) // a 64Kbit data block's worth of words
+	b.Run("std", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			for j := range buf {
+				buf[j] = rng.Uint64()
+			}
+		}
+		benchSink += buf[0]
+	})
+	b.Run("xrand", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := xrand.New(1)
+		for i := 0; i < b.N; i++ {
+			rng.Fill(buf)
+		}
+		benchSink += buf[0]
+	})
+}
 
 func BenchmarkAblationWear(b *testing.B)  { benchExperiment(b, "ablation-wear") }
 func BenchmarkAblationStuck(b *testing.B) { benchExperiment(b, "ablation-stuck") }

@@ -16,8 +16,8 @@
 package main
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"aegis/internal/aegisrw"
 	"aegis/internal/bitvec"
@@ -31,7 +31,7 @@ import (
 // survives reports how many of `writes` random writes the scheme served
 // before the block died.
 func survives(s scheme.Scheme, blk *pcm.Block, writes int, seed int64) int {
-	rng := rand.New(rand.NewSource(seed))
+	rng := xrand.New(seed)
 	for w := 0; w < writes; w++ {
 		if err := s.Write(blk, bitvec.Random(512, rng)); err != nil {
 			return w

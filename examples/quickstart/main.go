@@ -6,9 +6,9 @@
 package main
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/core"
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(42))
+	rng := xrand.New(42)
 
 	// An Aegis scheme is defined by its A×B rectangle; B must be prime.
 	// 9×61 is the paper's strongest 512-bit configuration: 61 slopes,

@@ -1,7 +1,7 @@
 package aegisrw
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 
@@ -11,7 +11,7 @@ import (
 )
 
 func TestRWCodecBudgetAndRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	f := MustRWFactory(512, 31, failcache.Perfect{})
 	s := f.New().(*RW)
 	if got := s.MarshalBits().Len(); got != s.OverheadBits() {
@@ -56,7 +56,7 @@ func TestRWCodecRejects(t *testing.T) {
 }
 
 func TestRWPCodecRoundTripBothModes(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 	f := MustRWPFactory(512, 23, 4, failcache.Perfect{})
 
 	// Direct mode: a couple of W faults.
@@ -140,7 +140,7 @@ func TestRWPCodecRejects(t *testing.T) {
 func TestPropRWCodec(t *testing.T) {
 	f := MustRWFactory(256, 23, failcache.Perfect{})
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		s := f.New().(*RW)
 		blk := pcm.NewImmortalBlock(256)
 		for _, p := range rng.Perm(256)[:rng.Intn(8)] {

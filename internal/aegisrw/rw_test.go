@@ -1,8 +1,8 @@
 package aegisrw
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -17,7 +17,7 @@ func TestRWWriteReadNoFaults(t *testing.T) {
 	f := MustRWFactory(512, 61, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New()
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 20; i++ {
 		data := bitvec.Random(512, rng)
 		if err := s.Write(blk, data); err != nil {
@@ -79,7 +79,7 @@ func TestRWSeparatesMixedPairs(t *testing.T) {
 func TestRWHardFTCGuarantee(t *testing.T) {
 	f := MustRWFactory(512, 31, failcache.Perfect{})
 	ftc := f.L.HardFTCRW()
-	rng := rand.New(rand.NewSource(9))
+	rng := xrand.New(9)
 	for trial := 0; trial < 40; trial++ {
 		blk := pcm.NewImmortalBlock(512)
 		s := f.New()
@@ -102,7 +102,7 @@ func TestRWBeatsBaseAegisOnRecoverableFaults(t *testing.T) {
 	// Statistically, Aegis-rw must survive fault sets that defeat base
 	// Aegis (§2.4 / Figure 11): count survivors for random 14-fault sets
 	// on a 23-slope layout, where base Aegis (hard FTC 7) often fails.
-	rng := rand.New(rand.NewSource(11))
+	rng := xrand.New(11)
 	base := core.MustFactory(512, 23)
 	rw := MustRWFactory(512, 23, failcache.Perfect{})
 	baseOK, rwOK := 0, 0
@@ -121,7 +121,7 @@ func TestRWBeatsBaseAegisOnRecoverableFaults(t *testing.T) {
 			return b
 		}
 		writeAll := func(s scheme.Scheme, b *pcm.Block) bool {
-			r := rand.New(rand.NewSource(int64(trial)))
+			r := xrand.New(int64(trial))
 			for w := 0; w < 8; w++ {
 				if err := s.Write(b, bitvec.Random(512, r)); err != nil {
 					return false
@@ -147,7 +147,7 @@ func TestRWUnrecoverable(t *testing.T) {
 	s := f.New()
 	// Alternate stuck values across a whole rectangle row-pair pattern so
 	// that every slope has a mixed group: saturate with many faults.
-	rng := rand.New(rand.NewSource(13))
+	rng := xrand.New(13)
 	for _, p := range rng.Perm(512)[:200] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}
@@ -185,7 +185,7 @@ func TestRWPComplementMode(t *testing.T) {
 	f := MustRWPFactory(512, 23, 2, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New().(*RWP)
-	rng := rand.New(rand.NewSource(17))
+	rng := xrand.New(17)
 	// 8 stuck-at-1 faults spread across >2 groups: all W for zero data.
 	for _, p := range rng.Perm(512)[:8] {
 		blk.InjectFault(p, true)
@@ -211,7 +211,7 @@ func TestRWPPointerExhaustion(t *testing.T) {
 	f := MustRWPFactory(512, 23, 1, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New()
-	rng := rand.New(rand.NewSource(19))
+	rng := xrand.New(19)
 	perm := rng.Perm(512)
 	for i := 0; i < 12; i++ {
 		blk.InjectFault(perm[i], i%2 == 0)
@@ -228,7 +228,7 @@ func TestRWPZeroPointers(t *testing.T) {
 	f := MustRWPFactory(512, 23, 0, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New()
-	rng := rand.New(rand.NewSource(23))
+	rng := xrand.New(23)
 	for i := 0; i < 5; i++ {
 		data := bitvec.Random(512, rng)
 		if err := s.Write(blk, data); err != nil {
@@ -271,7 +271,7 @@ func TestRWWithFiniteCache(t *testing.T) {
 	f := MustRWFactory(512, 31, cache)
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New()
-	rng := rand.New(rand.NewSource(29))
+	rng := xrand.New(29)
 	for _, p := range rng.Perm(512)[:4] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}
@@ -291,7 +291,7 @@ func TestRWWithFiniteCache(t *testing.T) {
 func TestPropRWRoundTrip(t *testing.T) {
 	f := MustRWFactory(256, 23, failcache.Perfect{})
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		nf := rng.Intn(16)
 		blk := pcm.NewImmortalBlock(256)
 		s := f.New().(*RW)
@@ -321,7 +321,7 @@ func TestPropRWPSubsumesRWithFullBudget(t *testing.T) {
 	rwF := MustRWFactory(256, 23, failcache.Perfect{})
 	rwpF := MustRWPFactory(256, 23, 23, failcache.Perfect{})
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		nf := rng.Intn(18)
 		positions := rng.Perm(256)[:nf]
 		vals := make([]bool, nf)
@@ -337,8 +337,8 @@ func TestPropRWPSubsumesRWithFullBudget(t *testing.T) {
 		}
 		rw, rwp := rwF.New(), rwpF.New()
 		brw, brwp := mk(), mk()
-		r1 := rand.New(rand.NewSource(seed + 1))
-		r2 := rand.New(rand.NewSource(seed + 1))
+		r1 := xrand.New(seed + 1)
+		r2 := xrand.New(seed + 1)
 		for w := 0; w < 8; w++ {
 			d1 := bitvec.Random(256, r1)
 			d2 := bitvec.Random(256, r2)
@@ -364,7 +364,7 @@ func TestPropRWPSubsumesRWithFullBudget(t *testing.T) {
 func BenchmarkRWWrite8Faults(b *testing.B) {
 	f := MustRWFactory(512, 61, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(512)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for _, p := range rng.Perm(512)[:8] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}

@@ -6,13 +6,13 @@
 package bitvec
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 )
 
 func benchVectors(b *testing.B, n int) (*Vector, *Vector) {
 	b.Helper()
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	return Random(n, rng), Random(n, rng)
 }
 

@@ -7,9 +7,9 @@
 package bitvec
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
 	"math/bits"
-	"math/rand"
 	"strings"
 )
 
@@ -39,22 +39,19 @@ func NewFromWords(n int, w []uint64) *Vector {
 
 // Random returns a vector of n bits filled with uniformly random bits drawn
 // from rng.
-func Random(n int, rng *rand.Rand) *Vector {
+func Random(n int, rng *xrand.Rand) *Vector {
 	v := New(n)
-	for i := range v.words {
-		v.words[i] = rng.Uint64()
-	}
+	rng.Fill(v.words)
 	v.maskTail()
 	return v
 }
 
-// RandomInto refills v with uniformly random bits drawn from rng, word
-// by word in the same order as Random.  It is the allocation-free form
-// of Random for hot loops that reuse a data vector across trials.
-func RandomInto(v *Vector, rng *rand.Rand) {
-	for i := range v.words {
-		v.words[i] = rng.Uint64()
-	}
+// RandomInto refills v with uniformly random bits drawn from rng in one
+// bulk Fill — the same word values, in the same order, as Random.  It
+// is the allocation-free form of Random for hot loops that reuse a data
+// vector across trials.
+func RandomInto(v *Vector, rng *xrand.Rand) {
+	rng.Fill(v.words)
 	v.maskTail()
 }
 

@@ -1,7 +1,7 @@
 package bitvec
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 )
@@ -130,7 +130,7 @@ func TestXorAndOrAndNot(t *testing.T) {
 }
 
 func TestXorAliasing(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	a := Random(200, rng)
 	b := Random(200, rng)
 	want := New(200)
@@ -182,7 +182,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestCopyFrom(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	a := Random(512, rng)
 	b := New(512)
 	b.CopyFrom(a)
@@ -227,8 +227,8 @@ func TestString(t *testing.T) {
 }
 
 func TestRandomDeterministic(t *testing.T) {
-	a := Random(512, rand.New(rand.NewSource(7)))
-	b := Random(512, rand.New(rand.NewSource(7)))
+	a := Random(512, xrand.New(7))
+	b := Random(512, xrand.New(7))
 	if !a.Equal(b) {
 		t.Fatal("same seed produced different vectors")
 	}
@@ -238,7 +238,7 @@ func TestRandomDeterministic(t *testing.T) {
 func TestPropXorInvolution(t *testing.T) {
 	f := func(seed int64, nRaw uint16) bool {
 		n := int(nRaw%1000) + 1
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		a := Random(n, rng)
 		b := Random(n, rng)
 		x := New(n)
@@ -256,7 +256,7 @@ func TestPropXorInvolution(t *testing.T) {
 func TestPropCountsConsistent(t *testing.T) {
 	f := func(seed int64, nRaw uint16) bool {
 		n := int(nRaw%1000) + 1
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		a := Random(n, rng)
 		b := Random(n, rng)
 		if a.PopCount() != len(a.OnesIndices()) {
@@ -275,7 +275,7 @@ func TestPropCountsConsistent(t *testing.T) {
 func TestPropFlipClears(t *testing.T) {
 	f := func(seed int64, nRaw uint16) bool {
 		n := int(nRaw%500) + 1
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		v := Random(n, rng)
 		for _, i := range v.OnesIndices() {
 			v.Flip(i)
@@ -288,7 +288,7 @@ func TestPropFlipClears(t *testing.T) {
 }
 
 func BenchmarkXor512(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	x := Random(512, rng)
 	y := Random(512, rng)
 	dst := New(512)
@@ -299,7 +299,7 @@ func BenchmarkXor512(b *testing.B) {
 }
 
 func BenchmarkPopCount512(b *testing.B) {
-	v := Random(512, rand.New(rand.NewSource(1)))
+	v := Random(512, xrand.New(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = v.PopCount()

@@ -1,14 +1,14 @@
 package bitvec
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 )
 
 // TestInPlaceOpsMatchThreeOperand pins every *Into accumulator against
 // its three-operand counterpart on random vectors.
 func TestInPlaceOpsMatchThreeOperand(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 	for _, n := range []int{1, 61, 64, 127, 512, 513} {
 		for trial := 0; trial < 25; trial++ {
 			a := Random(n, rng)
@@ -47,7 +47,7 @@ func TestInPlaceOpsMatchThreeOperand(t *testing.T) {
 }
 
 func TestPopcountAndAnyAnd(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := xrand.New(11)
 	for _, n := range []int{1, 64, 100, 512} {
 		for trial := 0; trial < 25; trial++ {
 			a := Random(n, rng)
@@ -69,7 +69,7 @@ func TestPopcountAndAnyAnd(t *testing.T) {
 }
 
 func TestAppendOnesMatchesOnesIndices(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
+	rng := xrand.New(13)
 	buf := make([]int, 0, 64)
 	for trial := 0; trial < 50; trial++ {
 		v := Random(257, rng)
@@ -93,7 +93,7 @@ func TestAppendOnesMatchesOnesIndices(t *testing.T) {
 }
 
 func TestOnesWithin(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := xrand.New(17)
 	var buf []int
 	for trial := 0; trial < 50; trial++ {
 		v := Random(300, rng)

@@ -1,7 +1,7 @@
 package bitvec
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 )
 
@@ -21,7 +21,7 @@ func naiveTranspose64(a *[64]uint64) [64]uint64 {
 // TestTranspose64MatchesNaive pins Transpose64 against the bit-by-bit
 // reference on random matrices.
 func TestTranspose64MatchesNaive(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := xrand.New(42)
 	for trial := 0; trial < 200; trial++ {
 		var a [64]uint64
 		for i := range a {
@@ -60,7 +60,7 @@ func TestTranspose64Orientation(t *testing.T) {
 
 // TestTranspose64Involution: transposing twice is the identity.
 func TestTranspose64Involution(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 	var a [64]uint64
 	for i := range a {
 		a[i] = rng.Uint64()
@@ -74,7 +74,7 @@ func TestTranspose64Involution(t *testing.T) {
 }
 
 func BenchmarkTranspose64(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	var a [64]uint64
 	for i := range a {
 		a[i] = rng.Uint64()

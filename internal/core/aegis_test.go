@@ -1,8 +1,8 @@
 package core
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -20,7 +20,7 @@ func newBlockAndScheme(t *testing.T, n, b int) (*pcm.Block, *Aegis) {
 
 func TestWriteReadNoFaults(t *testing.T) {
 	blk, ag := newBlockAndScheme(t, 512, 61)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 20; i++ {
 		data := bitvec.Random(512, rng)
 		if err := ag.Write(blk, data); err != nil {
@@ -102,7 +102,7 @@ func TestHardFTCFaultsAlwaysRecoverable(t *testing.T) {
 	// guarantee).
 	f := MustFactory(512, 31)
 	ftc := f.L.HardFTC()
-	rng := rand.New(rand.NewSource(42))
+	rng := xrand.New(42)
 	for trial := 0; trial < 50; trial++ {
 		blk := pcm.NewImmortalBlock(512)
 		ag := f.New().(*Aegis)
@@ -139,7 +139,7 @@ func TestUnrecoverableWhenNoSlopeSeparates(t *testing.T) {
 
 func TestRecoverablePredicateAgreesWithWrite(t *testing.T) {
 	f := MustFactory(256, 23)
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 	for trial := 0; trial < 200; trial++ {
 		nf := 2 + rng.Intn(20)
 		blk := pcm.NewImmortalBlock(256)
@@ -166,7 +166,7 @@ func TestWearFromInversionRewrites(t *testing.T) {
 	// A faulty block must consume more write pulses than a clean one for
 	// the same data stream (the extra inversion writes of §3.2).
 	f := MustFactory(512, 61)
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 	stream := make([]*bitvec.Vector, 50)
 	for i := range stream {
 		stream[i] = bitvec.Random(512, rng)
@@ -239,7 +239,7 @@ func TestNewFactoryError(t *testing.T) {
 func TestPropWritesRoundTripUnderFaults(t *testing.T) {
 	f := MustFactory(256, 31)
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		nf := rng.Intn(12)
 		blk := pcm.NewImmortalBlock(256)
 		ag := f.New().(*Aegis)
@@ -272,7 +272,7 @@ func TestPropWritesRoundTripUnderFaults(t *testing.T) {
 func TestPropDecodeConsistency(t *testing.T) {
 	f := MustFactory(512, 23)
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		blk := pcm.NewBlock(512, dist.Fixed(int64(5+rng.Intn(20))), rng)
 		ag := f.New().(*Aegis)
 		for w := 0; w < 40; w++ {
@@ -295,7 +295,7 @@ func BenchmarkAegisWriteClean(b *testing.B) {
 	f := MustFactory(512, 61)
 	blk := pcm.NewImmortalBlock(512)
 	ag := f.New().(*Aegis)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	data := make([]*bitvec.Vector, 16)
 	for i := range data {
 		data[i] = bitvec.Random(512, rng)
@@ -311,7 +311,7 @@ func BenchmarkAegisWriteClean(b *testing.B) {
 func BenchmarkAegisWrite8Faults(b *testing.B) {
 	f := MustFactory(512, 61)
 	blk := pcm.NewImmortalBlock(512)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for _, p := range rng.Perm(512)[:8] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}
@@ -332,7 +332,7 @@ func TestOpStatsAccounting(t *testing.T) {
 	f := MustFactory(512, 23)
 	ag := f.New().(*Aegis)
 	blk := pcm.NewImmortalBlock(512)
-	rng := rand.New(rand.NewSource(41))
+	rng := xrand.New(41)
 	if err := ag.Write(blk, bitvec.Random(512, rng)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -32,7 +32,7 @@ func TestAegisPWorksWithinPointerBudget(t *testing.T) {
 	blk := pcm.NewImmortalBlock(512)
 	blk.InjectFault(10, true)
 	blk.InjectFault(200, false)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 10; i++ {
 		data := bitvec.Random(512, rng)
 		if err := s.Write(blk, data); err != nil {
@@ -52,7 +52,7 @@ func TestAegisPDiesOnPointerOverflow(t *testing.T) {
 	// exceed q=4 pointers even though base Aegis would survive.
 	pf := MustPFactory(512, 23, 4)
 	bf := MustFactory(512, 23)
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	positions := rng.Perm(512)[:6]
 
 	mk := func() *pcm.Block {
@@ -76,7 +76,7 @@ func TestAegisPSoftCapacityNearTwiceQ(t *testing.T) {
 	// block survives a burst of writes only while max observed W count
 	// stays ≤ q.  f = q is always safe; f = 3q almost never is.
 	f := MustPFactory(512, 31, 3)
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 	survive := func(nf int) bool {
 		blk := pcm.NewImmortalBlock(512)
 		for _, p := range rng.Perm(512)[:nf] {
@@ -159,7 +159,7 @@ func TestNewPValidation(t *testing.T) {
 func TestPropAegisPInvariant(t *testing.T) {
 	f := MustPFactory(256, 23, 3)
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		s := f.New().(*AegisP)
 		blk := pcm.NewImmortalBlock(256)
 		for _, p := range rng.Perm(256)[:rng.Intn(8)] {

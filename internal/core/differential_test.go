@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/bitvec"
@@ -78,7 +78,7 @@ func TestDifferentialRecoverable(t *testing.T) {
 // patterns), non-separable sets may fail — and when the data actually
 // collides with the faults, must not silently corrupt.
 func TestDifferentialWritePath(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := xrand.New(11)
 	for _, lc := range diffLayouts {
 		fac := MustFactory(lc.n, lc.b)
 		budget := 400

@@ -12,8 +12,8 @@
 package device
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/dist"
@@ -70,7 +70,7 @@ type Device struct {
 	blocks  [][]*pcm.Block
 	schemes [][]scheme.Scheme
 	pool    *osmem.Pool
-	rng     *rand.Rand
+	rng     *xrand.Rand
 	data    *bitvec.Vector
 	stats   Stats
 }
@@ -95,7 +95,7 @@ func New(cfg Config) (*Device, error) {
 	d := &Device{
 		cfg:           cfg,
 		blocksPerPage: cfg.PageBytes * 8 / cfg.BlockBits,
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		rng:           xrand.New(cfg.Seed),
 	}
 	nPhys := cfg.Pages
 	if cfg.Leveler != nil {
@@ -256,11 +256,9 @@ func (d *Device) Run(stopFraction float64) int64 {
 	return d.stats.LogicalWrites
 }
 
-func randomize(data *bitvec.Vector, rng *rand.Rand) {
+func randomize(data *bitvec.Vector, rng *xrand.Rand) {
 	words := data.Words()
-	for i := range words {
-		words[i] = rng.Uint64()
-	}
+	rng.Fill(words)
 	if r := data.Len() % 64; r != 0 {
 		words[len(words)-1] &= (uint64(1) << uint(r)) - 1
 	}

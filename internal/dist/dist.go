@@ -6,15 +6,15 @@
 package dist
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 )
 
 // Lifetime is a source of per-cell write-endurance budgets.
 type Lifetime interface {
 	// Sample draws one cell lifetime (number of bit-writes the cell
 	// survives).  Results are always ≥ 1.
-	Sample(rng *rand.Rand) int64
+	Sample(rng *xrand.Rand) int64
 	// Mean returns the distribution mean, used for experiment scaling.
 	Mean() float64
 	// String describes the distribution.
@@ -37,7 +37,7 @@ func NewNormal(mean float64) Normal {
 
 // Sample draws one lifetime.  Values below 1 (possible in the far left
 // tail) are clamped to 1: a cell always survives its first write.
-func (n Normal) Sample(rng *rand.Rand) int64 {
+func (n Normal) Sample(rng *xrand.Rand) int64 {
 	v := rng.NormFloat64()*n.MeanLife*n.CoV + n.MeanLife
 	if v < 1 {
 		return 1
@@ -57,7 +57,7 @@ func (n Normal) String() string {
 type Fixed int64
 
 // Sample returns the fixed lifetime (minimum 1).
-func (f Fixed) Sample(*rand.Rand) int64 {
+func (f Fixed) Sample(*xrand.Rand) int64 {
 	if f < 1 {
 		return 1
 	}
@@ -74,7 +74,7 @@ func (f Fixed) String() string { return fmt.Sprintf("Fixed(%d)", int64(f)) }
 type Immortal struct{}
 
 // Sample returns a sentinel interpreted by the PCM model as "never fails".
-func (Immortal) Sample(*rand.Rand) int64 { return -1 }
+func (Immortal) Sample(*xrand.Rand) int64 { return -1 }
 
 // Mean returns +Inf conceptually; we report 0 to keep scaling math from
 // silently using it.

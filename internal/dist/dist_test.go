@@ -1,13 +1,13 @@
 package dist
 
 import (
+	"aegis/internal/xrand"
 	"math"
-	"math/rand"
 	"testing"
 )
 
 func TestNormalSampleStats(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	d := NewNormal(1e6)
 	if d.CoV != 0.25 {
 		t.Fatalf("CoV = %v, want 0.25", d.CoV)
@@ -33,7 +33,7 @@ func TestNormalSampleStats(t *testing.T) {
 }
 
 func TestNormalTruncation(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	// Mean 1 with CoV 0.25: many raw samples fall below 1 and must clamp.
 	d := Normal{MeanLife: 1, CoV: 2}
 	for i := 0; i < 1000; i++ {
@@ -76,8 +76,8 @@ func TestImmortal(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	d := NewNormal(1000)
-	a := rand.New(rand.NewSource(7))
-	b := rand.New(rand.NewSource(7))
+	a := xrand.New(7)
+	b := xrand.New(7)
 	for i := 0; i < 100; i++ {
 		if d.Sample(a) != d.Sample(b) {
 			t.Fatal("same seed produced different samples")

@@ -1,8 +1,8 @@
 package ecc
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -12,7 +12,7 @@ import (
 )
 
 func TestEncodeDecodeClean(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 1000; i++ {
 		w := rng.Uint64()
 		check := Encode(w)
@@ -24,7 +24,7 @@ func TestEncodeDecodeClean(t *testing.T) {
 }
 
 func TestSingleDataBitErrorCorrected(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	for i := 0; i < 500; i++ {
 		w := rng.Uint64()
 		check := Encode(w)
@@ -41,7 +41,7 @@ func TestSingleDataBitErrorCorrected(t *testing.T) {
 }
 
 func TestSingleCheckBitErrorCorrected(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 	for i := 0; i < 200; i++ {
 		w := rng.Uint64()
 		check := Encode(w)
@@ -54,7 +54,7 @@ func TestSingleCheckBitErrorCorrected(t *testing.T) {
 }
 
 func TestDoubleBitErrorDetected(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := xrand.New(4)
 	for i := 0; i < 500; i++ {
 		w := rng.Uint64()
 		check := Encode(w)
@@ -114,7 +114,7 @@ func TestSchemeCorrectsOneFaultPerWord(t *testing.T) {
 	for w := 0; w < 8; w++ {
 		blk.InjectFault(w*64+w, true)
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := xrand.New(5)
 	for i := 0; i < 10; i++ {
 		data := bitvec.Random(512, rng)
 		if err := s.Write(blk, data); err != nil {

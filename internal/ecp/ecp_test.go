@@ -1,8 +1,8 @@
 package ecp
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -37,7 +37,7 @@ func TestWriteReadNoFaults(t *testing.T) {
 	f := MustFactory(512, 6)
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New()
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 10; i++ {
 		data := bitvec.Random(512, rng)
 		if err := s.Write(blk, data); err != nil {
@@ -99,7 +99,7 @@ func TestEntryExhaustionKillsBlock(t *testing.T) {
 
 func TestHardFTCEqualsEntries(t *testing.T) {
 	// ECP-n tolerates exactly n faults no matter where they are.
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 	for _, entries := range []int{1, 4, 6} {
 		f := MustFactory(256, entries)
 		for trial := 0; trial < 20; trial++ {
@@ -110,7 +110,7 @@ func TestHardFTCEqualsEntries(t *testing.T) {
 				blk.InjectFault(perm[i], rng.Intn(2) == 0)
 			}
 			ok := true
-			r := rand.New(rand.NewSource(int64(trial)))
+			r := xrand.New(int64(trial))
 			for w := 0; w < 8; w++ {
 				if err := s.Write(blk, bitvec.Random(256, r)); err != nil {
 					ok = false
@@ -141,7 +141,7 @@ func TestHardFTCEqualsEntries(t *testing.T) {
 func TestPropReadAfterWrite(t *testing.T) {
 	f := MustFactory(256, 8)
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		blk := pcm.NewImmortalBlock(256)
 		s := f.New()
 		for _, p := range rng.Perm(256)[:rng.Intn(9)] {
@@ -173,7 +173,7 @@ func TestFactoryMetadata(t *testing.T) {
 func BenchmarkECPWrite(b *testing.B) {
 	f := MustFactory(512, 6)
 	blk := pcm.NewImmortalBlock(512)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for _, p := range rng.Perm(512)[:4] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}

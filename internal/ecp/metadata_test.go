@@ -1,7 +1,7 @@
 package ecp
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 
@@ -69,7 +69,7 @@ func TestCodecRejects(t *testing.T) {
 func TestPointersStaySorted(t *testing.T) {
 	e, _ := New(512, 8)
 	blk := pcm.NewImmortalBlock(512)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for _, p := range rng.Perm(512)[:6] {
 		blk.InjectFault(p, true)
 		if err := e.Write(blk, bitvec.New(512)); err != nil {
@@ -87,7 +87,7 @@ func TestPointersStaySorted(t *testing.T) {
 // read behaviour.
 func TestPropCodecPreservesReads(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		e, _ := New(256, 8)
 		blk := pcm.NewImmortalBlock(256)
 		for _, p := range rng.Perm(256)[:rng.Intn(8)] {

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"aegis/internal/core"
@@ -59,7 +59,7 @@ func OSCapacity(p Params) (*report.Table, error) {
 			return nil, err
 		}
 		sample := sim.BlockLifetimes(rs)
-		rng := rand.New(rand.NewSource(p.schemeSeed("oscap-events-" + f.Name())))
+		rng := xrand.New(p.schemeSeed("oscap-events-" + f.Name()))
 		evs := make([]event, 0, pages*blocksPerPage)
 		for pg := 0; pg < pages; pg++ {
 			for bl := 0; bl < blocksPerPage; bl++ {

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"aegis/internal/core"
 	"aegis/internal/ecp"
@@ -114,10 +114,10 @@ func PAYG(p Params) (*report.Table, error) {
 
 // trialRNGLocal mirrors sim's deterministic per-trial seeding for the
 // PAYG page loop, which manages its own pool per page.
-func trialRNGLocal(seed int64, trial int) *rand.Rand {
+func trialRNGLocal(seed int64, trial int) *xrand.Rand {
 	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(trial+1)*0xbf58476d1ce4e5b9
 	h ^= h >> 31
 	h *= 0x94d049bb133111eb
 	h ^= h >> 27
-	return rand.New(rand.NewSource(int64(h)))
+	return xrand.New(int64(h))
 }

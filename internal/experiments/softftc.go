@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"aegis/internal/plane"
@@ -36,7 +36,7 @@ func SoftFTC(p Params) *report.Table {
 	}
 	for _, cfg := range layouts {
 		l := plane.MustLayout(cfg.n, cfg.b)
-		rng := rand.New(rand.NewSource(p.schemeSeed(fmt.Sprintf("softftc-%s", l))))
+		rng := xrand.New(p.schemeSeed(fmt.Sprintf("softftc-%s", l)))
 		caps := make([]float64, trials)
 		for trial := range caps {
 			perm := rng.Perm(l.N)

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"aegis/internal/dist"
 	"aegis/internal/report"
@@ -87,7 +87,7 @@ func AblationWearLevel(p Params) *report.Table {
 		for rep := 0; rep < reps; rep++ {
 			seed := p.schemeSeed(fmt.Sprintf("wl-%s-%d", wl.name, rep))
 			// One device per repetition, shared by every leveler.
-			budgetRNG := rand.New(rand.NewSource(seed))
+			budgetRNG := xrand.New(seed)
 			d := dist.NewNormal(budgetMean)
 			base := make([]int64, pages+1) // +1 covers the start-gap spare
 			for i := range base {
@@ -95,7 +95,7 @@ func AblationWearLevel(p Params) *report.Table {
 			}
 			for li, l := range levelers {
 				budgets := append([]int64(nil), base[:pages+l.extra]...)
-				res, err := wearlevel.Simulate(l.build(seed), wl.build(seed), budgets, rand.New(rand.NewSource(seed+int64(li))))
+				res, err := wearlevel.Simulate(l.build(seed), wl.build(seed), budgets, xrand.New(seed+int64(li)))
 				if err != nil {
 					panic(err)
 				}

@@ -14,8 +14,8 @@
 package freep
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/dist"
@@ -105,7 +105,7 @@ type PageResult struct {
 // a fresh spare block (unworn cells, fresh scheme instance) and the write
 // retries there, as FREE-p's nearly-free read path implies.  Wear is
 // request-scoped, as everywhere in this repository.
-func SimulatePage(nBlocks, blockBits, spares int, f scheme.Factory, meanLife, cov float64, rng *rand.Rand) (PageResult, error) {
+func SimulatePage(nBlocks, blockBits, spares int, f scheme.Factory, meanLife, cov float64, rng *xrand.Rand) (PageResult, error) {
 	m, err := NewManager(nBlocks, blockBits, spares)
 	if err != nil {
 		return PageResult{}, err
@@ -154,11 +154,9 @@ func SimulatePage(nBlocks, blockBits, spares int, f scheme.Factory, meanLife, co
 	return PageResult{Lifetime: writes, Redirections: redirs}, nil
 }
 
-func randomize(data *bitvec.Vector, rng *rand.Rand) {
+func randomize(data *bitvec.Vector, rng *xrand.Rand) {
 	words := data.Words()
-	for i := range words {
-		words[i] = rng.Uint64()
-	}
+	rng.Fill(words)
 	if r := data.Len() % 64; r != 0 {
 		words[len(words)-1] &= (uint64(1) << uint(r)) - 1
 	}

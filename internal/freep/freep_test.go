@@ -1,7 +1,7 @@
 package freep
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/core"
@@ -63,7 +63,7 @@ func TestOverheadBits(t *testing.T) {
 func TestSimulatePageSparesExtendLifetime(t *testing.T) {
 	f := ecp.MustFactory(512, 2)
 	run := func(spares int) int64 {
-		rng := rand.New(rand.NewSource(5))
+		rng := xrand.New(5)
 		res, err := SimulatePage(8, 512, spares, f, 400, 0.25, rng)
 		if err != nil {
 			t.Fatal(err)
@@ -85,8 +85,8 @@ func TestSimulatePageStrongSchemeDelaysRedirection(t *testing.T) {
 	// at equal spare budgets, Aegis pages redirect later and live longer.
 	weak := ecp.MustFactory(512, 1)
 	strong := core.MustFactory(512, 61)
-	rngW := rand.New(rand.NewSource(9))
-	rngS := rand.New(rand.NewSource(9))
+	rngW := xrand.New(9)
+	rngS := xrand.New(9)
 	w, err := SimulatePage(8, 512, 2, weak, 400, 0.25, rngW)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestSimulatePageStrongSchemeDelaysRedirection(t *testing.T) {
 }
 
 func TestSimulatePageValidation(t *testing.T) {
-	if _, err := SimulatePage(0, 512, 1, ecp.MustFactory(512, 1), 100, 0.25, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := SimulatePage(0, 512, 1, ecp.MustFactory(512, 1), 100, 0.25, xrand.New(1)); err == nil {
 		t.Fatal("zero blocks accepted")
 	}
 }

@@ -4,8 +4,8 @@
 package integration
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"aegis/internal/aegisrw"
@@ -59,7 +59,7 @@ func TestCodecRoundTripAfterFaults(t *testing.T) {
 	for _, f := range codecFactories() {
 		f := f
 		t.Run(f.Name(), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(11))
+			rng := xrand.New(11)
 			for trial := 0; trial < 20; trial++ {
 				blk := pcm.NewImmortalBlock(512)
 				nf := rng.Intn(5)
@@ -158,7 +158,7 @@ func TestSchemesInterchangeable(t *testing.T) {
 		safer.MustCachedFactory(512, 32, cache),
 		ecp.MustFactory(512, 6),
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := xrand.New(5)
 	for _, f := range factories {
 		blk := pcm.NewImmortalBlock(512)
 		s := f.New()

@@ -1,7 +1,7 @@
 package osmem
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 )
@@ -152,7 +152,7 @@ func TestOutOfRangePanics(t *testing.T) {
 // with pairing ≥ usable capacity without, fed the same stream.
 func TestPropPairingInvariants(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		const pages, blocks = 12, 16
 		paired, _ := NewPool(pages, blocks, true)
 		plain, _ := NewPool(pages, blocks, false)

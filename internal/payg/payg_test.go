@@ -1,8 +1,8 @@
 package payg
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 
 	"aegis/internal/bitvec"
@@ -45,7 +45,7 @@ func TestLECHandlesFirstFault(t *testing.T) {
 	}
 	blk := pcm.NewImmortalBlock(512)
 	blk.InjectFault(7, true)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 5; i++ {
 		data := bitvec.Random(512, rng)
 		if err := b.Write(blk, data); err != nil {
@@ -87,7 +87,7 @@ func TestEscalationOnSecondFault(t *testing.T) {
 		t.Fatal("read differs after escalation")
 	}
 	// Further writes stay on the GEC.
-	next := bitvec.Random(512, rand.New(rand.NewSource(2)))
+	next := bitvec.Random(512, xrand.New(2))
 	if err := b.Write(blk, next); err != nil {
 		t.Fatalf("post-escalation write: %v", err)
 	}
@@ -160,7 +160,7 @@ func TestSimulatePagePAYGBeatsPureLEC(t *testing.T) {
 		CoV:        0.25,
 	}
 	gec := core.MustFactory(512, 61)
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 
 	cfg.GECSlots = 0
 	lecOnly, err := SimulatePage(cfg, gec, rng)
@@ -168,7 +168,7 @@ func TestSimulatePagePAYGBeatsPureLEC(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.GECSlots = 8
-	rng = rand.New(rand.NewSource(3))
+	rng = xrand.New(3)
 	withGEC, err := SimulatePage(cfg, gec, rng)
 	if err != nil {
 		t.Fatal(err)

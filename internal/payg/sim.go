@@ -1,7 +1,7 @@
 package payg
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/dist"
@@ -36,7 +36,7 @@ type PageConfig struct {
 // some block takes an unrecoverable write (LEC exhausted with an empty
 // pool, or GEC scheme defeated).  Wear follows the paper's
 // request-scoped model.
-func SimulatePage(cfg PageConfig, gecFactory scheme.Factory, rng *rand.Rand) (PageResult, error) {
+func SimulatePage(cfg PageConfig, gecFactory scheme.Factory, rng *xrand.Rand) (PageResult, error) {
 	pool := NewPool(cfg.GECSlots)
 	blocks := make([]*pcm.Block, cfg.Blocks)
 	schemes := make([]*Block, cfg.Blocks)
@@ -77,11 +77,9 @@ func SimulatePage(cfg PageConfig, gecFactory scheme.Factory, rng *rand.Rand) (Pa
 	return res, nil
 }
 
-func randomizeInto(data *bitvec.Vector, rng *rand.Rand) {
+func randomizeInto(data *bitvec.Vector, rng *xrand.Rand) {
 	words := data.Words()
-	for i := range words {
-		words[i] = rng.Uint64()
-	}
+	rng.Fill(words)
 	if r := data.Len() % 64; r != 0 {
 		words[len(words)-1] &= (uint64(1) << uint(r)) - 1
 	}

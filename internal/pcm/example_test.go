@@ -1,8 +1,8 @@
 package pcm_test
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/dist"
@@ -12,7 +12,7 @@ import (
 // A cell wears out after its endurance budget and sticks at the value of
 // the write that exhausted it; the stuck value stays readable.
 func ExampleBlock_WriteRaw() {
-	block := pcm.NewBlock(8, dist.Fixed(2), rand.New(rand.NewSource(1)))
+	block := pcm.NewBlock(8, dist.Fixed(2), xrand.New(1))
 	ones := bitvec.New(8)
 	ones.Fill(true)
 	zeros := bitvec.New(8)
@@ -31,7 +31,7 @@ func ExampleBlock_WriteRaw() {
 // Request-scoped wear (the paper's model): a scheme's internal rewrites
 // within one request charge each cell at most one pulse.
 func ExampleBlock_BeginRequest() {
-	block := pcm.NewBlock(8, dist.Fixed(10), rand.New(rand.NewSource(1)))
+	block := pcm.NewBlock(8, dist.Fixed(10), xrand.New(1))
 	ones := bitvec.New(8)
 	ones.Fill(true)
 	zeros := bitvec.New(8)

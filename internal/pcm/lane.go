@@ -1,9 +1,9 @@
 package pcm
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"aegis/internal/dist"
 )
@@ -176,9 +176,11 @@ func (b *LaneBlock) Lanes() int { return b.lanes }
 // storing all zeros with no stuck cells and fresh lifetimes drawn from d
 // using that lane's RNG, consuming it in the same ascending-cell order
 // as pcm.NewBlock so lane l reproduces exactly the scalar trial its RNG
-// belongs to.  Unused lanes are retired and immortal.  Resetting inside
-// an open request panics.
-func (b *LaneBlock) Reset(d dist.Lifetime, rngs []*rand.Rand) {
+// belongs to.  The RNGs are caller-owned state passed as a value slice
+// (the sliced engine keeps all 64 inline in its pooled arena); Reset
+// only advances them.  Unused lanes are retired and immortal.
+// Resetting inside an open request panics.
+func (b *LaneBlock) Reset(d dist.Lifetime, rngs []xrand.Rand) {
 	if b.inRequest {
 		panic("pcm: LaneBlock.Reset inside an open request")
 	}
@@ -201,7 +203,8 @@ func (b *LaneBlock) Reset(d dist.Lifetime, rngs []*rand.Rand) {
 	for i := range b.pend {
 		b.pend[i] = 0
 	}
-	for l, rng := range rngs {
+	for l := range rngs {
+		rng := &rngs[l]
 		life := b.life[l:]
 		for j := 0; j < b.n; j++ {
 			v := d.Sample(rng)

@@ -1,7 +1,7 @@
 package pcm
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/bitvec"
@@ -37,7 +37,7 @@ type laneHarness struct {
 	sliced *LaneBlock
 	scalar []*Block
 	// dataRng generates identical random data per lane on both arms.
-	dataRng []*rand.Rand
+	dataRng []*xrand.Rand
 	laneBuf [][]uint64
 	vec     []*bitvec.Vector
 	dataT   []uint64
@@ -48,11 +48,11 @@ func newLaneHarness(t *testing.T, n, lanes int, mean float64, seed int64) *laneH
 	d := dist.Normal{MeanLife: mean, CoV: 0.25}
 	w := (n + 63) / 64
 	h := &laneHarness{t: t, n: n, lanes: lanes, dataT: make([]uint64, n)}
-	rngs := make([]*rand.Rand, lanes)
+	rngs := make([]xrand.Rand, lanes)
 	for l := 0; l < lanes; l++ {
-		rngs[l] = rand.New(rand.NewSource(seed + int64(l)))
-		h.scalar = append(h.scalar, NewBlock(n, d, rand.New(rand.NewSource(seed+int64(l)))))
-		h.dataRng = append(h.dataRng, rand.New(rand.NewSource(seed^0x5eed+int64(l))))
+		rngs[l].Seed(seed + int64(l))
+		h.scalar = append(h.scalar, NewBlock(n, d, xrand.New(seed+int64(l))))
+		h.dataRng = append(h.dataRng, xrand.New(seed^0x5eed+int64(l)))
 		h.laneBuf = append(h.laneBuf, make([]uint64, w))
 		h.vec = append(h.vec, bitvec.New(n))
 	}
@@ -227,7 +227,7 @@ func TestLaneBlockVerifyErrors(t *testing.T) {
 // register half-adder cascade WriteRaw uses — across its fold boundary.
 func TestLaneCounterFold(t *testing.T) {
 	var c laneCounter
-	rng := rand.New(rand.NewSource(11))
+	rng := xrand.New(11)
 	want := [64]int64{}
 	adds := 1<<19 + 137
 	var s1, s2, s4, s8, s16, s32 uint64

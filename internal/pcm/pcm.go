@@ -18,9 +18,9 @@
 package pcm
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/dist"
@@ -89,7 +89,7 @@ type CellFault struct {
 
 // NewBlock creates an n-bit block with per-cell lifetimes drawn from d
 // using rng.  All cells start storing 0.
-func NewBlock(n int, d dist.Lifetime, rng *rand.Rand) *Block {
+func NewBlock(n int, d dist.Lifetime, rng *xrand.Rand) *Block {
 	if n <= 0 {
 		panic(fmt.Sprintf("pcm: block size %d must be positive", n))
 	}
@@ -109,7 +109,7 @@ func NewBlock(n int, d dist.Lifetime, rng *rand.Rand) *Block {
 // sampleLifetimes draws one lifetime per cell in ascending cell order.
 // NewBlock and Reset share it so a reset block consumes the RNG stream
 // exactly as a freshly constructed one would.
-func (b *Block) sampleLifetimes(d dist.Lifetime, rng *rand.Rand) {
+func (b *Block) sampleLifetimes(d dist.Lifetime, rng *xrand.Rand) {
 	b.allPositive = true
 	for i := range b.life {
 		v := d.Sample(rng)
@@ -139,7 +139,7 @@ func (b *Block) sampleLifetimes(d dist.Lifetime, rng *rand.Rand) {
 // fresh lifetimes drawn from d in the same per-cell order as NewBlock —
 // without allocating.  Simulation workers reuse one block per goroutine
 // across Monte-Carlo trials.  Resetting inside an open request panics.
-func (b *Block) Reset(d dist.Lifetime, rng *rand.Rand) {
+func (b *Block) Reset(d dist.Lifetime, rng *xrand.Rand) {
 	if b.inRequest {
 		panic("pcm: Reset inside an open request")
 	}

@@ -1,7 +1,7 @@
 package pcm
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 
@@ -10,7 +10,7 @@ import (
 )
 
 func TestNewBlockStartsClean(t *testing.T) {
-	b := NewBlock(512, dist.Fixed(10), rand.New(rand.NewSource(1)))
+	b := NewBlock(512, dist.Fixed(10), xrand.New(1))
 	if b.Size() != 512 {
 		t.Fatalf("Size = %d", b.Size())
 	}
@@ -32,7 +32,7 @@ func TestNewBlockPanicsOnBadSize(t *testing.T) {
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	b := NewImmortalBlock(256)
 	for i := 0; i < 10; i++ {
 		data := bitvec.Random(256, rng)
@@ -71,7 +71,7 @@ func TestDifferentialWriteCountsOnlyFlips(t *testing.T) {
 
 func TestWearExhaustionCreatesStuckAt(t *testing.T) {
 	// Every cell survives exactly 3 pulses.
-	b := NewBlock(64, dist.Fixed(3), rand.New(rand.NewSource(3)))
+	b := NewBlock(64, dist.Fixed(3), xrand.New(3))
 	ones := bitvec.New(64)
 	ones.Fill(true)
 	zeros := bitvec.New(64)
@@ -167,7 +167,7 @@ func TestStuckMask(t *testing.T) {
 }
 
 func TestMinRemainingLife(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := xrand.New(4)
 	b := NewBlock(16, dist.Fixed(5), rng)
 	if got := b.MinRemainingLife(); got != 5 {
 		t.Fatalf("MinRemainingLife = %d, want 5", got)
@@ -188,7 +188,7 @@ func TestMinRemainingLife(t *testing.T) {
 }
 
 func TestLifetimeDistributionRoughMean(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := xrand.New(5)
 	d := dist.NewNormal(1000)
 	var sum int64
 	const samples = 20000
@@ -210,7 +210,7 @@ func TestLifetimeDistributionRoughMean(t *testing.T) {
 // value differs from that data.
 func TestPropVerifyFlagsExactlyWrongStuck(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		b := NewBlock(128, dist.Fixed(int64(1+rng.Intn(6))), rng)
 		var last *bitvec.Vector
 		for i := 0; i < 20; i++ {
@@ -235,7 +235,7 @@ func TestPropVerifyFlagsExactlyWrongStuck(t *testing.T) {
 // value never changes.
 func TestPropFaultsMonotone(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		b := NewBlock(64, dist.Fixed(int64(1+rng.Intn(4))), rng)
 		type fault struct{ val bool }
 		known := map[int]fault{}
@@ -270,7 +270,7 @@ func TestPropFaultsMonotone(t *testing.T) {
 }
 
 func BenchmarkWriteRaw512(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	blk := NewBlock(512, dist.NewNormal(1e8), rng)
 	data := make([]*bitvec.Vector, 16)
 	for i := range data {

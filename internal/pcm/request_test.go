@@ -1,7 +1,7 @@
 package pcm
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/bitvec"
@@ -9,7 +9,7 @@ import (
 )
 
 func TestRequestWearChargesOncePerCell(t *testing.T) {
-	b := NewBlock(64, dist.Fixed(10), rand.New(rand.NewSource(1)))
+	b := NewBlock(64, dist.Fixed(10), xrand.New(1))
 	ones := bitvec.New(64)
 	ones.Fill(true)
 	zeros := bitvec.New(64)
@@ -30,7 +30,7 @@ func TestRequestWearChargesOncePerCell(t *testing.T) {
 }
 
 func TestRequestWearNoChangeNoCharge(t *testing.T) {
-	b := NewBlock(64, dist.Fixed(10), rand.New(rand.NewSource(1)))
+	b := NewBlock(64, dist.Fixed(10), xrand.New(1))
 	ones := bitvec.New(64)
 	ones.Fill(true)
 	zeros := bitvec.New(64)
@@ -48,7 +48,7 @@ func TestRequestWearNoChangeNoCharge(t *testing.T) {
 }
 
 func TestRequestDeathsMaterializeAtEnd(t *testing.T) {
-	b := NewBlock(8, dist.Fixed(1), rand.New(rand.NewSource(1)))
+	b := NewBlock(8, dist.Fixed(1), xrand.New(1))
 	ones := bitvec.New(8)
 	ones.Fill(true)
 
@@ -108,7 +108,7 @@ func TestRequestWearStuckCellsExcluded(t *testing.T) {
 
 func TestRequestModeReadsSeeIntermediateState(t *testing.T) {
 	// Schemes rely on verification reads mid-request.
-	b := NewBlock(8, dist.Fixed(100), rand.New(rand.NewSource(1)))
+	b := NewBlock(8, dist.Fixed(100), xrand.New(1))
 	data := bitvec.New(8)
 	data.Set(3, true)
 	b.BeginRequest()
@@ -127,7 +127,7 @@ func TestRequestVsPulseWearDiverge(t *testing.T) {
 	// programmings for cells that flip thrice; request wear charges at
 	// most 1.
 	mk := func() *Block {
-		return NewBlock(64, dist.Fixed(1000), rand.New(rand.NewSource(7)))
+		return NewBlock(64, dist.Fixed(1000), xrand.New(7))
 	}
 	ones := bitvec.New(64)
 	ones.Fill(true)

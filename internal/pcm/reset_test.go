@@ -1,7 +1,7 @@
 package pcm
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/bitvec"
@@ -16,19 +16,19 @@ import (
 func TestResetMatchesNewBlock(t *testing.T) {
 	const n = 256
 	d := dist.Normal{MeanLife: 40, CoV: 0.25}
-	reused := NewBlock(n, d, rand.New(rand.NewSource(99)))
+	reused := NewBlock(n, d, xrand.New(99))
 
 	data := bitvec.New(n)
 	for trial := 0; trial < 8; trial++ {
 		seed := int64(1000 + trial)
-		fresh := NewBlock(n, d, rand.New(rand.NewSource(seed)))
+		fresh := NewBlock(n, d, xrand.New(seed))
 		if trial > 0 {
-			reused.Reset(d, rand.New(rand.NewSource(seed)))
+			reused.Reset(d, xrand.New(seed))
 		} else {
-			reused = NewBlock(n, d, rand.New(rand.NewSource(seed)))
+			reused = NewBlock(n, d, xrand.New(seed))
 		}
 
-		wrng := rand.New(rand.NewSource(seed * 7))
+		wrng := xrand.New(seed * 7)
 		for w := 0; w < 200; w++ {
 			bitvec.RandomInto(data, wrng)
 			useReq := w%3 == 0
@@ -71,8 +71,8 @@ func TestResetMatchesNewBlock(t *testing.T) {
 // path a worker takes.
 func TestResetConsumesSameRNGStream(t *testing.T) {
 	d := dist.Normal{MeanLife: 1e6, CoV: 0.1}
-	a := rand.New(rand.NewSource(5))
-	b := rand.New(rand.NewSource(5))
+	a := xrand.New(5)
+	b := xrand.New(5)
 
 	_ = NewBlock(128, d, a)
 	blk := NewImmortalBlock(128)

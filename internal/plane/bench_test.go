@@ -7,7 +7,7 @@
 package plane
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/bitvec"
@@ -33,7 +33,7 @@ func BenchmarkGroupMask9x61(b *testing.B) {
 
 func BenchmarkXorGroups9x61(b *testing.B) {
 	l := MustLayout(512, 61)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	dst := bitvec.Random(512, rng)
 	groups := bitvec.New(61)
 	for g := 0; g < 61; g += 7 {
@@ -47,7 +47,7 @@ func BenchmarkXorGroups9x61(b *testing.B) {
 
 func BenchmarkFindCollisionFree9x61(b *testing.B) {
 	l := MustLayout(512, 61)
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	faults := rng.Perm(512)[:6]
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -66,7 +66,7 @@ func BenchmarkCollidingSlope9x61(b *testing.B) {
 }
 
 func TestXorGroupsMatchesMaskLoop(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 	for _, cfg := range []struct{ n, b int }{{512, 61}, {512, 31}, {256, 23}, {40, 7}} {
 		l := MustLayout(cfg.n, cfg.b)
 		for trial := 0; trial < 20; trial++ {

@@ -1,7 +1,7 @@
 package plane
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 )
@@ -168,7 +168,7 @@ func TestTheorem2AtMostOneCollision(t *testing.T) {
 func TestPropTheorem2(t *testing.T) {
 	layouts := []*Layout{MustLayout(512, 61), MustLayout(512, 23), MustLayout(256, 31)}
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		l := layouts[rng.Intn(len(layouts))]
 		x1 := rng.Intn(l.N)
 		x2 := rng.Intn(l.N)
@@ -283,7 +283,7 @@ func TestCollisionFreePigeonhole(t *testing.T) {
 func TestPropHardFTCGuarantee(t *testing.T) {
 	layouts := []*Layout{MustLayout(512, 23), MustLayout(512, 61), MustLayout(256, 31)}
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		l := layouts[rng.Intn(len(layouts))]
 		fmax := l.HardFTC()
 		// Random distinct fault positions.
@@ -392,7 +392,7 @@ func BenchmarkGroup(b *testing.B) {
 
 func BenchmarkFindCollisionFree(b *testing.B) {
 	l := MustLayout(512, 61)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	faults := rng.Perm(512)[:10]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,7 +1,7 @@
 package plane
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 )
 
@@ -28,7 +28,7 @@ func TestCollisionROMMatchesAlgebraExhaustive(t *testing.T) {
 func TestCollisionROMSampled512(t *testing.T) {
 	l := MustLayout(512, 61)
 	rom := BuildCollisionROM(l)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 5000; i++ {
 		x1, x2 := rng.Intn(512), rng.Intn(512)
 		if x1 == x2 {
@@ -45,7 +45,7 @@ func TestCollisionROMSampled512(t *testing.T) {
 func TestCollisionROMSymmetric(t *testing.T) {
 	l := MustLayout(256, 23)
 	rom := BuildCollisionROM(l)
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	for i := 0; i < 2000; i++ {
 		x1, x2 := rng.Intn(256), rng.Intn(256)
 		k1, ok1 := rom.Lookup(x1, x2)

@@ -1,7 +1,7 @@
 package plane
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/prime"
@@ -89,7 +89,7 @@ func TestTheorem1EveryPointInExactlyOneGroup(t *testing.T) {
 // classes without the O(N²·B) full sweep; a random direct-pair sample
 // guards the reduction itself.
 func TestTheorem2CollisionsNeverRepeat(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for _, l := range propertyLayouts(t) {
 		// Representative pairs: (0, 0) against every (da, b2).
 		x1, ok := l.Offset(0, 0)
@@ -154,7 +154,7 @@ func checkPairSeparation(t *testing.T, l *Layout, x1, x2 int) {
 // TestHardFTCSeparable: any fault set within the layout's hard FTC has
 // a separating slope (the paper's §2.3 guarantee, sampled randomly).
 func TestHardFTCSeparable(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	for _, l := range propertyLayouts(t) {
 		ftc := l.HardFTC()
 		if ftc > l.N {

@@ -1,8 +1,8 @@
 package rdis
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -54,7 +54,7 @@ func TestWriteReadNoFaults(t *testing.T) {
 	f := MustFactory(512, 3, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New()
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 10; i++ {
 		data := bitvec.Random(512, rng)
 		if err := s.Write(blk, data); err != nil {
@@ -84,7 +84,7 @@ func TestThreeFaultGuarantee(t *testing.T) {
 	// The RDIS paper (and the Aegis paper's comparison) guarantees
 	// recovery of 3 faults for RDIS-3.
 	f := MustFactory(256, 3, failcache.Perfect{})
-	rng := rand.New(rand.NewSource(5))
+	rng := xrand.New(5)
 	for trial := 0; trial < 60; trial++ {
 		blk := pcm.NewImmortalBlock(256)
 		s := f.New()
@@ -107,7 +107,7 @@ func TestRecoversManyFaultsSoftly(t *testing.T) {
 	// RDIS usually recovers far more than 3 faults (its soft FTC); a
 	// scattered 10-fault set should mostly survive.
 	f := MustFactory(512, 3, failcache.Perfect{})
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 	ok := 0
 	const trials = 30
 	for trial := 0; trial < trials; trial++ {
@@ -137,7 +137,7 @@ func TestDepthLimitKillsDenseBlocks(t *testing.T) {
 	f := MustFactory(256, 3, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(256)
 	s := f.New()
-	rng := rand.New(rand.NewSource(9))
+	rng := xrand.New(9)
 	for _, p := range rng.Perm(256)[:120] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}
@@ -157,7 +157,7 @@ func TestDepthLimitKillsDenseBlocks(t *testing.T) {
 }
 
 func TestDeeperRecursionBeatsShallower(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := xrand.New(11)
 	f1 := MustFactory(256, 1, failcache.Perfect{})
 	f3 := MustFactory(256, 3, failcache.Perfect{})
 	ok1, ok3 := 0, 0
@@ -173,7 +173,7 @@ func TestDeeperRecursionBeatsShallower(t *testing.T) {
 			for i, p := range positions {
 				blk.InjectFault(p, vals[i])
 			}
-			r := rand.New(rand.NewSource(int64(trial)))
+			r := xrand.New(int64(trial))
 			for w := 0; w < 6; w++ {
 				if err := s.Write(blk, bitvec.Random(256, r)); err != nil {
 					return false
@@ -197,7 +197,7 @@ func TestDeeperRecursionBeatsShallower(t *testing.T) {
 func TestPropRoundTrip(t *testing.T) {
 	f := MustFactory(256, 3, failcache.Perfect{})
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		blk := pcm.NewImmortalBlock(256)
 		s := f.New()
 		for _, p := range rng.Perm(256)[:rng.Intn(14)] {
@@ -222,7 +222,7 @@ func TestPropRoundTrip(t *testing.T) {
 func BenchmarkRDISWrite8Faults(b *testing.B) {
 	f := MustFactory(512, 3, failcache.Perfect{})
 	blk := pcm.NewImmortalBlock(512)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for _, p := range rng.Perm(512)[:8] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}
@@ -285,7 +285,7 @@ func TestDiscoveryWithFiniteCache(t *testing.T) {
 	blk.InjectFault(10, true)
 	blk.InjectFault(77, false)
 	s := f.New()
-	rng := rand.New(rand.NewSource(21))
+	rng := xrand.New(21)
 	for i := 0; i < 8; i++ {
 		data := bitvec.Random(256, rng)
 		if err := s.Write(blk, data); err != nil {

@@ -1,7 +1,7 @@
 package safer
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 
@@ -30,7 +30,7 @@ func TestCodecBudgetExact(t *testing.T) {
 }
 
 func TestCodecRoundTripAfterFaultyWrites(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	s, _ := New(512, 64)
 	blk := pcm.NewImmortalBlock(512)
 	for _, p := range rng.Perm(512)[:4] {
@@ -84,7 +84,7 @@ func TestCodecRejects(t *testing.T) {
 }
 
 func TestCachedCodecRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	view := failcache.Perfect{}.View(0)
 	c, _ := NewCached(512, 32, view)
 	blk := pcm.NewImmortalBlock(512)
@@ -113,7 +113,7 @@ func TestCachedCodecRoundTrip(t *testing.T) {
 // Property: SAFER codec round-trips across random fault histories.
 func TestPropCodecPreservesReads(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		s, _ := New(256, 16)
 		blk := pcm.NewImmortalBlock(256)
 		for _, p := range rng.Perm(256)[:rng.Intn(5)] {

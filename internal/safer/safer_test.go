@@ -1,8 +1,8 @@
 package safer
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -42,7 +42,7 @@ func TestWriteReadNoFaults(t *testing.T) {
 	f := MustFactory(512, 32)
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New()
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 10; i++ {
 		data := bitvec.Random(512, rng)
 		if err := s.Write(blk, data); err != nil {
@@ -94,7 +94,7 @@ func TestCollisionGrowsVector(t *testing.T) {
 func TestHardFTCGuarantee(t *testing.T) {
 	// SAFER-32 (m=5) guarantees 6 faults.
 	f := MustFactory(512, 32)
-	rng := rand.New(rand.NewSource(5))
+	rng := xrand.New(5)
 	for trial := 0; trial < 40; trial++ {
 		blk := pcm.NewImmortalBlock(512)
 		s := f.New()
@@ -133,7 +133,7 @@ func TestFieldsOnlyGrow(t *testing.T) {
 	f := MustFactory(512, 64)
 	blk := pcm.NewImmortalBlock(512)
 	s := f.New().(*SAFER)
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 	prev := 0
 	for i := 0; i < 12; i++ {
 		blk.InjectFault(rng.Intn(512), rng.Intn(2) == 0)
@@ -168,7 +168,7 @@ func TestCachedToleratesSameTypeCollision(t *testing.T) {
 func TestCachedReselectsFields(t *testing.T) {
 	// The cached variant must survive fault sets that kill the
 	// incremental scheme, by re-selecting positions per write.
-	rng := rand.New(rand.NewSource(11))
+	rng := xrand.New(11)
 	plainF := MustFactory(512, 32)
 	cachedF := MustCachedFactory(512, 32, failcache.Perfect{})
 	plainOK, cachedOK := 0, 0
@@ -184,7 +184,7 @@ func TestCachedReselectsFields(t *testing.T) {
 			for i, p := range positions {
 				blk.InjectFault(p, vals[i])
 			}
-			r := rand.New(rand.NewSource(int64(trial)))
+			r := xrand.New(int64(trial))
 			for w := 0; w < 8; w++ {
 				if err := s.Write(blk, bitvec.Random(512, r)); err != nil {
 					return false
@@ -223,7 +223,7 @@ func TestCachedOverheadMatchesPlain(t *testing.T) {
 func TestPropRoundTripWithinHardFTC(t *testing.T) {
 	f := MustFactory(256, 16) // m=4: hard FTC 5
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		blk := pcm.NewImmortalBlock(256)
 		s := f.New()
 		for _, p := range rng.Perm(256)[:5] {
@@ -248,7 +248,7 @@ func TestPropRoundTripWithinHardFTC(t *testing.T) {
 func BenchmarkSAFERWrite8Faults(b *testing.B) {
 	f := MustFactory(512, 64)
 	blk := pcm.NewImmortalBlock(512)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for _, p := range rng.Perm(512)[:8] {
 		blk.InjectFault(p, rng.Intn(2) == 0)
 	}
@@ -285,7 +285,7 @@ func TestCachedMetadataAccessorsAndFiniteCache(t *testing.T) {
 	blk.InjectFault(3, true)
 	blk.InjectFault(200, false)
 	sc := ff.New()
-	rng := rand.New(rand.NewSource(31))
+	rng := xrand.New(31)
 	for i := 0; i < 8; i++ {
 		data := bitvec.Random(512, rng)
 		if err := sc.Write(blk, data); err != nil {

@@ -1,8 +1,8 @@
 package scheme
 
 import (
+	"aegis/internal/xrand"
 	"errors"
-	"math/rand"
 	"testing"
 
 	"aegis/internal/bitvec"
@@ -16,7 +16,7 @@ func TestNoneWritesCleanBlocks(t *testing.T) {
 	}
 	s := f.New()
 	blk := pcm.NewImmortalBlock(256)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := 0; i < 10; i++ {
 		data := bitvec.Random(256, rng)
 		if err := s.Write(blk, data); err != nil {

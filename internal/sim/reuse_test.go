@@ -1,8 +1,8 @@
 package sim
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 	"reflect"
 	"testing"
 
@@ -144,7 +144,7 @@ func TestReuseMatchesFreshFailureCounts(t *testing.T) {
 // used state.
 func dirtyScheme(s scheme.Scheme, n int, seed int64) {
 	d := dist.Normal{MeanLife: 50, CoV: 0.25}
-	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	rng := xrand.New(seed ^ 0x5eed)
 	junk := pcm.NewBlock(n, d, rng)
 	data := bitvec.New(n)
 	for i := 0; i < 60; i++ {
@@ -188,8 +188,8 @@ func checkResetEquivalence(t *testing.T, mk func() scheme.Factory, seed int64) {
 	}
 	r.Reset()
 
-	rngA := rand.New(rand.NewSource(seed))
-	rngB := rand.New(rand.NewSource(seed))
+	rngA := xrand.New(seed)
+	rngB := xrand.New(seed)
 	blkA := pcm.NewBlock(n, d, rngA)
 	blkB := pcm.NewBlock(n, d, rngB)
 	dataA, dataB := bitvec.New(n), bitvec.New(n)

@@ -25,7 +25,7 @@ import (
 	"runtime"
 	"sync"
 
-	"math/rand"
+	"aegis/internal/xrand"
 
 	"aegis/internal/bitvec"
 	"aegis/internal/dist"
@@ -116,14 +116,22 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// trialRNG derives a deterministic per-trial RNG, independent of worker
-// scheduling.
-func trialRNG(seed int64, trial int) *rand.Rand {
+// trialSeed derives the deterministic RNG seed of one global trial
+// index, independent of worker scheduling.
+func trialSeed(seed int64, trial int) int64 {
 	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(trial+1)*0xbf58476d1ce4e5b9
 	h ^= h >> 31
 	h *= 0x94d049bb133111eb
 	h ^= h >> 27
-	return rand.New(rand.NewSource(int64(h)))
+	return int64(h)
+}
+
+// trialRNG allocates a fresh per-trial RNG.  The hot loops do not call
+// it — they reseed their arena-owned xrand.Rand in place with
+// trialSeed — but tests and out-of-engine probes that want a trial's
+// stream use it as the reference constructor.
+func trialRNG(seed int64, trial int) *xrand.Rand {
+	return xrand.New(trialSeed(seed, trial))
 }
 
 // cancelled reports whether the run's context (if any) is done.
@@ -142,6 +150,10 @@ type trialScratch struct {
 	schemes []scheme.Scheme
 	blocks  []*pcm.Block
 	data    *bitvec.Vector
+	// rng is the worker's trial RNG state, reseeded in place per trial
+	// (xrand.Rand.Seed): the ~4.9 KB generator state is part of the
+	// arena, so trials allocate no RNG source (DESIGN.md §17).
+	rng xrand.Rand
 }
 
 // scheme returns the worker's reusable scheme instance for block slot i
@@ -165,7 +177,7 @@ func (ts *trialScratch) scheme(f scheme.Factory, i int) scheme.Scheme {
 // block returns the worker's reusable n-bit block for slot i, reset
 // with lifetimes drawn from d using rng exactly as pcm.NewBlock draws
 // them.
-func (ts *trialScratch) block(n int, d dist.Lifetime, rng *rand.Rand, i int) *pcm.Block {
+func (ts *trialScratch) block(n int, d dist.Lifetime, rng *xrand.Rand, i int) *pcm.Block {
 	for len(ts.blocks) <= i {
 		ts.blocks = append(ts.blocks, nil)
 	}
@@ -193,13 +205,14 @@ func (ts *trialScratch) dataVec(n int) *bitvec.Vector {
 // so results are independent of worker count and scheduling.  When
 // cfg.Ctx is cancelled, trials not yet started are skipped and the loop
 // returns early.
-func forEachTrial(cfg Config, body func(trial int, rng *rand.Rand, ts *trialScratch)) {
+func forEachTrial(cfg Config, body func(trial int, rng *xrand.Rand, ts *trialScratch)) {
 	cfg.Progress.AddTotal(cfg.Trials)
 	run := func(t int, ts *trialScratch) {
 		if cfg.cancelled() {
 			return
 		}
-		body(t, trialRNG(cfg.Seed, cfg.TrialOffset+t), ts)
+		ts.rng.Seed(trialSeed(cfg.Seed, cfg.TrialOffset+t))
+		body(t, &ts.rng, ts)
 		cfg.Progress.Done(1)
 	}
 	workers := cfg.workers()
@@ -370,7 +383,7 @@ func blocksScalar(f scheme.Factory, cfg Config, results []BlockResult) {
 	h := cfg.histograms(f)
 	name := f.Name()
 	life := cfg.lifetime()
-	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
+	forEachTrial(cfg, func(trial int, rng *xrand.Rand, ts *trialScratch) {
 		blk := ts.block(cfg.BlockBits, life, rng, 0)
 		s := ts.scheme(f, 0)
 		cfg.attachTracer(s, name, trial, h)
@@ -441,7 +454,7 @@ func pagesScalar(f scheme.Factory, cfg Config, results []PageResult) {
 	h := cfg.histograms(f)
 	name := f.Name()
 	life := cfg.lifetime()
-	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
+	forEachTrial(cfg, func(trial int, rng *xrand.Rand, ts *trialScratch) {
 		nBlocks := cfg.BlocksPerPage()
 		for i := 0; i < nBlocks; i++ {
 			ts.block(cfg.BlockBits, life, rng, i)
@@ -507,12 +520,10 @@ func writeRequest(cfg Config, s scheme.Scheme, blk *pcm.Block, data *bitvec.Vect
 	return err
 }
 
-// randomize refills data with random bits.
-func randomize(data *bitvec.Vector, rng *rand.Rand) {
+// randomize refills data with random bits, one bulk Fill per block.
+func randomize(data *bitvec.Vector, rng *xrand.Rand) {
 	words := data.Words()
-	for i := range words {
-		words[i] = rng.Uint64()
-	}
+	rng.Fill(words)
 	if r := data.Len() % 64; r != 0 {
 		words[len(words)-1] &= (uint64(1) << uint(r)) - 1
 	}
@@ -552,7 +563,7 @@ func FailureCounts(f scheme.Factory, cfg Config, maxFaults, writesPerStep int, b
 	sc := cfg.counters(f)
 	h := cfg.histograms(f)
 	name := f.Name()
-	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
+	forEachTrial(cfg, func(trial int, rng *xrand.Rand, ts *trialScratch) {
 		blk := ts.block(cfg.BlockBits, dist.Immortal{}, nil, 0)
 		s := ts.scheme(f, 0)
 		cfg.attachTracer(s, name, trial, h)

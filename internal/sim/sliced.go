@@ -1,8 +1,8 @@
 package sim
 
 import (
+	"aegis/internal/xrand"
 	"math/bits"
-	"math/rand"
 	"sync"
 
 	"aegis/internal/bitvec"
@@ -95,17 +95,21 @@ func laneMask(n int) uint64 { return ^uint64(0) >> uint(64-n) }
 
 // laneScratch is one worker goroutine's reusable arena for the sliced
 // path, the lane-group analogue of trialScratch: sliced scheme
-// instances, lane blocks and the per-lane data buffers survive across
-// the worker's groups, so steady-state groups allocate only the
-// per-lane RNGs.
+// instances, lane blocks, per-lane RNG states and the per-lane data
+// buffers survive across the worker's groups, so steady-state groups
+// allocate nothing.
 type laneScratch struct {
 	factory   scheme.SlicedFactory // owner of the schemes slice
 	schemes   []scheme.SlicedScheme
 	byFactory map[scheme.SlicedFactory][]scheme.SlicedScheme
 	blocks    []*pcm.LaneBlock
-	rngs      [64]*rand.Rand
-	lane      [64][]uint64 // per-lane random data words
-	dataT     []uint64     // transposed image: dataT[j] bit l = lane l's bit j
+	// rngs holds the 64 lanes' RNG states inline (~312 KB, amortized by
+	// the arena pool): forEachLaneGroup reseeds each lane's state in
+	// place, so a lane group performs zero RNG-source allocations where
+	// it used to perform one per lane (DESIGN.md §17).
+	rngs  [64]xrand.Rand
+	lane  [64][]uint64 // per-lane random data words
+	dataT []uint64     // transposed image: dataT[j] bit l = lane l's bit j
 }
 
 // laneScratchPool recycles worker arenas across runs.  A study like
@@ -180,10 +184,8 @@ func (ls *laneScratch) fillData(mask uint64, n, L int) {
 	for m := mask; m != 0; {
 		l := bits.TrailingZeros64(m)
 		m &= m - 1
-		buf, rng := ls.lane[l], ls.rngs[l]
-		for k := range buf {
-			buf[k] = rng.Uint64()
-		}
+		buf := ls.lane[l]
+		ls.rngs[l].Fill(buf)
 		if tail != 0 {
 			buf[w-1] &= uint64(1)<<uint(tail) - 1
 		}
@@ -308,7 +310,7 @@ func blocksSliced(f scheme.SlicedFactory, cfg Config, plan *slicePlan, results [
 		lo, L := g[0], g[1]-g[0]
 		ls.ensure(cfg.BlockBits, L)
 		for l := 0; l < L; l++ {
-			ls.rngs[l] = trialRNG(cfg.Seed, cfg.TrialOffset+lo+l)
+			ls.rngs[l].Seed(trialSeed(cfg.Seed, cfg.TrialOffset+lo+l))
 		}
 		blk := ls.laneBlock(cfg.BlockBits, 0)
 		blk.Reset(life, ls.rngs[:L])
@@ -375,7 +377,7 @@ func pagesSliced(f scheme.SlicedFactory, cfg Config, plan *slicePlan, results []
 		lo, L := g[0], g[1]-g[0]
 		ls.ensure(cfg.BlockBits, L)
 		for l := 0; l < L; l++ {
-			ls.rngs[l] = trialRNG(cfg.Seed, cfg.TrialOffset+lo+l)
+			ls.rngs[l].Seed(trialSeed(cfg.Seed, cfg.TrialOffset+lo+l))
 		}
 		// Lifetimes sample in block order per lane, matching the scalar
 		// trial's construction order.

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"sync"
 
 	"aegis/internal/dist"
@@ -35,7 +35,7 @@ func TrafficCurve(f scheme.Factory, cfg Config, maxFaults, writesPerStep int) []
 	}
 	sums := make([]acc, maxFaults+1)
 	var mu sync.Mutex
-	forEachTrial(cfg, func(trial int, rng *rand.Rand, ts *trialScratch) {
+	forEachTrial(cfg, func(trial int, rng *xrand.Rand, ts *trialScratch) {
 		blk := ts.block(cfg.BlockBits, dist.Immortal{}, nil, 0)
 		s := ts.scheme(f, 0)
 		rep, ok := s.(scheme.OpReporter)

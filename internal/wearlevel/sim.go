@@ -1,8 +1,8 @@
 package wearlevel
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"aegis/internal/workload"
 )
@@ -24,7 +24,7 @@ type SimResult struct {
 // the given per-slot write budgets (len(budgets) must equal
 // lev.Slots()).  It runs until half of the slots are dead or every
 // budget is exhausted.
-func Simulate(lev Leveler, gen workload.Generator, budgets []int64, rng *rand.Rand) (SimResult, error) {
+func Simulate(lev Leveler, gen workload.Generator, budgets []int64, rng *xrand.Rand) (SimResult, error) {
 	if len(budgets) != lev.Slots() {
 		return SimResult{}, fmt.Errorf("wearlevel: %d budgets for %d slots", len(budgets), lev.Slots())
 	}

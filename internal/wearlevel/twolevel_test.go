@@ -1,7 +1,7 @@
 package wearlevel
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 
 	"aegis/internal/workload"
@@ -31,7 +31,7 @@ func TestTwoLevelBijectiveMidSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := xrand.New(5)
 	for step := 0; step < 600; step++ {
 		checkBijection(t, tl, tl.physOf)
 		tl.OnWrite(rng.Intn(64))
@@ -47,7 +47,7 @@ func TestTwoLevelCrossesRegions(t *testing.T) {
 	}
 	perRegion := 32 / 4
 	crossed := false
-	rng := rand.New(rand.NewSource(9))
+	rng := xrand.New(9)
 	for step := 0; step < 500 && !crossed; step++ {
 		for la := 0; la < 32; la++ {
 			if tl.physOf(la)/perRegion != la/perRegion {
@@ -72,14 +72,14 @@ func TestTwoLevelLevelsUnderHotSpot(t *testing.T) {
 		t.Fatal(err)
 	}
 	budgets := func() []int64 {
-		rng := rand.New(rand.NewSource(11))
+		rng := xrand.New(11)
 		b := make([]int64, n)
 		for i := range b {
 			b[i] = int64(20000 + rng.Intn(10000))
 		}
 		return b
 	}
-	static, err := Simulate(Static{N: n}, hot, budgets(), rand.New(rand.NewSource(1)))
+	static, err := Simulate(Static{N: n}, hot, budgets(), xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestTwoLevelLevelsUnderHotSpot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	leveled, err := Simulate(tl, hot, budgets(), rand.New(rand.NewSource(1)))
+	leveled, err := Simulate(tl, hot, budgets(), xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,8 +21,8 @@
 package wearlevel
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 )
 
 // Leveler maps logical line addresses to physical slots, remapping over
@@ -88,7 +88,7 @@ func NewRandomizedStartGap(n, psi int, seed int64) (*StartGap, error) {
 	if err != nil {
 		return nil, err
 	}
-	sg.perm = rand.New(rand.NewSource(seed)).Perm(n)
+	sg.perm = xrand.New(seed).Perm(n)
 	return sg, nil
 }
 
@@ -154,7 +154,7 @@ type SecurityRefresh struct {
 	prevKey int // key the unswept region still uses
 	ptr     int // sweep pointer: logical addresses < ptr use curKey
 	count   int
-	rng     *rand.Rand
+	rng     *xrand.Rand
 }
 
 // NewSecurityRefresh returns a single-level Security Refresh over n
@@ -166,7 +166,7 @@ func NewSecurityRefresh(n, psi int, seed int64) (*SecurityRefresh, error) {
 	if psi <= 0 {
 		return nil, fmt.Errorf("wearlevel: psi %d must be positive", psi)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := xrand.New(seed)
 	sr := &SecurityRefresh{n: n, psi: psi, rng: rng}
 	sr.prevKey = 0
 	sr.curKey = sr.freshKey()

@@ -1,7 +1,7 @@
 package wearlevel
 
 import (
-	"math/rand"
+	"aegis/internal/xrand"
 	"testing"
 	"testing/quick"
 
@@ -30,7 +30,7 @@ func TestStartGapMappingStaysBijective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for step := 0; step < 300; step++ {
 		checkBijection(t, sg, sg.physOf)
 		sg.OnWrite(rng.Intn(16))
@@ -50,7 +50,7 @@ func TestStartGapTracksContents(t *testing.T) {
 		slots[i] = i
 	}
 	slots[n] = -1 // gap
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	for step := 0; step < 200; step++ {
 		for la := 0; la < n; la++ {
 			if got := slots[sg.physOf(la)]; got != la {
@@ -80,7 +80,7 @@ func TestStartGapMigrationRate(t *testing.T) {
 		t.Fatal(err)
 	}
 	moves := 0
-	rng := rand.New(rand.NewSource(3))
+	rng := xrand.New(3)
 	const writes = 1000
 	for i := 0; i < writes; i++ {
 		_, m := sg.OnWrite(rng.Intn(64))
@@ -113,7 +113,7 @@ func TestSecurityRefreshBijectiveMidSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := xrand.New(5)
 	for step := 0; step < 500; step++ {
 		checkBijection(t, sr, sr.physOf)
 		sr.OnWrite(rng.Intn(32))
@@ -125,7 +125,7 @@ func TestSecurityRefreshEventuallyRemapsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 	visited := map[int]map[int]bool{}
 	for la := 0; la < 16; la++ {
 		visited[la] = map[int]bool{}
@@ -182,7 +182,7 @@ func TestPerfectRoundRobin(t *testing.T) {
 func TestSimulateLevelingBeatsNone(t *testing.T) {
 	const n = 64
 	mk := func() []int64 {
-		rng := rand.New(rand.NewSource(11))
+		rng := xrand.New(11)
 		b := make([]int64, n)
 		for i := range b {
 			b[i] = int64(800 + rng.Intn(400))
@@ -195,7 +195,7 @@ func TestSimulateLevelingBeatsNone(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	static, err := Simulate(Static{N: n}, hot, mk(), rand.New(rand.NewSource(1)))
+	static, err := Simulate(Static{N: n}, hot, mk(), xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestSimulateLevelingBeatsNone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	leveled, err := Simulate(sg, hot, mkGap(), rand.New(rand.NewSource(1)))
+	leveled, err := Simulate(sg, hot, mkGap(), xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,10 +218,10 @@ func TestSimulateLevelingBeatsNone(t *testing.T) {
 
 func TestSimulateValidation(t *testing.T) {
 	u := workload.Uniform{N: 8}
-	if _, err := Simulate(Static{N: 8}, u, make([]int64, 7), rand.New(rand.NewSource(1))); err == nil {
+	if _, err := Simulate(Static{N: 8}, u, make([]int64, 7), xrand.New(1)); err == nil {
 		t.Error("wrong budget count accepted")
 	}
-	if _, err := Simulate(Static{N: 9}, u, make([]int64, 9), rand.New(rand.NewSource(1))); err == nil {
+	if _, err := Simulate(Static{N: 9}, u, make([]int64, 9), xrand.New(1)); err == nil {
 		t.Error("mismatched workload size accepted")
 	}
 }
@@ -235,7 +235,7 @@ func TestPropStartGapBijection(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		for step := 0; step < 120; step++ {
 			seen := map[int]bool{}
 			for la := 0; la < n; la++ {
@@ -263,7 +263,7 @@ func TestPropSecurityRefreshBijection(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		rng := rand.New(rand.NewSource(seed + 1))
+		rng := xrand.New(seed + 1)
 		for step := 0; step < 150; step++ {
 			seen := map[int]bool{}
 			for la := 0; la < n; la++ {

@@ -6,14 +6,14 @@
 package workload
 
 import (
+	"aegis/internal/xrand"
 	"fmt"
-	"math/rand"
 )
 
 // Generator produces logical page addresses in [0, Size()).
 type Generator interface {
 	// Next draws the next address to write.
-	Next(rng *rand.Rand) int
+	Next(rng *xrand.Rand) int
 	// Size is the logical address-space size.
 	Size() int
 	// Name identifies the workload.
@@ -25,7 +25,7 @@ type Generator interface {
 type Uniform struct{ N int }
 
 // Next implements Generator.
-func (u Uniform) Next(rng *rand.Rand) int { return rng.Intn(u.N) }
+func (u Uniform) Next(rng *xrand.Rand) int { return rng.Intn(u.N) }
 
 // Size implements Generator.
 func (u Uniform) Size() int { return u.N }
@@ -42,7 +42,7 @@ type Sequential struct {
 }
 
 // Next implements Generator.
-func (s *Sequential) Next(*rand.Rand) int {
+func (s *Sequential) Next(*xrand.Rand) int {
 	a := s.next
 	s.next = (s.next + 1) % s.N
 	return a
@@ -61,9 +61,9 @@ type Zipf struct {
 	n     int
 	s     float64
 	perm  []int
-	zipf  *rand.Zipf
+	zipf  *xrand.Zipf
 	seed  int64
-	owner *rand.Rand
+	owner *xrand.Rand
 }
 
 // NewZipf returns a Zipf(s) workload over n addresses (s > 1).  The
@@ -76,21 +76,21 @@ func NewZipf(n int, s float64, seed int64) (*Zipf, error) {
 	if s <= 1 {
 		return nil, fmt.Errorf("workload: zipf exponent %v must be > 1", s)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := xrand.New(seed)
 	z := &Zipf{
 		n:     n,
 		s:     s,
 		perm:  rng.Perm(n),
 		owner: rng,
 	}
-	z.zipf = rand.NewZipf(rng, s, 1, uint64(n-1))
+	z.zipf = xrand.NewZipf(rng, s, 1, uint64(n-1))
 	return z, nil
 }
 
-// Next implements Generator.  The passed rng is unused: rand.Zipf is
+// Next implements Generator.  The passed rng is unused: xrand.Zipf is
 // bound to its own source at construction, which keeps the hot ranks
 // stable over a run.
-func (z *Zipf) Next(*rand.Rand) int { return z.perm[int(z.zipf.Uint64())] }
+func (z *Zipf) Next(*xrand.Rand) int { return z.perm[int(z.zipf.Uint64())] }
 
 // Size implements Generator.
 func (z *Zipf) Size() int { return z.n }
@@ -121,12 +121,12 @@ func NewHotSpot(n int, hotFrac, hotAddrFrac float64, seed int64) (*HotSpot, erro
 		N:           n,
 		HotFrac:     hotFrac,
 		HotAddrFrac: hotAddrFrac,
-		perm:        rand.New(rand.NewSource(seed)).Perm(n),
+		perm:        xrand.New(seed).Perm(n),
 	}, nil
 }
 
 // Next implements Generator.
-func (h *HotSpot) Next(rng *rand.Rand) int {
+func (h *HotSpot) Next(rng *xrand.Rand) int {
 	hot := int(float64(h.N) * h.HotAddrFrac)
 	if hot < 1 {
 		hot = 1

@@ -1,8 +1,8 @@
 package workload
 
 import (
+	"aegis/internal/xrand"
 	"math"
-	"math/rand"
 	"testing"
 )
 
@@ -11,7 +11,7 @@ func TestUniformCoversSpace(t *testing.T) {
 	if u.Size() != 16 || u.Name() != "uniform" {
 		t.Fatal("metadata wrong")
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	counts := make([]int, 16)
 	const draws = 16000
 	for i := 0; i < draws; i++ {
@@ -84,7 +84,7 @@ func TestHotSpotConcentration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	counts := make(map[int]int)
 	const draws = 20000
 	for i := 0; i < draws; i++ {

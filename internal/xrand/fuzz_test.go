@@ -1,0 +1,97 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzXrandStream drives xrand.Rand and math/rand in lockstep through a
+// fuzzed operation sequence on a fuzzed seed.  Every opcode draws from
+// both generators through the same method and fails on the first
+// mismatch, so any divergence in method arithmetic, state advance or
+// rejection loops (including NormFloat64's ziggurat wedge/tail paths
+// and Perm's Go-1 draw order) is caught regardless of which op mix
+// exposes it.  The byte after each opcode parameterizes bounded draws.
+func FuzzXrandStream(f *testing.F) {
+	f.Add(int64(0), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(int64(1), []byte{4, 200, 4, 255, 4, 1}) // Normals, incl. tail hunting
+	f.Add(int64(-7), []byte{5, 3, 5, 64, 6, 10, 7, 129})
+	f.Add(int64(1<<62), []byte{8, 77, 0, 0, 3, 3, 9, 12})
+	f.Add(int64(89482311), []byte{2, 2, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		std := rand.New(rand.NewSource(seed))
+		x := New(seed)
+		arg := func(i int) int64 { // bounded-draw modulus from the next byte
+			if i+1 < len(ops) {
+				return int64(ops[i+1]) + 1
+			}
+			return 1
+		}
+		for i := 0; i < len(ops); i += 2 {
+			switch ops[i] % 10 {
+			case 0:
+				if g, w := x.Uint64(), std.Uint64(); g != w {
+					t.Fatalf("op %d: Uint64 %#x != %#x", i, g, w)
+				}
+			case 1:
+				if g, w := x.Int63(), std.Int63(); g != w {
+					t.Fatalf("op %d: Int63 %d != %d", i, g, w)
+				}
+			case 2:
+				if g, w := x.Float64(), std.Float64(); g != w {
+					t.Fatalf("op %d: Float64 %v != %v", i, g, w)
+				}
+			case 3:
+				if g, w := x.Intn(int(arg(i))), std.Intn(int(arg(i))); g != w {
+					t.Fatalf("op %d: Intn %d != %d", i, g, w)
+				}
+			case 4:
+				// Draw a burst of normals: the interesting ziggurat paths
+				// (wedge rejection, base-strip tail) are per-draw rare.
+				for k := int64(0); k < arg(i); k++ {
+					if g, w := x.NormFloat64(), std.NormFloat64(); g != w {
+						t.Fatalf("op %d draw %d: NormFloat64 %v != %v", i, k, g, w)
+					}
+				}
+			case 5:
+				gp, wp := x.Perm(int(arg(i))), std.Perm(int(arg(i)))
+				for j := range gp {
+					if gp[j] != wp[j] {
+						t.Fatalf("op %d: Perm[%d] %d != %d", i, j, gp[j], wp[j])
+					}
+				}
+			case 6:
+				dst := make([]uint64, arg(i)*5) // up to 1280 words: wraps state
+				x.Fill(dst)
+				for j, g := range dst {
+					if w := std.Uint64(); g != w {
+						t.Fatalf("op %d: Fill[%d] %#x != %#x", i, j, g, w)
+					}
+				}
+			case 7:
+				if g, w := x.Int31n(int32(arg(i))), std.Int31n(int32(arg(i))); g != w {
+					t.Fatalf("op %d: Int31n %d != %d", i, g, w)
+				}
+			case 8:
+				if g, w := x.Int63n(arg(i)), std.Int63n(arg(i)); g != w {
+					t.Fatalf("op %d: Int63n %d != %d", i, g, w)
+				}
+			case 9:
+				n := int(arg(i))
+				ga, wa := make([]int, n), make([]int, n)
+				x.Shuffle(n, func(a, b int) { ga[a], ga[b] = ga[b], ga[a] })
+				std.Shuffle(n, func(a, b int) { wa[a], wa[b] = wa[b], wa[a] })
+				for j := range ga {
+					if ga[j] != wa[j] {
+						t.Fatalf("op %d: Shuffle[%d] %d != %d", i, j, ga[j], wa[j])
+					}
+				}
+			}
+		}
+		// Whatever the op mix, both generators must land in the same
+		// state — a silent divergence in consumed draws shows up here.
+		if g, w := x.Uint64(), std.Uint64(); g != w {
+			t.Fatalf("final state diverged: %#x != %#x", g, w)
+		}
+	})
+}

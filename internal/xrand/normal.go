@@ -1,0 +1,59 @@
+// Vendored from the Go standard library (src/math/rand/normal.go),
+// Copyright 2009 The Go Authors, BSD-style license; receiver retyped to
+// *xrand.Rand.  The algorithm, constants and float32 table arithmetic
+// are part of the frozen Go 1 value stream and must not be "improved".
+
+package xrand
+
+import "math"
+
+/*
+ * Normal distribution
+ *
+ * See "The Ziggurat Method for Generating Random Variables"
+ * (Marsaglia & Tsang, 2000)
+ * http://www.jstatsoft.org/v05/i08/paper [pdf]
+ */
+
+const rn = 3.442619855899
+
+func absInt32(i int32) uint32 {
+	if i < 0 {
+		return uint32(-i)
+	}
+	return uint32(i)
+}
+
+// NormFloat64 returns a normally distributed float64 in the range
+// -math.MaxFloat64 through +math.MaxFloat64 inclusive, with standard
+// normal distribution (mean = 0, stddev = 1), drawing exactly the
+// values rand.Rand.NormFloat64 would.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		j := int32(r.Uint32()) // Possibly negative
+		i := j & 0x7F
+		x := float64(j) * float64(wn[i])
+		if absInt32(j) < kn[i] {
+			// This case should be hit better than 99% of the time.
+			return x
+		}
+
+		if i == 0 {
+			// This extra work is only required for the base strip.
+			for {
+				x = -math.Log(r.Float64()) * (1.0 / rn)
+				y := -math.Log(r.Float64())
+				if y+y >= x*x {
+					break
+				}
+			}
+			if j > 0 {
+				return rn + x
+			}
+			return -rn - x
+		}
+		if fn[i]+float32(r.Float64())*(fn[i-1]-fn[i]) < float32(math.Exp(-.5*x*x)) {
+			return x
+		}
+	}
+}
